@@ -1,0 +1,94 @@
+//! Criterion benches for experiments E1 (class-hierarchy indexing) and
+//! E2 (nested-attribute indexing). The `experiments` binary prints the
+//! corresponding tables; these give statistically solid per-query times.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use orion_bench::fleet;
+use orion_core::{DbConfig, IndexKind};
+
+fn bench_e1_hierarchy_query(c: &mut Criterion) {
+    const N: usize = 10_000;
+    const K: usize = 8;
+    let f = fleet(N, K, DbConfig::default());
+    let db = &f.db;
+    let lo = (N / 2) as i64;
+    let hi = lo + (N / 100) as i64;
+    let query =
+        format!("select count(*) from Vehicle* v where v.weight >= {lo} and v.weight < {hi}");
+
+    let mut group = c.benchmark_group("e1_hierarchy_range_query");
+    group.sample_size(20);
+
+    group.bench_function(BenchmarkId::new("access", "extent_scan"), |b| {
+        b.iter(|| {
+            let tx = db.begin();
+            let r = db.query(&tx, &query).unwrap();
+            db.commit(tx).unwrap();
+            r
+        })
+    });
+
+    db.create_index("ch", IndexKind::ClassHierarchy, "Vehicle", &["weight"]).unwrap();
+    group.bench_function(BenchmarkId::new("access", "class_hierarchy_index"), |b| {
+        b.iter(|| {
+            let tx = db.begin();
+            let r = db.query(&tx, &query).unwrap();
+            db.commit(tx).unwrap();
+            r
+        })
+    });
+    db.drop_index("ch").unwrap();
+
+    for class in &f.leaf_classes {
+        db.create_index(&format!("sc_{class}"), IndexKind::SingleClass, class, &["weight"])
+            .unwrap();
+    }
+    let per_class: Vec<String> = f
+        .leaf_classes
+        .iter()
+        .map(|cl| format!("select count(*) from {cl} v where v.weight >= {lo} and v.weight < {hi}"))
+        .collect();
+    group.bench_function(BenchmarkId::new("access", "k_single_class_indexes"), |b| {
+        b.iter(|| {
+            let tx = db.begin();
+            let mut total = 0i64;
+            for q in &per_class {
+                total += db.query(&tx, q).unwrap().rows[0][0].as_int().unwrap();
+            }
+            db.commit(tx).unwrap();
+            total
+        })
+    });
+    group.finish();
+}
+
+fn bench_e2_nested_predicate(c: &mut Criterion) {
+    const N: usize = 10_000;
+    let f = fleet(N, 4, DbConfig::default());
+    let db = &f.db;
+    let query = "select count(*) from Vehicle* v where v.manufacturer.location = \"Detroit\"";
+
+    let mut group = c.benchmark_group("e2_nested_predicate");
+    group.sample_size(15);
+    group.bench_function("forward_traversal", |b| {
+        b.iter(|| {
+            let tx = db.begin();
+            let r = db.query(&tx, query).unwrap();
+            db.commit(tx).unwrap();
+            r
+        })
+    });
+    db.create_index("loc", IndexKind::Nested, "Vehicle", &["manufacturer", "location"]).unwrap();
+    group.bench_function("nested_index", |b| {
+        b.iter(|| {
+            let tx = db.begin();
+            let r = db.query(&tx, query).unwrap();
+            db.commit(tx).unwrap();
+            r
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_e1_hierarchy_query, bench_e2_nested_predicate);
+criterion_main!(benches);

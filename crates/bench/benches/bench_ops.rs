@@ -1,0 +1,113 @@
+//! Criterion benches for E5 (simple database operations, \[RUBE87\]) and
+//! E7 (late-binding dispatch): the per-operation costs of the kernel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use orion_bench::{deep_hierarchy, fleet, fleet_relational};
+use orion_core::{Database, DbConfig, Value};
+use std::time::Duration;
+
+fn configure(c: &mut Criterion) -> Criterion {
+    let _ = c;
+    Criterion::default()
+}
+
+fn bench_e5_simple_ops(c: &mut Criterion) {
+    const N: usize = 10_000;
+    let f = fleet(N, 4, DbConfig::default());
+    let db = &f.db;
+    db.create_index("byname", orion_core::IndexKind::ClassHierarchy, "Vehicle", &["name"])
+        .unwrap();
+    let rel = fleet_relational(N);
+
+    let mut group = c.benchmark_group("e5_simple_ops");
+    group.measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+
+    let tx = db.begin();
+    let prepared =
+        db.prepare_query(&tx, "select v from Vehicle* v where v.name = \"vehicle42\"").unwrap();
+    group.bench_function(BenchmarkId::new("name_lookup", "orion_prepared"), |b| {
+        b.iter(|| db.execute_prepared(&prepared).unwrap())
+    });
+    group.bench_function(BenchmarkId::new("name_lookup", "orion_parsed"), |b| {
+        b.iter(|| {
+            db.query(&tx, "select v from Vehicle* v where v.name = \"vehicle42\"").unwrap()
+        })
+    });
+    group.bench_function(BenchmarkId::new("name_lookup", "relbase"), |b| {
+        b.iter(|| rel.select_eq("vehicle", "name", &Value::str("vehicle42")).unwrap())
+    });
+
+    let sample = f.vehicles[N / 2];
+    db.navigate(&tx, sample, &["manufacturer"]).unwrap(); // warm
+    group.bench_function(BenchmarkId::new("one_hop", "orion_navigate"), |b| {
+        b.iter(|| db.navigate(&tx, sample, &["manufacturer"]).unwrap())
+    });
+    group.bench_function(BenchmarkId::new("one_hop", "relbase_two_probes"), |b| {
+        b.iter(|| {
+            let v = rel.select_eq("vehicle", "id", &Value::Int((N / 2) as i64)).unwrap();
+            rel.select_eq("company", "id", &v[0].1[3]).unwrap()
+        })
+    });
+
+    let mut i = N as i64;
+    group.bench_function(BenchmarkId::new("insert", "orion"), |b| {
+        b.iter(|| {
+            i += 1;
+            db.create_object(
+                &tx,
+                &f.leaf_classes[0],
+                vec![("name", Value::Str(format!("vx{i}"))), ("weight", Value::Int(i))],
+            )
+            .unwrap()
+        })
+    });
+    let txn = rel.begin();
+    let mut j = N as i64;
+    group.bench_function(BenchmarkId::new("insert", "relbase"), |b| {
+        b.iter(|| {
+            j += 1;
+            rel.insert(
+                txn,
+                "vehicle",
+                vec![
+                    Value::Int(j),
+                    Value::Str(format!("vx{j}")),
+                    Value::Int(j),
+                    Value::Int(0),
+                ],
+            )
+            .unwrap()
+        })
+    });
+    rel.commit(txn).unwrap();
+    db.commit(tx).unwrap();
+    group.finish();
+}
+
+fn bench_e7_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_late_binding");
+    group.measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    for depth in [1usize, 8, 16] {
+        for cache in [true, false] {
+            let db = Database::new();
+            let leaf = deep_hierarchy(&db, depth);
+            db.with_catalog_mut(|cat| cat.set_method_cache_enabled(cache));
+            let tx = db.begin();
+            let obj = db.create_object(&tx, &leaf, vec![]).unwrap();
+            let class = obj.class();
+            let label = format!("depth{depth}_cache_{}", if cache { "on" } else { "off" });
+            group.bench_function(BenchmarkId::new("resolve", label), |b| {
+                db.with_catalog(|cat| b.iter(|| cat.resolve_method(class, "m").unwrap()))
+            });
+            db.commit(tx).unwrap();
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = configure(&mut Criterion::default());
+    targets = bench_e5_simple_ops, bench_e7_dispatch
+}
+criterion_main!(benches);

@@ -1,0 +1,236 @@
+//! Criterion benches for the system-level experiments: E6 (schema
+//! evolution), E8 (lock granularity), E9 (versions/composites),
+//! E10 (clustering), E11 (authorization), E12 (rules), E13 (recovery).
+//! The `experiments` binary prints richer tables; these track the same
+//! quantities with Criterion statistics.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use orion_bench::{assemblies, fleet};
+use orion_core::{
+    var, AttrSpec, AuthAction, AuthTarget, Database, DbConfig, Domain, LockingStrategy,
+    Migration, Oid, PrimitiveType, Rule, RuleAtom, SchemaChange, Value,
+};
+use std::time::Duration;
+
+fn quick(group: &mut criterion::BenchmarkGroup<criterion::measurement::WallTime>) {
+    group.measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(400));
+    group.sample_size(10);
+}
+
+fn bench_e6_evolution(c: &mut Criterion) {
+    const N: usize = 5_000;
+    let mut group = c.benchmark_group("e6_schema_evolution");
+    quick(&mut group);
+    for policy in [Migration::Lazy, Migration::Eager] {
+        group.bench_function(BenchmarkId::new("add_attribute", format!("{policy:?}")), |b| {
+            b.iter_batched(
+                || fleet(N, 2, DbConfig::default()),
+                |f| {
+                    let vehicle = f.db.with_catalog(|c| c.class_id("Vehicle")).unwrap();
+                    f.db.evolve(
+                        SchemaChange::AddAttribute {
+                            class: vehicle,
+                            spec: AttrSpec::new("color", Domain::Primitive(PrimitiveType::Str)),
+                        },
+                        policy,
+                    )
+                    .unwrap();
+                },
+                criterion::BatchSize::PerIteration,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_e8_locking(c: &mut Criterion) {
+    const THREADS: usize = 4;
+    const OPS: usize = 100;
+    let mut group = c.benchmark_group("e8_lock_granularity");
+    quick(&mut group);
+    for strategy in [LockingStrategy::Granular, LockingStrategy::CoarseClass] {
+        let config = DbConfig {
+            locking: strategy,
+            lock_timeout: Duration::from_secs(30),
+            ..DbConfig::default()
+        };
+        let f = fleet(THREADS * OPS, 1, config);
+        group.bench_function(BenchmarkId::new("concurrent_updates", format!("{strategy:?}")), |b| {
+            b.iter(|| {
+                crossbeam::scope(|scope| {
+                    for t in 0..THREADS {
+                        let db = &f.db;
+                        let vehicles = &f.vehicles;
+                        scope.spawn(move |_| {
+                            for i in 0..OPS {
+                                let tx = db.begin();
+                                db.set(&tx, vehicles[t * OPS + i], "weight", Value::Int(i as i64))
+                                    .unwrap();
+                                db.commit(tx).unwrap();
+                            }
+                        });
+                    }
+                })
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_e9_versions(c: &mut Criterion) {
+    let db = Database::new();
+    db.create_class(
+        "Doc",
+        &[],
+        vec![AttrSpec::new("rev", Domain::Primitive(PrimitiveType::Int))],
+    )
+    .unwrap();
+    let tx = db.begin();
+    let plain = db.create_object(&tx, "Doc", vec![("rev", Value::Int(0))]).unwrap();
+    let (_generic, version) = db.create_versioned(&tx, "Doc", vec![("rev", Value::Int(0))]).unwrap();
+    let mut group = c.benchmark_group("e9_versions");
+    quick(&mut group);
+    group.bench_function("update_plain", |b| {
+        b.iter(|| db.set(&tx, plain, "rev", Value::Int(1)).unwrap())
+    });
+    group.bench_function("update_transient_version", |b| {
+        b.iter(|| db.set(&tx, version, "rev", Value::Int(1)).unwrap())
+    });
+    group.bench_function("derive_version", |b| {
+        b.iter(|| db.derive_version(&tx, version).unwrap())
+    });
+    group.finish();
+    db.commit(tx).unwrap();
+}
+
+fn bench_e10_clustering(c: &mut Criterion) {
+    const ASSEMBLIES: usize = 32;
+    const PARTS: usize = 12;
+    let mut group = c.benchmark_group("e10_clustering");
+    quick(&mut group);
+    for clustering in [true, false] {
+        let config = DbConfig {
+            clustering,
+            buffer_pages: 16,
+            cache_objects: 64,
+            ..DbConfig::default()
+        };
+        let db = Database::with_config(config);
+        let roots = assemblies(&db, ASSEMBLIES, PARTS, true);
+        let label = if clustering { "clustered" } else { "scattered" };
+        group.bench_function(BenchmarkId::new("cold_composite_read", label), |b| {
+            b.iter(|| {
+                db.cool_caches().unwrap();
+                let tx = db.begin();
+                for &root in &roots {
+                    for part in db.parts_of(root) {
+                        std::hint::black_box(db.get(&tx, part, "area").unwrap());
+                    }
+                }
+                db.commit(tx).unwrap();
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_e11_authz(c: &mut Criterion) {
+    const N: usize = 2_000;
+    let mut group = c.benchmark_group("e11_authorization");
+    quick(&mut group);
+    for authz in [false, true] {
+        let config = DbConfig { authz_enabled: authz, ..DbConfig::default() };
+        let f = fleet(N, 2, config);
+        let db = &f.db;
+        let vehicle = db.with_catalog(|c| c.class_id("Vehicle")).unwrap();
+        let classes = db.with_catalog(|c| c.subtree(vehicle).unwrap().as_ref().clone());
+        for class in classes {
+            db.grant("reader", AuthAction::Read, AuthTarget::Class(class));
+        }
+        let tx = if authz { db.begin_as("reader") } else { db.begin() };
+        let oid = f.vehicles[N / 2];
+        let label = if authz { "on" } else { "off" };
+        group.bench_function(BenchmarkId::new("read", label), |b| {
+            b.iter(|| db.get(&tx, oid, "weight").unwrap())
+        });
+        db.commit(tx).unwrap();
+    }
+    group.finish();
+}
+
+fn bench_e12_rules(c: &mut Criterion) {
+    const NODES: usize = 40;
+    let db = Database::new();
+    db.create_class("Node", &[], vec![]).unwrap();
+    let node = db.with_catalog(|c| c.class_id("Node")).unwrap();
+    db.evolve(
+        SchemaChange::AddAttribute {
+            class: node,
+            spec: AttrSpec::new("next", Domain::set_of_class(node)),
+        },
+        Migration::Lazy,
+    )
+    .unwrap();
+    let tx = db.begin();
+    let nodes: Vec<Oid> =
+        (0..NODES).map(|_| db.create_object(&tx, "Node", vec![]).unwrap()).collect();
+    for i in 0..NODES - 1 {
+        db.set(&tx, nodes[i], "next", Value::set(vec![Value::Ref(nodes[i + 1])])).unwrap();
+    }
+    db.set(&tx, nodes[NODES - 1], "next", Value::set(vec![Value::Ref(nodes[0])])).unwrap();
+    db.commit(tx).unwrap();
+    db.add_rule(Rule {
+        head: RuleAtom::new("reach", vec![var("X"), var("Y")]),
+        body: vec![RuleAtom::new("next", vec![var("X"), var("Y")])],
+    })
+    .unwrap();
+    db.add_rule(Rule {
+        head: RuleAtom::new("reach", vec![var("X"), var("Z")]),
+        body: vec![
+            RuleAtom::new("reach", vec![var("X"), var("Y")]),
+            RuleAtom::new("next", vec![var("Y"), var("Z")]),
+        ],
+    })
+    .unwrap();
+    let mut group = c.benchmark_group("e12_rules");
+    quick(&mut group);
+    group.bench_function("seminaive", |b| b.iter(|| db.infer("reach", true).unwrap()));
+    group.bench_function("naive", |b| b.iter(|| db.infer("reach", false).unwrap()));
+    group.finish();
+}
+
+fn bench_e13_recovery(c: &mut Criterion) {
+    const TXNS: usize = 300;
+    let mut group = c.benchmark_group("e13_recovery");
+    quick(&mut group);
+    group.bench_function("crash_and_recover", |b| {
+        b.iter_batched(
+            || {
+                let f = fleet(500, 2, DbConfig::default());
+                for i in 0..TXNS {
+                    let tx = f.db.begin();
+                    let oid = f.vehicles[i % f.vehicles.len()];
+                    f.db.set(&tx, oid, "weight", Value::Int(i as i64)).unwrap();
+                    f.db.commit(tx).unwrap();
+                }
+                f
+            },
+            |f| f.db.crash_and_recover().unwrap(),
+            criterion::BatchSize::PerIteration,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_e6_evolution,
+    bench_e8_locking,
+    bench_e9_versions,
+    bench_e10_clustering,
+    bench_e11_authz,
+    bench_e12_rules,
+    bench_e13_recovery
+);
+criterion_main!(benches);

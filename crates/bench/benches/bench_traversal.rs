@@ -1,0 +1,60 @@
+//! Criterion bench for experiment E3: pointer-swizzled navigation vs
+//! join-per-hop relational traversal (§3.3's "order of magnitude").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use orion_bench::{chains, chains_relational};
+use orion_core::{Database, DbConfig};
+use orion_types::Value;
+
+const CHAINS: usize = 100;
+const DEPTH: usize = 6;
+
+fn bench_e3_traversal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_traversal");
+    group.sample_size(20);
+
+    // Relational baseline: index probe per hop.
+    let rel = relbase::RelDb::new(256);
+    let rel_heads = chains_relational(&rel, CHAINS, DEPTH);
+    group.bench_function("relbase_join_per_hop", |b| {
+        b.iter(|| {
+            for &head in &rel_heads {
+                let mut cur = Value::Int(head);
+                for _ in 0..DEPTH - 1 {
+                    let rows = rel.select_eq("link", "id", &cur).unwrap();
+                    cur = rows[0].1[2].clone();
+                }
+                std::hint::black_box(cur);
+            }
+        })
+    });
+
+    for swizzling in [true, false] {
+        let config = DbConfig {
+            swizzling,
+            cache_objects: CHAINS * DEPTH + 64,
+            ..DbConfig::default()
+        };
+        let db = Database::with_config(config);
+        let heads = chains(&db, CHAINS, DEPTH);
+        let path: Vec<&str> = std::iter::repeat_n("next", DEPTH - 1).collect();
+        let tx = db.begin();
+        // Warm the cache so the measurement isolates traversal cost.
+        for &h in &heads {
+            db.navigate(&tx, h, &path).unwrap();
+        }
+        let label = if swizzling { "orion_swizzled" } else { "orion_oid_hash" };
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                for &h in &heads {
+                    std::hint::black_box(db.navigate(&tx, h, &path).unwrap());
+                }
+            })
+        });
+        db.commit(tx).unwrap();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e3_traversal);
+criterion_main!(benches);

@@ -1,0 +1,978 @@
+//! The experiment harness: regenerates every table in EXPERIMENTS.md.
+//!
+//! Each experiment reproduces one performance claim or architectural
+//! prediction of Won Kim, "Research Directions in Object-Oriented
+//! Database Systems" (PODS 1990) — see DESIGN.md §3 for the index.
+//!
+//! Run all:    `cargo run -p orion-bench --release --bin experiments`
+//! Run some:   `cargo run -p orion-bench --release --bin experiments -- e1 e3`
+
+use orion_bench::{assemblies, chains, chains_relational, deep_hierarchy, fleet,
+    fleet_relational, fmt_dur, time, time_per, Table};
+use orion_core::{
+    var, AttrSpec, AuthAction, AuthTarget, Database, DbConfig, Domain, IndexKind,
+    LockingStrategy, Migration, Oid, PrimitiveType, Rule, RuleAtom, SchemaChange, Value,
+};
+use std::time::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).map(|a| a.to_lowercase()).collect();
+    let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
+
+    let experiments: Vec<(&str, &str, fn())> = vec![
+        ("f1", "Figure 1: the paper's schema and query", f1),
+        ("e1", "class-hierarchy index vs per-class indexes vs scan", e1),
+        ("e2", "nested-attribute index vs forward traversal", e2),
+        ("e3", "swizzled navigation vs relational joins", e3),
+        ("e4", "optimizer access-path selection", e4),
+        ("e5", "simple database operations (RUBE87) — orion vs relbase", e5),
+        ("e6", "schema evolution: lazy vs eager migration", e6),
+        ("e7", "late binding: dispatch cost and the method cache", e7),
+        ("e8", "granular vs coarse locking under concurrency", e8),
+        ("e9", "versions and composite locks", e9),
+        ("e10", "composite clustering vs scattered placement", e10),
+        ("e11", "authorization overhead and view filtering", e11),
+        ("e12", "deductive rules: semi-naive vs naive evaluation", e12),
+        ("e13", "recovery: durability and checkpoint effect", e13),
+        ("e14", "multidatabase: native vs federated access", e14),
+    ];
+    for (name, title, f) in experiments {
+        if want(name) {
+            println!("\n=== {} — {} ===", name.to_uppercase(), title);
+            f();
+        }
+    }
+}
+
+/// Build the canonical fleet DB used by several experiments.
+fn default_fleet(n: usize, k: usize) -> orion_bench::FleetDb {
+    fleet(n, k, DbConfig::default())
+}
+
+// ---------------------------------------------------------------------------
+// F1
+// ---------------------------------------------------------------------------
+
+fn f1() {
+    let f = default_fleet(5_000, 4);
+    let db = &f.db;
+    let tx = db.begin();
+    let q = "select count(*) from Vehicle* v \
+             where v.weight > 2500 and v.manufacturer.location = \"Detroit\"";
+    let (dur, result) = time(|| db.query(&tx, q).unwrap());
+    println!("query : {q}");
+    println!("plan  : {}", db.explain(&tx, q).unwrap());
+    println!("result: {} vehicles in {}", result.rows[0][0], fmt_dur(dur));
+    db.commit(tx).unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// E1 — class-hierarchy indexing (§3.2, [KIM89b])
+// ---------------------------------------------------------------------------
+
+fn e1() {
+    const N: usize = 40_000;
+    const K: usize = 8;
+    let f = default_fleet(N, K);
+    let db = &f.db;
+    // One CH index at the root...
+    db.create_index("ch_weight", IndexKind::ClassHierarchy, "Vehicle", &["weight"]).unwrap();
+    // ...versus one SC index per class (the relational design).
+    for class in &f.leaf_classes {
+        db.create_index(&format!("sc_{class}"), IndexKind::SingleClass, class, &["weight"])
+            .unwrap();
+    }
+
+    let lo = (N / 2) as i64;
+    let hi = lo + (N / 100) as i64; // 1% selectivity
+    let hierarchy_q =
+        format!("select count(*) from Vehicle* v where v.weight >= {lo} and v.weight < {hi}");
+    let single_q = |class: &str| {
+        format!("select count(*) from {class} v where v.weight >= {lo} and v.weight < {hi}")
+    };
+
+    let mut table = Table::new(&["query scope", "access method", "time", "rows"]);
+
+    // (a) hierarchy query through the CH index.
+    let tx = db.begin();
+    let (d, r) = time(|| db.query(&tx, &hierarchy_q).unwrap());
+    table.row(vec![
+        format!("hierarchy ({K} classes)"),
+        "one class-hierarchy index".into(),
+        fmt_dur(d),
+        r.rows[0][0].to_string(),
+    ]);
+    db.commit(tx).unwrap();
+
+    // (b) hierarchy query emulating per-class indexes: K probes + union.
+    let tx = db.begin();
+    let (d, total) = time(|| {
+        f.leaf_classes
+            .iter()
+            .map(|class| {
+                db.query(&tx, &single_q(class)).unwrap().rows[0][0].as_int().unwrap()
+            })
+            .sum::<i64>()
+    });
+    table.row(vec![
+        format!("hierarchy ({K} classes)"),
+        format!("{K} single-class indexes"),
+        fmt_dur(d),
+        total.to_string(),
+    ]);
+    db.commit(tx).unwrap();
+
+    // (c) hierarchy query by extent scan (drop all indexes).
+    db.drop_index("ch_weight").unwrap();
+    for class in &f.leaf_classes {
+        db.drop_index(&format!("sc_{class}")).unwrap();
+    }
+    let tx = db.begin();
+    let (d, r) = time(|| db.query(&tx, &hierarchy_q).unwrap());
+    table.row(vec![
+        format!("hierarchy ({K} classes)"),
+        "extent scan".into(),
+        fmt_dur(d),
+        r.rows[0][0].to_string(),
+    ]);
+    db.commit(tx).unwrap();
+
+    // (d) single-class query: CH vs SC index (the CH directory tax).
+    db.create_index("ch_weight", IndexKind::ClassHierarchy, "Vehicle", &["weight"]).unwrap();
+    let class0 = &f.leaf_classes[0];
+    let tx = db.begin();
+    let (d, r) = time(|| db.query(&tx, &single_q(class0)).unwrap());
+    table.row(vec![
+        "single class".into(),
+        "class-hierarchy index".into(),
+        fmt_dur(d),
+        r.rows[0][0].to_string(),
+    ]);
+    db.commit(tx).unwrap();
+    db.create_index("sc_one", IndexKind::SingleClass, class0, &["weight"]).unwrap();
+    let tx = db.begin();
+    let (d, r) = time(|| db.query(&tx, &single_q(class0)).unwrap());
+    table.row(vec![
+        "single class".into(),
+        "single-class index".into(),
+        fmt_dur(d),
+        r.rows[0][0].to_string(),
+    ]);
+    db.commit(tx).unwrap();
+    table.print();
+}
+
+// ---------------------------------------------------------------------------
+// E2 — nested-attribute indexing (§3.2, [BERT89])
+// ---------------------------------------------------------------------------
+
+fn e2() {
+    const N: usize = 40_000;
+    let f = default_fleet(N, 4);
+    let db = &f.db;
+    let q = "select count(*) from Vehicle* v where v.manufacturer.location = \"Detroit\"";
+
+    let mut table = Table::new(&["access method", "time", "rows", "objects fetched"]);
+    let tx = db.begin();
+    db.reset_stats();
+    let (d, r) = time(|| db.query(&tx, q).unwrap());
+    table.row(vec![
+        "forward traversal per object".into(),
+        fmt_dur(d),
+        r.rows[0][0].to_string(),
+        db.fetch_count().to_string(),
+    ]);
+    db.commit(tx).unwrap();
+
+    db.create_index("loc", IndexKind::Nested, "Vehicle", &["manufacturer", "location"]).unwrap();
+    let tx = db.begin();
+    db.reset_stats();
+    let (d, r) = time(|| db.query(&tx, q).unwrap());
+    table.row(vec![
+        "nested-attribute index".into(),
+        fmt_dur(d),
+        r.rows[0][0].to_string(),
+        db.fetch_count().to_string(),
+    ]);
+    db.commit(tx).unwrap();
+    table.print();
+
+    // Maintenance correctness under intermediate update, and its cost.
+    let tx = db.begin();
+    let city_move = f.companies[0];
+    let (d, ()) = time(|| db.set(&tx, city_move, "location", Value::str("Flint")).unwrap());
+    println!("re-keying all roots after one company moved: {}", fmt_dur(d));
+    db.commit(tx).unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// E3 — swizzling vs joins (§3.3, [MAIE89a])
+// ---------------------------------------------------------------------------
+
+fn e3() {
+    const CHAINS: usize = 400;
+    const DEPTH: usize = 6;
+
+    let mut table =
+        Table::new(&["engine / mode", "cache", "per-traversal", "speedup vs joins"]);
+
+    // Relational baseline: one index probe per hop.
+    let rel = relbase::RelDb::new(256);
+    let heads = chains_relational(&rel, CHAINS, DEPTH);
+    let rel_probe = |head: i64| {
+        let mut cur = Value::Int(head);
+        for _ in 0..DEPTH - 1 {
+            let rows = rel.select_eq("link", "id", &cur).unwrap();
+            cur = rows[0].1[2].clone();
+        }
+        cur
+    };
+    // Warm the pool.
+    for &h in &heads {
+        std::hint::black_box(rel_probe(h));
+    }
+    let rel_time = time_per(heads.len(), || {
+        for &h in &heads {
+            std::hint::black_box(rel_probe(h));
+        }
+    }) / heads.len() as u32
+        * heads.len() as u32; // keep units obvious
+    let rel_per = time_per(1, || {
+        for &h in &heads {
+            std::hint::black_box(rel_probe(h));
+        }
+    }) / heads.len() as u32;
+    let _ = rel_time;
+    table.row(vec![
+        "relbase: index probe per hop".into(),
+        "warm".into(),
+        fmt_dur(rel_per),
+        "1.0x".into(),
+    ]);
+
+    // The paper's actual complaint (§3.3): without index support the
+    // application expresses each hop as a join — a scan per hop. Probe
+    // a small sample; extrapolation is linear.
+    let rel2 = relbase::RelDb::new(256);
+    let heads2 = chains_relational(&rel2, CHAINS, DEPTH);
+    // (chains_relational builds the id index; drop it by rebuilding the
+    // probe against the unindexed payload column instead.)
+    let scan_probe = |head: i64| {
+        let mut cur = Value::Int(head);
+        for _ in 0..DEPTH - 1 {
+            let rows = rel2.select_eq("link", "payload", &cur).unwrap();
+            cur = rows[0].1[2].clone();
+        }
+        cur
+    };
+    let sample = &heads2[..heads2.len().min(25)];
+    let scan_per = time_per(1, || {
+        for &h in sample {
+            std::hint::black_box(scan_probe(h));
+        }
+    }) / sample.len() as u32;
+    table.row(vec![
+        "relbase: unindexed join (scan per hop)".into(),
+        "warm".into(),
+        fmt_dur(scan_per),
+        format!("{:.2}x", rel_per.as_nanos() as f64 / scan_per.as_nanos().max(1) as f64),
+    ]);
+
+    // orion with and without swizzling.
+    for swizzling in [true, false] {
+        let config = DbConfig {
+            swizzling,
+            cache_objects: CHAINS * DEPTH + 64,
+            ..DbConfig::default()
+        };
+        let db = Database::with_config(config);
+        let heads = chains(&db, CHAINS, DEPTH);
+        let path: Vec<&str> = std::iter::repeat_n("next", DEPTH - 1).collect();
+        let tx = db.begin();
+        // Cold run (first touch faults everything in).
+        db.cool_caches().unwrap();
+        db.reset_stats();
+        let cold = time_per(1, || {
+            for &h in &heads {
+                std::hint::black_box(db.navigate(&tx, h, &path).unwrap());
+            }
+        }) / heads.len() as u32;
+        // Warm runs.
+        let warm = time_per(8, || {
+            for &h in &heads {
+                std::hint::black_box(db.navigate(&tx, h, &path).unwrap());
+            }
+        }) / heads.len() as u32;
+        let stats = db.cache_stats();
+        let label = if swizzling { "orion: swizzled pointers" } else { "orion: OID hash per hop" };
+        table.row(vec![
+            label.into(),
+            "cold".into(),
+            fmt_dur(cold),
+            format!("{:.1}x", rel_per.as_nanos() as f64 / cold.as_nanos().max(1) as f64),
+        ]);
+        table.row(vec![
+            label.into(),
+            "warm".into(),
+            fmt_dur(warm),
+            format!("{:.1}x", rel_per.as_nanos() as f64 / warm.as_nanos().max(1) as f64),
+        ]);
+        if swizzling {
+            println!(
+                "swizzled hops: {} / unswizzled: {} (warm traversals all swizzle)",
+                stats.swizzled_hops, stats.unswizzled_hops
+            );
+        }
+        db.commit(tx).unwrap();
+    }
+    table.print();
+}
+
+// ---------------------------------------------------------------------------
+// E4 — the optimizer picks access paths (§3.3 point 3)
+// ---------------------------------------------------------------------------
+
+fn e4() {
+    const N: usize = 20_000;
+    let f = default_fleet(N, 4);
+    let db = &f.db;
+    db.create_index("ch_weight", IndexKind::ClassHierarchy, "Vehicle", &["weight"]).unwrap();
+    db.create_index("sc_name0", IndexKind::SingleClass, &f.leaf_classes[0], &["name"]).unwrap();
+    db.create_index("loc", IndexKind::Nested, "Vehicle", &["manufacturer", "location"]).unwrap();
+
+    let queries = [
+        "select count(*) from Vehicle* v where v.weight = 777",
+        "select count(*) from Vehicle* v where v.weight >= 100 and v.weight < 300",
+        &format!("select count(*) from {} v where v.name = \"vehicle4\"", f.leaf_classes[0]),
+        "select count(*) from Vehicle* v where v.manufacturer.location = \"Kyoto\"",
+        "select count(*) from Vehicle* v where v.manufacturer.cname like \"company1%\"",
+        "select count(*) from VehicleKind1 v where v.name = \"vehicle5\"",
+    ];
+    let mut table = Table::new(&["query (where-clause)", "chosen plan", "time"]);
+    let tx = db.begin();
+    for q in queries {
+        let plan = db.explain(&tx, q).unwrap();
+        let (d, _) = time(|| db.query(&tx, q).unwrap());
+        let clause = q.split(" where ").nth(1).unwrap_or(q);
+        table.row(vec![clause.to_string(), plan, fmt_dur(d)]);
+    }
+    db.commit(tx).unwrap();
+    table.print();
+}
+
+// ---------------------------------------------------------------------------
+// E5 — simple database operations ([RUBE87], §5.6)
+// ---------------------------------------------------------------------------
+
+fn e5() {
+    const N: usize = 20_000;
+    const PROBES: usize = 500;
+    let f = default_fleet(N, 4);
+    let db = &f.db;
+    db.create_index("byname", IndexKind::ClassHierarchy, "Vehicle", &["name"]).unwrap();
+    let rel = fleet_relational(N);
+
+    let mut table = Table::new(&["operation", "orion", "relbase", "ratio (rel/orion)"]);
+
+    // (1) Name lookup — parsed per call, and prepared once.
+    let tx = db.begin();
+    let orion_lookup = time_per(PROBES, || {
+        let i = 17 * 31 % N;
+        db.query(&tx, &format!("select v from Vehicle* v where v.name = \"vehicle{i}\""))
+            .unwrap()
+    });
+    let prepared = db
+        .prepare_query(&tx, "select v from Vehicle* v where v.name = \"vehicle527\"")
+        .unwrap();
+    let orion_prepared = time_per(PROBES, || db.execute_prepared(&prepared).unwrap());
+    db.commit(tx).unwrap();
+    let rel_lookup = time_per(PROBES, || {
+        let i = 17 * 31 % N;
+        rel.select_eq("vehicle", "name", &Value::Str(format!("vehicle{i}"))).unwrap()
+    });
+    table.row(vec![
+        "name lookup (parse + plan + probe)".into(),
+        fmt_dur(orion_lookup),
+        fmt_dur(rel_lookup),
+        format!("{:.1}x", rel_lookup.as_nanos() as f64 / orion_lookup.as_nanos().max(1) as f64),
+    ]);
+    table.row(vec![
+        "name lookup (prepared)".into(),
+        fmt_dur(orion_prepared),
+        fmt_dur(rel_lookup),
+        format!("{:.1}x", rel_lookup.as_nanos() as f64 / orion_prepared.as_nanos().max(1) as f64),
+    ]);
+
+    // (2) One-hop reference traversal (vehicle -> its manufacturer).
+    let tx = db.begin();
+    let sample: Vec<Oid> = f.vehicles.iter().step_by(N / PROBES).copied().collect();
+    // Warm once.
+    for &v in &sample {
+        std::hint::black_box(db.navigate(&tx, v, &["manufacturer"]).unwrap());
+    }
+    let orion_hop = time_per(1, || {
+        for &v in &sample {
+            std::hint::black_box(db.navigate(&tx, v, &["manufacturer"]).unwrap());
+        }
+    }) / sample.len() as u32;
+    db.commit(tx).unwrap();
+    let rel_rows: Vec<i64> =
+        (0..N).step_by(N / PROBES).map(|i| i as i64).collect();
+    let rel_hop = time_per(1, || {
+        for &id in &rel_rows {
+            let v = rel.select_eq("vehicle", "id", &Value::Int(id)).unwrap();
+            let cid = v[0].1[3].clone();
+            std::hint::black_box(rel.select_eq("company", "id", &cid).unwrap());
+        }
+    }) / rel_rows.len() as u32;
+    table.row(vec![
+        "1-hop reference traversal".into(),
+        fmt_dur(orion_hop),
+        fmt_dur(rel_hop),
+        format!("{:.1}x", rel_hop.as_nanos() as f64 / orion_hop.as_nanos().max(1) as f64),
+    ]);
+
+    // (3) Insert.
+    let tx = db.begin();
+    let mut i = N;
+    let orion_insert = time_per(PROBES, || {
+        i += 1;
+        db.create_object(
+            &tx,
+            &f.leaf_classes[0],
+            vec![("name", Value::Str(format!("vehicle{i}"))), ("weight", Value::Int(i as i64))],
+        )
+        .unwrap()
+    });
+    db.commit(tx).unwrap();
+    let txn = rel.begin();
+    let mut j = N;
+    let rel_insert = time_per(PROBES, || {
+        j += 1;
+        rel.insert(
+            txn,
+            "vehicle",
+            vec![
+                Value::Int(j as i64),
+                Value::Str(format!("vehicle{j}")),
+                Value::Int(j as i64),
+                Value::Int(0),
+            ],
+        )
+        .unwrap()
+    });
+    rel.commit(txn).unwrap();
+    table.row(vec![
+        "insert (indexed attr)".into(),
+        fmt_dur(orion_insert),
+        fmt_dur(rel_insert),
+        format!("{:.1}x", rel_insert.as_nanos() as f64 / orion_insert.as_nanos().max(1) as f64),
+    ]);
+    table.print();
+}
+
+// ---------------------------------------------------------------------------
+// E6 — schema evolution migration policies (§5.1, [BANE87])
+// ---------------------------------------------------------------------------
+
+fn e6() {
+    const N: usize = 40_000;
+    let mut table =
+        Table::new(&["change", "policy", "DDL time", "first full read after"]);
+    for eager in [false, true] {
+        let f = default_fleet(N, 4);
+        let db = &f.db;
+        let vehicle = db.with_catalog(|c| c.class_id("Vehicle")).unwrap();
+        let policy = if eager { Migration::Eager } else { Migration::Lazy };
+        let (ddl, ()) = time(|| {
+            db.evolve(
+                SchemaChange::AddAttribute {
+                    class: vehicle,
+                    spec: AttrSpec::new("color", Domain::Primitive(PrimitiveType::Str))
+                        .with_default(Value::str("black")),
+                },
+                policy,
+            )
+            .unwrap()
+        });
+        let tx = db.begin();
+        let (touch, _) = time(|| {
+            db.query(&tx, "select count(*) from Vehicle* v where v.color = \"black\"").unwrap()
+        });
+        db.commit(tx).unwrap();
+        table.row(vec![
+            format!("add attribute ({N} instances)"),
+            format!("{policy:?}"),
+            fmt_dur(ddl),
+            fmt_dur(touch),
+        ]);
+
+        let (ddl, ()) = time(|| {
+            db.evolve(
+                SchemaChange::DropAttribute { class: vehicle, name: "color".into() },
+                policy,
+            )
+            .unwrap()
+        });
+        let tx = db.begin();
+        let (touch, _) =
+            time(|| db.query(&tx, "select count(*) from Vehicle* v").unwrap());
+        db.commit(tx).unwrap();
+        table.row(vec![
+            format!("drop attribute ({N} instances)"),
+            format!("{policy:?}"),
+            fmt_dur(ddl),
+            fmt_dur(touch),
+        ]);
+    }
+    table.print();
+}
+
+// ---------------------------------------------------------------------------
+// E7 — late binding (§3.1 concept 6, §4.2)
+// ---------------------------------------------------------------------------
+
+fn e7() {
+    const CALLS: usize = 200_000;
+    let mut table = Table::new(&["hierarchy depth", "method cache", "per-dispatch"]);
+    for depth in [1usize, 4, 16] {
+        for cache in [true, false] {
+            let db = Database::new();
+            let leaf = deep_hierarchy(&db, depth);
+            db.with_catalog_mut(|c| c.set_method_cache_enabled(cache));
+            let tx = db.begin();
+            let obj = db.create_object(&tx, &leaf, vec![]).unwrap();
+            let class = obj.class();
+            // Tight loop on resolution itself (the dispatch mechanism).
+            let per = db.with_catalog(|c| {
+                time_per(CALLS, || c.resolve_method(class, "m").unwrap())
+            });
+            // Sanity: the full message send works too.
+            assert_eq!(db.call(&tx, obj, "m", &[]).unwrap(), Value::Int(42));
+            db.commit(tx).unwrap();
+            table.row(vec![
+                depth.to_string(),
+                if cache { "on" } else { "off" }.into(),
+                fmt_dur(per),
+            ]);
+        }
+    }
+    table.print();
+}
+
+// ---------------------------------------------------------------------------
+// E8 — lock granularity under concurrency ([GARZ88])
+// ---------------------------------------------------------------------------
+
+fn e8() {
+    const THREADS: usize = 4;
+    const OPS: usize = 150;
+    // The paper's motivating transactions are compute-intensive (CAx):
+    // each reads an object, computes, and writes it back. The think
+    // time is what granular locking lets disjoint writers overlap —
+    // a coarse class lock serializes it.
+    const THINK: Duration = Duration::from_micros(20);
+    fn think() {
+        let start = std::time::Instant::now();
+        while start.elapsed() < THINK {
+            std::hint::spin_loop();
+        }
+    }
+    let mut table =
+        Table::new(&["locking strategy", "threads", "total time", "txns/sec", "deadlock aborts"]);
+    for strategy in [LockingStrategy::Granular, LockingStrategy::CoarseClass] {
+        let config = DbConfig {
+            locking: strategy,
+            lock_timeout: Duration::from_secs(30),
+            ..DbConfig::default()
+        };
+        let f = fleet(THREADS * OPS, 1, config);
+        let db = &f.db;
+        let aborts = std::sync::atomic::AtomicU64::new(0);
+        let (d, ()) = time(|| {
+            crossbeam::scope(|scope| {
+                for t in 0..THREADS {
+                    let vehicles = &f.vehicles;
+                    let aborts = &aborts;
+                    scope.spawn(move |_| {
+                        for i in 0..OPS {
+                            let oid = vehicles[t * OPS + i];
+                            // Retry loop: under coarse locking, two
+                            // read-then-write transactions on the same
+                            // class deadlock on the S->X upgrade; the
+                            // victim aborts and retries.
+                            loop {
+                                let tx = db.begin();
+                                let step = || -> orion_types::DbResult<()> {
+                                    let w = db.get(&tx, oid, "weight")?.as_int().unwrap();
+                                    think(); // "compute" while holding the lock
+                                    db.set(&tx, oid, "weight", Value::Int(w + 1))
+                                };
+                                match step() {
+                                    Ok(()) => {
+                                        db.commit(tx).unwrap();
+                                        break;
+                                    }
+                                    Err(_) => {
+                                        aborts.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                        db.rollback(tx).unwrap();
+                                    }
+                                }
+                            }
+                        }
+                    });
+                }
+            })
+            .unwrap();
+        });
+        let total = (THREADS * OPS) as f64;
+        table.row(vec![
+            format!("{strategy:?}"),
+            THREADS.to_string(),
+            fmt_dur(d),
+            format!("{:.0}", total / d.as_secs_f64()),
+            aborts.load(std::sync::atomic::Ordering::Relaxed).to_string(),
+        ]);
+    }
+    table.print();
+}
+
+// ---------------------------------------------------------------------------
+// E9 — versions and composite locks (§3.3, §5.5, [KIM89c])
+// ---------------------------------------------------------------------------
+
+fn e9() {
+    const UPDATES: usize = 2_000;
+    let db = Database::new();
+    db.create_class(
+        "Doc",
+        &[],
+        vec![AttrSpec::new("rev", Domain::Primitive(PrimitiveType::Int))],
+    )
+    .unwrap();
+    let tx = db.begin();
+    let plain = db.create_object(&tx, "Doc", vec![("rev", Value::Int(0))]).unwrap();
+    let (_generic, version) =
+        db.create_versioned(&tx, "Doc", vec![("rev", Value::Int(0))]).unwrap();
+    let mut table = Table::new(&["operation", "per-op"]);
+    let plain_upd = time_per(UPDATES, || db.set(&tx, plain, "rev", Value::Int(1)).unwrap());
+    let vers_upd = time_per(UPDATES, || db.set(&tx, version, "rev", Value::Int(1)).unwrap());
+    table.row(vec!["update plain object".into(), fmt_dur(plain_upd)]);
+    table.row(vec!["update transient version".into(), fmt_dur(vers_upd)]);
+    let create = time_per(200, || db.create_object(&tx, "Doc", vec![]).unwrap());
+    let derive = time_per(200, || db.derive_version(&tx, version).unwrap());
+    table.row(vec!["create plain object".into(), fmt_dur(create)]);
+    table.row(vec!["derive version".into(), fmt_dur(derive)]);
+    db.commit(tx).unwrap();
+
+    // Composite locking: lock a 64-part composite in one protocol step
+    // versus touching each part under its own transaction.
+    let db2 = Database::new();
+    let roots = assemblies(&db2, 1, 64, false);
+    let root = roots[0];
+    let members = db2.composite_members(root);
+    let one_step = time_per(50, || {
+        let tx = db2.begin();
+        db2.lock_composite(&tx, root).unwrap();
+        for &m in &members {
+            std::hint::black_box(db2.get(&tx, m, if m == root { "title" } else { "area" }).unwrap());
+        }
+        db2.commit(tx).unwrap();
+    });
+    let per_op = time_per(50, || {
+        for &m in &members {
+            let tx = db2.begin();
+            std::hint::black_box(db2.get(&tx, m, if m == root { "title" } else { "area" }).unwrap());
+            db2.commit(tx).unwrap();
+        }
+    });
+    table.row(vec!["read 65-object composite, composite lock".into(), fmt_dur(one_step)]);
+    table.row(vec!["read 65-object composite, txn per object".into(), fmt_dur(per_op)]);
+    table.print();
+}
+
+// ---------------------------------------------------------------------------
+// E10 — clustering (§4.2)
+// ---------------------------------------------------------------------------
+
+fn e10() {
+    const ASSEMBLIES: usize = 128;
+    const PARTS: usize = 12;
+    let mut table = Table::new(&[
+        "placement",
+        "page misses / composite",
+        "traversal time / composite",
+    ]);
+    for clustering in [true, false] {
+        let config = DbConfig {
+            clustering,
+            buffer_pages: 16,  // small pool: locality matters
+            cache_objects: 64, // object cache must not hide the pages
+            ..DbConfig::default()
+        };
+        let db = Database::with_config(config);
+        // Interleaved creation scatters parts unless hints pull them in.
+        let roots = assemblies(&db, ASSEMBLIES, PARTS, true);
+        // Visit composites in a shuffled order: real CAx access is
+        // "open one design", not a sequential sweep that would let
+        // scattered layouts ride on accidental page adjacency.
+        let mut order: Vec<usize> = (0..roots.len()).collect();
+        {
+            use rand::seq::SliceRandom;
+            use rand::SeedableRng;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+            order.shuffle(&mut rng);
+        }
+        db.cool_caches().unwrap();
+        db.reset_stats();
+        let tx = db.begin();
+        let (d, ()) = time(|| {
+            for &i in &order {
+                for part in db.parts_of(roots[i]) {
+                    std::hint::black_box(db.get(&tx, part, "area").unwrap());
+                }
+            }
+        });
+        db.commit(tx).unwrap();
+        let misses = db.pool_stats().misses as f64 / ASSEMBLIES as f64;
+        table.row(vec![
+            if clustering { "clustered with parent (hints)" } else { "creation order (scattered)" }
+                .into(),
+            format!("{misses:.1}"),
+            fmt_dur(d / ASSEMBLIES as u32),
+        ]);
+    }
+    table.print();
+}
+
+// ---------------------------------------------------------------------------
+// E11 — authorization and views (§5.4, [RABI90])
+// ---------------------------------------------------------------------------
+
+fn e11() {
+    const N: usize = 5_000;
+    const READS: usize = 50_000;
+    let mut table = Table::new(&["configuration", "per-read", "overhead"]);
+    let mut baseline = Duration::ZERO;
+    for authz in [false, true] {
+        let config = DbConfig { authz_enabled: authz, ..DbConfig::default() };
+        let f = fleet(N, 2, config);
+        let db = &f.db;
+        let vehicle = db.with_catalog(|c| c.class_id("Vehicle")).unwrap();
+        let sub = db.with_catalog(|c| c.subtree(vehicle).unwrap().as_ref().clone());
+        for class in sub {
+            db.grant("reader", AuthAction::Read, AuthTarget::Class(class));
+        }
+        let tx = if authz { db.begin_as("reader") } else { db.begin() };
+        let oid = f.vehicles[N / 2];
+        let _warmup = time_per(READS / 10, || db.get(&tx, oid, "weight").unwrap());
+        let per = (0..3)
+            .map(|_| time_per(READS, || db.get(&tx, oid, "weight").unwrap()))
+            .min()
+            .unwrap();
+        db.commit(tx).unwrap();
+        if !authz {
+            baseline = per;
+        }
+        table.row(vec![
+            if authz { "authorization on (role closure + implicit grants)" } else { "authorization off" }
+                .into(),
+            fmt_dur(per),
+            if authz {
+                format!("+{:.0}%", 100.0 * (per.as_nanos() as f64 / baseline.as_nanos().max(1) as f64 - 1.0))
+            } else {
+                "—".into()
+            },
+        ]);
+    }
+    table.print();
+
+    // Content-based authorization through a view.
+    let config = DbConfig { authz_enabled: true, ..DbConfig::default() };
+    let f = fleet(N, 2, config);
+    let db = &f.db;
+    db.define_view("Heavy", &format!("select v from Vehicle* v where v.weight >= {}", N / 2))
+        .unwrap();
+    db.grant("guest", AuthAction::Read, AuthTarget::View("Heavy".into()));
+    let tx = db.begin_as("guest");
+    let denied = db.query(&tx, "select count(*) from Vehicle* v").is_err();
+    let through_view = db.query(&tx, "select count(*) from Heavy v").unwrap().rows[0][0].clone();
+    println!(
+        "guest direct class access denied: {denied}; rows visible through view: {through_view} of {N}"
+    );
+    db.commit(tx).unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// E12 — deductive rules (§5.4)
+// ---------------------------------------------------------------------------
+
+fn e12() {
+    const NODES: usize = 100;
+    let db = Database::new();
+    db.create_class(
+        "Node",
+        &[],
+        vec![AttrSpec::new("tag", Domain::Primitive(PrimitiveType::Int))],
+    )
+    .unwrap();
+    let node = db.with_catalog(|c| c.class_id("Node")).unwrap();
+    db.evolve(
+        SchemaChange::AddAttribute {
+            class: node,
+            spec: AttrSpec::new("next", Domain::set_of_class(node)),
+        },
+        Migration::Lazy,
+    )
+    .unwrap();
+    let tx = db.begin();
+    let nodes: Vec<Oid> = (0..NODES)
+        .map(|i| db.create_object(&tx, "Node", vec![("tag", Value::Int(i as i64))]).unwrap())
+        .collect();
+    // A long chain with a back edge (cycle) and some chords.
+    for i in 0..NODES - 1 {
+        let mut outs = vec![Value::Ref(nodes[i + 1])];
+        if i % 10 == 0 && i + 5 < NODES {
+            outs.push(Value::Ref(nodes[i + 5]));
+        }
+        db.set(&tx, nodes[i], "next", Value::set(outs)).unwrap();
+    }
+    db.set(&tx, nodes[NODES - 1], "next", Value::set(vec![Value::Ref(nodes[NODES / 2])]))
+        .unwrap();
+    db.commit(tx).unwrap();
+
+    db.add_rule(Rule {
+        head: RuleAtom::new("reach", vec![var("X"), var("Y")]),
+        body: vec![RuleAtom::new("next", vec![var("X"), var("Y")])],
+    })
+    .unwrap();
+    db.add_rule(Rule {
+        head: RuleAtom::new("reach", vec![var("X"), var("Z")]),
+        body: vec![
+            RuleAtom::new("reach", vec![var("X"), var("Y")]),
+            RuleAtom::new("next", vec![var("Y"), var("Z")]),
+        ],
+    })
+    .unwrap();
+
+    let mut table =
+        Table::new(&["evaluation", "tuples", "iterations", "substitutions", "time"]);
+    for seminaive in [true, false] {
+        let (d, result) = time(|| db.infer("reach", seminaive).unwrap());
+        table.row(vec![
+            if seminaive { "semi-naive" } else { "naive" }.into(),
+            result.tuples.len().to_string(),
+            result.iterations.to_string(),
+            result.substitutions.to_string(),
+            fmt_dur(d),
+        ]);
+    }
+    table.print();
+}
+
+// ---------------------------------------------------------------------------
+// E13 — recovery (§3.1 requirement 2)
+// ---------------------------------------------------------------------------
+
+fn e13() {
+    const TXNS: usize = 3_000;
+    let mut table = Table::new(&[
+        "scenario",
+        "stable log bytes",
+        "recovery time",
+        "objects after recovery",
+    ]);
+    for checkpoint in [false, true] {
+        let f = default_fleet(1_000, 2);
+        let db = &f.db;
+        if checkpoint {
+            db.checkpoint().unwrap();
+        }
+        for i in 0..TXNS {
+            let tx = db.begin();
+            let oid = f.vehicles[i % f.vehicles.len()];
+            // A realistically sized update (before + after images logged).
+            db.set(&tx, oid, "name", Value::Str(format!("renamed-{i:0>120}"))).unwrap();
+            db.commit(tx).unwrap();
+            if checkpoint && i % 500 == 499 {
+                db.checkpoint().unwrap();
+            }
+        }
+        // One in-flight loser at crash time.
+        let tx = db.begin();
+        db.create_object(&tx, &f.leaf_classes[0], vec![("weight", Value::Int(-1))]).unwrap();
+        db.engine().wal().flush();
+        std::mem::forget(tx);
+        let log_bytes = db.engine().wal().stable_len();
+        let (d, ()) = time(|| db.crash_and_recover().unwrap());
+        let tx = db.begin();
+        let n = db.query(&tx, "select count(*) from Vehicle* v").unwrap().rows[0][0].clone();
+        db.commit(tx).unwrap();
+        table.row(vec![
+            if checkpoint { format!("{TXNS} txns, checkpoint every 500") } else { format!("{TXNS} txns, no checkpoint") },
+            log_bytes.to_string(),
+            fmt_dur(d),
+            n.to_string(),
+        ]);
+    }
+    table.print();
+}
+
+// ---------------------------------------------------------------------------
+// E14 — multidatabase access (§5.2)
+// ---------------------------------------------------------------------------
+
+fn e14() {
+    const N: usize = 5_000;
+    // Native class.
+    let f = default_fleet(N, 1);
+    let db = &f.db;
+    // Foreign twin of the same data.
+    let rel = std::sync::Arc::new(fleet_relational(N));
+    struct Adapter(std::sync::Arc<relbase::RelDb>);
+    impl orion_core::ForeignAdapter for Adapter {
+        fn name(&self) -> &str {
+            "rel"
+        }
+        fn classes(&self) -> Vec<orion_core::ForeignClass> {
+            vec![orion_core::ForeignClass {
+                name: "RelVehicle".into(),
+                attrs: vec![
+                    ("id".into(), PrimitiveType::Int),
+                    ("name".into(), PrimitiveType::Str),
+                    ("weight".into(), PrimitiveType::Int),
+                    ("company_id".into(), PrimitiveType::Int),
+                ],
+            }]
+        }
+        fn scan(&self, _class: &str) -> orion_types::DbResult<Vec<orion_core::ForeignObject>> {
+            Ok(self
+                .0
+                .scan("vehicle")?
+                .into_iter()
+                .map(|(rowid, values)| orion_core::ForeignObject {
+                    key: rowid,
+                    attrs: vec![
+                        ("id".into(), values[0].clone()),
+                        ("name".into(), values[1].clone()),
+                        ("weight".into(), values[2].clone()),
+                        ("company_id".into(), values[3].clone()),
+                    ],
+                })
+                .collect())
+        }
+    }
+    db.attach_foreign(Box::new(Adapter(rel))).unwrap();
+
+    let mut table = Table::new(&["extent", "query time", "rows"]);
+    let tx = db.begin();
+    for (label, q) in [
+        ("native objects", "select count(*) from Vehicle* v where v.weight < 500"),
+        ("federated (relbase via adapter)", "select count(*) from RelVehicle v where v.weight < 500"),
+    ] {
+        let (d, r) = time(|| db.query(&tx, q).unwrap());
+        table.row(vec![label.into(), fmt_dur(d), r.rows[0][0].to_string()]);
+    }
+    db.commit(tx).unwrap();
+    table.print();
+}

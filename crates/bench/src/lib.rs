@@ -1,0 +1,9 @@
+//! Shared workload fixtures and measurement helpers for the orion
+//! experiment suite (see DESIGN.md §3 for the experiment index and
+//! EXPERIMENTS.md for paper-claim vs. measured results).
+
+pub mod fixtures;
+pub mod measure;
+
+pub use fixtures::*;
+pub use measure::*;

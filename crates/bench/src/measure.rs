@@ -1,0 +1,76 @@
+//! Tiny timing and table-printing helpers for the experiments binary.
+
+use std::time::{Duration, Instant};
+
+/// Wall-time one call.
+pub fn time<R>(f: impl FnOnce() -> R) -> (Duration, R) {
+    let start = Instant::now();
+    let r = f();
+    (start.elapsed(), r)
+}
+
+/// Wall-time `n` repetitions; returns per-iteration duration.
+pub fn time_per<R>(n: usize, mut f: impl FnMut() -> R) -> Duration {
+    assert!(n > 0);
+    let start = Instant::now();
+    for _ in 0..n {
+        std::hint::black_box(f());
+    }
+    start.elapsed() / n as u32
+}
+
+/// Render a duration compactly.
+pub fn fmt_dur(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.1} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.1} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// A fixed-width experiment table writer.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Append one row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity");
+        self.rows.push(cells);
+    }
+
+    /// Print the table to stdout.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let mut out = String::from("| ");
+            for (i, cell) in cells.iter().enumerate() {
+                out.push_str(&format!("{:<width$} | ", cell, width = widths[i]));
+            }
+            println!("{}", out.trim_end());
+        };
+        line(&self.headers);
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        line(&sep);
+        for row in &self.rows {
+            line(row);
+        }
+    }
+}

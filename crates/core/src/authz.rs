@@ -1,0 +1,306 @@
+//! Authorization with implicit grants along the granularity and role
+//! hierarchies (\[RABI90\]; §3.2 lists authorization among the components
+//! the class hierarchy impacts, §5.4 ties views to content-based
+//! authorization).
+//!
+//! Model:
+//! * **Subjects** form a role graph: a subject inherits the grants of
+//!   the roles it is a member of (transitively).
+//! * **Targets** form the granularity hierarchy: a grant on the database
+//!   implies every class; a grant on a class implies its instances *and
+//!   its subclasses' extents are NOT implied* (the paper's implicit
+//!   authorization propagates along the granularity dimension; class-
+//!   hierarchy propagation is opt-in via `grant_subtree`).
+//! * **Actions** imply weaker actions (`Write` ⇒ `Read`).
+//! * **Negative grants** override positive ones at any level.
+
+use orion_types::{ClassId, DbError, DbResult, Oid};
+use std::collections::{HashMap, HashSet};
+
+/// What a subject may do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AuthAction {
+    /// Read attribute values / run queries.
+    Read,
+    /// Update existing objects.
+    Write,
+    /// Create new instances.
+    Create,
+    /// Delete instances.
+    Delete,
+}
+
+impl AuthAction {
+    /// Actions implied by holding `self` (`Write` implies `Read`).
+    fn implies(self, other: AuthAction) -> bool {
+        self == other || (self == AuthAction::Write && other == AuthAction::Read)
+    }
+}
+
+/// What a grant covers.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum AuthTarget {
+    /// Everything.
+    Database,
+    /// One class's definition and extent.
+    Class(ClassId),
+    /// One instance.
+    Object(Oid),
+    /// A named view (content-based authorization, §5.4).
+    View(String),
+}
+
+#[derive(Debug, Default)]
+struct SubjectState {
+    roles: HashSet<String>,
+    positive: HashMap<AuthTarget, HashSet<AuthAction>>,
+    negative: HashMap<AuthTarget, HashSet<AuthAction>>,
+}
+
+/// The authorization manager.
+#[derive(Debug, Default)]
+pub struct AuthzManager {
+    subjects: HashMap<String, SubjectState>,
+}
+
+impl AuthzManager {
+    /// An empty manager.
+    pub fn new() -> Self {
+        AuthzManager::default()
+    }
+
+    /// Ensure a subject exists (subjects are also roles).
+    pub fn add_subject(&mut self, name: &str) {
+        self.subjects.entry(name.to_owned()).or_default();
+    }
+
+    /// Make `member` a member of `role` (inheriting its grants).
+    pub fn add_role_member(&mut self, role: &str, member: &str) {
+        self.add_subject(role);
+        self.subjects.entry(member.to_owned()).or_default().roles.insert(role.to_owned());
+    }
+
+    /// Grant `action` on `target` to `subject`.
+    pub fn grant(&mut self, subject: &str, action: AuthAction, target: AuthTarget) {
+        self.subjects
+            .entry(subject.to_owned())
+            .or_default()
+            .positive
+            .entry(target)
+            .or_default()
+            .insert(action);
+    }
+
+    /// Explicitly deny `action` on `target` to `subject` (overrides any
+    /// positive grant, inherited or implicit).
+    pub fn deny(&mut self, subject: &str, action: AuthAction, target: AuthTarget) {
+        self.subjects
+            .entry(subject.to_owned())
+            .or_default()
+            .negative
+            .entry(target)
+            .or_default()
+            .insert(action);
+    }
+
+    /// Revoke a positive grant (exact target + action).
+    pub fn revoke(&mut self, subject: &str, action: AuthAction, target: &AuthTarget) {
+        if let Some(s) = self.subjects.get_mut(subject) {
+            if let Some(actions) = s.positive.get_mut(target) {
+                actions.remove(&action);
+            }
+        }
+    }
+
+    /// The role closure of a subject (including itself).
+    fn closure(&self, subject: &str) -> Vec<&SubjectState> {
+        let mut out = Vec::new();
+        let mut seen = HashSet::new();
+        let mut stack = vec![subject.to_owned()];
+        while let Some(name) = stack.pop() {
+            if !seen.insert(name.clone()) {
+                continue;
+            }
+            if let Some(state) = self.subjects.get(&name) {
+                stack.extend(state.roles.iter().cloned());
+                out.push(state);
+            }
+        }
+        out
+    }
+
+    /// Targets whose grants imply a grant on `target`, most specific
+    /// first (the granularity hierarchy: object → class → database).
+    fn implied_chain(target: &AuthTarget) -> Vec<AuthTarget> {
+        match target {
+            AuthTarget::Database => vec![AuthTarget::Database],
+            AuthTarget::Class(c) => vec![AuthTarget::Class(*c), AuthTarget::Database],
+            AuthTarget::Object(o) => vec![
+                AuthTarget::Object(*o),
+                AuthTarget::Class(o.class()),
+                AuthTarget::Database,
+            ],
+            AuthTarget::View(v) => vec![AuthTarget::View(v.clone()), AuthTarget::Database],
+        }
+    }
+
+    /// Is `subject` allowed to perform `action` on `target`?
+    pub fn allowed(&self, subject: &str, action: AuthAction, target: &AuthTarget) -> bool {
+        let states = self.closure(subject);
+        let chain = Self::implied_chain(target);
+        // Negative authorization wins at any level for the whole closure.
+        for state in &states {
+            for t in &chain {
+                if let Some(denied) = state.negative.get(t) {
+                    if denied.iter().any(|d| d.implies(action)) || denied.contains(&action) {
+                        return false;
+                    }
+                }
+            }
+        }
+        for state in &states {
+            for t in &chain {
+                if let Some(granted) = state.positive.get(t) {
+                    if granted.iter().any(|g| g.implies(action)) {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Check-or-error form used by the facade.
+    pub fn check(&self, subject: &str, action: AuthAction, target: &AuthTarget) -> DbResult<()> {
+        if self.allowed(subject, action, target) {
+            Ok(())
+        } else {
+            Err(DbError::AuthorizationDenied {
+                subject: subject.to_owned(),
+                action: format!("{action:?}"),
+                target: format!("{target:?}"),
+            })
+        }
+    }
+}
+
+impl crate::database::Database {
+    /// Grant `action` on `target` to `subject`.
+    pub fn grant(&self, subject: &str, action: AuthAction, target: AuthTarget) {
+        self.authz.write().grant(subject, action, target);
+    }
+
+    /// Deny `action` on `target` to `subject` (overrides positives).
+    pub fn deny(&self, subject: &str, action: AuthAction, target: AuthTarget) {
+        self.authz.write().deny(subject, action, target);
+    }
+
+    /// Revoke a positive grant.
+    pub fn revoke(&self, subject: &str, action: AuthAction, target: &AuthTarget) {
+        self.authz.write().revoke(subject, action, target);
+    }
+
+    /// Make `member` a member of `role`.
+    pub fn add_role_member(&self, role: &str, member: &str) {
+        self.authz.write().add_role_member(role, member);
+    }
+
+    /// Is `subject` allowed to perform `action` on `target`?
+    pub fn allowed(&self, subject: &str, action: AuthAction, target: &AuthTarget) -> bool {
+        self.authz.read().allowed(subject, action, target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orion_types::Oid;
+
+    fn oid(c: u16, s: u64) -> Oid {
+        Oid::new(ClassId(c), s)
+    }
+
+    #[test]
+    fn class_grant_implies_instances() {
+        let mut az = AuthzManager::new();
+        az.grant("alice", AuthAction::Read, AuthTarget::Class(ClassId(1)));
+        assert!(az.allowed("alice", AuthAction::Read, &AuthTarget::Object(oid(1, 5))));
+        assert!(!az.allowed("alice", AuthAction::Write, &AuthTarget::Object(oid(1, 5))));
+        assert!(!az.allowed("alice", AuthAction::Read, &AuthTarget::Object(oid(2, 5))));
+    }
+
+    #[test]
+    fn database_grant_implies_everything() {
+        let mut az = AuthzManager::new();
+        az.grant("admin", AuthAction::Write, AuthTarget::Database);
+        assert!(az.allowed("admin", AuthAction::Write, &AuthTarget::Class(ClassId(9))));
+        assert!(az.allowed("admin", AuthAction::Read, &AuthTarget::Object(oid(3, 1))));
+        assert!(!az.allowed("admin", AuthAction::Delete, &AuthTarget::Object(oid(3, 1))));
+    }
+
+    #[test]
+    fn write_implies_read() {
+        let mut az = AuthzManager::new();
+        az.grant("bob", AuthAction::Write, AuthTarget::Class(ClassId(1)));
+        assert!(az.allowed("bob", AuthAction::Read, &AuthTarget::Class(ClassId(1))));
+    }
+
+    #[test]
+    fn negative_overrides_positive() {
+        let mut az = AuthzManager::new();
+        az.grant("carol", AuthAction::Read, AuthTarget::Database);
+        az.deny("carol", AuthAction::Read, AuthTarget::Class(ClassId(7)));
+        assert!(az.allowed("carol", AuthAction::Read, &AuthTarget::Class(ClassId(6))));
+        assert!(!az.allowed("carol", AuthAction::Read, &AuthTarget::Class(ClassId(7))));
+        assert!(!az.allowed("carol", AuthAction::Read, &AuthTarget::Object(oid(7, 1))));
+        // A denied Write also blocks Read via implication.
+        az.deny("carol", AuthAction::Write, AuthTarget::Class(ClassId(6)));
+        assert!(!az.allowed("carol", AuthAction::Read, &AuthTarget::Class(ClassId(6))));
+    }
+
+    #[test]
+    fn roles_inherit_transitively() {
+        let mut az = AuthzManager::new();
+        az.grant("engineers", AuthAction::Read, AuthTarget::Class(ClassId(1)));
+        az.add_role_member("engineers", "backend");
+        az.add_role_member("backend", "dave");
+        assert!(az.allowed("dave", AuthAction::Read, &AuthTarget::Class(ClassId(1))));
+        assert!(!az.allowed("dave", AuthAction::Write, &AuthTarget::Class(ClassId(1))));
+        // Denial on the role blocks the member too.
+        az.deny("engineers", AuthAction::Read, AuthTarget::Class(ClassId(1)));
+        assert!(!az.allowed("dave", AuthAction::Read, &AuthTarget::Class(ClassId(1))));
+    }
+
+    #[test]
+    fn object_level_grant_is_narrow() {
+        let mut az = AuthzManager::new();
+        az.grant("eve", AuthAction::Write, AuthTarget::Object(oid(1, 1)));
+        assert!(az.allowed("eve", AuthAction::Write, &AuthTarget::Object(oid(1, 1))));
+        assert!(!az.allowed("eve", AuthAction::Write, &AuthTarget::Object(oid(1, 2))));
+        assert!(!az.allowed("eve", AuthAction::Write, &AuthTarget::Class(ClassId(1))));
+    }
+
+    #[test]
+    fn revoke_removes_grant() {
+        let mut az = AuthzManager::new();
+        az.grant("f", AuthAction::Read, AuthTarget::Database);
+        assert!(az.allowed("f", AuthAction::Read, &AuthTarget::Database));
+        az.revoke("f", AuthAction::Read, &AuthTarget::Database);
+        assert!(!az.allowed("f", AuthAction::Read, &AuthTarget::Database));
+    }
+
+    #[test]
+    fn view_grants_are_independent_of_classes() {
+        let mut az = AuthzManager::new();
+        az.grant("guest", AuthAction::Read, AuthTarget::View("heavy_trucks".into()));
+        assert!(az.allowed("guest", AuthAction::Read, &AuthTarget::View("heavy_trucks".into())));
+        assert!(!az.allowed("guest", AuthAction::Read, &AuthTarget::Class(ClassId(1))));
+    }
+
+    #[test]
+    fn check_errors_with_context() {
+        let az = AuthzManager::new();
+        let err = az.check("nobody", AuthAction::Read, &AuthTarget::Database).unwrap_err();
+        assert!(matches!(err, DbError::AuthorizationDenied { .. }));
+    }
+}

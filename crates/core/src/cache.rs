@@ -1,0 +1,423 @@
+//! The memory-resident object cache with pointer swizzling.
+//!
+//! "A much better solution is to store logical object identifiers within
+//! the objects in the database, and convert them to memory pointers to
+//! related objects ... as an object is fetched from the database, the
+//! object identifiers embedded in the object are converted to memory
+//! pointers that will point to some descriptors for the objects that the
+//! object references. The referenced objects may later be fetched as
+//! necessary ... This is the approach developed to make objects
+//! persistent in the LOOM system; this approach has been adopted and
+//! refined in ORION" (§3.3).
+//!
+//! Resident objects live in a slab; reference attributes carry a
+//! *swizzle slot*: after the first traversal resolves the target, later
+//! traversals jump straight to the slab slot (validated against the OID
+//! so eviction and slot reuse stay safe). Swizzling can be disabled to
+//! measure its benefit (experiment E3).
+
+use orion_types::codec::ObjectRecord;
+use orion_types::{Oid, Value};
+use std::collections::HashMap;
+
+/// Counters for cache behavior (experiments E3/E10 read these).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered by a resident object.
+    pub hits: u64,
+    /// Lookups that required a fault-in from storage.
+    pub misses: u64,
+    /// Residents evicted to stay within capacity.
+    pub evictions: u64,
+    /// Ref traversals answered directly through a valid swizzle slot.
+    pub swizzled_hops: u64,
+    /// Ref traversals that had to resolve via the OID map.
+    pub unswizzled_hops: u64,
+}
+
+/// A resident object: the decoded record plus swizzle slots for its
+/// reference attributes.
+#[derive(Debug)]
+pub struct Resident {
+    /// The object's identity.
+    pub oid: Oid,
+    /// Decoded record (write-through: always matches storage).
+    pub record: ObjectRecord,
+    /// `attr id → (slab slot, expected OID)` — the swizzle table. A hit
+    /// validates only `slab[slot].oid == expected`, skipping both the
+    /// record lookup and the OID hash (this is what makes a swizzled
+    /// hop "a few memory lookups"). Entries are hints; eviction and
+    /// slot reuse are caught by the validation.
+    swizzles: HashMap<u32, (usize, Oid)>,
+    last_used: u64,
+}
+
+/// An LRU-capped slab of resident objects.
+#[derive(Debug)]
+pub struct ObjectCache {
+    slab: Vec<Option<Resident>>,
+    by_oid: HashMap<Oid, usize>,
+    free: Vec<usize>,
+    capacity: usize,
+    tick: u64,
+    swizzling: bool,
+    stats: CacheStats,
+}
+
+impl ObjectCache {
+    /// A cache holding at most `capacity` resident objects.
+    pub fn new(capacity: usize, swizzling: bool) -> Self {
+        assert!(capacity > 0, "object cache needs capacity");
+        ObjectCache {
+            slab: Vec::new(),
+            by_oid: HashMap::new(),
+            free: Vec::new(),
+            capacity,
+            tick: 0,
+            swizzling,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Enable/disable swizzling (clears existing swizzle slots).
+    pub fn set_swizzling(&mut self, on: bool) {
+        self.swizzling = on;
+        for slot in self.slab.iter_mut().flatten() {
+            slot.swizzles.clear();
+        }
+    }
+
+    /// Snapshot the counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Reset the counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Number of resident objects.
+    pub fn len(&self) -> usize {
+        self.by_oid.len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.by_oid.is_empty()
+    }
+
+    fn touch(&mut self, slot: usize) {
+        self.tick += 1;
+        if let Some(r) = &mut self.slab[slot] {
+            r.last_used = self.tick;
+        }
+    }
+
+    /// The slab slot of `oid` if resident (counts a hit/miss).
+    pub fn lookup(&mut self, oid: Oid) -> Option<usize> {
+        match self.by_oid.get(&oid).copied() {
+            Some(slot) => {
+                self.stats.hits += 1;
+                self.touch(slot);
+                Some(slot)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Is `oid` resident? (No stats side effects.)
+    pub fn contains(&self, oid: Oid) -> bool {
+        self.by_oid.contains_key(&oid)
+    }
+
+    /// Make `record` resident; evicts the LRU resident when full.
+    /// Returns the slab slot.
+    pub fn admit(&mut self, record: ObjectRecord) -> usize {
+        let oid = record.oid;
+        if let Some(&slot) = self.by_oid.get(&oid) {
+            // Refresh in place (write-through update). Swizzles may now
+            // point at stale targets; drop them.
+            self.tick += 1;
+            let tick = self.tick;
+            if let Some(r) = &mut self.slab[slot] {
+                r.record = record;
+                r.last_used = tick;
+                r.swizzles.clear();
+            }
+            return slot;
+        }
+        if self.by_oid.len() >= self.capacity {
+            // Evict the least recently used resident.
+            let victim = self
+                .slab
+                .iter()
+                .enumerate()
+                .filter_map(|(i, s)| s.as_ref().map(|r| (i, r.last_used)))
+                .min_by_key(|(_, t)| *t)
+                .map(|(i, _)| i)
+                .expect("cache non-empty at capacity");
+            self.evict_slot(victim);
+        }
+        self.tick += 1;
+        let resident =
+            Resident { oid, record, swizzles: HashMap::new(), last_used: self.tick };
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slab[s] = Some(resident);
+                s
+            }
+            None => {
+                self.slab.push(Some(resident));
+                self.slab.len() - 1
+            }
+        };
+        self.by_oid.insert(oid, slot);
+        slot
+    }
+
+    fn evict_slot(&mut self, slot: usize) {
+        if let Some(r) = self.slab[slot].take() {
+            self.by_oid.remove(&r.oid);
+            self.free.push(slot);
+            self.stats.evictions += 1;
+        }
+    }
+
+    /// Drop `oid` from the cache (object deleted or rolled back).
+    pub fn invalidate(&mut self, oid: Oid) {
+        if let Some(slot) = self.by_oid.get(&oid).copied() {
+            if let Some(r) = self.slab[slot].take() {
+                self.by_oid.remove(&r.oid);
+                self.free.push(slot);
+            }
+        }
+    }
+
+    /// Drop everything (crash simulation, bulk schema change).
+    pub fn clear(&mut self) {
+        self.slab.clear();
+        self.by_oid.clear();
+        self.free.clear();
+    }
+
+    /// Read an attribute of the resident at `slot`.
+    pub fn attr(&mut self, slot: usize, attr: u32) -> Option<Value> {
+        self.touch(slot);
+        self.slab[slot].as_ref().and_then(|r| r.record.get(attr).cloned())
+    }
+
+    /// The resident record at `slot` (None if the slot was evicted).
+    pub fn record(&self, slot: usize) -> Option<&ObjectRecord> {
+        self.slab[slot].as_ref().map(|r| &r.record)
+    }
+
+    /// Overwrite the resident record at `slot` (write-through update);
+    /// clears swizzle slots for changed reference attributes implicitly
+    /// by replacing the record (slots are re-validated on use anyway).
+    pub fn update_record(&mut self, slot: usize, record: ObjectRecord) {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(r) = &mut self.slab[slot] {
+            r.record = record;
+            r.last_used = tick;
+            r.swizzles.clear();
+        }
+    }
+
+    /// Traverse the reference attribute `attr` of the resident at
+    /// `from_slot`. Returns the target's slab slot if resident —
+    /// following the swizzle slot when valid, falling back to the OID
+    /// map (and recording the new swizzle) otherwise. `Ok(Err(oid))`
+    /// means the target is not resident and must be faulted in by the
+    /// caller, who then calls [`ObjectCache::note_swizzle`].
+    pub fn traverse_ref(&mut self, from_slot: usize, attr: u32) -> Option<Result<usize, Oid>> {
+        // Fast path: a valid swizzle answers without touching the record
+        // bytes or the OID map at all.
+        if self.swizzling {
+            let hint = self.slab[from_slot].as_ref()?.swizzles.get(&attr).copied();
+            if let Some((slot, expected)) = hint {
+                let valid = self
+                    .slab
+                    .get(slot)
+                    .and_then(|s| s.as_ref())
+                    .is_some_and(|r| r.oid == expected);
+                if valid {
+                    self.stats.swizzled_hops += 1;
+                    return Some(Ok(slot));
+                }
+            }
+        }
+        let target_oid = {
+            let r = self.slab[from_slot].as_ref()?;
+            r.record.get(attr).and_then(|v| v.as_ref_oid())?
+        };
+        self.stats.unswizzled_hops += 1;
+        match self.by_oid.get(&target_oid).copied() {
+            Some(slot) => {
+                if self.swizzling {
+                    if let Some(r) = self.slab[from_slot].as_mut() {
+                        r.swizzles.insert(attr, (slot, target_oid));
+                    }
+                }
+                self.touch(slot);
+                Some(Ok(slot))
+            }
+            None => Some(Err(target_oid)),
+        }
+    }
+
+    /// Record that `attr` of `from_slot` now resolves to `target_slot`
+    /// (after the caller faulted the target in).
+    pub fn note_swizzle(&mut self, from_slot: usize, attr: u32, target_slot: usize) {
+        if self.swizzling {
+            let expected = match self.slab.get(target_slot).and_then(|s| s.as_ref()) {
+                Some(r) => r.oid,
+                None => return,
+            };
+            if let Some(r) = self.slab[from_slot].as_mut() {
+                r.swizzles.insert(attr, (target_slot, expected));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orion_types::ClassId;
+
+    fn rec(class: u16, serial: u64, refs: &[(u32, Oid)]) -> ObjectRecord {
+        ObjectRecord::new(
+            Oid::new(ClassId(class), serial),
+            0,
+            refs.iter().map(|(a, o)| (*a, Value::Ref(*o))).collect(),
+        )
+    }
+
+    #[test]
+    fn admit_lookup_invalidate() {
+        let mut cache = ObjectCache::new(4, true);
+        let r = rec(1, 1, &[]);
+        let oid = r.oid;
+        let slot = cache.admit(r);
+        assert_eq!(cache.lookup(oid), Some(slot));
+        assert_eq!(cache.stats().hits, 1);
+        cache.invalidate(oid);
+        assert_eq!(cache.lookup(oid), None);
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_eviction_at_capacity() {
+        let mut cache = ObjectCache::new(2, true);
+        let a = rec(1, 1, &[]);
+        let b = rec(1, 2, &[]);
+        let c = rec(1, 3, &[]);
+        let (ao, bo, co) = (a.oid, b.oid, c.oid);
+        cache.admit(a);
+        cache.admit(b);
+        cache.lookup(ao); // a more recent than b
+        cache.admit(c); // evicts b
+        assert!(cache.contains(ao));
+        assert!(!cache.contains(bo));
+        assert!(cache.contains(co));
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn swizzled_traversal_fast_path() {
+        let mut cache = ObjectCache::new(8, true);
+        let b = rec(1, 2, &[]);
+        let b_oid = b.oid;
+        let a = rec(1, 1, &[(7, b_oid)]);
+        let a_slot = cache.admit(a);
+        let b_slot = cache.admit(b);
+        // First hop: unswizzled (map lookup), records the slot.
+        assert_eq!(cache.traverse_ref(a_slot, 7), Some(Ok(b_slot)));
+        assert_eq!(cache.stats().unswizzled_hops, 1);
+        // Second hop: swizzled.
+        assert_eq!(cache.traverse_ref(a_slot, 7), Some(Ok(b_slot)));
+        assert_eq!(cache.stats().swizzled_hops, 1);
+    }
+
+    #[test]
+    fn swizzle_invalidated_by_eviction_and_slot_reuse() {
+        let mut cache = ObjectCache::new(2, true);
+        let b = rec(1, 2, &[]);
+        let b_oid = b.oid;
+        let a = rec(1, 1, &[(7, b_oid)]);
+        let a_slot = cache.admit(a);
+        let b_slot = cache.admit(b);
+        assert_eq!(cache.traverse_ref(a_slot, 7), Some(Ok(b_slot)));
+        assert_eq!(cache.traverse_ref(a_slot, 7), Some(Ok(b_slot))); // swizzled now
+        // Touch a so b is LRU, then admit c reusing b's slot.
+        cache.lookup(Oid::new(ClassId(1), 1));
+        let c = rec(1, 3, &[]);
+        cache.admit(c);
+        // The stale swizzle must not resolve to c.
+        match cache.traverse_ref(a_slot, 7) {
+            Some(Err(oid)) => assert_eq!(oid, b_oid, "fault-in requested for b"),
+            other => panic!("stale swizzle followed: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unswizzled_mode_never_uses_slots() {
+        let mut cache = ObjectCache::new(8, false);
+        let b = rec(1, 2, &[]);
+        let a = rec(1, 1, &[(7, b.oid)]);
+        let a_slot = cache.admit(a);
+        let _b_slot = cache.admit(b);
+        for _ in 0..3 {
+            assert!(matches!(cache.traverse_ref(a_slot, 7), Some(Ok(_))));
+        }
+        assert_eq!(cache.stats().swizzled_hops, 0);
+        assert_eq!(cache.stats().unswizzled_hops, 3);
+    }
+
+    #[test]
+    fn traverse_non_ref_attr_is_none() {
+        let mut cache = ObjectCache::new(4, true);
+        let mut r = rec(1, 1, &[]);
+        r.set(3, Value::Int(5));
+        let slot = cache.admit(r);
+        assert!(cache.traverse_ref(slot, 3).is_none(), "Int is not traversable");
+        assert!(cache.traverse_ref(slot, 99).is_none(), "missing attr");
+    }
+
+    #[test]
+    fn update_record_clears_swizzles() {
+        let mut cache = ObjectCache::new(8, true);
+        let b = rec(1, 2, &[]);
+        let c = rec(1, 3, &[]);
+        let b_oid = b.oid;
+        let c_oid = c.oid;
+        let a = rec(1, 1, &[(7, b_oid)]);
+        let a_slot = cache.admit(a);
+        let _ = cache.admit(b);
+        let c_slot = cache.admit(c);
+        let _ = cache.traverse_ref(a_slot, 7); // swizzle a.7 -> b
+        // Redirect a.7 to c.
+        let new_a = rec(1, 1, &[(7, c_oid)]);
+        cache.update_record(a_slot, new_a);
+        assert_eq!(cache.traverse_ref(a_slot, 7), Some(Ok(c_slot)));
+    }
+
+    #[test]
+    fn admit_same_oid_refreshes() {
+        let mut cache = ObjectCache::new(4, true);
+        let mut r = rec(1, 1, &[]);
+        r.set(3, Value::Int(1));
+        let slot1 = cache.admit(r.clone());
+        r.set(3, Value::Int(2));
+        let slot2 = cache.admit(r);
+        assert_eq!(slot1, slot2);
+        assert_eq!(cache.attr(slot1, 3), Some(Value::Int(2)));
+        assert_eq!(cache.len(), 1);
+    }
+}

@@ -1,0 +1,1055 @@
+//! The `Database` facade: transactions and object CRUD.
+//!
+//! Everything an application touches goes through [`Database`]. The
+//! design keeps one invariant above all others: **storage is the truth**
+//! — the object directory, class extents, reverse references, composite
+//! ownership, and every index are deterministic functions of the stored
+//! records. Transaction rollback therefore runs the storage engine's
+//! undo and then rebuilds the derived state; crash recovery does the
+//! same after WAL restart. (Rebuild is O(database); rollback is not a
+//! hot path in any of the paper's workloads.)
+
+use crate::authz::{AuthAction, AuthTarget, AuthzManager};
+use crate::cache::{CacheStats, ObjectCache};
+use crate::methods::MethodRegistry;
+use crate::multidb::ForeignAdapter;
+use crate::notify::{NotificationKind, NotifyCenter};
+use crate::sysattr;
+use orion_index::IndexInstance;
+use orion_schema::Catalog;
+use orion_storage::heap::Rid;
+use orion_storage::{PoolStats, StorageEngine, TxnId};
+use orion_tx::LockManager;
+use orion_types::codec::ObjectRecord;
+use orion_types::{ClassId, DbError, DbResult, Oid, OidAllocator, Value};
+use parking_lot::{Mutex, RwLock};
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::time::Duration;
+
+/// How object operations map onto the lock manager (experiment E8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockingStrategy {
+    /// Intention locks on ancestors, object-level S/X (the \[GARZ88\]
+    /// granularity scheme).
+    Granular,
+    /// Class-level S/X for every object operation (the coarse baseline).
+    CoarseClass,
+}
+
+/// Tunables; defaults are sensible for tests and examples.
+#[derive(Debug, Clone)]
+pub struct DbConfig {
+    /// Buffer-pool frames (4 KiB pages).
+    pub buffer_pages: usize,
+    /// Object-cache capacity (resident objects).
+    pub cache_objects: usize,
+    /// Pointer swizzling in the object cache (experiment E3).
+    pub swizzling: bool,
+    /// Lock granularity (experiment E8).
+    pub locking: LockingStrategy,
+    /// Enforce authorization checks for transactions with a subject.
+    pub authz_enabled: bool,
+    /// Cluster composite parts with their parent (experiment E10).
+    pub clustering: bool,
+    /// Lock-wait timeout.
+    pub lock_timeout: Duration,
+}
+
+impl Default for DbConfig {
+    fn default() -> Self {
+        DbConfig {
+            buffer_pages: 256,
+            cache_objects: 4096,
+            swizzling: true,
+            locking: LockingStrategy::Granular,
+            authz_enabled: false,
+            clustering: true,
+            lock_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// A transaction handle. Cheap to clone; all state lives in the engine
+/// and lock manager under the transaction's id.
+#[derive(Debug, Clone)]
+pub struct Tx {
+    pub(crate) storage: TxnId,
+    pub(crate) subject: Option<String>,
+}
+
+impl Tx {
+    /// The numeric transaction id.
+    pub fn id(&self) -> u64 {
+        self.storage.0
+    }
+
+    /// The authorization subject, if any.
+    pub fn subject(&self) -> Option<&str> {
+        self.subject.as_deref()
+    }
+}
+
+/// Derived, in-memory object state — a deterministic function of the
+/// stored records.
+#[derive(Debug)]
+pub(crate) struct Runtime {
+    /// OID → record id ("object directory management", §4.2).
+    pub directory: HashMap<Oid, Rid>,
+    /// Class → its own instances (not subclasses).
+    pub extents: HashMap<ClassId, BTreeSet<Oid>>,
+    /// The memory-resident object cache.
+    pub cache: ObjectCache,
+    /// Live indexes.
+    pub indexes: Vec<IndexInstance>,
+    pub next_index_id: u32,
+    /// target → set of (referrer, attr) edges pointing at it.
+    pub reverse: HashMap<Oid, HashSet<(Oid, u32)>>,
+    /// part → (parent, composite attr) exclusive ownership.
+    pub composite_owner: HashMap<Oid, (Oid, u32)>,
+    /// Foreign class → adapter name (extents served by the federation).
+    pub foreign_classes: HashMap<ClassId, String>,
+    /// Materialized foreign records (refreshed on scan).
+    pub foreign_store: HashMap<Oid, ObjectRecord>,
+    /// Record id of the persisted system-state record, if written.
+    pub system_rid: Option<orion_storage::heap::Rid>,
+    /// Objects fetched from storage (experiment accounting).
+    pub fetches: u64,
+}
+
+impl Runtime {
+    fn new(config: &DbConfig) -> Self {
+        Runtime {
+            directory: HashMap::new(),
+            extents: HashMap::new(),
+            cache: ObjectCache::new(config.cache_objects, config.swizzling),
+            indexes: Vec::new(),
+            next_index_id: 1,
+            reverse: HashMap::new(),
+            composite_owner: HashMap::new(),
+            foreign_classes: HashMap::new(),
+            foreign_store: HashMap::new(),
+            system_rid: None,
+            fetches: 0,
+        }
+    }
+}
+
+/// The orion object-oriented database.
+pub struct Database {
+    pub(crate) catalog: RwLock<Catalog>,
+    pub(crate) engine: StorageEngine,
+    pub(crate) locks: LockManager,
+    pub(crate) rt: Mutex<Runtime>,
+    pub(crate) methods: RwLock<MethodRegistry>,
+    pub(crate) authz: RwLock<AuthzManager>,
+    pub(crate) views: RwLock<HashMap<String, String>>,
+    pub(crate) rules: RwLock<Vec<crate::rules::Rule>>,
+    pub(crate) notify: Mutex<NotifyCenter>,
+    pub(crate) adapters: RwLock<HashMap<String, Box<dyn ForeignAdapter>>>,
+    pub(crate) config: DbConfig,
+    pub(crate) alloc: OidAllocator,
+}
+
+impl Database {
+    /// A fresh database with default configuration.
+    pub fn new() -> Self {
+        Self::with_config(DbConfig::default())
+    }
+
+    /// A fresh database with explicit configuration.
+    pub fn with_config(config: DbConfig) -> Self {
+        Database {
+            catalog: RwLock::new(Catalog::new()),
+            engine: StorageEngine::new(config.buffer_pages),
+            locks: LockManager::with_timeout(config.lock_timeout),
+            rt: Mutex::new(Runtime::new(&config)),
+            methods: RwLock::new(MethodRegistry::new()),
+            authz: RwLock::new(AuthzManager::new()),
+            views: RwLock::new(HashMap::new()),
+            rules: RwLock::new(Vec::new()),
+            notify: Mutex::new(NotifyCenter::new()),
+            adapters: RwLock::new(HashMap::new()),
+            config,
+            alloc: OidAllocator::new(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &DbConfig {
+        &self.config
+    }
+
+    /// The storage engine (stats and checkpoint access).
+    pub fn engine(&self) -> &StorageEngine {
+        &self.engine
+    }
+
+    /// The lock manager.
+    pub fn locks(&self) -> &LockManager {
+        &self.locks
+    }
+
+    /// Run `f` with read access to the catalog.
+    pub fn with_catalog<R>(&self, f: impl FnOnce(&Catalog) -> R) -> R {
+        f(&self.catalog.read())
+    }
+
+    /// Run `f` with write access to the catalog. For tuning knobs (e.g.
+    /// toggling the method cache); schema changes should go through
+    /// [`Database::create_class`] / [`Database::evolve`], which also
+    /// take the required locks.
+    pub fn with_catalog_mut<R>(&self, f: impl FnOnce(&mut Catalog) -> R) -> R {
+        f(&mut self.catalog.write())
+    }
+
+    /// Object-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.rt.lock().cache.stats()
+    }
+
+    /// Buffer-pool counters.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.engine.pool().stats()
+    }
+
+    /// Objects fetched from storage since the last reset.
+    pub fn fetch_count(&self) -> u64 {
+        self.rt.lock().fetches
+    }
+
+    /// Reset all performance counters (between benchmark phases).
+    pub fn reset_stats(&self) {
+        let mut rt = self.rt.lock();
+        rt.cache.reset_stats();
+        rt.fetches = 0;
+        self.engine.pool().reset_stats();
+        self.engine.disk().reset_stats();
+    }
+
+    /// Drop the object cache and buffer pool contents without touching
+    /// durable state — "cold cache" setup for experiments.
+    pub fn cool_caches(&self) -> DbResult<()> {
+        self.engine.pool().flush_all()?;
+        self.engine.pool().crash();
+        self.rt.lock().cache.clear();
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Transactions
+    // ------------------------------------------------------------------
+
+    /// Begin a transaction with no subject (system authority).
+    pub fn begin(&self) -> Tx {
+        Tx { storage: self.engine.begin(), subject: None }
+    }
+
+    /// Begin a transaction on behalf of an authorization subject.
+    pub fn begin_as(&self, subject: &str) -> Tx {
+        Tx { storage: self.engine.begin(), subject: Some(subject.to_owned()) }
+    }
+
+    /// Commit: force the log, then release locks (strict 2PL).
+    pub fn commit(&self, tx: Tx) -> DbResult<()> {
+        self.engine.commit(tx.storage)?;
+        self.locks.release_all(tx.id());
+        Ok(())
+    }
+
+    /// Roll back: undo storage, rebuild derived state, release locks.
+    pub fn rollback(&self, tx: Tx) -> DbResult<()> {
+        {
+            // Lock order is catalog before runtime, everywhere: the
+            // rebuild may install a persisted catalog snapshot.
+            let mut catalog = self.catalog.write();
+            let mut rt = self.rt.lock();
+            self.engine.abort(tx.storage)?;
+            self.rebuild_runtime(&mut catalog, &mut rt)?;
+        }
+        self.locks.release_all(tx.id());
+        Ok(())
+    }
+
+    /// Simulate a crash (volatile state lost) and run restart recovery.
+    /// Locks held by in-flight transactions evaporate with the crash.
+    pub fn crash_and_recover(&self) -> DbResult<()> {
+        let mut catalog = self.catalog.write();
+        let mut rt = self.rt.lock();
+        self.engine.crash();
+        self.locks.reset();
+        self.engine.recover()?;
+        self.rebuild_runtime(&mut catalog, &mut rt)
+    }
+
+    /// Quiescent checkpoint (no active transactions).
+    pub fn checkpoint(&self) -> DbResult<()> {
+        self.engine.checkpoint()
+    }
+
+    // ------------------------------------------------------------------
+    // Authorization plumbing
+    // ------------------------------------------------------------------
+
+    pub(crate) fn check_auth(
+        &self,
+        tx: &Tx,
+        action: AuthAction,
+        target: AuthTarget,
+    ) -> DbResult<()> {
+        if !self.config.authz_enabled {
+            return Ok(());
+        }
+        match &tx.subject {
+            None => Ok(()), // subject-less transactions are system authority
+            Some(subject) => self.authz.read().check(subject, action, &target),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Lock plumbing
+    // ------------------------------------------------------------------
+
+    pub(crate) fn lock_read(&self, tx: &Tx, oid: Oid) -> DbResult<()> {
+        match self.config.locking {
+            LockingStrategy::Granular => self.locks.lock_object_read(tx.id(), oid),
+            LockingStrategy::CoarseClass => self.locks.lock_class_read(tx.id(), oid.class()),
+        }
+    }
+
+    pub(crate) fn lock_write(&self, tx: &Tx, oid: Oid) -> DbResult<()> {
+        match self.config.locking {
+            LockingStrategy::Granular => self.locks.lock_object_write(tx.id(), oid),
+            LockingStrategy::CoarseClass => self.locks.lock_class_write(tx.id(), oid.class()),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Record access
+    // ------------------------------------------------------------------
+
+    /// Load (faulting in if needed) the record for `oid`. Applies lazy
+    /// schema adaptation on read: attribute ids no longer in the class's
+    /// resolved definition are hidden (physically scrubbed on next
+    /// write).
+    pub(crate) fn load_record(
+        &self,
+        rt: &mut Runtime,
+        catalog: &Catalog,
+        oid: Oid,
+    ) -> DbResult<ObjectRecord> {
+        if let Some(slot) = rt.cache.lookup(oid) {
+            if let Some(rec) = rt.cache.record(slot) {
+                return Ok(rec.clone());
+            }
+        }
+        if let Some(rec) = rt.foreign_store.get(&oid) {
+            return Ok(rec.clone());
+        }
+        let rid = *rt.directory.get(&oid).ok_or(DbError::NoSuchObject(oid))?;
+        let bytes = self.engine.read(rid)?;
+        let mut record = ObjectRecord::decode(&bytes)?;
+        rt.fetches += 1;
+        self.adapt_record(catalog, &mut record)?;
+        rt.cache.admit(record.clone());
+        Ok(record)
+    }
+
+    /// Like [`Database::load_record`], but `None` for dangling OIDs
+    /// (path traversal over deleted targets).
+    pub(crate) fn try_load_record(
+        &self,
+        rt: &mut Runtime,
+        catalog: &Catalog,
+        oid: Oid,
+    ) -> Option<ObjectRecord> {
+        self.load_record(rt, catalog, oid).ok()
+    }
+
+    /// Lazy schema adaptation: hide attributes dropped by evolution.
+    fn adapt_record(&self, catalog: &Catalog, record: &mut ObjectRecord) -> DbResult<()> {
+        let resolved = match catalog.resolve(record.oid.class()) {
+            Ok(r) => r,
+            Err(_) => return Ok(()), // class dropped with extant instances
+        };
+        if record.schema_version == resolved.version {
+            return Ok(());
+        }
+        record
+            .attrs
+            .retain(|(id, _)| sysattr::is_reserved(*id) || resolved.attr_by_id(*id).is_some());
+        record.schema_version = resolved.version;
+        Ok(())
+    }
+
+    /// Write a record through to storage, keeping the directory and
+    /// cache coherent. Returns the (possibly moved) rid.
+    pub(crate) fn store_record(
+        &self,
+        rt: &mut Runtime,
+        tx: &Tx,
+        record: &ObjectRecord,
+    ) -> DbResult<Rid> {
+        let oid = record.oid;
+        let rid = *rt.directory.get(&oid).ok_or(DbError::NoSuchObject(oid))?;
+        let new_rid = self.engine.update(tx.storage, rid, &record.encode())?;
+        if new_rid != rid {
+            rt.directory.insert(oid, new_rid);
+        }
+        if let Some(slot) = rt.cache.lookup(oid) {
+            rt.cache.update_record(slot, record.clone());
+        } else {
+            rt.cache.admit(record.clone());
+        }
+        Ok(new_rid)
+    }
+
+    // ------------------------------------------------------------------
+    // Object CRUD
+    // ------------------------------------------------------------------
+
+    /// Create an object of `class_name` with named attribute values.
+    pub fn create_object(
+        &self,
+        tx: &Tx,
+        class_name: &str,
+        attrs: Vec<(&str, Value)>,
+    ) -> DbResult<Oid> {
+        self.create_object_impl(tx, class_name, attrs, None)
+    }
+
+    pub(crate) fn create_object_impl(
+        &self,
+        tx: &Tx,
+        class_name: &str,
+        attrs: Vec<(&str, Value)>,
+        placement_hint: Option<Oid>,
+    ) -> DbResult<Oid> {
+        let (class, resolved, pairs) = {
+            let catalog = self.catalog.read();
+            let class = catalog.class_id(class_name)?;
+            if self.rt.lock().foreign_classes.contains_key(&class) {
+                return Err(DbError::Foreign(format!(
+                    "class `{class_name}` is served by a foreign database; create rows there"
+                )));
+            }
+            self.check_auth(tx, AuthAction::Create, AuthTarget::Class(class))?;
+            let resolved = catalog.resolve(class)?;
+
+            // Validate and bind attribute values.
+            let mut pairs: Vec<(u32, Value)> = Vec::with_capacity(attrs.len());
+            for (name, value) in attrs {
+                let attr = resolved.attr(name).ok_or_else(|| DbError::UnknownAttribute {
+                    class: class_name.to_owned(),
+                    attribute: name.to_owned(),
+                })?;
+                catalog.check_domain(class_name, attr, &value)?;
+                pairs.push((attr.id, value));
+            }
+            (class, resolved, pairs)
+            // Guard dropped here: never block on the lock manager while
+            // holding a catalog guard.
+        };
+
+        let oid = self.alloc.allocate(class);
+        self.lock_write(tx, oid)?;
+
+        let catalog = self.catalog.read();
+        let mut rt = self.rt.lock();
+        // Composite ownership checks for composite-marked attributes.
+        for (attr_id, value) in &pairs {
+            if let Some(attr) = resolved.attr_by_id(*attr_id) {
+                if attr.composite {
+                    self.claim_parts(&mut rt, oid, *attr_id, value)?;
+                }
+            }
+        }
+        let record = ObjectRecord::new(oid, resolved.version, pairs);
+        let hint = if self.config.clustering {
+            placement_hint.and_then(|p| rt.directory.get(&p).map(|rid| rid.page))
+        } else {
+            None
+        };
+        let rid = self.engine.insert(tx.storage, &record.encode(), hint)?;
+        rt.directory.insert(oid, rid);
+        rt.extents.entry(class).or_default().insert(oid);
+        self.add_reverse_edges(&mut rt, &record);
+        self.index_object_insert(&mut rt, &catalog, &record)?;
+        rt.cache.admit(record);
+        Ok(oid)
+    }
+
+    /// Read one attribute by name (subclass-aware via the OID's class).
+    pub fn get(&self, tx: &Tx, oid: Oid, attr_name: &str) -> DbResult<Value> {
+        self.check_auth(tx, AuthAction::Read, AuthTarget::Object(oid))?;
+        self.lock_read(tx, oid)?;
+        let catalog = self.catalog.read();
+        let mut rt = self.rt.lock();
+        self.get_attr_internal(&mut rt, &catalog, oid, attr_name)
+    }
+
+    pub(crate) fn get_attr_internal(
+        &self,
+        rt: &mut Runtime,
+        catalog: &Catalog,
+        oid: Oid,
+        attr_name: &str,
+    ) -> DbResult<Value> {
+        // Generic objects forward reads to their default version.
+        let record = self.load_record(rt, catalog, oid)?;
+        if let Some(Value::Ref(default)) = record.get(sysattr::ATTR_DEFAULT_VERSION) {
+            let default = *default;
+            return self.get_attr_internal(rt, catalog, default, attr_name);
+        }
+        let resolved = catalog.resolve(oid.class())?;
+        let attr = resolved.attr(attr_name).ok_or_else(|| DbError::UnknownAttribute {
+            class: resolved.name.clone(),
+            attribute: attr_name.to_owned(),
+        })?;
+        Ok(match record.get(attr.id) {
+            Some(v) if !v.is_null() => v.clone(),
+            _ => attr.default.clone(),
+        })
+    }
+
+    /// Update one attribute by name.
+    pub fn set(&self, tx: &Tx, oid: Oid, attr_name: &str, value: Value) -> DbResult<()> {
+        self.check_auth(tx, AuthAction::Write, AuthTarget::Object(oid))?;
+        // 2PL locks are acquired before any catalog guard is taken: a
+        // thread must never block on the lock manager while holding a
+        // catalog guard (rollback takes the catalog write lock).
+        self.lock_write(tx, oid)?;
+        let (resolved, attr) = {
+            let catalog = self.catalog.read();
+            let resolved = catalog.resolve(oid.class())?;
+            let attr = resolved
+                .attr(attr_name)
+                .ok_or_else(|| DbError::UnknownAttribute {
+                    class: resolved.name.clone(),
+                    attribute: attr_name.to_owned(),
+                })?
+                .clone();
+            catalog.check_domain(&resolved.name, &attr, &value)?;
+            (resolved, attr)
+        };
+
+        // Composite unlinks trigger dependent deletes; those parts must
+        // be X-locked *before* the runtime lock is taken (a thread must
+        // never block on the lock manager while holding the runtime
+        // mutex or a catalog guard).
+        if attr.composite {
+            let doomed: Vec<Oid> = {
+                let catalog = self.catalog.read();
+                let mut rt = self.rt.lock();
+                let record = self.load_record(&mut rt, &catalog, oid)?;
+                let old = record.get(attr.id).cloned().unwrap_or(Value::Null);
+                let mut old_parts = Vec::new();
+                old.collect_refs(&mut old_parts);
+                let mut new_parts = Vec::new();
+                value.collect_refs(&mut new_parts);
+                old_parts
+                    .into_iter()
+                    .filter(|p| !new_parts.contains(p))
+                    .flat_map(|p| self.composite_closure(&rt, p))
+                    .collect()
+            };
+            for target in &doomed {
+                self.lock_write(tx, *target)?;
+            }
+        }
+
+        let catalog = self.catalog.read();
+        let mut rt = self.rt.lock();
+        let mut record = self.load_record(&mut rt, &catalog, oid)?;
+        // Version discipline: working versions are immutable; generic
+        // objects are not directly writable.
+        if record.get(sysattr::ATTR_DEFAULT_VERSION).is_some() {
+            return Err(DbError::Version(
+                "cannot update a generic object; derive and update a version".into(),
+            ));
+        }
+        if let Some(Value::Str(status)) = record.get(sysattr::ATTR_VERSION_STATUS) {
+            if status == "working" {
+                return Err(DbError::Version(format!(
+                    "version {oid} is a working version and is immutable"
+                )));
+            }
+        }
+        let old_value = record.get(attr.id).cloned().unwrap_or(Value::Null);
+
+        // Composite bookkeeping.
+        if attr.composite {
+            self.recheck_composite_change(&mut rt, tx, &catalog, oid, attr.id, &old_value, &value)?;
+        }
+
+        // Nested-index bookkeeping, phase 1: snapshot affected roots'
+        // keys before the change.
+        let nested_pre = self.nested_snapshot(&mut rt, &catalog, oid)?;
+
+        // Apply the change.
+        self.remove_reverse_edges_for_attr(&mut rt, oid, attr.id, &old_value);
+        record.set(attr.id, value.clone());
+        record.schema_version = resolved.version;
+        self.store_record(&mut rt, tx, &record)?;
+        self.add_reverse_edges_for_attr(&mut rt, oid, attr.id, &value);
+
+        // Simple-index maintenance.
+        self.simple_index_update(&mut rt, &catalog, oid, attr.id, &old_value, &value);
+
+        // Nested-index bookkeeping, phase 2: diff against the snapshot.
+        self.nested_apply_diff(&mut rt, &catalog, nested_pre)?;
+
+        self.notify.lock().publish(oid, NotificationKind::Updated, None);
+        Ok(())
+    }
+
+    /// Delete an object. Composite (dependent) parts are deleted with it.
+    pub fn delete_object(&self, tx: &Tx, oid: Oid) -> DbResult<()> {
+        self.check_auth(tx, AuthAction::Delete, AuthTarget::Object(oid))?;
+        // Collect the composite closure (parts are dependent: they go too).
+        let mut order: Vec<Oid> = Vec::new();
+        {
+            let rt = self.rt.lock();
+            let mut stack = vec![oid];
+            let mut seen = HashSet::new();
+            while let Some(cur) = stack.pop() {
+                if !seen.insert(cur) {
+                    continue;
+                }
+                order.push(cur);
+                for (part, (parent, _)) in rt.composite_owner.iter() {
+                    if *parent == cur {
+                        stack.push(*part);
+                    }
+                }
+            }
+        }
+        // Lock everything up front (no catalog guard held while the
+        // lock manager may block), then delete children before parents.
+        for target in order.iter().rev() {
+            self.lock_write(tx, *target)?;
+        }
+        let catalog = self.catalog.read();
+        for target in order.iter().rev() {
+            self.delete_single(tx, &catalog, *target)?;
+        }
+        Ok(())
+    }
+
+    fn delete_single(&self, tx: &Tx, catalog: &Catalog, oid: Oid) -> DbResult<()> {
+        let mut rt = self.rt.lock();
+        let record = self.load_record(&mut rt, catalog, oid)?;
+        let nested_pre = self.nested_snapshot(&mut rt, catalog, oid)?;
+
+        let rid = *rt.directory.get(&oid).ok_or(DbError::NoSuchObject(oid))?;
+        self.engine.delete(tx.storage, rid)?;
+        rt.directory.remove(&oid);
+        if let Some(extent) = rt.extents.get_mut(&oid.class()) {
+            extent.remove(&oid);
+        }
+        rt.cache.invalidate(oid);
+        self.remove_reverse_edges(&mut rt, &record);
+        rt.composite_owner.remove(&oid);
+        self.index_object_remove(&mut rt, catalog, &record)?;
+        self.nested_apply_diff(&mut rt, catalog, nested_pre)?;
+        drop(rt);
+        self.notify.lock().publish(oid, NotificationKind::Deleted, None);
+        Ok(())
+    }
+
+    /// Does the object exist?
+    pub fn exists(&self, oid: Oid) -> bool {
+        let rt = self.rt.lock();
+        rt.directory.contains_key(&oid) || rt.foreign_store.contains_key(&oid)
+    }
+
+    /// Number of instances of exactly `class_name` (not subclasses).
+    pub fn extent_len(&self, class_name: &str) -> DbResult<usize> {
+        let class = self.catalog.read().class_id(class_name)?;
+        Ok(self.rt.lock().extents.get(&class).map_or(0, BTreeSet::len))
+    }
+
+    // ------------------------------------------------------------------
+    // Navigation (swizzled traversal, experiment E3)
+    // ------------------------------------------------------------------
+
+    /// Navigate a chain of reference attributes from `oid`, returning
+    /// the object at the end. Uses the object cache's swizzle slots: a
+    /// warm traversal is pure pointer chasing, no hash lookups (§3.3's
+    /// "a few memory lookups").
+    pub fn navigate(&self, tx: &Tx, oid: Oid, path: &[&str]) -> DbResult<Oid> {
+        self.lock_read(tx, oid)?;
+        let catalog = self.catalog.read();
+        let mut rt = self.rt.lock();
+        let mut slot = match rt.cache.lookup(oid) {
+            Some(s) => s,
+            None => {
+                let record = self.load_record(&mut rt, &catalog, oid)?;
+                rt.cache.admit(record)
+            }
+        };
+        // Per-(step, class) attribute-id memo: traversals revisit the
+        // same classes, and resolving names per hop would mask the
+        // swizzle fast path the experiment measures.
+        let mut attr_memo: HashMap<(usize, ClassId), u32> = HashMap::new();
+        let mut cur_oid = oid;
+        for (step_idx, step) in path.iter().enumerate() {
+            let attr_id = match attr_memo.get(&(step_idx, cur_oid.class())) {
+                Some(id) => *id,
+                None => {
+                    let resolved = catalog.resolve(cur_oid.class())?;
+                    let attr = resolved.attr(step).ok_or_else(|| DbError::UnknownAttribute {
+                        class: resolved.name.clone(),
+                        attribute: (*step).to_owned(),
+                    })?;
+                    attr_memo.insert((step_idx, cur_oid.class()), attr.id);
+                    attr.id
+                }
+            };
+            let next = match rt.cache.traverse_ref(slot, attr_id) {
+                Some(Ok(next_slot)) => next_slot,
+                Some(Err(miss_oid)) => {
+                    // Fault the target in, then record the swizzle.
+                    let record = self.load_record(&mut rt, &catalog, miss_oid)?;
+                    let next_slot = rt.cache.admit(record);
+                    rt.cache.note_swizzle(slot, attr_id, next_slot);
+                    next_slot
+                }
+                None => {
+                    return Err(DbError::Query(format!(
+                        "attribute `{step}` of {cur_oid} is not a scalar reference"
+                    )))
+                }
+            };
+            cur_oid = rt
+                .cache
+                .record(next)
+                .map(|r| r.oid)
+                .ok_or_else(|| DbError::Internal("slot vanished mid-navigation".into()))?;
+            slot = next;
+        }
+        Ok(cur_oid)
+    }
+
+    // ------------------------------------------------------------------
+    // Methods (late binding)
+    // ------------------------------------------------------------------
+
+    /// Define a method: signature in the catalog, body in the registry.
+    pub fn define_method(
+        &self,
+        class_name: &str,
+        selector: &str,
+        arity: u8,
+        body: crate::methods::MethodBody,
+    ) -> DbResult<()> {
+        {
+            let mut catalog = self.catalog.write();
+            let class = catalog.class_id(class_name)?;
+            catalog.add_method(class, selector, arity)?;
+            self.methods.write().register(class, selector, body);
+        }
+        self.persist_system_state()
+    }
+
+    /// Re-register a method body for a signature that already exists in
+    /// the catalog — after a cold restart, signatures persist but native
+    /// bodies must be re-supplied by the application.
+    pub fn register_method_body(
+        &self,
+        class_name: &str,
+        selector: &str,
+        body: crate::methods::MethodBody,
+    ) -> DbResult<()> {
+        let catalog = self.catalog.read();
+        let class = catalog.class_id(class_name)?;
+        if catalog.class(class)?.local_method(selector).is_none() {
+            return Err(DbError::UnknownMethod {
+                class: class_name.to_owned(),
+                selector: selector.to_owned(),
+            });
+        }
+        self.methods.write().register(class, selector, body);
+        Ok(())
+    }
+
+    /// Send a message: late-bind `selector` against the receiver's class
+    /// and invoke the winning implementation (§3.1 concept 6).
+    pub fn call(&self, tx: &Tx, receiver: Oid, selector: &str, args: &[Value]) -> DbResult<Value> {
+        let (defining, arity) = {
+            let catalog = self.catalog.read();
+            let defining = catalog.resolve_method(receiver.class(), selector)?;
+            let resolved = catalog.resolve(receiver.class())?;
+            let arity = resolved.method(selector).map(|m| m.arity).unwrap_or(0);
+            (defining, arity)
+        };
+        if args.len() != arity as usize {
+            return Err(DbError::Query(format!(
+                "method `{selector}` expects {arity} argument(s), got {}",
+                args.len()
+            )));
+        }
+        let body = self.methods.read().body(defining, selector).ok_or_else(|| {
+            DbError::Internal(format!(
+                "method `{selector}` resolved to class {defining} but has no registered body"
+            ))
+        })?;
+        body(self, tx, receiver, args)
+    }
+
+    // ------------------------------------------------------------------
+    // Derived-state rebuild (rollback / recovery)
+    // ------------------------------------------------------------------
+
+    /// Rebuild every piece of derived state from the stored records.
+    /// The caller holds the catalog write lock (lock order: catalog
+    /// before runtime) — a persisted system snapshot replaces `catalog`
+    /// in place.
+    pub(crate) fn rebuild_runtime(
+        &self,
+        catalog: &mut orion_schema::Catalog,
+        rt: &mut Runtime,
+    ) -> DbResult<()> {
+        rt.directory.clear();
+        rt.extents.clear();
+        rt.cache.clear();
+        rt.reverse.clear();
+        rt.composite_owner.clear();
+        // Note: foreign_store survives — it is not storage-backed.
+        for inst in &mut rt.indexes {
+            *inst = IndexInstance::new(inst.def.clone());
+        }
+
+        let mut records: Vec<(Rid, ObjectRecord)> = Vec::new();
+        let mut scan_err: Option<DbError> = None;
+        self.engine.scan_all(|rid, bytes| match ObjectRecord::decode(bytes) {
+            Ok(rec) => records.push((rid, rec)),
+            Err(e) => scan_err = Some(e),
+        })?;
+        if let Some(e) = scan_err {
+            return Err(e);
+        }
+
+        // Install the persisted system state (catalog, index defs,
+        // views) before touching anything that needs the schema. The
+        // in-memory catalog wins only if no system record exists (e.g.
+        // before the first DDL persisted one).
+        if let Some(pos) =
+            records.iter().position(|(_, r)| r.oid.class() == crate::persist::SYSTEM_CLASS)
+        {
+            let (rid, record) = records.remove(pos);
+            rt.system_rid = Some(rid);
+            let state = Self::decode_system_record(&record)?;
+            crate::persist::install_state(self, catalog, rt, state);
+        }
+        let catalog = &*catalog;
+
+        let mut max_serial = 0u64;
+        for (rid, record) in &records {
+            let oid = record.oid;
+            max_serial = max_serial.max(oid.serial());
+            rt.directory.insert(oid, *rid);
+            rt.extents.entry(oid.class()).or_default().insert(oid);
+            self.add_reverse_edges(rt, record);
+        }
+        self.alloc.seed_above(max_serial);
+
+        // Composite ownership + indexes need resolved schemas.
+        for (_, record) in &records {
+            let Ok(resolved) = catalog.resolve(record.oid.class()) else { continue };
+            for (attr_id, value) in &record.attrs {
+                if let Some(attr) = resolved.attr_by_id(*attr_id) {
+                    if attr.composite {
+                        let mut refs = Vec::new();
+                        value.collect_refs(&mut refs);
+                        for part in refs {
+                            rt.composite_owner.insert(part, (record.oid, *attr_id));
+                        }
+                    }
+                }
+            }
+        }
+        for (_, record) in &records {
+            self.index_object_insert(rt, &catalog, record)?;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Reverse-reference maintenance
+    // ------------------------------------------------------------------
+
+    pub(crate) fn add_reverse_edges(&self, rt: &mut Runtime, record: &ObjectRecord) {
+        for (attr_id, value) in &record.attrs {
+            self.add_reverse_edges_for_attr(rt, record.oid, *attr_id, value);
+        }
+    }
+
+    pub(crate) fn add_reverse_edges_for_attr(
+        &self,
+        rt: &mut Runtime,
+        from: Oid,
+        attr: u32,
+        value: &Value,
+    ) {
+        let mut refs = Vec::new();
+        value.collect_refs(&mut refs);
+        for target in refs {
+            rt.reverse.entry(target).or_default().insert((from, attr));
+        }
+    }
+
+    pub(crate) fn remove_reverse_edges(&self, rt: &mut Runtime, record: &ObjectRecord) {
+        for (attr_id, value) in &record.attrs {
+            self.remove_reverse_edges_for_attr(rt, record.oid, *attr_id, value);
+        }
+    }
+
+    pub(crate) fn remove_reverse_edges_for_attr(
+        &self,
+        rt: &mut Runtime,
+        from: Oid,
+        attr: u32,
+        value: &Value,
+    ) {
+        let mut refs = Vec::new();
+        value.collect_refs(&mut refs);
+        for target in refs {
+            if let Some(edges) = rt.reverse.get_mut(&target) {
+                edges.remove(&(from, attr));
+                if edges.is_empty() {
+                    rt.reverse.remove(&target);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Composite-object bookkeeping
+    // ------------------------------------------------------------------
+
+    /// Claim every part referenced by a composite attribute value for
+    /// `(parent, attr)`; rejects parts already owned elsewhere.
+    fn claim_parts(
+        &self,
+        rt: &mut Runtime,
+        parent: Oid,
+        attr: u32,
+        value: &Value,
+    ) -> DbResult<()> {
+        let mut parts = Vec::new();
+        value.collect_refs(&mut parts);
+        for part in &parts {
+            if let Some((other_parent, other_attr)) = rt.composite_owner.get(part) {
+                if !(*other_parent == parent && *other_attr == attr) {
+                    return Err(DbError::Composite(format!(
+                        "object {part} is already an exclusive part of {other_parent}"
+                    )));
+                }
+            }
+            if *part == parent {
+                return Err(DbError::Composite("an object cannot be its own part".into()));
+            }
+        }
+        for part in parts {
+            rt.composite_owner.insert(part, (parent, attr));
+        }
+        Ok(())
+    }
+
+    /// Handle a composite attribute change: newly referenced parts are
+    /// claimed; parts dropped from the value are *deleted* (dependent
+    /// exclusive semantics, \[KIM89c\]).
+    #[allow(clippy::too_many_arguments)]
+    fn recheck_composite_change(
+        &self,
+        rt: &mut Runtime,
+        tx: &Tx,
+        catalog: &Catalog,
+        parent: Oid,
+        attr: u32,
+        old_value: &Value,
+        new_value: &Value,
+    ) -> DbResult<()> {
+        let mut old_parts = Vec::new();
+        old_value.collect_refs(&mut old_parts);
+        let mut new_parts = Vec::new();
+        new_value.collect_refs(&mut new_parts);
+        self.claim_parts(rt, parent, attr, new_value)?;
+        let removed: Vec<Oid> =
+            old_parts.into_iter().filter(|p| !new_parts.contains(p)).collect();
+        for part in removed {
+            rt.composite_owner.remove(&part);
+            // Dependent semantics: an unlinked part does not survive.
+            // (Recursive delete through the public path would deadlock
+            // on the runtime mutex; parts of parts are handled because
+            // delete_single is called per closure level here.)
+            // Parts were X-locked by set() before the runtime lock was
+            // taken; deleting here cannot block.
+            let closure = self.composite_closure(rt, part);
+            for target in closure.iter().rev() {
+                self.delete_single_locked(rt, tx, catalog, *target)?;
+            }
+        }
+        Ok(())
+    }
+
+    pub(crate) fn composite_closure(&self, rt: &Runtime, root: Oid) -> Vec<Oid> {
+        let mut order = Vec::new();
+        let mut stack = vec![root];
+        let mut seen = HashSet::new();
+        while let Some(cur) = stack.pop() {
+            if !seen.insert(cur) {
+                continue;
+            }
+            order.push(cur);
+            for (part, (parent, _)) in rt.composite_owner.iter() {
+                if *parent == cur {
+                    stack.push(*part);
+                }
+            }
+        }
+        order
+    }
+
+    /// `delete_single` body for callers already holding the runtime lock.
+    fn delete_single_locked(
+        &self,
+        rt: &mut Runtime,
+        tx: &Tx,
+        catalog: &Catalog,
+        oid: Oid,
+    ) -> DbResult<()> {
+        let record = self.load_record(rt, catalog, oid)?;
+        let nested_pre = self.nested_snapshot(rt, catalog, oid)?;
+        let rid = *rt.directory.get(&oid).ok_or(DbError::NoSuchObject(oid))?;
+        self.engine.delete(tx.storage, rid)?;
+        rt.directory.remove(&oid);
+        if let Some(extent) = rt.extents.get_mut(&oid.class()) {
+            extent.remove(&oid);
+        }
+        rt.cache.invalidate(oid);
+        self.remove_reverse_edges(rt, &record);
+        rt.composite_owner.remove(&oid);
+        self.index_object_remove(rt, catalog, &record)?;
+        self.nested_apply_diff(rt, catalog, nested_pre)?;
+        self.notify.lock().publish(oid, NotificationKind::Deleted, None);
+        Ok(())
+    }
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Database {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let rt = self.rt.lock();
+        f.debug_struct("Database")
+            .field("classes", &self.catalog.read().class_count())
+            .field("objects", &rt.directory.len())
+            .field("indexes", &rt.indexes.len())
+            .finish()
+    }
+}

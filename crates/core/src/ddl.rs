@@ -1,0 +1,297 @@
+//! Schema and index DDL on the facade.
+//!
+//! DDL auto-commits: a schema change takes class-hierarchy `X` locks on
+//! the affected subtree (\[GARZ88\]), applies, optionally migrates
+//! instances, and releases — it is not rolled back by an application
+//! transaction's `rollback`. (ORION made the same choice; undoing
+//! schema changes is \[KIM88a\]'s *schema versioning*, which orion offers
+//! through views instead.)
+
+use crate::database::{Database, Tx};
+use orion_index::{IndexDef, IndexInstance, IndexKind};
+use orion_schema::evolution::ChangeEffect;
+use orion_schema::{AttrSpec, SchemaChange};
+use orion_types::{ClassId, DbError, DbResult, Oid};
+
+/// When instance adaptation happens after a schema change (E6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Migration {
+    /// Rewrite every affected instance now.
+    Eager,
+    /// Adapt instances when they are next touched (records carry the
+    /// schema version they were written under).
+    Lazy,
+}
+
+impl Database {
+    /// Create a class. Superclasses are named; attribute specs as in
+    /// `orion-schema`.
+    pub fn create_class(
+        &self,
+        name: &str,
+        supers: &[&str],
+        attrs: Vec<AttrSpec>,
+    ) -> DbResult<ClassId> {
+        let id = {
+            let mut catalog = self.catalog.write();
+            let super_ids = supers
+                .iter()
+                .map(|s| catalog.class_id(s))
+                .collect::<DbResult<Vec<_>>>()?;
+            catalog.create_class(name, &super_ids, attrs)?
+        };
+        self.persist_system_state()?;
+        Ok(id)
+    }
+
+    /// Apply a schema change under class-hierarchy locks, with the
+    /// chosen instance-migration policy.
+    pub fn evolve(&self, change: SchemaChange, migration: Migration) -> DbResult<()> {
+        // Take subtree X locks under a short system transaction.
+        let tx = self.begin();
+        let result = self.evolve_inner(&tx, change, migration);
+        match result {
+            Ok(()) => {
+                self.commit(tx)?;
+                self.persist_system_state()
+            }
+            Err(e) => {
+                self.rollback(tx)?;
+                Err(e)
+            }
+        }
+    }
+
+    fn evolve_inner(&self, tx: &Tx, change: SchemaChange, migration: Migration) -> DbResult<()> {
+        // Determine and lock the affected subtree before touching the
+        // catalog (the catalog computes subtrees, so read-lock first).
+        let affected_root = match &change {
+            SchemaChange::AddAttribute { class, .. }
+            | SchemaChange::DropAttribute { class, .. }
+            | SchemaChange::RenameAttribute { class, .. }
+            | SchemaChange::ChangeDefault { class, .. }
+            | SchemaChange::GeneralizeDomain { class, .. }
+            | SchemaChange::AddSuperclass { class, .. }
+            | SchemaChange::DropSuperclass { class, .. }
+            | SchemaChange::RenameClass { class, .. }
+            | SchemaChange::DropClass { class } => *class,
+        };
+        let subtree = self.catalog.read().subtree(affected_root)?.as_ref().clone();
+        self.locks.lock_schema_change(tx.id(), &subtree)?;
+
+        // Guard: dropping a class with live instances is rejected.
+        if let SchemaChange::DropClass { class } = &change {
+            let live = self.rt.lock().extents.get(class).map_or(0, |e| e.len());
+            if live > 0 {
+                return Err(DbError::SchemaInvariant(format!(
+                    "class has {live} live instance(s); delete or migrate them first"
+                )));
+            }
+        }
+
+        let effect = {
+            let mut catalog = self.catalog.write();
+            change.apply(&mut catalog)?
+        };
+
+        match (&effect, migration) {
+            (ChangeEffect::AttributeDropped { attr_id, classes }, _) => {
+                // Indexes over the dropped attribute are dropped with it.
+                self.drop_indexes_using_attr(*attr_id)?;
+                if migration == Migration::Eager {
+                    self.eager_scrub(tx, classes, *attr_id)?;
+                }
+            }
+            (ChangeEffect::AttributeAdded { attr_id, classes, default }, Migration::Eager) => {
+                self.eager_fill(tx, classes, *attr_id, default.clone())?;
+            }
+            (ChangeEffect::Reshaped { classes }, Migration::Eager) => {
+                // Superclass changes may add and remove several
+                // attributes; eager migration rewrites records to the
+                // new resolved shape (lazy adaptation would do it on
+                // next touch).
+                self.eager_reshape(tx, classes)?;
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    fn instances_of(&self, classes: &[ClassId]) -> Vec<Oid> {
+        let rt = self.rt.lock();
+        classes
+            .iter()
+            .flat_map(|c| rt.extents.get(c).into_iter().flatten().copied())
+            .collect()
+    }
+
+    fn eager_scrub(&self, tx: &Tx, classes: &[ClassId], attr_id: u32) -> DbResult<()> {
+        let catalog = self.catalog.read();
+        for oid in self.instances_of(classes) {
+            let mut rt = self.rt.lock();
+            let mut record = self.load_record(&mut rt, &catalog, oid)?;
+            if record.remove(attr_id).is_some() {
+                record.schema_version = catalog.resolve(oid.class())?.version;
+                self.store_record(&mut rt, tx, &record)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn eager_fill(
+        &self,
+        tx: &Tx,
+        classes: &[ClassId],
+        attr_id: u32,
+        default: orion_types::Value,
+    ) -> DbResult<()> {
+        let catalog = self.catalog.read();
+        for oid in self.instances_of(classes) {
+            let mut rt = self.rt.lock();
+            let mut record = self.load_record(&mut rt, &catalog, oid)?;
+            record.set(attr_id, default.clone());
+            record.schema_version = catalog.resolve(oid.class())?.version;
+            self.store_record(&mut rt, tx, &record)?;
+        }
+        Ok(())
+    }
+
+    fn eager_reshape(&self, tx: &Tx, classes: &[ClassId]) -> DbResult<()> {
+        let catalog = self.catalog.read();
+        for oid in self.instances_of(classes) {
+            let mut rt = self.rt.lock();
+            let resolved = catalog.resolve(oid.class())?;
+            let mut record = self.load_record(&mut rt, &catalog, oid)?;
+            record.attrs.retain(|(id, _)| {
+                crate::sysattr::is_reserved(*id) || resolved.attr_by_id(*id).is_some()
+            });
+            record.schema_version = resolved.version;
+            self.store_record(&mut rt, tx, &record)?;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Index DDL
+    // ------------------------------------------------------------------
+
+    /// Create an index of `kind` on `class_name` over a named attribute
+    /// path (length 1 for simple indexes, ≥ 2 for nested ones). The
+    /// index is populated from existing instances.
+    pub fn create_index(
+        &self,
+        name: &str,
+        kind: IndexKind,
+        class_name: &str,
+        path: &[&str],
+    ) -> DbResult<u32> {
+        let catalog = self.catalog.read();
+        let target = catalog.class_id(class_name)?;
+        match kind {
+            IndexKind::SingleClass | IndexKind::ClassHierarchy if path.len() != 1 => {
+                return Err(DbError::Query(format!(
+                    "{kind:?} index takes exactly one attribute, got path of {}",
+                    path.len()
+                )))
+            }
+            IndexKind::Nested if path.len() < 2 => {
+                return Err(DbError::Query(
+                    "a nested index needs a path of at least two attributes".into(),
+                ))
+            }
+            _ => {}
+        }
+        // Resolve the name path to attribute ids from the target class.
+        let query_path = orion_query::Path::new(path.to_vec());
+        let path_ids = orion_query::plan::bind_path(&catalog, target, &query_path)?;
+
+        let mut rt = self.rt.lock();
+        if rt.indexes.iter().any(|i| i.def.name == name) {
+            return Err(DbError::AlreadyExists(format!("index `{name}`")));
+        }
+        let id = rt.next_index_id;
+        rt.next_index_id += 1;
+        let def = IndexDef {
+            id,
+            name: name.to_owned(),
+            kind: kind.clone(),
+            target,
+            path: path_ids,
+        };
+        let mut inst = IndexInstance::new(def);
+
+        // Populate from the covered extents.
+        let covered: Vec<ClassId> = match kind {
+            IndexKind::SingleClass => vec![target],
+            IndexKind::ClassHierarchy | IndexKind::Nested => {
+                catalog.subtree(target)?.as_ref().clone()
+            }
+        };
+        let members: Vec<Oid> = covered
+            .iter()
+            .flat_map(|c| rt.extents.get(c).into_iter().flatten().copied())
+            .collect();
+        for oid in members {
+            match kind {
+                IndexKind::SingleClass | IndexKind::ClassHierarchy => {
+                    let record = self.load_record(&mut rt, &catalog, oid)?;
+                    let attr_id = inst.def.path[0];
+                    let resolved = catalog.resolve(oid.class())?;
+                    if let Some(attr) = resolved.attr_by_id(attr_id) {
+                        let stored = record.get(attr_id).cloned().unwrap_or(Value::Null);
+                        let eff = if stored.is_null() { attr.default.clone() } else { stored };
+                        for key in crate::indexing::keys_of(&eff) {
+                            inst.imp.insert(key, oid);
+                        }
+                    }
+                }
+                IndexKind::Nested => {
+                    let keys = self.nested_path_values(&mut rt, &catalog, oid, &inst.def.path)?;
+                    for key in keys {
+                        inst.imp.insert(key, oid);
+                    }
+                }
+            }
+        }
+        rt.indexes.push(inst);
+        drop(rt);
+        drop(catalog);
+        self.persist_system_state()?;
+        Ok(id)
+    }
+
+    /// Drop an index by name.
+    pub fn drop_index(&self, name: &str) -> DbResult<()> {
+        {
+            let mut rt = self.rt.lock();
+            let before = rt.indexes.len();
+            rt.indexes.retain(|i| i.def.name != name);
+            if rt.indexes.len() == before {
+                return Err(DbError::Query(format!("no index named `{name}`")));
+            }
+        }
+        self.persist_system_state()
+    }
+
+    fn drop_indexes_using_attr(&self, attr_id: u32) -> DbResult<()> {
+        let mut rt = self.rt.lock();
+        rt.indexes.retain(|i| !i.def.path.contains(&attr_id));
+        Ok(())
+    }
+
+    /// Descriptors of every live index.
+    pub fn index_defs(&self) -> Vec<IndexDef> {
+        self.rt.lock().indexes.iter().map(|i| i.def.clone()).collect()
+    }
+
+    /// `(entries, distinct keys)` for a named index.
+    pub fn index_stats(&self, name: &str) -> Option<(usize, usize)> {
+        let rt = self.rt.lock();
+        rt.indexes
+            .iter()
+            .find(|i| i.def.name == name)
+            .map(|i| (i.imp.len(), i.imp.distinct_keys()))
+    }
+}
+
+use orion_types::Value;

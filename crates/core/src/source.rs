@@ -1,0 +1,138 @@
+//! The facade's [`DataSource`] implementation: how declarative queries
+//! see stored (and federated) objects.
+
+use crate::database::Database;
+use orion_index::IndexDef;
+use orion_query::DataSource;
+use orion_types::codec::ObjectRecord;
+use orion_types::{ClassId, DbError, DbResult, Oid, Value};
+use std::ops::Bound;
+
+/// A lightweight view of the database for the query processor. Methods
+/// lock the runtime briefly per call; the executor holds no locks across
+/// calls, so navigation can fault objects in freely.
+pub struct SourceView<'a> {
+    db: &'a Database,
+}
+
+impl<'a> SourceView<'a> {
+    /// Wrap a database.
+    pub fn new(db: &'a Database) -> Self {
+        SourceView { db }
+    }
+}
+
+impl DataSource for SourceView<'_> {
+    fn scan_class(&self, class: ClassId) -> DbResult<Vec<Oid>> {
+        // Foreign classes refresh their materialized extent on scan.
+        let adapter_name = self.db.rt.lock().foreign_classes.get(&class).cloned();
+        if let Some(name) = adapter_name {
+            self.db.refresh_foreign_extent(&name, class)?;
+        }
+        let rt = self.db.rt.lock();
+        Ok(rt.extents.get(&class).map(|e| e.iter().copied().collect()).unwrap_or_default())
+    }
+
+    fn extent_size(&self, class: ClassId) -> usize {
+        self.db.rt.lock().extents.get(&class).map_or(0, |e| e.len())
+    }
+
+    fn get_attr_value(&self, oid: Oid, attr: u32) -> DbResult<Value> {
+        let catalog = self.db.catalog.read();
+        let mut rt = self.db.rt.lock();
+        let record = match self.db.try_load_record(&mut rt, &catalog, oid) {
+            Some(r) => r,
+            None => return Ok(Value::Null), // dangling reference
+        };
+        // Generic objects answer through their default version.
+        if let Some(Value::Ref(default)) = record.get(crate::sysattr::ATTR_DEFAULT_VERSION) {
+            let default = *default;
+            let fwd = match self.db.try_load_record(&mut rt, &catalog, default) {
+                Some(r) => r,
+                None => return Ok(Value::Null),
+            };
+            return Ok(fwd.get(attr).cloned().unwrap_or(Value::Null));
+        }
+        Ok(record.get(attr).cloned().unwrap_or(Value::Null))
+    }
+
+    fn indexes(&self) -> Vec<IndexDef> {
+        self.db.rt.lock().indexes.iter().map(|i| i.def.clone()).collect()
+    }
+
+    fn index_stats(&self, id: u32) -> (usize, usize) {
+        let rt = self.db.rt.lock();
+        rt.indexes
+            .iter()
+            .find(|i| i.def.id == id)
+            .map_or((0, 0), |i| (i.imp.len(), i.imp.distinct_keys()))
+    }
+
+    fn index_key_bounds(&self, id: u32) -> Option<(Value, Value)> {
+        let rt = self.db.rt.lock();
+        rt.indexes.iter().find(|i| i.def.id == id).and_then(|i| i.imp.key_bounds())
+    }
+
+    fn index_lookup_eq(
+        &self,
+        id: u32,
+        key: &Value,
+        scope: Option<&[ClassId]>,
+    ) -> DbResult<Vec<Oid>> {
+        let rt = self.db.rt.lock();
+        let inst = rt
+            .indexes
+            .iter()
+            .find(|i| i.def.id == id)
+            .ok_or_else(|| DbError::Query(format!("no index with id {id}")))?;
+        Ok(inst.imp.lookup_eq(key, scope))
+    }
+
+    fn index_lookup_range(
+        &self,
+        id: u32,
+        lower: Bound<&Value>,
+        upper: Bound<&Value>,
+        scope: Option<&[ClassId]>,
+    ) -> DbResult<Vec<Oid>> {
+        let rt = self.db.rt.lock();
+        let inst = rt
+            .indexes
+            .iter()
+            .find(|i| i.def.id == id)
+            .ok_or_else(|| DbError::Query(format!("no index with id {id}")))?;
+        Ok(inst.imp.lookup_range(lower, upper, scope))
+    }
+}
+
+impl Database {
+    /// Re-materialize a foreign class's extent from its adapter.
+    pub(crate) fn refresh_foreign_extent(&self, adapter: &str, class: ClassId) -> DbResult<()> {
+        let adapters = self.adapters.read();
+        let ad = adapters
+            .get(adapter)
+            .ok_or_else(|| DbError::Foreign(format!("no adapter `{adapter}`")))?;
+        let catalog = self.catalog.read();
+        let resolved = catalog.resolve(class)?;
+        let rows = ad.scan(&resolved.name)?;
+        let mut rt = self.rt.lock();
+        // Replace the extent wholesale: foreign data is snapshot-consistent.
+        let mut extent = std::collections::BTreeSet::new();
+        // Drop previous snapshot records of this class.
+        rt.foreign_store.retain(|oid, _| oid.class() != class);
+        for row in rows {
+            let serial = row.key & ((1u64 << 48) - 1);
+            let oid = Oid::new(class, serial);
+            let mut attrs: Vec<(u32, Value)> = Vec::with_capacity(row.attrs.len());
+            for (name, value) in row.attrs {
+                if let Some(attr) = resolved.attr(&name) {
+                    attrs.push((attr.id, value));
+                }
+            }
+            rt.foreign_store.insert(oid, ObjectRecord::new(oid, resolved.version, attrs));
+            extent.insert(oid);
+        }
+        rt.extents.insert(class, extent);
+        Ok(())
+    }
+}

@@ -1,0 +1,43 @@
+//! Reserved system attribute ids.
+//!
+//! Version management (\[CHOU86/88\], §3.3/§5.5) stores its metadata *in
+//! the object records themselves* under reserved attribute ids, so that
+//! WAL recovery and transaction rollback restore version state for free
+//! — the version manager is a pure view over storage. Reserved ids live
+//! at the top of the `u32` space, far above anything the catalog
+//! allocates; resolved class definitions never include them, so queries
+//! and projections cannot see them.
+
+/// First reserved id; everything at or above is a system attribute.
+pub const RESERVED_BASE: u32 = u32::MAX - 15;
+
+/// On a *generic* object: reference to the default version.
+pub const ATTR_DEFAULT_VERSION: u32 = u32::MAX - 1;
+/// On a version: reference to its generic object.
+pub const ATTR_GENERIC: u32 = u32::MAX - 2;
+/// On a version: reference to the version it was derived from.
+pub const ATTR_VERSION_PARENT: u32 = u32::MAX - 3;
+/// On a version: status string (`"transient"` or `"working"`).
+pub const ATTR_VERSION_STATUS: u32 = u32::MAX - 4;
+/// On the system record: the encoded system state blob.
+pub const ATTR_SYSTEM_SNAPSHOT: u32 = u32::MAX - 5;
+
+/// Is `attr` a reserved system attribute?
+pub fn is_reserved(attr: u32) -> bool {
+    attr >= RESERVED_BASE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserved_range() {
+        assert!(is_reserved(ATTR_DEFAULT_VERSION));
+        assert!(is_reserved(ATTR_GENERIC));
+        assert!(is_reserved(ATTR_VERSION_PARENT));
+        assert!(is_reserved(ATTR_VERSION_STATUS));
+        assert!(!is_reserved(0));
+        assert!(!is_reserved(1_000_000));
+    }
+}

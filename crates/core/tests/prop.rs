@@ -1,0 +1,188 @@
+//! Property tests for the facade: random transactional workloads with
+//! commit/rollback against an in-memory model, verified through the
+//! indexed query path — which also fuzzes simple- and nested-index
+//! maintenance, rollback rebuild, and crash recovery.
+
+use orion_core::{AttrSpec, Database, Domain, IndexKind, Oid, PrimitiveType, Value};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    CreateVehicle { class: u8, weight: i8, company: u8 },
+    SetWeight { vehicle: u8, weight: i8 },
+    SetManufacturer { vehicle: u8, company: u8 },
+    MoveCompany { company: u8, city: u8 },
+    DeleteVehicle { vehicle: u8 },
+}
+
+fn arb_txns() -> impl Strategy<Value = Vec<(u8, Vec<Op>)>> {
+    let op = prop_oneof![
+        (any::<u8>(), any::<i8>(), any::<u8>())
+            .prop_map(|(class, weight, company)| Op::CreateVehicle { class, weight, company }),
+        (any::<u8>(), any::<i8>()).prop_map(|(vehicle, weight)| Op::SetWeight { vehicle, weight }),
+        (any::<u8>(), any::<u8>())
+            .prop_map(|(vehicle, company)| Op::SetManufacturer { vehicle, company }),
+        (any::<u8>(), any::<u8>()).prop_map(|(company, city)| Op::MoveCompany { company, city }),
+        any::<u8>().prop_map(|vehicle| Op::DeleteVehicle { vehicle }),
+    ];
+    // (outcome, ops): outcome 0 = rollback, 1 = commit, 2 = commit+crash.
+    proptest::collection::vec((0u8..3, proptest::collection::vec(op, 1..6)), 1..10)
+}
+
+#[derive(Debug, Clone)]
+struct ModelVehicle {
+    class: usize,
+    weight: i64,
+    company: usize,
+}
+
+const CITIES: [&str; 3] = ["Detroit", "Austin", "Kyoto"];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn transactional_workload_matches_model(txns in arb_txns()) {
+        let db = Database::new();
+        db.create_class(
+            "Company",
+            &[],
+            vec![AttrSpec::new("location", Domain::Primitive(PrimitiveType::Str))],
+        ).unwrap();
+        let company_cls = db.with_catalog(|c| c.class_id("Company")).unwrap();
+        db.create_class(
+            "Vehicle",
+            &[],
+            vec![
+                AttrSpec::new("weight", Domain::Primitive(PrimitiveType::Int)),
+                AttrSpec::new("manufacturer", Domain::Class(company_cls)),
+            ],
+        ).unwrap();
+        db.create_class("Car", &["Vehicle"], vec![]).unwrap();
+        db.create_class("Truck", &["Vehicle"], vec![]).unwrap();
+        db.create_index("w", IndexKind::ClassHierarchy, "Vehicle", &["weight"]).unwrap();
+        db.create_index("loc", IndexKind::Nested, "Vehicle", &["manufacturer", "location"]).unwrap();
+        let classes = ["Car", "Truck"];
+
+        // Fixed companies.
+        let setup = db.begin();
+        let companies: Vec<Oid> = (0..3)
+            .map(|i| {
+                db.create_object(&setup, "Company", vec![("location", Value::str(CITIES[i]))])
+                    .unwrap()
+            })
+            .collect();
+        db.commit(setup).unwrap();
+
+        // Committed model state.
+        let mut model: HashMap<Oid, ModelVehicle> = HashMap::new();
+        let mut company_city: Vec<usize> = vec![0, 1, 2];
+
+        for (outcome, ops) in &txns {
+            let tx = db.begin();
+            let mut staged = model.clone();
+            let mut staged_city = company_city.clone();
+            for op in ops {
+                match op {
+                    Op::CreateVehicle { class, weight, company } => {
+                        let cls = *class as usize % 2;
+                        let com = *company as usize % 3;
+                        let oid = db.create_object(&tx, classes[cls], vec![
+                            ("weight", Value::Int(*weight as i64)),
+                            ("manufacturer", Value::Ref(companies[com])),
+                        ]).unwrap();
+                        staged.insert(oid, ModelVehicle {
+                            class: cls, weight: *weight as i64, company: com,
+                        });
+                    }
+                    Op::SetWeight { vehicle, weight } => {
+                        let oids: Vec<Oid> = staged.keys().copied().collect();
+                        if oids.is_empty() { continue; }
+                        let oid = oids[*vehicle as usize % oids.len()];
+                        db.set(&tx, oid, "weight", Value::Int(*weight as i64)).unwrap();
+                        staged.get_mut(&oid).unwrap().weight = *weight as i64;
+                    }
+                    Op::SetManufacturer { vehicle, company } => {
+                        let oids: Vec<Oid> = staged.keys().copied().collect();
+                        if oids.is_empty() { continue; }
+                        let oid = oids[*vehicle as usize % oids.len()];
+                        let com = *company as usize % 3;
+                        db.set(&tx, oid, "manufacturer", Value::Ref(companies[com])).unwrap();
+                        staged.get_mut(&oid).unwrap().company = com;
+                    }
+                    Op::MoveCompany { company, city } => {
+                        let com = *company as usize % 3;
+                        let city = *city as usize % 3;
+                        db.set(&tx, companies[com], "location", Value::str(CITIES[city]))
+                            .unwrap();
+                        staged_city[com] = city;
+                    }
+                    Op::DeleteVehicle { vehicle } => {
+                        let oids: Vec<Oid> = staged.keys().copied().collect();
+                        if oids.is_empty() { continue; }
+                        let oid = oids[*vehicle as usize % oids.len()];
+                        db.delete_object(&tx, oid).unwrap();
+                        staged.remove(&oid);
+                    }
+                }
+            }
+            match outcome {
+                0 => {
+                    db.rollback(tx).unwrap();
+                }
+                1 => {
+                    db.commit(tx).unwrap();
+                    model = staged;
+                    company_city = staged_city;
+                }
+                _ => {
+                    db.commit(tx).unwrap();
+                    model = staged;
+                    company_city = staged_city;
+                    db.crash_and_recover().unwrap();
+                }
+            }
+
+            // --- Verify through the (indexed) query path -----------------
+            let check = db.begin();
+            // Count per class, hierarchy-wide.
+            let total = db.query(&check, "select count(*) from Vehicle* v").unwrap();
+            prop_assert_eq!(total.rows[0][0].as_int().unwrap() as usize, model.len());
+
+            // Weight point queries hit the CH index.
+            for probe in [-5i64, 0, 7] {
+                let q = format!("select v from Vehicle* v where v.weight = {probe}");
+                let got = db.query(&check, &q).unwrap();
+                let want =
+                    model.values().filter(|m| m.weight == probe).count();
+                prop_assert_eq!(got.len(), want, "weight {} via {}", probe,
+                    db.explain(&check, &q).unwrap());
+            }
+
+            // Nested-location queries hit the nested index; company moves
+            // must have re-keyed every reaching vehicle.
+            for (ci, city) in CITIES.iter().enumerate() {
+                let q = format!(
+                    "select count(*) from Vehicle* v where v.manufacturer.location = \"{city}\""
+                );
+                let _ = ci;
+                let got = db.query(&check, &q).unwrap().rows[0][0].as_int().unwrap() as usize;
+                // Two companies may share a city, so compare by name.
+                let want = model
+                    .values()
+                    .filter(|m| CITIES[company_city[m.company]] == *city)
+                    .count();
+                prop_assert_eq!(got, want, "city {}", city);
+            }
+
+            // Per-class extents.
+            let cars = db.query(&check, "select count(*) from Car v").unwrap();
+            prop_assert_eq!(
+                cars.rows[0][0].as_int().unwrap() as usize,
+                model.values().filter(|m| m.class == 0).count()
+            );
+            db.commit(check).unwrap();
+        }
+    }
+}

@@ -1,0 +1,582 @@
+//! An arena-based B+-tree.
+//!
+//! Why not `std::collections::BTreeMap`? Two reasons. First, the
+//! class-hierarchy index needs per-key *class directories* in its leaves
+//! and cheap key-range scans restricted to a class subset (\[KIM89b\]) —
+//! the stored value is structured, and scans dominate. Second, the index
+//! experiments (E1/E2) are about index architecture, so the index has to
+//! be ours, with inspectable structure (node counts, height).
+//!
+//! Design: nodes live in an arena (`Vec<Node>`) addressed by index;
+//! leaves form a doubly-linked chain for range scans; deletion removes
+//! empty nodes but does not rebalance (the classic lazy-deletion
+//! trade-off — structure stays correct, occupancy may degrade under
+//! adversarial delete patterns; many production systems do the same).
+
+use std::fmt::Debug;
+use std::ops::Bound;
+
+const DEFAULT_ORDER: usize = 64;
+
+#[derive(Debug, Clone)]
+enum Node<K, V> {
+    Leaf { keys: Vec<K>, vals: Vec<V>, prev: Option<usize>, next: Option<usize> },
+    Internal { keys: Vec<K>, children: Vec<usize> },
+    Free,
+}
+
+/// A B+-tree mapping `K` to `V`.
+#[derive(Debug, Clone)]
+pub struct BTree<K, V> {
+    nodes: Vec<Node<K, V>>,
+    root: usize,
+    first_leaf: usize,
+    order: usize,
+    len: usize,
+    free: Vec<usize>,
+}
+
+impl<K: Ord + Clone + Debug, V> Default for BTree<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Ord + Clone + Debug, V> BTree<K, V> {
+    /// An empty tree with the default node order.
+    pub fn new() -> Self {
+        Self::with_order(DEFAULT_ORDER)
+    }
+
+    /// An empty tree whose nodes hold at most `order` keys.
+    pub fn with_order(order: usize) -> Self {
+        assert!(order >= 3, "B+-tree order must be at least 3");
+        let root = Node::Leaf { keys: Vec::new(), vals: Vec::new(), prev: None, next: None };
+        BTree { nodes: vec![root], root: 0, first_leaf: 0, order, len: 0, free: Vec::new() }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Is the tree empty?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Height of the tree (1 = a single leaf).
+    pub fn height(&self) -> usize {
+        let mut h = 1;
+        let mut at = self.root;
+        loop {
+            match &self.nodes[at] {
+                Node::Internal { children, .. } => {
+                    at = children[0];
+                    h += 1;
+                }
+                _ => return h,
+            }
+        }
+    }
+
+    /// Number of live nodes (diagnostics).
+    pub fn node_count(&self) -> usize {
+        self.nodes.iter().filter(|n| !matches!(n, Node::Free)).count()
+    }
+
+    fn alloc(&mut self, node: Node<K, V>) -> usize {
+        if let Some(idx) = self.free.pop() {
+            self.nodes[idx] = node;
+            idx
+        } else {
+            self.nodes.push(node);
+            self.nodes.len() - 1
+        }
+    }
+
+    fn release(&mut self, idx: usize) {
+        self.nodes[idx] = Node::Free;
+        self.free.push(idx);
+    }
+
+    /// Descend from the root to the leaf that would hold `key`,
+    /// recording `(node, child_position)` for every internal node.
+    fn descend(&self, key: &K) -> (usize, Vec<(usize, usize)>) {
+        let mut path = Vec::new();
+        let mut at = self.root;
+        loop {
+            match &self.nodes[at] {
+                Node::Internal { keys, children } => {
+                    // children[i] holds keys < keys[i]; keys[i] is the
+                    // minimum key of children[i + 1].
+                    let pos = keys.partition_point(|k| k <= key);
+                    path.push((at, pos));
+                    at = children[pos];
+                }
+                Node::Leaf { .. } => return (at, path),
+                Node::Free => unreachable!("descended into a freed node"),
+            }
+        }
+    }
+
+    /// Get the value for `key`.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        let (leaf, _) = self.descend(key);
+        match &self.nodes[leaf] {
+            Node::Leaf { keys, vals, .. } => {
+                keys.binary_search(key).ok().map(|i| &vals[i])
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    /// Get a mutable reference to the value for `key`.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        let (leaf, _) = self.descend(key);
+        match &mut self.nodes[leaf] {
+            Node::Leaf { keys, vals, .. } => match keys.binary_search(key) {
+                Ok(i) => Some(&mut vals[i]),
+                Err(_) => None,
+            },
+            _ => unreachable!(),
+        }
+    }
+
+    /// Insert `key → val`; returns the previous value if the key existed.
+    pub fn insert(&mut self, key: K, val: V) -> Option<V> {
+        let (leaf, path) = self.descend(&key);
+        let replaced = match &mut self.nodes[leaf] {
+            Node::Leaf { keys, vals, .. } => match keys.binary_search(&key) {
+                Ok(i) => Some(std::mem::replace(&mut vals[i], val)),
+                Err(i) => {
+                    keys.insert(i, key);
+                    vals.insert(i, val);
+                    None
+                }
+            },
+            _ => unreachable!(),
+        };
+        if replaced.is_some() {
+            return replaced;
+        }
+        self.len += 1;
+        self.split_up(leaf, path);
+        None
+    }
+
+    /// Split `node` if overfull, propagating up `path`.
+    fn split_up(&mut self, mut node: usize, mut path: Vec<(usize, usize)>) {
+        loop {
+            let (sep, right) = {
+                let order = self.order;
+                match &mut self.nodes[node] {
+                    Node::Leaf { keys, vals, next, .. } => {
+                        if keys.len() <= order {
+                            return;
+                        }
+                        let mid = keys.len() / 2;
+                        let right_keys = keys.split_off(mid);
+                        let right_vals = vals.split_off(mid);
+                        let sep = right_keys[0].clone();
+                        let old_next = *next;
+                        let right = Node::Leaf {
+                            keys: right_keys,
+                            vals: right_vals,
+                            prev: Some(node),
+                            next: old_next,
+                        };
+                        (sep, right)
+                    }
+                    Node::Internal { keys, children } => {
+                        if keys.len() <= order {
+                            return;
+                        }
+                        let mid = keys.len() / 2;
+                        // Separator moves up; right node gets keys after it.
+                        let sep = keys[mid].clone();
+                        let right_keys = keys.split_off(mid + 1);
+                        keys.pop(); // drop the separator from the left node
+                        let right_children = children.split_off(mid + 1);
+                        let right = Node::Internal { keys: right_keys, children: right_children };
+                        (sep, right)
+                    }
+                    Node::Free => unreachable!(),
+                }
+            };
+            let right_idx = self.alloc(right);
+            // Fix leaf chain links.
+            if let Node::Leaf { next, .. } = &mut self.nodes[node] {
+                let old_next = *next;
+                *next = Some(right_idx);
+                if let Some(n) = old_next {
+                    if let Node::Leaf { prev, .. } = &mut self.nodes[n] {
+                        *prev = Some(right_idx);
+                    }
+                }
+            }
+            match path.pop() {
+                Some((parent, pos)) => {
+                    match &mut self.nodes[parent] {
+                        Node::Internal { keys, children } => {
+                            keys.insert(pos, sep);
+                            children.insert(pos + 1, right_idx);
+                        }
+                        _ => unreachable!(),
+                    }
+                    node = parent;
+                }
+                None => {
+                    // Split the root: grow a new root.
+                    let new_root =
+                        self.alloc(Node::Internal { keys: vec![sep], children: vec![node, right_idx] });
+                    self.root = new_root;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Remove `key`; returns its value if present.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let (leaf, path) = self.descend(key);
+        let removed = match &mut self.nodes[leaf] {
+            Node::Leaf { keys, vals, .. } => match keys.binary_search(key) {
+                Ok(i) => {
+                    keys.remove(i);
+                    Some(vals.remove(i))
+                }
+                Err(_) => None,
+            },
+            _ => unreachable!(),
+        };
+        let removed = removed?;
+        self.len -= 1;
+        self.prune_if_empty(leaf, path);
+        Some(removed)
+    }
+
+    /// Remove `node` from its parent chain if it became empty.
+    fn prune_if_empty(&mut self, node: usize, mut path: Vec<(usize, usize)>) {
+        let empty = match &self.nodes[node] {
+            Node::Leaf { keys, .. } => keys.is_empty(),
+            Node::Internal { children, .. } => children.is_empty(),
+            Node::Free => return,
+        };
+        if !empty || node == self.root {
+            // Collapse a root with a single child.
+            self.collapse_root();
+            return;
+        }
+        // Unlink a leaf from the chain.
+        if let Node::Leaf { prev, next, .. } = &self.nodes[node] {
+            let (prev, next) = (*prev, *next);
+            if let Some(p) = prev {
+                if let Node::Leaf { next: pn, .. } = &mut self.nodes[p] {
+                    *pn = next;
+                }
+            }
+            if let Some(n) = next {
+                if let Node::Leaf { prev: np, .. } = &mut self.nodes[n] {
+                    *np = prev;
+                }
+            }
+            if self.first_leaf == node {
+                self.first_leaf = next.unwrap_or(self.root);
+            }
+        }
+        let (parent, pos) = path.pop().expect("non-root node must have a parent");
+        match &mut self.nodes[parent] {
+            Node::Internal { keys, children } => {
+                children.remove(pos);
+                if pos == 0 {
+                    if !keys.is_empty() {
+                        keys.remove(0);
+                    }
+                } else {
+                    keys.remove(pos - 1);
+                }
+            }
+            _ => unreachable!(),
+        }
+        self.release(node);
+        self.prune_if_empty(parent, path);
+    }
+
+    fn collapse_root(&mut self) {
+        loop {
+            match &self.nodes[self.root] {
+                Node::Internal { children, .. } if children.len() == 1 => {
+                    let child = children[0];
+                    let old_root = self.root;
+                    self.root = child;
+                    self.release(old_root);
+                }
+                Node::Internal { children, .. } if children.is_empty() => {
+                    // Everything deleted: reset to a single empty leaf.
+                    let old_root = self.root;
+                    let leaf = self.alloc(Node::Leaf {
+                        keys: Vec::new(),
+                        vals: Vec::new(),
+                        prev: None,
+                        next: None,
+                    });
+                    self.root = leaf;
+                    self.first_leaf = leaf;
+                    self.release(old_root);
+                }
+                _ => return,
+            }
+        }
+    }
+
+    /// Iterate `(key, value)` pairs with keys in `range`, ascending.
+    pub fn range<'a>(
+        &'a self,
+        lower: Bound<&K>,
+        upper: Bound<&'a K>,
+    ) -> impl Iterator<Item = (&'a K, &'a V)> + 'a {
+        // Find the starting leaf and position.
+        let (mut leaf, mut pos) = match &lower {
+            Bound::Unbounded => (self.first_leaf, 0),
+            Bound::Included(k) | Bound::Excluded(k) => {
+                let (l, _) = self.descend(k);
+                let p = match &self.nodes[l] {
+                    Node::Leaf { keys, .. } => match &lower {
+                        Bound::Included(k) => keys.partition_point(|x| x < *k),
+                        Bound::Excluded(k) => keys.partition_point(|x| x <= *k),
+                        Bound::Unbounded => 0,
+                    },
+                    _ => unreachable!(),
+                };
+                (l, p)
+            }
+        };
+        // Skip exhausted leaves at the start.
+        loop {
+            match &self.nodes[leaf] {
+                Node::Leaf { keys, next: Some(n), .. } if pos >= keys.len() => {
+                    leaf = *n;
+                    pos = 0;
+                }
+                _ => break,
+            }
+        }
+        RangeIter { tree: self, leaf, pos, upper }
+    }
+
+    /// Iterate every `(key, value)` pair in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> + '_ {
+        self.range(Bound::Unbounded, Bound::Unbounded)
+    }
+
+    /// The number of distinct keys (same as `len`; exists for symmetry
+    /// with the posting-list indexes built on top).
+    pub fn distinct_keys(&self) -> usize {
+        self.len
+    }
+
+    /// The smallest key, if any (O(height)).
+    pub fn first_key(&self) -> Option<&K> {
+        let mut at = self.first_leaf;
+        loop {
+            match &self.nodes[at] {
+                Node::Leaf { keys, next, .. } => {
+                    if let Some(k) = keys.first() {
+                        return Some(k);
+                    }
+                    at = (*next)?;
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    /// The largest key, if any (O(height)).
+    pub fn last_key(&self) -> Option<&K> {
+        let mut at = self.root;
+        loop {
+            match &self.nodes[at] {
+                Node::Internal { children, .. } => at = *children.last()?,
+                Node::Leaf { keys, .. } => return keys.last(),
+                Node::Free => return None,
+            }
+        }
+    }
+}
+
+struct RangeIter<'a, K, V> {
+    tree: &'a BTree<K, V>,
+    leaf: usize,
+    pos: usize,
+    upper: Bound<&'a K>,
+}
+
+impl<'a, K: Ord + Clone + Debug, V> Iterator for RangeIter<'a, K, V> {
+    type Item = (&'a K, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            match &self.tree.nodes[self.leaf] {
+                Node::Leaf { keys, vals, next, .. } => {
+                    if self.pos < keys.len() {
+                        let key = &keys[self.pos];
+                        let in_range = match self.upper {
+                            Bound::Unbounded => true,
+                            Bound::Included(u) => key <= u,
+                            Bound::Excluded(u) => key < u,
+                        };
+                        if !in_range {
+                            return None;
+                        }
+                        let val = &vals[self.pos];
+                        self.pos += 1;
+                        return Some((key, val));
+                    }
+                    match next {
+                        Some(n) => {
+                            self.leaf = *n;
+                            self.pos = 0;
+                        }
+                        None => return None,
+                    }
+                }
+                _ => return None,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_small() {
+        let mut t: BTree<i32, String> = BTree::with_order(4);
+        assert!(t.is_empty());
+        for i in [5, 1, 9, 3, 7] {
+            assert!(t.insert(i, format!("v{i}")).is_none());
+        }
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.get(&3), Some(&"v3".to_string()));
+        assert_eq!(t.get(&4), None);
+        assert_eq!(t.insert(3, "replaced".into()), Some("v3".into()));
+        assert_eq!(t.len(), 5);
+    }
+
+    #[test]
+    fn splits_grow_height() {
+        let mut t: BTree<u32, u32> = BTree::with_order(4);
+        for i in 0..200 {
+            t.insert(i, i * 2);
+        }
+        assert!(t.height() >= 3, "order-4 tree with 200 keys must be deep");
+        for i in 0..200 {
+            assert_eq!(t.get(&i), Some(&(i * 2)));
+        }
+        // In-order iteration is sorted and complete.
+        let keys: Vec<u32> = t.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, (0..200).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reverse_and_random_insert_orders() {
+        let mut t: BTree<i64, ()> = BTree::with_order(4);
+        for i in (0..128).rev() {
+            t.insert(i, ());
+        }
+        let keys: Vec<i64> = t.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, (0..128).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_bounds() {
+        let mut t: BTree<i32, i32> = BTree::with_order(4);
+        for i in 0..100 {
+            t.insert(i, i);
+        }
+        let got: Vec<i32> =
+            t.range(Bound::Included(&10), Bound::Excluded(&15)).map(|(k, _)| *k).collect();
+        assert_eq!(got, vec![10, 11, 12, 13, 14]);
+        let got: Vec<i32> =
+            t.range(Bound::Excluded(&95), Bound::Unbounded).map(|(k, _)| *k).collect();
+        assert_eq!(got, vec![96, 97, 98, 99]);
+        let got: Vec<i32> =
+            t.range(Bound::Unbounded, Bound::Included(&2)).map(|(k, _)| *k).collect();
+        assert_eq!(got, vec![0, 1, 2]);
+        // Empty range.
+        assert_eq!(t.range(Bound::Included(&200), Bound::Unbounded).count(), 0);
+        assert_eq!(t.range(Bound::Included(&50), Bound::Excluded(&50)).count(), 0);
+    }
+
+    #[test]
+    fn range_with_missing_boundary_keys() {
+        let mut t: BTree<i32, ()> = BTree::with_order(4);
+        for i in (0..100).step_by(10) {
+            t.insert(i, ());
+        }
+        let got: Vec<i32> =
+            t.range(Bound::Included(&15), Bound::Included(&45)).map(|(k, _)| *k).collect();
+        assert_eq!(got, vec![20, 30, 40]);
+    }
+
+    #[test]
+    fn remove_and_reinsert() {
+        let mut t: BTree<u32, u32> = BTree::with_order(4);
+        for i in 0..64 {
+            t.insert(i, i);
+        }
+        for i in (0..64).step_by(2) {
+            assert_eq!(t.remove(&i), Some(i));
+        }
+        assert_eq!(t.remove(&0), None, "double remove");
+        assert_eq!(t.len(), 32);
+        let keys: Vec<u32> = t.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, (1..64).step_by(2).collect::<Vec<_>>());
+        for i in (0..64).step_by(2) {
+            t.insert(i, i + 100);
+        }
+        assert_eq!(t.len(), 64);
+        assert_eq!(t.get(&0), Some(&100));
+    }
+
+    #[test]
+    fn drain_everything_then_reuse() {
+        let mut t: BTree<u32, ()> = BTree::with_order(4);
+        for i in 0..100 {
+            t.insert(i, ());
+        }
+        for i in 0..100 {
+            assert!(t.remove(&i).is_some());
+        }
+        assert!(t.is_empty());
+        assert_eq!(t.iter().count(), 0);
+        // Tree remains usable.
+        t.insert(42, ());
+        assert_eq!(t.get(&42), Some(&()));
+        assert_eq!(t.iter().count(), 1);
+    }
+
+    #[test]
+    fn get_mut_updates_in_place() {
+        let mut t: BTree<u32, Vec<u32>> = BTree::with_order(4);
+        t.insert(1, vec![1]);
+        t.get_mut(&1).unwrap().push(2);
+        assert_eq!(t.get(&1), Some(&vec![1, 2]));
+        assert!(t.get_mut(&2).is_none());
+    }
+
+    #[test]
+    fn node_count_shrinks_after_mass_delete() {
+        let mut t: BTree<u32, ()> = BTree::with_order(4);
+        for i in 0..1000 {
+            t.insert(i, ());
+        }
+        let peak = t.node_count();
+        for i in 0..1000 {
+            t.remove(&i);
+        }
+        assert!(t.node_count() < peak / 4, "empty nodes must be pruned");
+    }
+}

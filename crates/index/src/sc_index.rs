@@ -1,0 +1,186 @@
+//! The conventional single-class index.
+//!
+//! "In relational database systems, one index is maintained on an
+//! attribute ... of one relation. This technique, if applied directly to
+//! an object-oriented database, will mean that one index is needed for an
+//! attribute of each class" (§3.2). This is that index: key → sorted
+//! posting list of OIDs, for the instances of exactly one class. It is
+//! the baseline the class-hierarchy index is measured against (E1).
+
+use crate::btree::BTree;
+use crate::key::KeyVal;
+use orion_types::{Oid, Value};
+use std::ops::Bound;
+
+/// An index over one attribute of one class.
+#[derive(Debug, Clone, Default)]
+pub struct SingleClassIndex {
+    tree: BTree<KeyVal, Vec<Oid>>,
+    entries: usize,
+}
+
+impl SingleClassIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        SingleClassIndex::default()
+    }
+
+    /// Register `oid` under `key`.
+    pub fn insert(&mut self, key: Value, oid: Oid) {
+        let k = KeyVal(key);
+        match self.tree.get_mut(&k) {
+            Some(postings) => {
+                if let Err(pos) = postings.binary_search(&oid) {
+                    postings.insert(pos, oid);
+                    self.entries += 1;
+                }
+            }
+            None => {
+                self.tree.insert(k, vec![oid]);
+                self.entries += 1;
+            }
+        }
+    }
+
+    /// Remove `oid` from under `key`; returns whether it was present.
+    pub fn remove(&mut self, key: &Value, oid: Oid) -> bool {
+        let k = KeyVal(key.clone());
+        let (removed, now_empty) = match self.tree.get_mut(&k) {
+            Some(postings) => match postings.binary_search(&oid) {
+                Ok(pos) => {
+                    postings.remove(pos);
+                    (true, postings.is_empty())
+                }
+                Err(_) => (false, false),
+            },
+            None => (false, false),
+        };
+        if now_empty {
+            self.tree.remove(&k);
+        }
+        if removed {
+            self.entries -= 1;
+        }
+        removed
+    }
+
+    /// All OIDs stored under exactly `key`.
+    pub fn lookup_eq(&self, key: &Value) -> Vec<Oid> {
+        self.tree.get(&KeyVal(key.clone())).cloned().unwrap_or_default()
+    }
+
+    /// All OIDs with keys in the given range.
+    pub fn lookup_range(&self, lower: Bound<&Value>, upper: Bound<&Value>) -> Vec<Oid> {
+        let lk;
+        let lower = match lower {
+            Bound::Included(v) => {
+                lk = KeyVal(v.clone());
+                Bound::Included(&lk)
+            }
+            Bound::Excluded(v) => {
+                lk = KeyVal(v.clone());
+                Bound::Excluded(&lk)
+            }
+            Bound::Unbounded => Bound::Unbounded,
+        };
+        let uk;
+        let upper = match upper {
+            Bound::Included(v) => {
+                uk = KeyVal(v.clone());
+                Bound::Included(&uk)
+            }
+            Bound::Excluded(v) => {
+                uk = KeyVal(v.clone());
+                Bound::Excluded(&uk)
+            }
+            Bound::Unbounded => Bound::Unbounded,
+        };
+        let mut out = Vec::new();
+        for (_, postings) in self.tree.range(lower, upper) {
+            out.extend_from_slice(postings);
+        }
+        out
+    }
+
+    /// Total `(key, oid)` entries.
+    pub fn len(&self) -> usize {
+        self.entries
+    }
+
+    /// Is the index empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// Smallest and largest keys present, if any.
+    pub fn key_bounds(&self) -> Option<(Value, Value)> {
+        let lo = self.tree.first_key()?.0.clone();
+        let hi = self.tree.last_key()?.0.clone();
+        Some((lo, hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orion_types::ClassId;
+
+    fn oid(s: u64) -> Oid {
+        Oid::new(ClassId(1), s)
+    }
+
+    #[test]
+    fn insert_lookup_remove() {
+        let mut idx = SingleClassIndex::new();
+        idx.insert(Value::Int(10), oid(1));
+        idx.insert(Value::Int(10), oid(2));
+        idx.insert(Value::Int(20), oid(3));
+        assert_eq!(idx.len(), 3);
+        assert_eq!(idx.distinct_keys(), 2);
+        assert_eq!(idx.lookup_eq(&Value::Int(10)), vec![oid(1), oid(2)]);
+        assert!(idx.remove(&Value::Int(10), oid(1)));
+        assert!(!idx.remove(&Value::Int(10), oid(1)), "second remove is false");
+        assert_eq!(idx.lookup_eq(&Value::Int(10)), vec![oid(2)]);
+        assert!(idx.remove(&Value::Int(10), oid(2)));
+        assert_eq!(idx.lookup_eq(&Value::Int(10)), Vec::<Oid>::new());
+        assert_eq!(idx.distinct_keys(), 1, "empty posting lists are dropped");
+    }
+
+    #[test]
+    fn duplicate_insert_is_a_no_op() {
+        let mut idx = SingleClassIndex::new();
+        idx.insert(Value::Int(1), oid(1));
+        idx.insert(Value::Int(1), oid(1));
+        assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn range_lookup() {
+        let mut idx = SingleClassIndex::new();
+        for i in 0..50 {
+            idx.insert(Value::Int(i), oid(i as u64));
+        }
+        let got = idx.lookup_range(Bound::Included(&Value::Int(10)), Bound::Excluded(&Value::Int(13)));
+        assert_eq!(got, vec![oid(10), oid(11), oid(12)]);
+        let all = idx.lookup_range(Bound::Unbounded, Bound::Unbounded);
+        assert_eq!(all.len(), 50);
+    }
+
+    #[test]
+    fn string_keys() {
+        let mut idx = SingleClassIndex::new();
+        idx.insert(Value::str("Detroit"), oid(1));
+        idx.insert(Value::str("Austin"), oid(2));
+        assert_eq!(idx.lookup_eq(&Value::str("Detroit")), vec![oid(1)]);
+        let got = idx.lookup_range(
+            Bound::Included(&Value::str("A")),
+            Bound::Excluded(&Value::str("B")),
+        );
+        assert_eq!(got, vec![oid(2)]);
+    }
+}

@@ -1,0 +1,77 @@
+//! Property tests: the B+-tree against `std::collections::BTreeMap`.
+
+use orion_index::BTree;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(i32, u32),
+    Remove(i32),
+    Get(i32),
+    Range(i32, i32),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    let key = -200i32..200;
+    proptest::collection::vec(
+        prop_oneof![
+            (key.clone(), any::<u32>()).prop_map(|(k, v)| Op::Insert(k, v)),
+            key.clone().prop_map(Op::Remove),
+            key.clone().prop_map(Op::Get),
+            (key.clone(), key).prop_map(|(a, b)| Op::Range(a.min(b), a.max(b))),
+        ],
+        0..400,
+    )
+}
+
+proptest! {
+    #[test]
+    fn btree_matches_std_model(ops in arb_ops(), order in 3usize..16) {
+        let mut tree: BTree<i32, u32> = BTree::with_order(order);
+        let mut model: BTreeMap<i32, u32> = BTreeMap::new();
+        for op in ops {
+            match op {
+                Op::Insert(k, v) => {
+                    prop_assert_eq!(tree.insert(k, v), model.insert(k, v));
+                }
+                Op::Remove(k) => {
+                    prop_assert_eq!(tree.remove(&k), model.remove(&k));
+                }
+                Op::Get(k) => {
+                    prop_assert_eq!(tree.get(&k), model.get(&k));
+                }
+                Op::Range(lo, hi) => {
+                    let got: Vec<(i32, u32)> = tree
+                        .range(Bound::Included(&lo), Bound::Excluded(&hi))
+                        .map(|(k, v)| (*k, *v))
+                        .collect();
+                    let want: Vec<(i32, u32)> =
+                        model.range(lo..hi).map(|(k, v)| (*k, *v)).collect();
+                    prop_assert_eq!(got, want);
+                }
+            }
+            prop_assert_eq!(tree.len(), model.len());
+        }
+        // Final full iteration agrees.
+        let got: Vec<(i32, u32)> = tree.iter().map(|(k, v)| (*k, *v)).collect();
+        let want: Vec<(i32, u32)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn btree_sequential_heavy(n in 1usize..2000, order in 3usize..8) {
+        let mut tree: BTree<usize, usize> = BTree::with_order(order);
+        for i in 0..n {
+            tree.insert(i, i);
+        }
+        prop_assert_eq!(tree.len(), n);
+        for i in (0..n).step_by(3) {
+            prop_assert_eq!(tree.remove(&i), Some(i));
+        }
+        let expect: Vec<usize> = (0..n).filter(|i| i % 3 != 0).collect();
+        let got: Vec<usize> = tree.iter().map(|(k, _)| *k).collect();
+        prop_assert_eq!(got, expect);
+    }
+}

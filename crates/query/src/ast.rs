@@ -1,0 +1,342 @@
+//! The query language AST.
+//!
+//! The surface language is a small OQL-style `select`:
+//!
+//! ```text
+//! select v from Vehicle* v
+//! where v.weight > 7500 and v.manufacturer.location = "Detroit"
+//! order by v.weight desc limit 10
+//! ```
+//!
+//! Two design points come straight from §3.2's query model:
+//!
+//! * `from Vehicle v` targets the class's own instances; `from Vehicle* v`
+//!   targets "all instances of the classes in the class hierarchy rooted
+//!   at the target class" — the paper's two interpretations of scope.
+//! * predicate paths (`v.manufacturer.location`) walk the *nested*
+//!   definition of the class: "a query against a class is formulated
+//!   against the nested definition of the class". Set-valued steps
+//!   quantify existentially over their elements.
+
+use std::fmt;
+
+/// An attribute path from the range variable, e.g. `manufacturer.location`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Path {
+    /// Attribute names, outermost first. Empty = the object itself.
+    pub steps: Vec<String>,
+}
+
+impl Path {
+    /// A path from dotted attribute names.
+    pub fn new<S: Into<String>>(steps: Vec<S>) -> Self {
+        Path { steps: steps.into_iter().map(Into::into).collect() }
+    }
+
+    /// The object itself (a bare range variable).
+    pub fn this() -> Self {
+        Path { steps: Vec::new() }
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, s) in self.steps.iter().enumerate() {
+            if i > 0 {
+                write!(f, ".")?;
+            }
+            write!(f, "{s}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=` / `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `like` with `%` wildcards (strings only).
+    Like,
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Like => "like",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A literal in query text.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal.
+    Str(String),
+    /// Boolean literal.
+    Bool(bool),
+    /// `null`.
+    Null,
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Int(i) => write!(f, "{i}"),
+            Literal::Float(x) => write!(f, "{x:?}"),
+            Literal::Str(s) => write!(f, "{s:?}"),
+            Literal::Bool(b) => write!(f, "{b}"),
+            Literal::Null => write!(f, "null"),
+        }
+    }
+}
+
+/// A boolean predicate over the range variable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// `path op literal`; set-valued paths quantify existentially.
+    Cmp {
+        /// The attribute path.
+        path: Path,
+        /// The operator.
+        op: CmpOp,
+        /// The literal compared against.
+        value: Literal,
+    },
+    /// `path contains literal` — membership in a set/list attribute.
+    Contains {
+        /// The set-valued attribute path.
+        path: Path,
+        /// The element looked for.
+        value: Literal,
+    },
+    /// `path is null` — no non-null value reachable.
+    IsNull {
+        /// The attribute path.
+        path: Path,
+    },
+    /// `var isa ClassName` — run-time class membership (subclass-aware).
+    IsA {
+        /// The class name tested against.
+        class: String,
+    },
+    /// Conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Negation.
+    Not(Box<Expr>),
+}
+
+impl Expr {
+    /// Split a conjunctive expression into its top-level conjuncts.
+    pub fn conjuncts(&self) -> Vec<&Expr> {
+        let mut out = Vec::new();
+        fn walk<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
+            match e {
+                Expr::And(a, b) => {
+                    walk(a, out);
+                    walk(b, out);
+                }
+                other => out.push(other),
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+
+    /// Rebuild a conjunction from parts (`None` when empty).
+    pub fn conjoin(parts: Vec<Expr>) -> Option<Expr> {
+        parts.into_iter().reduce(|a, b| Expr::And(Box::new(a), Box::new(b)))
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Cmp { path, op, value } => write!(f, "{path} {op} {value}"),
+            Expr::Contains { path, value } => write!(f, "{path} contains {value}"),
+            Expr::IsNull { path } => write!(f, "{path} is null"),
+            Expr::IsA { class } => write!(f, "isa {class}"),
+            Expr::And(a, b) => write!(f, "({a} and {b})"),
+            Expr::Or(a, b) => write!(f, "({a} or {b})"),
+            Expr::Not(e) => write!(f, "(not {e})"),
+        }
+    }
+}
+
+/// What a query projects per result object.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// The object itself (a `Ref` value).
+    Object,
+    /// A path's value.
+    Path(Path),
+    /// `count(*)` — the result is a single row with the match count.
+    Count,
+}
+
+impl fmt::Display for SelectItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectItem::Object => write!(f, "<object>"),
+            SelectItem::Path(p) => write!(f, "{p}"),
+            SelectItem::Count => write!(f, "count(*)"),
+        }
+    }
+}
+
+/// A parsed query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Projection list.
+    pub select: Vec<SelectItem>,
+    /// Target class name.
+    pub target: String,
+    /// `true` for `Class*`: scope is the hierarchy rooted at the target.
+    pub hierarchy: bool,
+    /// The range variable.
+    pub var: String,
+    /// Optional `where` predicate.
+    pub predicate: Option<Expr>,
+    /// Optional `order by (path, ascending)`.
+    pub order_by: Option<(Path, bool)>,
+    /// Optional `limit`.
+    pub limit: Option<usize>,
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "select ")?;
+        for (i, item) in self.select.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            match item {
+                SelectItem::Object => write!(f, "{}", self.var)?,
+                SelectItem::Path(p) => write!(f, "{}.{p}", self.var)?,
+                SelectItem::Count => write!(f, "count(*)")?,
+            }
+        }
+        write!(f, " from {}{} {}", self.target, if self.hierarchy { "*" } else { "" }, self.var)?;
+        if let Some(p) = &self.predicate {
+            write!(f, " where {}", DisplayPred { var: &self.var, expr: p })?;
+        }
+        if let Some((path, asc)) = &self.order_by {
+            write!(f, " order by {}.{path}{}", self.var, if *asc { "" } else { " desc" })?;
+        }
+        if let Some(n) = self.limit {
+            write!(f, " limit {n}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Helper rendering an expression with the range variable prefixed onto
+/// paths, producing re-parseable text.
+struct DisplayPred<'a> {
+    var: &'a str,
+    expr: &'a Expr,
+}
+
+impl fmt::Display for DisplayPred<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let v = self.var;
+        match self.expr {
+            Expr::Cmp { path, op, value } => write!(f, "{v}.{path} {op} {value}"),
+            Expr::Contains { path, value } => write!(f, "{v}.{path} contains {value}"),
+            Expr::IsNull { path } => write!(f, "{v}.{path} is null"),
+            Expr::IsA { class } => write!(f, "{v} isa {class}"),
+            Expr::And(a, b) => write!(
+                f,
+                "({} and {})",
+                DisplayPred { var: v, expr: a },
+                DisplayPred { var: v, expr: b }
+            ),
+            Expr::Or(a, b) => write!(
+                f,
+                "({} or {})",
+                DisplayPred { var: v, expr: a },
+                DisplayPred { var: v, expr: b }
+            ),
+            Expr::Not(e) => write!(f, "(not {})", DisplayPred { var: v, expr: e }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conjunct_splitting() {
+        let a = Expr::IsNull { path: Path::new(vec!["x"]) };
+        let b = Expr::IsA { class: "Truck".into() };
+        let c = Expr::Cmp { path: Path::new(vec!["w"]), op: CmpOp::Gt, value: Literal::Int(1) };
+        let e = Expr::And(
+            Box::new(Expr::And(Box::new(a.clone()), Box::new(b.clone()))),
+            Box::new(c.clone()),
+        );
+        let parts = e.conjuncts();
+        assert_eq!(parts, vec![&a, &b, &c]);
+        // Or does not split.
+        let o = Expr::Or(Box::new(a.clone()), Box::new(b.clone()));
+        assert_eq!(o.conjuncts().len(), 1);
+        // Rebuild.
+        let rebuilt = Expr::conjoin(vec![a.clone(), b, c]).unwrap();
+        assert_eq!(rebuilt.conjuncts().len(), 3);
+        assert_eq!(Expr::conjoin(vec![]), None);
+        assert_eq!(Expr::conjoin(vec![a.clone()]), Some(a));
+    }
+
+    #[test]
+    fn display_roundtrippable_shape() {
+        let q = Query {
+            select: vec![SelectItem::Object],
+            target: "Vehicle".into(),
+            hierarchy: true,
+            var: "v".into(),
+            predicate: Some(Expr::And(
+                Box::new(Expr::Cmp {
+                    path: Path::new(vec!["weight"]),
+                    op: CmpOp::Gt,
+                    value: Literal::Int(7500),
+                }),
+                Box::new(Expr::Cmp {
+                    path: Path::new(vec!["manufacturer", "location"]),
+                    op: CmpOp::Eq,
+                    value: Literal::Str("Detroit".into()),
+                }),
+            )),
+            order_by: Some((Path::new(vec!["weight"]), false)),
+            limit: Some(10),
+        };
+        let text = q.to_string();
+        assert!(text.contains("from Vehicle* v"));
+        assert!(text.contains("v.weight > 7500"));
+        assert!(text.contains("v.manufacturer.location = \"Detroit\""));
+        assert!(text.contains("order by v.weight desc"));
+        assert!(text.contains("limit 10"));
+    }
+}

@@ -1,0 +1,289 @@
+//! The query executor.
+//!
+//! Pulls candidate OIDs from the chosen access path, evaluates the
+//! residual predicate by navigating the nested object structure (the
+//! paper's "query against the nested definition of the class"), then
+//! orders, limits, and projects.
+//!
+//! Null semantics are two-valued: a comparison against an absent or
+//! null value is simply false (`is null` exists to test absence
+//! explicitly). Set-valued steps quantify existentially.
+
+use crate::ast::{CmpOp, Expr, Path, Query, SelectItem};
+use crate::plan::{literal_value, AccessPath, PlannedQuery};
+use crate::source::DataSource;
+use orion_schema::Catalog;
+use orion_types::{ClassId, DbResult, Oid, Value};
+use std::cmp::Ordering;
+use std::ops::Bound;
+
+/// A query result: one row per match (or one row for `count(*)`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// Projected rows, aligned with the query's select list.
+    pub rows: Vec<Vec<Value>>,
+    /// The matching objects (empty for `count(*)`).
+    pub oids: Vec<Oid>,
+}
+
+impl QueryResult {
+    /// Number of result rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Is the result empty?
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// Evaluate `path` from `oid`, returning every reachable leaf value.
+///
+/// Attribute resolution is by *name through the actual class of each
+/// object encountered*, so polymorphic references (a `Vehicle` attribute
+/// holding a `Truck`) read the right attribute even under shadowing.
+pub fn path_values(
+    catalog: &Catalog,
+    source: &dyn DataSource,
+    oid: Oid,
+    path: &Path,
+) -> DbResult<Vec<Value>> {
+    let mut current = vec![Value::Ref(oid)];
+    for step in &path.steps {
+        let mut next = Vec::new();
+        for v in &current {
+            let Value::Ref(o) = v else { continue };
+            let Ok(resolved) = catalog.resolve(o.class()) else { continue };
+            let Some(attr) = resolved.attr(step) else { continue };
+            let mut value = source.get_attr_value(*o, attr.id)?;
+            if value.is_null() && !attr.default.is_null() {
+                value = attr.default.clone();
+            }
+            match value {
+                Value::Null => {}
+                Value::Set(items) | Value::List(items) => next.extend(items),
+                other => next.push(other),
+            }
+        }
+        current = next;
+    }
+    Ok(current)
+}
+
+/// Match a `like` pattern: `%` matches any run of characters; everything
+/// else is literal. Anchored at both ends.
+pub fn like_match(pattern: &str, text: &str) -> bool {
+    let parts: Vec<&str> = pattern.split('%').collect();
+    if parts.len() == 1 {
+        return pattern == text;
+    }
+    let mut at = 0usize;
+    for (i, part) in parts.iter().enumerate() {
+        if part.is_empty() {
+            continue;
+        }
+        if i == 0 {
+            if !text.starts_with(part) {
+                return false;
+            }
+            at = part.len();
+        } else if i == parts.len() - 1 {
+            return text.len() >= at && text[at..].ends_with(part);
+        } else {
+            match text[at..].find(part) {
+                Some(p) => at += p + part.len(),
+                None => return false,
+            }
+        }
+    }
+    true
+}
+
+/// Evaluate a predicate for one object.
+pub fn eval_expr(
+    catalog: &Catalog,
+    source: &dyn DataSource,
+    oid: Oid,
+    expr: &Expr,
+) -> DbResult<bool> {
+    match expr {
+        Expr::Cmp { path, op, value } => {
+            let want = literal_value(value);
+            if want.is_null() {
+                // Comparisons against null are false; `is null` tests absence.
+                return Ok(false);
+            }
+            let values = path_values(catalog, source, oid, path)?;
+            Ok(values.iter().any(|v| {
+                if v.is_null() {
+                    return false;
+                }
+                match op {
+                    CmpOp::Eq => v.eq_total(&want),
+                    CmpOp::Ne => !v.eq_total(&want),
+                    CmpOp::Lt => v.cmp_total(&want) == Ordering::Less,
+                    CmpOp::Le => v.cmp_total(&want) != Ordering::Greater,
+                    CmpOp::Gt => v.cmp_total(&want) == Ordering::Greater,
+                    CmpOp::Ge => v.cmp_total(&want) != Ordering::Less,
+                    CmpOp::Like => match (v.as_str(), want.as_str()) {
+                        (Some(text), Some(pattern)) => like_match(pattern, text),
+                        _ => false,
+                    },
+                }
+            }))
+        }
+        Expr::Contains { path, value } => {
+            let want = literal_value(value);
+            let values = path_values(catalog, source, oid, path)?;
+            Ok(values.iter().any(|v| v.eq_total(&want)))
+        }
+        Expr::IsNull { path } => {
+            let values = path_values(catalog, source, oid, path)?;
+            Ok(values.iter().all(|v| v.is_null()) || values.is_empty())
+        }
+        Expr::IsA { class } => {
+            let cid = catalog.class_id(class)?;
+            Ok(catalog.is_subclass(oid.class(), cid))
+        }
+        Expr::And(a, b) => {
+            Ok(eval_expr(catalog, source, oid, a)? && eval_expr(catalog, source, oid, b)?)
+        }
+        Expr::Or(a, b) => {
+            Ok(eval_expr(catalog, source, oid, a)? || eval_expr(catalog, source, oid, b)?)
+        }
+        Expr::Not(e) => Ok(!eval_expr(catalog, source, oid, e)?),
+    }
+}
+
+/// Execute a planned query.
+pub fn execute(
+    catalog: &Catalog,
+    source: &dyn DataSource,
+    plan: &PlannedQuery,
+) -> DbResult<QueryResult> {
+    let scope: &[ClassId] = &plan.scope;
+    // 1. Candidates from the access path.
+    let mut candidates: Vec<Oid> = match &plan.access {
+        AccessPath::Scan => {
+            let mut out = Vec::new();
+            for class in scope {
+                out.extend(source.scan_class(*class)?);
+            }
+            out
+        }
+        AccessPath::IndexEq { index, key } => source.index_lookup_eq(*index, key, Some(scope))?,
+        AccessPath::IndexRange { index, lower, upper } => {
+            let lower = match lower {
+                Bound::Included(v) => Bound::Included(v),
+                Bound::Excluded(v) => Bound::Excluded(v),
+                Bound::Unbounded => Bound::Unbounded,
+            };
+            let upper = match upper {
+                Bound::Included(v) => Bound::Included(v),
+                Bound::Excluded(v) => Bound::Excluded(v),
+                Bound::Unbounded => Bound::Unbounded,
+            };
+            source.index_lookup_range(*index, lower, upper, Some(scope))?
+        }
+    };
+    // Index results may contain classes outside scope for single-class
+    // indexes probed with a wider scope — filter defensively.
+    candidates.retain(|o| scope.binary_search(&o.class()).is_ok());
+
+    // 2. Residual predicate.
+    let mut matches: Vec<Oid> = Vec::new();
+    for oid in candidates {
+        let keep = match &plan.residual {
+            Some(expr) => eval_expr(catalog, source, oid, expr)?,
+            None => true,
+        };
+        if keep {
+            matches.push(oid);
+            // Early exit: no ordering means any `limit` objects do.
+            if plan.query.order_by.is_none() {
+                if let Some(limit) = plan.query.limit {
+                    if matches.len() >= limit && !is_count(&plan.query) {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    // 3. count(*) short-circuits projection.
+    if is_count(&plan.query) {
+        return Ok(QueryResult {
+            rows: vec![vec![Value::Int(matches.len() as i64)]],
+            oids: Vec::new(),
+        });
+    }
+
+    // 4. Order.
+    if let Some((path, asc)) = &plan.query.order_by {
+        let mut keyed: Vec<(Value, Oid)> = Vec::with_capacity(matches.len());
+        for oid in matches {
+            let key = path_values(catalog, source, oid, path)?
+                .into_iter()
+                .next()
+                .unwrap_or(Value::Null);
+            keyed.push((key, oid));
+        }
+        keyed.sort_by(|a, b| a.0.cmp_total(&b.0));
+        if !asc {
+            keyed.reverse();
+        }
+        matches = keyed.into_iter().map(|(_, o)| o).collect();
+    }
+
+    // 5. Limit.
+    if let Some(limit) = plan.query.limit {
+        matches.truncate(limit);
+    }
+
+    // 6. Project.
+    let mut rows = Vec::with_capacity(matches.len());
+    for &oid in &matches {
+        let mut row = Vec::with_capacity(plan.query.select.len());
+        for item in &plan.query.select {
+            match item {
+                SelectItem::Object => row.push(Value::Ref(oid)),
+                SelectItem::Path(path) => {
+                    let mut values = path_values(catalog, source, oid, path)?;
+                    row.push(match values.len() {
+                        0 => Value::Null,
+                        1 => values.pop().expect("len checked"),
+                        _ => Value::set(values),
+                    });
+                }
+                SelectItem::Count => unreachable!("count handled above"),
+            }
+        }
+        rows.push(row);
+    }
+    Ok(QueryResult { rows, oids: matches })
+}
+
+fn is_count(query: &Query) -> bool {
+    matches!(query.select.as_slice(), [SelectItem::Count])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn like_matching() {
+        assert!(like_match("Detroit", "Detroit"));
+        assert!(!like_match("Detroit", "detroit"));
+        assert!(like_match("Det%", "Detroit"));
+        assert!(like_match("%troit", "Detroit"));
+        assert!(like_match("%tro%", "Detroit"));
+        assert!(like_match("D%t%t", "Detroit"));
+        assert!(!like_match("D%x%", "Detroit"));
+        assert!(like_match("%", "anything"));
+        assert!(like_match("%", ""));
+        assert!(!like_match("a%b", "ab_c"));
+        assert!(like_match("a%b", "ab"));
+    }
+}

@@ -1,0 +1,322 @@
+//! Hand-written lexer for the query language.
+
+use orion_types::{DbError, DbResult};
+
+/// A token with its byte position (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Byte offset in the source.
+    pub pos: usize,
+    /// The token kind and payload.
+    pub kind: TokenKind,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (keywords are recognized by the parser,
+    /// case-insensitively).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (quotes removed, escapes applied).
+    Str(String),
+    /// `.`
+    Dot,
+    /// `,`
+    Comma,
+    /// `*`
+    Star,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `=`
+    Eq,
+    /// `!=` or `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// End of input.
+    Eof,
+}
+
+/// Tokenize `src`.
+pub fn lex(src: &str) -> DbResult<Vec<Token>> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let pos = i;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token { pos, kind: TokenKind::Dot });
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token { pos, kind: TokenKind::Comma });
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token { pos, kind: TokenKind::Star });
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token { pos, kind: TokenKind::LParen });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token { pos, kind: TokenKind::RParen });
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token { pos, kind: TokenKind::Eq });
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { pos, kind: TokenKind::Ne });
+                    i += 2;
+                } else {
+                    return Err(DbError::Parse {
+                        position: pos,
+                        message: "expected `=` after `!`".into(),
+                    });
+                }
+            }
+            '<' => match bytes.get(i + 1) {
+                Some(&b'=') => {
+                    tokens.push(Token { pos, kind: TokenKind::Le });
+                    i += 2;
+                }
+                Some(&b'>') => {
+                    tokens.push(Token { pos, kind: TokenKind::Ne });
+                    i += 2;
+                }
+                _ => {
+                    tokens.push(Token { pos, kind: TokenKind::Lt });
+                    i += 1;
+                }
+            },
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { pos, kind: TokenKind::Ge });
+                    i += 2;
+                } else {
+                    tokens.push(Token { pos, kind: TokenKind::Gt });
+                    i += 1;
+                }
+            }
+            '"' | '\'' => {
+                let quote = c;
+                let mut out = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(DbError::Parse {
+                                position: pos,
+                                message: "unterminated string literal".into(),
+                            })
+                        }
+                        Some(&b) if b as char == quote => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&b'\\') => {
+                            let esc = bytes.get(i + 1).copied().ok_or(DbError::Parse {
+                                position: i,
+                                message: "dangling escape".into(),
+                            })?;
+                            out.push(match esc {
+                                b'n' => '\n',
+                                b't' => '\t',
+                                b'\\' => '\\',
+                                b'"' => '"',
+                                b'\'' => '\'',
+                                other => {
+                                    return Err(DbError::Parse {
+                                        position: i,
+                                        message: format!("unknown escape `\\{}`", other as char),
+                                    })
+                                }
+                            });
+                            i += 2;
+                        }
+                        Some(&b) => {
+                            // Multibyte-safe: advance over the full char.
+                            let ch_len = utf8_len(b);
+                            out.push_str(
+                                std::str::from_utf8(&bytes[i..i + ch_len]).map_err(|_| {
+                                    DbError::Parse {
+                                        position: i,
+                                        message: "invalid UTF-8".into(),
+                                    }
+                                })?,
+                            );
+                            i += ch_len;
+                        }
+                    }
+                }
+                tokens.push(Token { pos, kind: TokenKind::Str(out) });
+            }
+            '0'..='9' | '-' => {
+                let start = i;
+                if c == '-' {
+                    i += 1;
+                    if !matches!(bytes.get(i), Some(b'0'..=b'9')) {
+                        return Err(DbError::Parse {
+                            position: pos,
+                            message: "expected digits after `-`".into(),
+                        });
+                    }
+                }
+                while matches!(bytes.get(i), Some(b'0'..=b'9')) {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if bytes.get(i) == Some(&b'.') && matches!(bytes.get(i + 1), Some(b'0'..=b'9')) {
+                    is_float = true;
+                    i += 1;
+                    while matches!(bytes.get(i), Some(b'0'..=b'9')) {
+                        i += 1;
+                    }
+                }
+                let text = &src[start..i];
+                let kind = if is_float {
+                    TokenKind::Float(text.parse().map_err(|_| DbError::Parse {
+                        position: pos,
+                        message: format!("bad float literal `{text}`"),
+                    })?)
+                } else {
+                    TokenKind::Int(text.parse().map_err(|_| DbError::Parse {
+                        position: pos,
+                        message: format!("bad integer literal `{text}`"),
+                    })?)
+                };
+                tokens.push(Token { pos, kind });
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let b = bytes[i];
+                    if b.is_ascii_alphanumeric() || b == b'_' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token { pos, kind: TokenKind::Ident(src[start..i].to_owned()) });
+            }
+            other => {
+                return Err(DbError::Parse {
+                    position: pos,
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    tokens.push(Token { pos: src.len(), kind: TokenKind::Eof });
+    Ok(tokens)
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("select v from Vehicle* v where v.weight >= 7500"),
+            vec![
+                Ident("select".into()),
+                Ident("v".into()),
+                Ident("from".into()),
+                Ident("Vehicle".into()),
+                Star,
+                Ident("v".into()),
+                Ident("where".into()),
+                Ident("v".into()),
+                Dot,
+                Ident("weight".into()),
+                Ge,
+                Int(7500),
+                Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        use TokenKind::*;
+        assert_eq!(kinds("= != <> < <= > >="), vec![Eq, Ne, Ne, Lt, Le, Gt, Ge, Eof]);
+    }
+
+    #[test]
+    fn string_literals_and_escapes() {
+        assert_eq!(
+            kinds(r#""Detroit" 'single' "a\"b\n""#),
+            vec![
+                TokenKind::Str("Detroit".into()),
+                TokenKind::Str("single".into()),
+                TokenKind::Str("a\"b\n".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("42 -17 3.5 -0.25"),
+            vec![
+                TokenKind::Int(42),
+                TokenKind::Int(-17),
+                TokenKind::Float(3.5),
+                TokenKind::Float(-0.25),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        match lex("abc $") {
+            Err(DbError::Parse { position, .. }) => assert_eq!(position, 4),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("- x").is_err());
+    }
+
+    #[test]
+    fn unicode_in_strings() {
+        assert_eq!(kinds("\"köln 東京\""), vec![TokenKind::Str("köln 東京".into()), TokenKind::Eof]);
+    }
+}

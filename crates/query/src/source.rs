@@ -1,0 +1,148 @@
+//! The `DataSource` abstraction the planner and executor run against.
+//!
+//! Query processing needs four capabilities — extent scans, attribute
+//! access, index metadata, and index lookups — and nothing else. Keeping
+//! them behind a trait decouples this crate from the object manager
+//! (`orion-core` implements it over the buffer pool, object cache, and
+//! lock manager; tests and benches implement it in memory).
+
+use orion_index::IndexDef;
+use orion_types::{ClassId, DbResult, Oid, Value};
+use std::ops::Bound;
+
+/// What the query processor requires from the layers below.
+pub trait DataSource {
+    /// All instances of exactly `class` (not its subclasses).
+    fn scan_class(&self, class: ClassId) -> DbResult<Vec<Oid>>;
+
+    /// Cardinality of `class`'s own extent (optimizer input).
+    fn extent_size(&self, class: ClassId) -> usize;
+
+    /// The stored value of attribute `attr` on `oid`; `Value::Null` when
+    /// unset. Implementations resolve through the object cache, so this
+    /// is also where fetch accounting happens.
+    fn get_attr_value(&self, oid: Oid, attr: u32) -> DbResult<Value>;
+
+    /// Descriptors of every live index.
+    fn indexes(&self) -> Vec<IndexDef>;
+
+    /// `(total entries, distinct keys)` for an index (selectivity input).
+    fn index_stats(&self, id: u32) -> (usize, usize);
+
+    /// Smallest and largest keys in an index (range-selectivity input).
+    /// `None` when the index is empty or the source cannot say.
+    fn index_key_bounds(&self, id: u32) -> Option<(Value, Value)> {
+        let _ = id;
+        None
+    }
+
+    /// Equality probe, optionally scoped to a sorted class set.
+    fn index_lookup_eq(&self, id: u32, key: &Value, scope: Option<&[ClassId]>)
+        -> DbResult<Vec<Oid>>;
+
+    /// Range probe, optionally scoped to a sorted class set.
+    fn index_lookup_range(
+        &self,
+        id: u32,
+        lower: Bound<&Value>,
+        upper: Bound<&Value>,
+        scope: Option<&[ClassId]>,
+    ) -> DbResult<Vec<Oid>>;
+}
+
+/// A simple in-memory [`DataSource`] for tests, benches, and examples.
+#[derive(Debug, Default)]
+pub struct MemSource {
+    objects: std::collections::HashMap<Oid, std::collections::HashMap<u32, Value>>,
+    extents: std::collections::HashMap<ClassId, Vec<Oid>>,
+    indexes: Vec<orion_index::IndexInstance>,
+}
+
+impl MemSource {
+    /// An empty source.
+    pub fn new() -> Self {
+        MemSource::default()
+    }
+
+    /// Add an object with `(attr id, value)` pairs.
+    pub fn add_object(&mut self, oid: Oid, attrs: Vec<(u32, Value)>) {
+        self.extents.entry(oid.class()).or_default().push(oid);
+        self.objects.insert(oid, attrs.into_iter().collect());
+    }
+
+    /// Register an index; entries must be added via [`MemSource::index_insert`].
+    pub fn add_index(&mut self, def: IndexDef) {
+        self.indexes.push(orion_index::IndexInstance::new(def));
+    }
+
+    /// Insert an index entry.
+    pub fn index_insert(&mut self, id: u32, key: Value, oid: Oid) {
+        let inst = self
+            .indexes
+            .iter_mut()
+            .find(|i| i.def.id == id)
+            .expect("index id registered");
+        inst.imp.insert(key, oid);
+    }
+}
+
+impl DataSource for MemSource {
+    fn scan_class(&self, class: ClassId) -> DbResult<Vec<Oid>> {
+        Ok(self.extents.get(&class).cloned().unwrap_or_default())
+    }
+
+    fn extent_size(&self, class: ClassId) -> usize {
+        self.extents.get(&class).map_or(0, |v| v.len())
+    }
+
+    fn get_attr_value(&self, oid: Oid, attr: u32) -> DbResult<Value> {
+        Ok(self
+            .objects
+            .get(&oid)
+            .and_then(|attrs| attrs.get(&attr))
+            .cloned()
+            .unwrap_or(Value::Null))
+    }
+
+    fn indexes(&self) -> Vec<IndexDef> {
+        self.indexes.iter().map(|i| i.def.clone()).collect()
+    }
+
+    fn index_stats(&self, id: u32) -> (usize, usize) {
+        self.indexes
+            .iter()
+            .find(|i| i.def.id == id)
+            .map_or((0, 0), |i| (i.imp.len(), i.imp.distinct_keys()))
+    }
+
+    fn index_key_bounds(&self, id: u32) -> Option<(Value, Value)> {
+        self.indexes.iter().find(|i| i.def.id == id).and_then(|i| i.imp.key_bounds())
+    }
+
+    fn index_lookup_eq(
+        &self,
+        id: u32,
+        key: &Value,
+        scope: Option<&[ClassId]>,
+    ) -> DbResult<Vec<Oid>> {
+        Ok(self
+            .indexes
+            .iter()
+            .find(|i| i.def.id == id)
+            .map_or_else(Vec::new, |i| i.imp.lookup_eq(key, scope)))
+    }
+
+    fn index_lookup_range(
+        &self,
+        id: u32,
+        lower: Bound<&Value>,
+        upper: Bound<&Value>,
+        scope: Option<&[ClassId]>,
+    ) -> DbResult<Vec<Oid>> {
+        Ok(self
+            .indexes
+            .iter()
+            .find(|i| i.def.id == id)
+            .map_or_else(Vec::new, |i| i.imp.lookup_range(lower, upper, scope)))
+    }
+}

@@ -1,0 +1,270 @@
+//! Property tests for query processing: whatever access path the
+//! optimizer picks, the answer must equal brute-force predicate
+//! evaluation over a full scan — for random schemas, data, predicates,
+//! and index configurations.
+
+use orion_index::{IndexDef, IndexKind};
+use orion_query::ast::{CmpOp, Expr, Literal, Path, Query, SelectItem};
+use orion_query::{eval_expr, execute, plan, DataSource, MemSource};
+use orion_schema::{AttrSpec, Catalog};
+use orion_types::{ClassId, Domain, Oid, PrimitiveType, Value};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// Three-class hierarchy: Base <- Mid <- Leaf, attrs `num` (int) and
+/// `tag` (string), plus a reference `buddy` to Base for nested paths.
+struct Fixture {
+    catalog: Catalog,
+    source: MemSource,
+    base: ClassId,
+}
+
+fn build(
+    rows: &[(u8, i64, u8, Option<u8>)],
+    with_ch_index: bool,
+    with_nested_index: bool,
+) -> Fixture {
+    let mut catalog = Catalog::new();
+    let base = catalog
+        .create_class(
+            "Base",
+            &[],
+            vec![
+                AttrSpec::new("num", Domain::Primitive(PrimitiveType::Int)),
+                AttrSpec::new("tag", Domain::Primitive(PrimitiveType::Str)),
+            ],
+        )
+        .unwrap();
+    // Self-referential attribute for nested predicates.
+    orion_schema::SchemaChange::AddAttribute {
+        class: base,
+        spec: AttrSpec::new("buddy", Domain::Class(base)),
+    }
+    .apply(&mut catalog)
+    .unwrap();
+    let mid = catalog.create_class("Mid", &[base], vec![]).unwrap();
+    let leaf = catalog.create_class("Leaf", &[mid], vec![]).unwrap();
+    let classes = [base, mid, leaf];
+
+    let resolved = catalog.resolve(base).unwrap();
+    let num_id = resolved.attr("num").unwrap().id;
+    let tag_id = resolved.attr("tag").unwrap().id;
+    let buddy_id = resolved.attr("buddy").unwrap().id;
+
+    let mut source = MemSource::new();
+    let oids: Vec<Oid> = rows
+        .iter()
+        .enumerate()
+        .map(|(i, (class, _, _, _))| Oid::new(classes[*class as usize % 3], i as u64 + 1))
+        .collect();
+    for (i, (_, num, tag, buddy)) in rows.iter().enumerate() {
+        let mut attrs = vec![
+            (num_id, Value::Int(*num)),
+            (tag_id, Value::Str(format!("t{}", tag % 4))),
+        ];
+        if let Some(b) = buddy {
+            attrs.push((buddy_id, Value::Ref(oids[*b as usize % oids.len().max(1)])));
+        }
+        source.add_object(oids[i], attrs);
+    }
+    if with_ch_index {
+        source.add_index(IndexDef {
+            id: 1,
+            name: "num_ch".into(),
+            kind: IndexKind::ClassHierarchy,
+            target: base,
+            path: vec![num_id],
+        });
+        for (i, (_, num, _, _)) in rows.iter().enumerate() {
+            source.index_insert(1, Value::Int(*num), oids[i]);
+        }
+    }
+    if with_nested_index {
+        source.add_index(IndexDef {
+            id: 2,
+            name: "buddy_num".into(),
+            kind: IndexKind::Nested,
+            target: base,
+            path: vec![buddy_id, num_id],
+        });
+        for (i, (_, _, _, buddy)) in rows.iter().enumerate() {
+            if let Some(b) = buddy {
+                let target = &rows[*b as usize % rows.len()];
+                source.index_insert(2, Value::Int(target.1), oids[i]);
+            }
+        }
+    }
+    Fixture { catalog, source, base }
+}
+
+#[derive(Debug, Clone)]
+enum PredShape {
+    NumCmp(u8, i64),
+    NumRange(i64, i64),
+    TagEq(u8),
+    BuddyNum(u8, i64),
+    IsLeaf,
+    NumNull,
+    AndOrNot(Box<PredShape>, Box<PredShape>, u8),
+}
+
+fn arb_pred() -> impl Strategy<Value = PredShape> {
+    let leaf = prop_oneof![
+        (0u8..6, -20i64..20).prop_map(|(op, v)| PredShape::NumCmp(op, v)),
+        (-20i64..20, -20i64..20).prop_map(|(a, b)| PredShape::NumRange(a.min(b), a.max(b))),
+        (any::<u8>()).prop_map(PredShape::TagEq),
+        (0u8..6, -20i64..20).prop_map(|(op, v)| PredShape::BuddyNum(op, v)),
+        Just(PredShape::IsLeaf),
+        Just(PredShape::NumNull),
+    ];
+    leaf.prop_recursive(2, 8, 2, |inner| {
+        (inner.clone(), inner, any::<u8>())
+            .prop_map(|(a, b, k)| PredShape::AndOrNot(Box::new(a), Box::new(b), k))
+    })
+}
+
+fn to_expr(shape: &PredShape) -> Expr {
+    let op_of = |k: u8| match k % 6 {
+        0 => CmpOp::Eq,
+        1 => CmpOp::Ne,
+        2 => CmpOp::Lt,
+        3 => CmpOp::Le,
+        4 => CmpOp::Gt,
+        _ => CmpOp::Ge,
+    };
+    match shape {
+        PredShape::NumCmp(op, v) => Expr::Cmp {
+            path: Path::new(vec!["num"]),
+            op: op_of(*op),
+            value: Literal::Int(*v),
+        },
+        PredShape::NumRange(lo, hi) => Expr::And(
+            Box::new(Expr::Cmp {
+                path: Path::new(vec!["num"]),
+                op: CmpOp::Ge,
+                value: Literal::Int(*lo),
+            }),
+            Box::new(Expr::Cmp {
+                path: Path::new(vec!["num"]),
+                op: CmpOp::Lt,
+                value: Literal::Int(*hi),
+            }),
+        ),
+        PredShape::TagEq(t) => Expr::Cmp {
+            path: Path::new(vec!["tag"]),
+            op: CmpOp::Eq,
+            value: Literal::Str(format!("t{}", t % 4)),
+        },
+        PredShape::BuddyNum(op, v) => Expr::Cmp {
+            path: Path::new(vec!["buddy", "num"]),
+            op: op_of(*op),
+            value: Literal::Int(*v),
+        },
+        PredShape::IsLeaf => Expr::IsA { class: "Leaf".into() },
+        PredShape::NumNull => Expr::IsNull { path: Path::new(vec!["num"]) },
+        PredShape::AndOrNot(a, b, k) => {
+            let (a, b) = (Box::new(to_expr(a)), Box::new(to_expr(b)));
+            match k % 3 {
+                0 => Expr::And(a, b),
+                1 => Expr::Or(a, b),
+                _ => Expr::Not(a),
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn planned_execution_matches_brute_force(
+        rows in proptest::collection::vec(
+            (any::<u8>(), -20i64..20, any::<u8>(), proptest::option::of(any::<u8>())),
+            1..40,
+        ),
+        pred in arb_pred(),
+        ch_index in any::<bool>(),
+        nested_index in any::<bool>(),
+        hierarchy in any::<bool>(),
+    ) {
+        let fx = build(&rows, ch_index, nested_index);
+        let expr = to_expr(&pred);
+        let query = Query {
+            select: vec![SelectItem::Object],
+            target: "Base".into(),
+            hierarchy,
+            var: "x".into(),
+            predicate: Some(expr.clone()),
+            order_by: None,
+            limit: None,
+        };
+        let planned = plan(&fx.catalog, &fx.source, query).unwrap();
+        let result = execute(&fx.catalog, &fx.source, &planned).unwrap();
+        let got: HashSet<Oid> = result.oids.iter().copied().collect();
+
+        // Brute force: scan the scope, evaluate the predicate directly.
+        let scope: Vec<ClassId> = if hierarchy {
+            fx.catalog.subtree(fx.base).unwrap().as_ref().clone()
+        } else {
+            vec![fx.base]
+        };
+        let mut want = HashSet::new();
+        for class in scope {
+            for oid in fx.source.scan_class(class).unwrap() {
+                if eval_expr(&fx.catalog, &fx.source, oid, &expr).unwrap() {
+                    want.insert(oid);
+                }
+            }
+        }
+        prop_assert_eq!(
+            &got, &want,
+            "plan {} disagreed with brute force", planned.explain()
+        );
+
+        // count(*) agrees with the row set.
+        let count_query = Query {
+            select: vec![SelectItem::Count],
+            target: "Base".into(),
+            hierarchy,
+            var: "x".into(),
+            predicate: Some(expr),
+            order_by: None,
+            limit: None,
+        };
+        let planned = plan(&fx.catalog, &fx.source, count_query).unwrap();
+        let result = execute(&fx.catalog, &fx.source, &planned).unwrap();
+        prop_assert_eq!(&result.rows[0][0], &Value::Int(want.len() as i64));
+    }
+
+    /// Order by + limit return the top of the brute-force ordering.
+    #[test]
+    fn order_and_limit_agree_with_sorting(
+        rows in proptest::collection::vec(
+            (any::<u8>(), -20i64..20, any::<u8>(), proptest::option::of(any::<u8>())),
+            1..30,
+        ),
+        asc in any::<bool>(),
+        limit in 0usize..10,
+    ) {
+        let fx = build(&rows, false, false);
+        let query = Query {
+            select: vec![SelectItem::Path(Path::new(vec!["num"]))],
+            target: "Base".into(),
+            hierarchy: true,
+            var: "x".into(),
+            predicate: None,
+            order_by: Some((Path::new(vec!["num"]), asc)),
+            limit: Some(limit),
+        };
+        let planned = plan(&fx.catalog, &fx.source, query).unwrap();
+        let result = execute(&fx.catalog, &fx.source, &planned).unwrap();
+        let got: Vec<i64> = result.rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+        let mut all: Vec<i64> = rows.iter().map(|(_, n, _, _)| *n).collect();
+        all.sort_unstable();
+        if !asc {
+            all.reverse();
+        }
+        all.truncate(limit);
+        prop_assert_eq!(got, all);
+    }
+}

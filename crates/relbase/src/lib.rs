@@ -1,0 +1,22 @@
+//! relbase: a minimal relational engine — the comparison baseline the
+//! paper's claims are measured against.
+//!
+//! §3.3: "If, for example, relational database systems are used to manage
+//! objects for such applications, the applications have to use joins to
+//! express the traversal from one object to other objects ... simply
+//! intolerably expensive." §5.6: an OODB benchmark "should ... be useful
+//! in allowing a meaningful comparison with conventional database
+//! systems." That comparison needs an actual relational engine executing
+//! joins — so here is one, **built on the same storage substrate as
+//! orion** (same slotted pages, buffer pool, WAL) so that measured
+//! differences come from the execution model, not the I/O stack.
+//!
+//! Features: tables with typed columns, transactional insert/update/
+//! delete, full scans with predicates, B-tree column indexes, and three
+//! join algorithms (nested-loop, index nested-loop, hash).
+
+pub mod row;
+pub mod table;
+
+pub use row::{decode_row, encode_row};
+pub use table::{ColumnDef, JoinAlgo, RelDb, RowId};

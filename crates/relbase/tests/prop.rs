@@ -1,0 +1,129 @@
+//! Property tests: relbase against an in-memory relational model —
+//! selections with/without indexes, and all three join algorithms.
+
+use orion_types::{PrimitiveType, Value};
+use proptest::prelude::*;
+use relbase::{ColumnDef, JoinAlgo, RelDb};
+use std::ops::Bound;
+
+fn setup(rows: &[(i64, i64)], indexed: bool) -> RelDb {
+    let db = RelDb::new(64);
+    db.create_table(
+        "t",
+        vec![ColumnDef::new("k", PrimitiveType::Int), ColumnDef::new("v", PrimitiveType::Int)],
+    )
+    .unwrap();
+    let txn = db.begin();
+    for (k, v) in rows {
+        db.insert(txn, "t", vec![Value::Int(*k), Value::Int(*v)]).unwrap();
+    }
+    db.commit(txn).unwrap();
+    if indexed {
+        db.create_index("t", "k").unwrap();
+    }
+    db
+}
+
+proptest! {
+    #[test]
+    fn select_matches_model(
+        rows in proptest::collection::vec((-8i64..8, -8i64..8), 0..40),
+        probe in -8i64..8,
+        range in (-8i64..8, -8i64..8),
+        indexed in any::<bool>(),
+    ) {
+        let db = setup(&rows, indexed);
+        // Point selection.
+        let got: Vec<i64> = db
+            .select_eq("t", "k", &Value::Int(probe))
+            .unwrap()
+            .into_iter()
+            .map(|(_, r)| r[1].as_int().unwrap())
+            .collect();
+        let mut want: Vec<i64> =
+            rows.iter().filter(|(k, _)| *k == probe).map(|(_, v)| *v).collect();
+        let mut got_sorted = got.clone();
+        got_sorted.sort_unstable();
+        want.sort_unstable();
+        prop_assert_eq!(got_sorted, want);
+
+        // Range selection.
+        let (lo, hi) = (range.0.min(range.1), range.0.max(range.1));
+        let got = db
+            .select_range("t", "k", Bound::Included(&Value::Int(lo)), Bound::Excluded(&Value::Int(hi)))
+            .unwrap();
+        let want = rows.iter().filter(|(k, _)| *k >= lo && *k < hi).count();
+        prop_assert_eq!(got.len(), want);
+    }
+
+    #[test]
+    fn joins_agree_with_each_other_and_the_model(
+        left in proptest::collection::vec((-5i64..5, -5i64..5), 0..20),
+        right in proptest::collection::vec((-5i64..5, -5i64..5), 0..20),
+    ) {
+        let db = RelDb::new(64);
+        for (name, rows) in [("l", &left), ("r", &right)] {
+            db.create_table(
+                name,
+                vec![ColumnDef::new("k", PrimitiveType::Int), ColumnDef::new("v", PrimitiveType::Int)],
+            )
+            .unwrap();
+            let txn = db.begin();
+            for (k, v) in rows.iter() {
+                db.insert(txn, name, vec![Value::Int(*k), Value::Int(*v)]).unwrap();
+            }
+            db.commit(txn).unwrap();
+        }
+        db.create_index("r", "k").unwrap();
+
+        let model: usize = left
+            .iter()
+            .map(|(lk, _)| right.iter().filter(|(rk, _)| rk == lk).count())
+            .sum();
+        for algo in [JoinAlgo::NestedLoop, JoinAlgo::IndexNestedLoop, JoinAlgo::Hash] {
+            let joined = db.join("l", "k", "r", "k", algo).unwrap();
+            prop_assert_eq!(joined.len(), model, "{:?}", algo);
+            for (lrow, rrow) in &joined {
+                prop_assert_eq!(&lrow[0], &rrow[0]);
+            }
+        }
+    }
+
+    #[test]
+    fn updates_and_deletes_keep_indexes_consistent(
+        rows in proptest::collection::vec((-6i64..6, -6i64..6), 1..25),
+        edits in proptest::collection::vec((any::<usize>(), -6i64..6, any::<bool>()), 0..25),
+    ) {
+        let db = setup(&rows, true);
+        let mut model: Vec<Option<(i64, i64)>> = rows.iter().map(|r| Some(*r)).collect();
+        let txn = db.begin();
+        for (pick, newk, delete) in edits {
+            let live: Vec<usize> =
+                (0..model.len()).filter(|i| model[*i].is_some()).collect();
+            if live.is_empty() {
+                break;
+            }
+            let idx = live[pick % live.len()];
+            let rowid = (idx + 1) as u64;
+            if delete {
+                db.delete(txn, "t", rowid).unwrap();
+                model[idx] = None;
+            } else {
+                let v = model[idx].unwrap().1;
+                db.update(txn, "t", rowid, vec![Value::Int(newk), Value::Int(v)]).unwrap();
+                model[idx] = Some((newk, v));
+            }
+        }
+        db.commit(txn).unwrap();
+        // Every key probe agrees with the model.
+        for k in -6i64..6 {
+            let got = db.select_eq("t", "k", &Value::Int(k)).unwrap().len();
+            let want = model.iter().flatten().filter(|(mk, _)| *mk == k).count();
+            prop_assert_eq!(got, want, "key {}", k);
+        }
+        prop_assert_eq!(
+            db.row_count("t").unwrap(),
+            model.iter().flatten().count()
+        );
+    }
+}

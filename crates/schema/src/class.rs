@@ -1,0 +1,110 @@
+//! Class, attribute, and method-signature definitions.
+
+use orion_types::{ClassId, Domain, Value};
+
+/// A fully-specified attribute as stored in the catalog.
+///
+/// Attribute ids are allocated once, globally, at the class where the
+/// attribute is *defined*; subclasses inherit the same id. Stored records
+/// key values by this id, so inheriting, renaming, or re-resolving an
+/// attribute never requires touching instances.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Attribute {
+    /// Catalog-wide unique id; the key under which records store values.
+    pub id: u32,
+    /// Name, unique within a class's *resolved* attribute set.
+    pub name: String,
+    /// Domain; may be any class (§3.1 concept 4).
+    pub domain: Domain,
+    /// Value an instance exposes before the attribute is ever assigned.
+    pub default: Value,
+    /// Marks an exclusive, dependent part-of reference (\[KIM89c\]
+    /// composite objects): the referenced object belongs to exactly one
+    /// parent and is deleted with it.
+    pub composite: bool,
+    /// The class that defines (as opposed to inherits) this attribute.
+    pub defined_in: ClassId,
+}
+
+/// What a user supplies when declaring an attribute.
+#[derive(Debug, Clone)]
+pub struct AttrSpec {
+    /// Attribute name.
+    pub name: String,
+    /// Attribute domain.
+    pub domain: Domain,
+    /// Default value; [`Value::Null`] if not stated.
+    pub default: Value,
+    /// Composite (exclusive dependent part-of) marker.
+    pub composite: bool,
+}
+
+impl AttrSpec {
+    /// A plain attribute with a null default.
+    pub fn new(name: impl Into<String>, domain: Domain) -> Self {
+        AttrSpec { name: name.into(), domain, default: Value::Null, composite: false }
+    }
+
+    /// Attach a default value.
+    pub fn with_default(mut self, default: Value) -> Self {
+        self.default = default;
+        self
+    }
+
+    /// Mark the attribute as a composite (part-of) reference.
+    pub fn composite(mut self) -> Self {
+        self.composite = true;
+        self
+    }
+}
+
+/// A method signature in the catalog.
+///
+/// Bodies are native Rust closures held by the method registry in
+/// `orion-core`; the catalog stores only what late binding needs: the
+/// selector, arity, and the class the method is defined in. Resolution
+/// walks the instance's class linearization at call time (§3.1 concept 6:
+/// "run-time binding of a message to its corresponding method").
+#[derive(Debug, Clone, PartialEq)]
+pub struct MethodSig {
+    /// Message selector.
+    pub selector: String,
+    /// Number of arguments after the receiver.
+    pub arity: u8,
+    /// The class defining this implementation.
+    pub defined_in: ClassId,
+}
+
+/// A class as stored in the catalog: identity, direct superclasses, and
+/// *locally defined* attributes and methods. The inherited (resolved)
+/// view is computed by [`crate::Catalog::resolve`].
+#[derive(Debug, Clone)]
+pub struct Class {
+    /// Catalog id, embedded in every instance's OID.
+    pub id: ClassId,
+    /// Unique class name.
+    pub name: String,
+    /// Direct superclasses, in declaration order. Order matters: name
+    /// conflicts among inherited attributes/methods resolve to the
+    /// leftmost superclass (ORION's rule).
+    pub supers: Vec<ClassId>,
+    /// Attributes defined (not inherited) by this class.
+    pub local_attrs: Vec<Attribute>,
+    /// Methods defined (not inherited) by this class.
+    pub local_methods: Vec<MethodSig>,
+    /// Bumped whenever this class's *resolved* definition changes
+    /// (locally or via an ancestor); drives lazy instance adaptation.
+    pub version: u32,
+}
+
+impl Class {
+    /// Find a locally defined attribute by name.
+    pub fn local_attr(&self, name: &str) -> Option<&Attribute> {
+        self.local_attrs.iter().find(|a| a.name == name)
+    }
+
+    /// Find a locally defined method by selector.
+    pub fn local_method(&self, selector: &str) -> Option<&MethodSig> {
+        self.local_methods.iter().find(|m| m.selector == selector)
+    }
+}

@@ -1,0 +1,649 @@
+//! Dynamic schema evolution.
+//!
+//! "The framework for the evolution of an object-oriented database schema
+//! discussed in [SKAR86, BANE87, PENN87, ZICA89] represents important
+//! first steps" (§5.1). This module implements the \[BANE87\] change
+//! taxonomy: changes to the contents of a class (attributes, defaults,
+//! domains) and changes to the hierarchy itself (add/drop superclass,
+//! add/drop class), each validated against the schema invariants before
+//! it is applied.
+//!
+//! Every change returns a [`ChangeEffect`] describing what — if anything —
+//! stored instances need. The object layer may apply it **eagerly**
+//! (rewrite every instance now) or **lazily** (instances carry the schema
+//! version they were written under; they are adapted on next touch).
+//! Experiment E6 measures the difference.
+
+use crate::catalog::Catalog;
+use crate::class::AttrSpec;
+use orion_types::{ClassId, DbError, DbResult, Domain, Value};
+
+/// A schema change in the \[BANE87\] taxonomy.
+#[derive(Debug, Clone)]
+pub enum SchemaChange {
+    /// Define a new attribute on a class (inherited by its subtree).
+    AddAttribute {
+        /// Class to define the attribute on.
+        class: ClassId,
+        /// The attribute specification.
+        spec: AttrSpec,
+    },
+    /// Remove an attribute defined on `class`.
+    DropAttribute {
+        /// The defining class.
+        class: ClassId,
+        /// Attribute name.
+        name: String,
+    },
+    /// Rename an attribute defined on `class`. Stored instances are
+    /// unaffected (records key values by attribute id).
+    RenameAttribute {
+        /// The defining class.
+        class: ClassId,
+        /// Current name.
+        old: String,
+        /// New name.
+        new: String,
+    },
+    /// Change an attribute's default value (affects only future reads of
+    /// unset attributes).
+    ChangeDefault {
+        /// The defining class.
+        class: ClassId,
+        /// Attribute name.
+        name: String,
+        /// New default.
+        default: Value,
+    },
+    /// Generalize an attribute's domain. Only generalization is legal:
+    /// every stored value conforming to the old domain must conform to
+    /// the new one, so instances never need revalidation.
+    GeneralizeDomain {
+        /// The defining class.
+        class: ClassId,
+        /// Attribute name.
+        name: String,
+        /// The new, more general domain.
+        domain: Domain,
+    },
+    /// Add a direct superclass (the class gains its inherited attributes
+    /// and methods).
+    AddSuperclass {
+        /// The subclass.
+        class: ClassId,
+        /// The new superclass.
+        superclass: ClassId,
+    },
+    /// Remove a direct superclass.
+    DropSuperclass {
+        /// The subclass.
+        class: ClassId,
+        /// The superclass to detach.
+        superclass: ClassId,
+    },
+    /// Rename a class.
+    RenameClass {
+        /// The class.
+        class: ClassId,
+        /// Its new name.
+        new: String,
+    },
+    /// Drop a class. Its direct subclasses are re-wired to its
+    /// superclasses (\[BANE87\]'s default). Instances must already have
+    /// been removed or migrated by the object layer.
+    DropClass {
+        /// The class to drop.
+        class: ClassId,
+    },
+}
+
+/// What stored instances need after a change was applied.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChangeEffect {
+    /// Nothing; the change was metadata-only.
+    None,
+    /// An attribute appeared on these classes; instances lacking the
+    /// attribute read `default` until written.
+    AttributeAdded {
+        /// The new attribute's id.
+        attr_id: u32,
+        /// Every class whose instances now carry the attribute.
+        classes: Vec<ClassId>,
+        /// Default for instances written before the change.
+        default: Value,
+    },
+    /// An attribute disappeared from these classes; stored values under
+    /// `attr_id` are garbage to be dropped on next write (lazy) or
+    /// scrubbed now (eager).
+    AttributeDropped {
+        /// The dropped attribute's id.
+        attr_id: u32,
+        /// Every class whose instances carried it.
+        classes: Vec<ClassId>,
+    },
+    /// The resolved definitions of these classes changed in a way that
+    /// may add and/or remove several attributes (superclass changes).
+    Reshaped {
+        /// Affected classes (the subtree of the changed class).
+        classes: Vec<ClassId>,
+    },
+    /// A class was removed; these former direct subclasses were rewired.
+    ClassDropped {
+        /// The dropped class.
+        class: ClassId,
+        /// Subclasses reparented onto the dropped class's superclasses.
+        reparented: Vec<ClassId>,
+    },
+}
+
+impl SchemaChange {
+    /// Validate and apply the change to the catalog.
+    ///
+    /// On error the catalog is left unchanged (changes that require
+    /// trial application — superclass edits — are rolled back if the
+    /// resulting schema fails validation).
+    pub fn apply(self, cat: &mut Catalog) -> DbResult<ChangeEffect> {
+        match self {
+            SchemaChange::AddAttribute { class, spec } => {
+                if cat.class(class)?.local_attr(&spec.name).is_some() {
+                    let cname = cat.class(class)?.name.clone();
+                    return Err(DbError::AlreadyExists(format!(
+                        "attribute `{}` on `{cname}`",
+                        spec.name
+                    )));
+                }
+                // Check domain compatibility against a same-named
+                // attribute this class currently *inherits*: defining it
+                // locally shadows, which is legal, but flag incompatible
+                // domains (instances could hold values of either shape).
+                let inherited = cat.resolve(class)?.attr(&spec.name).cloned();
+                if let Some(existing) = inherited {
+                    let sub = |a: ClassId, b: ClassId| cat.is_subclass(a, b);
+                    if !spec.domain.specializes(&existing.domain, &sub) {
+                        return Err(DbError::SchemaInvariant(format!(
+                            "attribute `{}` would shadow an inherited attribute with \
+                             incompatible domain `{}`",
+                            spec.name, existing.domain
+                        )));
+                    }
+                }
+                let default = spec.default.clone();
+                let attr = cat.make_attribute(class, spec)?;
+                let attr_id = attr.id;
+                cat.class_mut(class)?.local_attrs.push(attr);
+                cat.bump_versions(class)?;
+                cat.touch();
+                let classes = cat.subtree(class)?.as_ref().clone();
+                Ok(ChangeEffect::AttributeAdded { attr_id, classes, default })
+            }
+
+            SchemaChange::DropAttribute { class, name } => {
+                let owner = cat.class(class)?;
+                let cname = owner.name.clone();
+                let attr = owner.local_attr(&name).cloned().ok_or_else(|| {
+                    // Distinguish "inherited here" from "nonexistent".
+                    DbError::SchemaInvariant(format!(
+                        "attribute `{name}` is not defined on `{cname}`; \
+                         drop it at its defining class"
+                    ))
+                })?;
+                let attr_id = attr.id;
+                cat.class_mut(class)?.local_attrs.retain(|a| a.name != name);
+                cat.bump_versions(class)?;
+                cat.touch();
+                let classes = cat.subtree(class)?.as_ref().clone();
+                Ok(ChangeEffect::AttributeDropped { attr_id, classes })
+            }
+
+            SchemaChange::RenameAttribute { class, old, new } => {
+                if cat.resolve(class)?.attr(&new).is_some() {
+                    let cname = cat.class(class)?.name.clone();
+                    return Err(DbError::AlreadyExists(format!(
+                        "attribute `{new}` on `{cname}`"
+                    )));
+                }
+                let c = cat.class_mut(class)?;
+                let attr = c.local_attrs.iter_mut().find(|a| a.name == old).ok_or_else(|| {
+                    DbError::SchemaInvariant(format!(
+                        "attribute `{old}` is not defined on this class; rename at the \
+                         defining class"
+                    ))
+                })?;
+                attr.name = new;
+                cat.bump_versions(class)?;
+                cat.touch();
+                Ok(ChangeEffect::None)
+            }
+
+            SchemaChange::ChangeDefault { class, name, default } => {
+                let sub_check = {
+                    let c = cat.class(class)?;
+                    let attr = c.local_attr(&name).ok_or_else(|| DbError::UnknownAttribute {
+                        class: c.name.clone(),
+                        attribute: name.clone(),
+                    })?;
+                    attr.domain.clone()
+                };
+                if !sub_check.admits(&default, &cat.subclass_fn()) {
+                    let cname = cat.class(class)?.name.clone();
+                    return Err(DbError::DomainViolation {
+                        class: cname,
+                        attribute: name,
+                        expected: sub_check.to_string(),
+                        got: default.kind().to_owned(),
+                    });
+                }
+                let c = cat.class_mut(class)?;
+                let attr = c.local_attrs.iter_mut().find(|a| a.name == name).unwrap();
+                attr.default = default;
+                cat.bump_versions(class)?;
+                cat.touch();
+                Ok(ChangeEffect::None)
+            }
+
+            SchemaChange::GeneralizeDomain { class, name, domain } => {
+                let old_domain = {
+                    let c = cat.class(class)?;
+                    c.local_attr(&name)
+                        .ok_or_else(|| DbError::UnknownAttribute {
+                            class: c.name.clone(),
+                            attribute: name.clone(),
+                        })?
+                        .domain
+                        .clone()
+                };
+                let sub = |a: ClassId, b: ClassId| cat.is_subclass(a, b);
+                if !old_domain.specializes(&domain, &sub) {
+                    return Err(DbError::SchemaInvariant(format!(
+                        "new domain `{domain}` does not generalize `{old_domain}`; \
+                         narrowing would invalidate stored instances"
+                    )));
+                }
+                let c = cat.class_mut(class)?;
+                let attr = c.local_attrs.iter_mut().find(|a| a.name == name).unwrap();
+                attr.domain = domain;
+                cat.bump_versions(class)?;
+                cat.touch();
+                Ok(ChangeEffect::None)
+            }
+
+            SchemaChange::AddSuperclass { class, superclass } => {
+                cat.class(superclass)?;
+                if cat.class(class)?.supers.contains(&superclass) {
+                    return Err(DbError::AlreadyExists(format!(
+                        "superclass edge {class} -> {superclass}"
+                    )));
+                }
+                // Acyclicity: the new superclass must not be below us.
+                if cat.subtree(class)?.contains(&superclass) {
+                    return Err(DbError::SchemaInvariant(format!(
+                        "adding {superclass} as superclass of {class} would create a cycle"
+                    )));
+                }
+                cat.class_mut(class)?.supers.push(superclass);
+                cat.bump_versions(class)?;
+                cat.touch();
+                let problems = cat.validate();
+                if !problems.is_empty() {
+                    // Roll back.
+                    cat.class_mut(class)?.supers.retain(|s| *s != superclass);
+                    cat.touch();
+                    return Err(DbError::SchemaInvariant(problems.join("; ")));
+                }
+                let classes = cat.subtree(class)?.as_ref().clone();
+                Ok(ChangeEffect::Reshaped { classes })
+            }
+
+            SchemaChange::DropSuperclass { class, superclass } => {
+                if !cat.class(class)?.supers.contains(&superclass) {
+                    return Err(DbError::SchemaInvariant(format!(
+                        "{superclass} is not a direct superclass of {class}"
+                    )));
+                }
+                cat.class_mut(class)?.supers.retain(|s| *s != superclass);
+                cat.bump_versions(class)?;
+                cat.touch();
+                let classes = cat.subtree(class)?.as_ref().clone();
+                Ok(ChangeEffect::Reshaped { classes })
+            }
+
+            SchemaChange::RenameClass { class, new } => {
+                cat.rename_entry(class, &new)?;
+                cat.touch();
+                Ok(ChangeEffect::None)
+            }
+
+            SchemaChange::DropClass { class } => {
+                // Re-wire direct subclasses onto the dropped class's
+                // supers, preserving their relative order.
+                let supers = cat.class(class)?.supers.clone();
+                let subclasses = cat.direct_subclasses(class);
+                for sub_id in &subclasses {
+                    let sub = cat.class_mut(*sub_id)?;
+                    let mut new_supers = Vec::new();
+                    for s in &sub.supers {
+                        if *s == class {
+                            for replacement in &supers {
+                                if !new_supers.contains(replacement) {
+                                    new_supers.push(*replacement);
+                                }
+                            }
+                        } else if !new_supers.contains(s) {
+                            new_supers.push(*s);
+                        }
+                    }
+                    sub.supers = new_supers;
+                }
+                // Attributes defined by the dropped class disappear from
+                // former subclasses; any class using it as a domain would
+                // dangle — reject in that case.
+                let dangling: Vec<String> = cat
+                    .classes()
+                    .filter(|c| c.id != class)
+                    .flat_map(|c| c.local_attrs.iter().map(move |a| (c, a)))
+                    .filter(|(_, a)| a.domain.leaf_class() == Some(class))
+                    .map(|(c, a)| format!("{}.{}", c.name, a.name))
+                    .collect();
+                if !dangling.is_empty() {
+                    // Roll the superclass rewiring back.
+                    for sub_id in &subclasses {
+                        let sub = cat.class_mut(*sub_id)?;
+                        sub.supers.retain(|s| !supers.contains(s));
+                        sub.supers.push(class);
+                    }
+                    return Err(DbError::SchemaInvariant(format!(
+                        "class is the domain of attributes: {}",
+                        dangling.join(", ")
+                    )));
+                }
+                for sub_id in &subclasses {
+                    cat.bump_versions(*sub_id)?;
+                }
+                cat.remove_class_entry(class)?;
+                cat.touch();
+                Ok(ChangeEffect::ClassDropped { class, reparented: subclasses })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::class::AttrSpec;
+    use orion_types::PrimitiveType;
+
+    fn int() -> Domain {
+        Domain::Primitive(PrimitiveType::Int)
+    }
+    fn string() -> Domain {
+        Domain::Primitive(PrimitiveType::Str)
+    }
+
+    fn vehicle_schema() -> (Catalog, ClassId, ClassId, ClassId) {
+        let mut cat = Catalog::new();
+        let vehicle = cat
+            .create_class("Vehicle", &[], vec![AttrSpec::new("weight", int())])
+            .unwrap();
+        let auto = cat.create_class("Automobile", &[vehicle], vec![]).unwrap();
+        let truck = cat.create_class("Truck", &[vehicle], vec![]).unwrap();
+        (cat, vehicle, auto, truck)
+    }
+
+    #[test]
+    fn add_attribute_propagates_to_subtree() {
+        let (mut cat, vehicle, auto, truck) = vehicle_schema();
+        let effect = SchemaChange::AddAttribute {
+            class: vehicle,
+            spec: AttrSpec::new("color", string()).with_default(Value::str("black")),
+        }
+        .apply(&mut cat)
+        .unwrap();
+        match effect {
+            ChangeEffect::AttributeAdded { classes, default, .. } => {
+                assert_eq!(classes, vec![vehicle, auto, truck]);
+                assert_eq!(default, Value::str("black"));
+            }
+            other => panic!("unexpected effect {other:?}"),
+        }
+        assert!(cat.resolve(truck).unwrap().attr("color").is_some());
+        assert!(cat.validate().is_empty());
+    }
+
+    #[test]
+    fn add_duplicate_attribute_rejected() {
+        let (mut cat, vehicle, ..) = vehicle_schema();
+        let err = SchemaChange::AddAttribute {
+            class: vehicle,
+            spec: AttrSpec::new("weight", int()),
+        }
+        .apply(&mut cat)
+        .unwrap_err();
+        assert!(matches!(err, DbError::AlreadyExists(_)));
+    }
+
+    #[test]
+    fn shadowing_with_compatible_domain_allowed() {
+        let (mut cat, _, auto, _) = vehicle_schema();
+        // Redefine inherited `weight` locally with the same domain: ok.
+        SchemaChange::AddAttribute { class: auto, spec: AttrSpec::new("weight", int()) }
+            .apply(&mut cat)
+            .unwrap();
+        assert!(cat.validate().is_empty());
+    }
+
+    #[test]
+    fn shadowing_with_incompatible_domain_rejected() {
+        let (mut cat, _, auto, _) = vehicle_schema();
+        let err = SchemaChange::AddAttribute {
+            class: auto,
+            spec: AttrSpec::new("weight", string()),
+        }
+        .apply(&mut cat)
+        .unwrap_err();
+        assert!(matches!(err, DbError::SchemaInvariant(_)));
+    }
+
+    #[test]
+    fn drop_attribute_only_at_defining_class() {
+        let (mut cat, vehicle, auto, truck) = vehicle_schema();
+        let err = SchemaChange::DropAttribute { class: auto, name: "weight".into() }
+            .apply(&mut cat)
+            .unwrap_err();
+        assert!(matches!(err, DbError::SchemaInvariant(_)));
+        let effect = SchemaChange::DropAttribute { class: vehicle, name: "weight".into() }
+            .apply(&mut cat)
+            .unwrap();
+        match effect {
+            ChangeEffect::AttributeDropped { classes, .. } => {
+                assert_eq!(classes, vec![vehicle, auto, truck]);
+            }
+            other => panic!("unexpected effect {other:?}"),
+        }
+        assert!(cat.resolve(truck).unwrap().attr("weight").is_none());
+    }
+
+    #[test]
+    fn rename_attribute_keeps_id() {
+        let (mut cat, vehicle, auto, _) = vehicle_schema();
+        let id_before = cat.resolve(auto).unwrap().attr("weight").unwrap().id;
+        SchemaChange::RenameAttribute {
+            class: vehicle,
+            old: "weight".into(),
+            new: "mass".into(),
+        }
+        .apply(&mut cat)
+        .unwrap();
+        let resolved = cat.resolve(auto).unwrap();
+        assert!(resolved.attr("weight").is_none());
+        assert_eq!(resolved.attr("mass").unwrap().id, id_before);
+    }
+
+    #[test]
+    fn rename_to_existing_name_rejected() {
+        let (mut cat, vehicle, ..) = vehicle_schema();
+        SchemaChange::AddAttribute { class: vehicle, spec: AttrSpec::new("color", string()) }
+            .apply(&mut cat)
+            .unwrap();
+        let err = SchemaChange::RenameAttribute {
+            class: vehicle,
+            old: "color".into(),
+            new: "weight".into(),
+        }
+        .apply(&mut cat)
+        .unwrap_err();
+        assert!(matches!(err, DbError::AlreadyExists(_)));
+    }
+
+    #[test]
+    fn change_default_validates_domain() {
+        let (mut cat, vehicle, ..) = vehicle_schema();
+        SchemaChange::ChangeDefault {
+            class: vehicle,
+            name: "weight".into(),
+            default: Value::Int(1000),
+        }
+        .apply(&mut cat)
+        .unwrap();
+        assert_eq!(
+            cat.resolve(vehicle).unwrap().attr("weight").unwrap().default,
+            Value::Int(1000)
+        );
+        let err = SchemaChange::ChangeDefault {
+            class: vehicle,
+            name: "weight".into(),
+            default: Value::str("heavy"),
+        }
+        .apply(&mut cat)
+        .unwrap_err();
+        assert!(matches!(err, DbError::DomainViolation { .. }));
+    }
+
+    #[test]
+    fn generalize_domain_but_never_narrow() {
+        let mut cat = Catalog::new();
+        let vehicle = cat.create_class("Vehicle", &[], vec![]).unwrap();
+        let truck = cat.create_class("Truck", &[vehicle], vec![]).unwrap();
+        let fleet = cat
+            .create_class("Fleet", &[], vec![AttrSpec::new("flagship", Domain::Class(truck))])
+            .unwrap();
+        // Truck -> Vehicle is a generalization: allowed.
+        SchemaChange::GeneralizeDomain {
+            class: fleet,
+            name: "flagship".into(),
+            domain: Domain::Class(vehicle),
+        }
+        .apply(&mut cat)
+        .unwrap();
+        // Back to Truck would narrow: rejected.
+        let err = SchemaChange::GeneralizeDomain {
+            class: fleet,
+            name: "flagship".into(),
+            domain: Domain::Class(truck),
+        }
+        .apply(&mut cat)
+        .unwrap_err();
+        assert!(matches!(err, DbError::SchemaInvariant(_)));
+    }
+
+    #[test]
+    fn add_superclass_gains_attributes() {
+        let (mut cat, _, auto, _) = vehicle_schema();
+        let powered = cat
+            .create_class("Powered", &[], vec![AttrSpec::new("horsepower", int())])
+            .unwrap();
+        SchemaChange::AddSuperclass { class: auto, superclass: powered }
+            .apply(&mut cat)
+            .unwrap();
+        let resolved = cat.resolve(auto).unwrap();
+        assert!(resolved.attr("horsepower").is_some());
+        assert!(resolved.attr("weight").is_some(), "existing inheritance kept");
+        assert!(cat.validate().is_empty());
+    }
+
+    #[test]
+    fn add_superclass_cycle_rejected() {
+        let (mut cat, vehicle, auto, _) = vehicle_schema();
+        let err = SchemaChange::AddSuperclass { class: vehicle, superclass: auto }
+            .apply(&mut cat)
+            .unwrap_err();
+        assert!(matches!(err, DbError::SchemaInvariant(_)));
+        assert!(cat.validate().is_empty(), "catalog unchanged after rejection");
+    }
+
+    #[test]
+    fn add_conflicting_superclass_rolls_back() {
+        let mut cat = Catalog::new();
+        let a = cat.create_class("A", &[], vec![AttrSpec::new("x", int())]).unwrap();
+        let b = cat.create_class("B", &[], vec![AttrSpec::new("x", string())]).unwrap();
+        let c = cat.create_class("C", &[a], vec![]).unwrap();
+        let err = SchemaChange::AddSuperclass { class: c, superclass: b }
+            .apply(&mut cat)
+            .unwrap_err();
+        assert!(matches!(err, DbError::SchemaInvariant(_)));
+        assert_eq!(cat.class(c).unwrap().supers, vec![a], "rolled back");
+        assert!(cat.validate().is_empty());
+    }
+
+    #[test]
+    fn drop_superclass_loses_attributes() {
+        let (mut cat, vehicle, auto, _) = vehicle_schema();
+        SchemaChange::DropSuperclass { class: auto, superclass: vehicle }
+            .apply(&mut cat)
+            .unwrap();
+        assert!(cat.resolve(auto).unwrap().attr("weight").is_none());
+        assert!(!cat.is_subclass(auto, vehicle));
+        // Subtree of Vehicle no longer contains Automobile.
+        assert!(!cat.subtree(vehicle).unwrap().contains(&auto));
+    }
+
+    #[test]
+    fn rename_class() {
+        let (mut cat, vehicle, ..) = vehicle_schema();
+        SchemaChange::RenameClass { class: vehicle, new: "Conveyance".into() }
+            .apply(&mut cat)
+            .unwrap();
+        assert_eq!(cat.class_id("Conveyance").unwrap(), vehicle);
+        assert!(cat.class_id("Vehicle").is_err());
+        let err = SchemaChange::RenameClass { class: vehicle, new: "Truck".into() }
+            .apply(&mut cat)
+            .unwrap_err();
+        assert!(matches!(err, DbError::AlreadyExists(_)));
+    }
+
+    #[test]
+    fn drop_class_reparents_subclasses() {
+        let mut cat = Catalog::new();
+        let root = cat.create_class("Root", &[], vec![AttrSpec::new("r", int())]).unwrap();
+        let mid = cat.create_class("Mid", &[root], vec![AttrSpec::new("m", int())]).unwrap();
+        let leaf = cat.create_class("Leaf", &[mid], vec![]).unwrap();
+        let effect = SchemaChange::DropClass { class: mid }.apply(&mut cat).unwrap();
+        assert_eq!(
+            effect,
+            ChangeEffect::ClassDropped { class: mid, reparented: vec![leaf] }
+        );
+        // Leaf now inherits from Root directly; `m` is gone, `r` remains.
+        let resolved = cat.resolve(leaf).unwrap();
+        assert!(resolved.attr("r").is_some());
+        assert!(resolved.attr("m").is_none());
+        assert_eq!(cat.class(leaf).unwrap().supers, vec![root]);
+        assert!(cat.validate().is_empty());
+    }
+
+    #[test]
+    fn drop_class_used_as_domain_rejected() {
+        let mut cat = Catalog::new();
+        let company = cat.create_class("Company", &[], vec![]).unwrap();
+        let _vehicle = cat
+            .create_class(
+                "Vehicle",
+                &[],
+                vec![AttrSpec::new("manufacturer", Domain::Class(company))],
+            )
+            .unwrap();
+        let err = SchemaChange::DropClass { class: company }.apply(&mut cat).unwrap_err();
+        assert!(matches!(err, DbError::SchemaInvariant(_)));
+        assert!(cat.class_id("Company").is_ok(), "still present");
+        assert!(cat.validate().is_empty());
+    }
+}

@@ -1,0 +1,30 @@
+//! Schema management for orion: classes, the class hierarchy, inheritance,
+//! method signatures, and dynamic schema evolution.
+//!
+//! "All the classes are organized as a rooted directed acyclic graph or a
+//! hierarchy ... A class inherits all the attributes and methods from its
+//! direct and indirect ancestors ... The class hierarchy must be
+//! dynamically extensible" (§3.1, concept 5). This crate is the catalog
+//! that realizes those words:
+//!
+//! * [`Class`] / [`Attribute`] / [`MethodSig`] — the schema vocabulary,
+//! * [`Catalog`] — the class DAG, name resolution, inheritance
+//!   (flattening with ORION-style leftmost-superclass conflict
+//!   resolution), subclass closures for hierarchy-scoped queries, and
+//!   method-resolution order with a dispatch cache,
+//! * [`evolution`] — the schema-change taxonomy of \[BANE87\] with
+//!   invariant checking and support for lazy instance adaptation.
+//!
+//! The class system is deliberately *data-driven* rather than mapped onto
+//! Rust traits: a trait hierarchy is closed at compile time, while the
+//! paper requires new subclasses at run time. Classes here are catalog
+//! rows, exactly as an OODB kernel represents them.
+
+pub mod catalog;
+pub mod class;
+pub mod evolution;
+pub mod snapshot;
+
+pub use catalog::{Catalog, ResolvedClass};
+pub use class::{AttrSpec, Attribute, Class, MethodSig};
+pub use evolution::SchemaChange;

@@ -1,0 +1,316 @@
+//! Catalog snapshots: a binary serialization of the whole schema.
+//!
+//! The facade stores the encoded catalog as a (chained) record in the
+//! same WAL-protected heap as the objects, so restart recovery restores
+//! the schema the same way it restores data — the catalog is just
+//! another recoverable structure, as in a real system where class
+//! definitions live in bootstrap tables.
+
+use crate::catalog::Catalog;
+use crate::class::{Attribute, Class, MethodSig};
+use orion_types::codec::{decode_value, encode_value};
+use orion_types::{ClassId, DbError, DbResult, Domain, PrimitiveType};
+
+use bytes::{Buf, BufMut};
+
+const MAGIC: u32 = 0x0D10_CA7A; // "odio-cata(log)"
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.put_u32_le(s.len() as u32);
+    out.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut &[u8]) -> DbResult<String> {
+    if buf.remaining() < 4 {
+        return Err(DbError::Storage("truncated snapshot string".into()));
+    }
+    let len = buf.get_u32_le() as usize;
+    if buf.remaining() < len {
+        return Err(DbError::Storage("truncated snapshot string body".into()));
+    }
+    let s = String::from_utf8(buf[..len].to_vec())
+        .map_err(|_| DbError::Storage("invalid UTF-8 in snapshot".into()))?;
+    buf.advance(len);
+    Ok(s)
+}
+
+fn put_domain(out: &mut Vec<u8>, domain: &Domain) {
+    match domain {
+        Domain::Primitive(p) => {
+            out.put_u8(0);
+            out.put_u8(match p {
+                PrimitiveType::Int => 0,
+                PrimitiveType::Float => 1,
+                PrimitiveType::Bool => 2,
+                PrimitiveType::Str => 3,
+                PrimitiveType::Blob => 4,
+            });
+        }
+        Domain::Class(c) => {
+            out.put_u8(1);
+            out.put_u16_le(c.0);
+        }
+        Domain::SetOf(inner) => {
+            out.put_u8(2);
+            put_domain(out, inner);
+        }
+        Domain::ListOf(inner) => {
+            out.put_u8(3);
+            put_domain(out, inner);
+        }
+        Domain::Any => out.put_u8(4),
+    }
+}
+
+fn get_domain(buf: &mut &[u8]) -> DbResult<Domain> {
+    if buf.remaining() < 1 {
+        return Err(DbError::Storage("truncated snapshot domain".into()));
+    }
+    Ok(match buf.get_u8() {
+        0 => {
+            let p = match buf.get_u8() {
+                0 => PrimitiveType::Int,
+                1 => PrimitiveType::Float,
+                2 => PrimitiveType::Bool,
+                3 => PrimitiveType::Str,
+                4 => PrimitiveType::Blob,
+                other => {
+                    return Err(DbError::Storage(format!("bad primitive tag {other}")))
+                }
+            };
+            Domain::Primitive(p)
+        }
+        1 => Domain::Class(ClassId(buf.get_u16_le())),
+        2 => Domain::SetOf(Box::new(get_domain(buf)?)),
+        3 => Domain::ListOf(Box::new(get_domain(buf)?)),
+        4 => Domain::Any,
+        other => return Err(DbError::Storage(format!("bad domain tag {other}"))),
+    })
+}
+
+fn put_attribute(out: &mut Vec<u8>, attr: &Attribute) {
+    out.put_u32_le(attr.id);
+    put_str(out, &attr.name);
+    put_domain(out, &attr.domain);
+    encode_value(&attr.default, out);
+    out.put_u8(attr.composite as u8);
+    out.put_u16_le(attr.defined_in.0);
+}
+
+fn get_attribute(buf: &mut &[u8]) -> DbResult<Attribute> {
+    if buf.remaining() < 4 {
+        return Err(DbError::Storage("truncated snapshot attribute".into()));
+    }
+    let id = buf.get_u32_le();
+    let name = get_str(buf)?;
+    let domain = get_domain(buf)?;
+    let default = decode_value(buf)?;
+    if buf.remaining() < 3 {
+        return Err(DbError::Storage("truncated snapshot attribute tail".into()));
+    }
+    let composite = buf.get_u8() != 0;
+    let defined_in = ClassId(buf.get_u16_le());
+    Ok(Attribute { id, name, domain, default, composite, defined_in })
+}
+
+impl Catalog {
+    /// Serialize the entire schema (classes, attributes, methods,
+    /// counters) to bytes.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(1024);
+        out.put_u32_le(MAGIC);
+        out.put_u32_le(self.version());
+        out.put_u32_le(self.next_attr_id_raw());
+        let slots = self.class_slots();
+        out.put_u32_le(slots.len() as u32);
+        for slot in slots {
+            match slot {
+                None => out.put_u8(0),
+                Some(class) => {
+                    out.put_u8(1);
+                    out.put_u16_le(class.id.0);
+                    put_str(&mut out, &class.name);
+                    out.put_u32_le(class.version);
+                    out.put_u16_le(class.supers.len() as u16);
+                    for s in &class.supers {
+                        out.put_u16_le(s.0);
+                    }
+                    out.put_u16_le(class.local_attrs.len() as u16);
+                    for attr in &class.local_attrs {
+                        put_attribute(&mut out, attr);
+                    }
+                    out.put_u16_le(class.local_methods.len() as u16);
+                    for m in &class.local_methods {
+                        put_str(&mut out, &m.selector);
+                        out.put_u8(m.arity);
+                        out.put_u16_le(m.defined_in.0);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Rebuild a catalog from a snapshot. Read caches start cold; the
+    /// restored catalog validates clean or the restore fails.
+    pub fn restore(bytes: &[u8]) -> DbResult<Catalog> {
+        let mut buf = bytes;
+        let buf = &mut buf;
+        if buf.remaining() < 16 {
+            return Err(DbError::Storage("truncated catalog snapshot".into()));
+        }
+        let magic = buf.get_u32_le();
+        if magic != MAGIC {
+            return Err(DbError::Storage(format!(
+                "bad catalog snapshot magic {magic:#x}"
+            )));
+        }
+        let version = buf.get_u32_le();
+        let next_attr_id = buf.get_u32_le();
+        let count = buf.get_u32_le() as usize;
+        let mut slots: Vec<Option<Class>> = Vec::with_capacity(count);
+        for _ in 0..count {
+            if buf.remaining() < 1 {
+                return Err(DbError::Storage("truncated snapshot class".into()));
+            }
+            match buf.get_u8() {
+                0 => slots.push(None),
+                1 => {
+                    let id = ClassId(buf.get_u16_le());
+                    let name = get_str(buf)?;
+                    let class_version = buf.get_u32_le();
+                    let n_supers = buf.get_u16_le() as usize;
+                    let mut supers = Vec::with_capacity(n_supers);
+                    for _ in 0..n_supers {
+                        supers.push(ClassId(buf.get_u16_le()));
+                    }
+                    let n_attrs = buf.get_u16_le() as usize;
+                    let mut local_attrs = Vec::with_capacity(n_attrs);
+                    for _ in 0..n_attrs {
+                        local_attrs.push(get_attribute(buf)?);
+                    }
+                    let n_methods = buf.get_u16_le() as usize;
+                    let mut local_methods = Vec::with_capacity(n_methods);
+                    for _ in 0..n_methods {
+                        let selector = get_str(buf)?;
+                        let arity = buf.get_u8();
+                        let defined_in = ClassId(buf.get_u16_le());
+                        local_methods.push(MethodSig { selector, arity, defined_in });
+                    }
+                    slots.push(Some(Class {
+                        id,
+                        name,
+                        supers,
+                        local_attrs,
+                        local_methods,
+                        version: class_version,
+                    }));
+                }
+                other => return Err(DbError::Storage(format!("bad class tag {other}"))),
+            }
+        }
+        let catalog = Catalog::from_parts(slots, next_attr_id, version);
+        let problems = catalog.validate();
+        if !problems.is_empty() {
+            return Err(DbError::Storage(format!(
+                "restored catalog fails validation: {}",
+                problems.join("; ")
+            )));
+        }
+        Ok(catalog)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::class::AttrSpec;
+    use crate::SchemaChange;
+    use orion_types::Value;
+
+    fn build() -> Catalog {
+        let mut cat = Catalog::new();
+        let company = cat
+            .create_class(
+                "Company",
+                &[],
+                vec![AttrSpec::new("location", Domain::Primitive(PrimitiveType::Str))
+                    .with_default(Value::str("Austin"))],
+            )
+            .unwrap();
+        let vehicle = cat
+            .create_class(
+                "Vehicle",
+                &[],
+                vec![
+                    AttrSpec::new("weight", Domain::Primitive(PrimitiveType::Int)),
+                    AttrSpec::new("manufacturer", Domain::Class(company)),
+                ],
+            )
+            .unwrap();
+        let truck = cat
+            .create_class(
+                "Truck",
+                &[vehicle],
+                vec![AttrSpec::new("parts", Domain::set_of_class(vehicle)).composite()],
+            )
+            .unwrap();
+        cat.add_method(vehicle, "display", 0).unwrap();
+        cat.add_method(truck, "display", 0).unwrap();
+        // A dropped class leaves a None slot worth preserving.
+        let doomed = cat.create_class("Doomed", &[], vec![]).unwrap();
+        SchemaChange::DropClass { class: doomed }.apply(&mut cat).unwrap();
+        cat
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_everything() {
+        let cat = build();
+        let restored = Catalog::restore(&cat.snapshot()).unwrap();
+        assert_eq!(restored.version(), cat.version());
+        assert_eq!(restored.class_count(), cat.class_count());
+        // Names, ids, inheritance, attribute ids all survive.
+        let truck = restored.class_id("Truck").unwrap();
+        assert_eq!(truck, cat.class_id("Truck").unwrap());
+        let old = cat.resolve(truck).unwrap();
+        let new = restored.resolve(truck).unwrap();
+        assert_eq!(old.attrs.len(), new.attrs.len());
+        for (a, b) in old.attrs.iter().zip(new.attrs.iter()) {
+            assert_eq!(a, b);
+        }
+        // Late binding still resolves to the same class.
+        assert_eq!(
+            restored.resolve_method(truck, "display").unwrap(),
+            cat.resolve_method(truck, "display").unwrap()
+        );
+        // Dropped slots stay dropped (ids are not reused).
+        assert!(restored.class_id("Doomed").is_err());
+        // Further evolution picks up attribute ids above the old ones.
+        let mut restored = restored;
+        let vehicle = restored.class_id("Vehicle").unwrap();
+        let before: Vec<u32> =
+            restored.resolve(vehicle).unwrap().attrs.iter().map(|a| a.id).collect();
+        SchemaChange::AddAttribute {
+            class: vehicle,
+            spec: AttrSpec::new("color", Domain::Primitive(PrimitiveType::Str)),
+        }
+        .apply(&mut restored)
+        .unwrap();
+        let new_id = restored.resolve(vehicle).unwrap().attr("color").unwrap().id;
+        assert!(before.iter().all(|id| *id < new_id), "attr ids keep advancing");
+    }
+
+    #[test]
+    fn garbage_and_truncation_rejected() {
+        assert!(Catalog::restore(&[]).is_err());
+        assert!(Catalog::restore(&[1, 2, 3, 4, 5, 6, 7, 8]).is_err());
+        let cat = build();
+        let bytes = cat.snapshot();
+        for cut in [4usize, 12, bytes.len() / 2, bytes.len() - 1] {
+            assert!(Catalog::restore(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+        let mut corrupt = bytes.clone();
+        corrupt[0] ^= 0xFF;
+        assert!(Catalog::restore(&corrupt).is_err(), "magic check");
+    }
+}

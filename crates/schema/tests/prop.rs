@@ -1,0 +1,177 @@
+//! Property tests: random sequences of schema changes never leave the
+//! catalog violating its invariants (\[BANE87\]'s central requirement),
+//! and resolution laws hold on random hierarchies.
+
+use orion_schema::{AttrSpec, Catalog, SchemaChange};
+use orion_types::{ClassId, Domain, PrimitiveType, Value};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    CreateClass { supers: Vec<usize>, attrs: Vec<u8> },
+    AddAttribute { class: usize, name: u8 },
+    DropAttribute { class: usize, name: u8 },
+    RenameAttribute { class: usize, from: u8, to: u8 },
+    AddSuperclass { class: usize, superclass: usize },
+    DropSuperclass { class: usize, superclass: usize },
+    AddMethod { class: usize, selector: u8 },
+    DropClass { class: usize },
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    let op = prop_oneof![
+        (proptest::collection::vec(any::<usize>(), 0..3), proptest::collection::vec(any::<u8>(), 0..3))
+            .prop_map(|(supers, attrs)| Op::CreateClass { supers, attrs }),
+        (any::<usize>(), any::<u8>()).prop_map(|(class, name)| Op::AddAttribute { class, name }),
+        (any::<usize>(), any::<u8>()).prop_map(|(class, name)| Op::DropAttribute { class, name }),
+        (any::<usize>(), any::<u8>(), any::<u8>())
+            .prop_map(|(class, from, to)| Op::RenameAttribute { class, from, to }),
+        (any::<usize>(), any::<usize>())
+            .prop_map(|(class, superclass)| Op::AddSuperclass { class, superclass }),
+        (any::<usize>(), any::<usize>())
+            .prop_map(|(class, superclass)| Op::DropSuperclass { class, superclass }),
+        (any::<usize>(), any::<u8>()).prop_map(|(class, selector)| Op::AddMethod { class, selector }),
+        any::<usize>().prop_map(|class| Op::DropClass { class }),
+    ];
+    proptest::collection::vec(op, 1..60)
+}
+
+fn pick(classes: &[ClassId], raw: usize) -> Option<ClassId> {
+    if classes.is_empty() {
+        None
+    } else {
+        Some(classes[raw % classes.len()])
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Whatever mix of changes is applied — accepted or rejected — the
+    /// catalog's invariants hold afterwards.
+    #[test]
+    fn random_evolution_preserves_invariants(ops in arb_ops()) {
+        let mut cat = Catalog::new();
+        let mut classes: Vec<ClassId> = Vec::new();
+        let mut next_class = 0usize;
+        let int = Domain::Primitive(PrimitiveType::Int);
+
+        for op in ops {
+            match op {
+                Op::CreateClass { supers, attrs } => {
+                    let supers: Vec<ClassId> = {
+                        let mut s: Vec<ClassId> =
+                            supers.iter().filter_map(|r| pick(&classes, *r)).collect();
+                        s.dedup();
+                        s
+                    };
+                    let specs = attrs
+                        .iter()
+                        .map(|a| {
+                            AttrSpec::new(format!("a{}", a % 6), int.clone())
+                                .with_default(Value::Int(*a as i64))
+                        })
+                        .collect();
+                    let name = format!("C{next_class}");
+                    next_class += 1;
+                    if let Ok(id) = cat.create_class(&name, &supers, specs) {
+                        classes.push(id);
+                    }
+                }
+                Op::AddAttribute { class, name } => {
+                    if let Some(c) = pick(&classes, class) {
+                        let _ = SchemaChange::AddAttribute {
+                            class: c,
+                            spec: AttrSpec::new(format!("a{}", name % 6), int.clone()),
+                        }
+                        .apply(&mut cat);
+                    }
+                }
+                Op::DropAttribute { class, name } => {
+                    if let Some(c) = pick(&classes, class) {
+                        let _ = SchemaChange::DropAttribute {
+                            class: c,
+                            name: format!("a{}", name % 6),
+                        }
+                        .apply(&mut cat);
+                    }
+                }
+                Op::RenameAttribute { class, from, to } => {
+                    if let Some(c) = pick(&classes, class) {
+                        let _ = SchemaChange::RenameAttribute {
+                            class: c,
+                            old: format!("a{}", from % 6),
+                            new: format!("a{}", to % 6),
+                        }
+                        .apply(&mut cat);
+                    }
+                }
+                Op::AddSuperclass { class, superclass } => {
+                    if let (Some(c), Some(s)) = (pick(&classes, class), pick(&classes, superclass)) {
+                        if c != s {
+                            let _ = SchemaChange::AddSuperclass { class: c, superclass: s }
+                                .apply(&mut cat);
+                        }
+                    }
+                }
+                Op::DropSuperclass { class, superclass } => {
+                    if let (Some(c), Some(s)) = (pick(&classes, class), pick(&classes, superclass)) {
+                        let _ = SchemaChange::DropSuperclass { class: c, superclass: s }
+                            .apply(&mut cat);
+                    }
+                }
+                Op::AddMethod { class, selector } => {
+                    if let Some(c) = pick(&classes, class) {
+                        let _ = cat.add_method(c, &format!("m{}", selector % 6), 0);
+                    }
+                }
+                Op::DropClass { class } => {
+                    if let Some(c) = pick(&classes, class) {
+                        if (SchemaChange::DropClass { class: c }).apply(&mut cat).is_ok() {
+                            classes.retain(|x| *x != c);
+                        }
+                    }
+                }
+            }
+            let problems = cat.validate();
+            prop_assert!(problems.is_empty(), "invariants violated: {problems:?}");
+        }
+    }
+
+    /// Subtyping laws on random hierarchies: reflexivity, transitivity,
+    /// antisymmetry, and subtree/ancestor duality.
+    #[test]
+    fn hierarchy_laws(edges in proptest::collection::vec((any::<usize>(), any::<usize>()), 0..20)) {
+        let mut cat = Catalog::new();
+        let classes: Vec<ClassId> =
+            (0..8).map(|i| cat.create_class(&format!("C{i}"), &[], vec![]).unwrap()).collect();
+        for (a, b) in edges {
+            let sub = classes[a % classes.len()];
+            let sup = classes[b % classes.len()];
+            if sub != sup {
+                let _ = SchemaChange::AddSuperclass { class: sub, superclass: sup }
+                    .apply(&mut cat);
+            }
+        }
+        for &a in &classes {
+            prop_assert!(cat.is_subclass(a, a), "reflexive");
+            let subtree = cat.subtree(a).unwrap();
+            for &b in subtree.iter() {
+                // Subtree/ancestor duality.
+                prop_assert!(cat.is_subclass(b, a));
+                if b != a {
+                    prop_assert!(cat.ancestors(b).unwrap().contains(&a));
+                    // Antisymmetry (the DAG stayed acyclic).
+                    prop_assert!(!cat.is_subclass(a, b), "cycle between {a} and {b}");
+                }
+            }
+            for &b in &classes {
+                for &c in &classes {
+                    if cat.is_subclass(a, b) && cat.is_subclass(b, c) {
+                        prop_assert!(cat.is_subclass(a, c), "transitive");
+                    }
+                }
+            }
+        }
+    }
+}

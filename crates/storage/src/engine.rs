@@ -1,0 +1,926 @@
+//! The transactional storage engine: record operations with write-ahead
+//! logging, rollback via compensation records, quiescent checkpoints,
+//! and redo/undo restart recovery.
+//!
+//! Isolation is *not* this layer's job — the lock manager (`orion-tx`)
+//! serializes conflicting record access above it. This layer guarantees
+//! atomicity and durability: committed operations survive a crash,
+//! uncommitted ones roll back, even when the crash lands mid-rollback
+//! (experiment E13).
+
+use crate::buffer::BufferPool;
+use crate::disk::{PageId, SimDisk};
+use crate::heap::{HeapFile, Rid};
+use crate::slotted;
+use crate::wal::{ClrAction, LogRecord, Lsn, Wal};
+use orion_types::{DbError, DbResult};
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A storage-level transaction id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TxnId(pub u64);
+
+impl std::fmt::Display for TxnId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum UndoOp {
+    Insert { rid: Rid },
+    Update { rid: Rid, before: Vec<u8> },
+    Delete { rid: Rid, before: Vec<u8> },
+}
+
+#[derive(Debug, Default)]
+struct TxnState {
+    ops: Vec<(Lsn, UndoOp)>,
+}
+
+/// The transactional storage engine.
+pub struct StorageEngine {
+    disk: Arc<SimDisk>,
+    pool: Arc<BufferPool>,
+    wal: Arc<Wal>,
+    heap: Mutex<HeapFile>,
+    active: Mutex<HashMap<u64, TxnState>>,
+    next_txn: AtomicU64,
+}
+
+impl StorageEngine {
+    /// A fresh engine with a buffer pool of `pool_pages` frames.
+    pub fn new(pool_pages: usize) -> Self {
+        let disk = Arc::new(SimDisk::new());
+        let wal = Arc::new(Wal::new());
+        let pool = Arc::new(BufferPool::new(Arc::clone(&disk), pool_pages, Some(Arc::clone(&wal))));
+        StorageEngine {
+            disk,
+            pool,
+            wal,
+            heap: Mutex::new(HeapFile::new()),
+            active: Mutex::new(HashMap::new()),
+            next_txn: AtomicU64::new(1),
+        }
+    }
+
+    /// The buffer pool (stats, capacity).
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// The simulated disk (stats).
+    pub fn disk(&self) -> &Arc<SimDisk> {
+        &self.disk
+    }
+
+    /// The write-ahead log.
+    pub fn wal(&self) -> &Arc<Wal> {
+        &self.wal
+    }
+
+    // ------------------------------------------------------------------
+    // Transactions
+    // ------------------------------------------------------------------
+
+    /// Begin a transaction.
+    pub fn begin(&self) -> TxnId {
+        let id = self.next_txn.fetch_add(1, Ordering::Relaxed);
+        self.wal.append(&LogRecord::Begin { txn: id });
+        self.active.lock().insert(id, TxnState::default());
+        TxnId(id)
+    }
+
+    fn record_op(&self, txn: TxnId, lsn: Lsn, op: UndoOp) -> DbResult<()> {
+        let mut active = self.active.lock();
+        let state = active
+            .get_mut(&txn.0)
+            .ok_or_else(|| DbError::InvalidTxnState(format!("{txn} is not active")))?;
+        state.ops.push((lsn, op));
+        Ok(())
+    }
+
+    /// Commit: force the log through the commit record.
+    pub fn commit(&self, txn: TxnId) -> DbResult<()> {
+        if self.active.lock().remove(&txn.0).is_none() {
+            return Err(DbError::InvalidTxnState(format!("{txn} is not active")));
+        }
+        self.wal.append(&LogRecord::Commit { txn: txn.0 });
+        self.wal.flush();
+        Ok(())
+    }
+
+    /// Roll back every operation of `txn`, logging compensation records,
+    /// then mark the transaction aborted.
+    pub fn abort(&self, txn: TxnId) -> DbResult<()> {
+        let state = self
+            .active
+            .lock()
+            .remove(&txn.0)
+            .ok_or_else(|| DbError::InvalidTxnState(format!("{txn} is not active")))?;
+        for (lsn, op) in state.ops.iter().rev() {
+            let action = match op {
+                UndoOp::Insert { rid } => ClrAction::Remove { rid: *rid },
+                UndoOp::Update { rid, before } => {
+                    ClrAction::Overwrite { rid: *rid, bytes: before.clone() }
+                }
+                UndoOp::Delete { rid, before } => {
+                    ClrAction::ReInsert { rid: *rid, bytes: before.clone() }
+                }
+            };
+            let clr_lsn = self.wal.append(&LogRecord::Clr {
+                txn: txn.0,
+                compensates: lsn.0,
+                action: action.clone(),
+            });
+            self.apply_clr(&action, clr_lsn)?;
+        }
+        self.wal.append(&LogRecord::Abort { txn: txn.0 });
+        self.wal.flush();
+        Ok(())
+    }
+
+    fn apply_clr(&self, action: &ClrAction, lsn: Lsn) -> DbResult<()> {
+        match action {
+            ClrAction::Remove { rid } => self.pool.with_page_mut(rid.page, |page| {
+                slotted::delete(page, rid.slot);
+                slotted::set_page_lsn(page, lsn.0);
+            })?,
+            ClrAction::Overwrite { rid, bytes } => {
+                self.pool.with_page_mut(rid.page, |page| -> DbResult<()> {
+                    if !slotted::update(page, rid.slot, bytes) {
+                        slotted::delete(page, rid.slot);
+                        slotted::insert_at(page, rid.slot, bytes)?;
+                    }
+                    slotted::set_page_lsn(page, lsn.0);
+                    Ok(())
+                })??
+            }
+            ClrAction::ReInsert { rid, bytes } => {
+                self.pool.with_page_mut(rid.page, |page| -> DbResult<()> {
+                    slotted::insert_at(page, rid.slot, bytes)?;
+                    slotted::set_page_lsn(page, lsn.0);
+                    Ok(())
+                })??
+            }
+        }
+        self.refresh_free(match action {
+            ClrAction::Remove { rid }
+            | ClrAction::Overwrite { rid, .. }
+            | ClrAction::ReInsert { rid, .. } => rid.page,
+        })?;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Record operations
+    //
+    // Long records ("long unstructured data (such as images, audio, and
+    // textual documents)", paper §2.2) are chained transparently across
+    // overflow segments: every stored cell starts with a tag byte
+    // (whole / head / tail); head and tail segments carry a pointer to
+    // the next segment. Callers only ever see logical byte strings and
+    // head record ids.
+    // ------------------------------------------------------------------
+
+    fn refresh_free(&self, page: PageId) -> DbResult<()> {
+        let free = self.pool.with_page(page, slotted::usable_free)?;
+        self.heap.lock().note_free(page, free);
+        Ok(())
+    }
+
+    /// Largest logical record the engine accepts (sanity cap).
+    pub const MAX_LOGICAL_RECORD: usize = 16 << 20;
+
+    const TAG_WHOLE: u8 = 0;
+    const TAG_HEAD: u8 = 1;
+    const TAG_TAIL: u8 = 2;
+    /// Bytes of a segment header: tag + next page (u32) + next slot (u16).
+    const SEG_HEADER: usize = 7;
+    /// Sentinel "no next segment".
+    const NO_NEXT: u32 = u32::MAX;
+
+    fn payload_per_segment() -> usize {
+        slotted::MAX_RECORD - Self::SEG_HEADER
+    }
+
+    fn encode_whole(bytes: &[u8]) -> Vec<u8> {
+        let mut raw = Vec::with_capacity(bytes.len() + 1);
+        raw.push(Self::TAG_WHOLE);
+        raw.extend_from_slice(bytes);
+        raw
+    }
+
+    fn encode_segment(tag: u8, next: Option<Rid>, chunk: &[u8]) -> Vec<u8> {
+        let mut raw = Vec::with_capacity(chunk.len() + Self::SEG_HEADER);
+        raw.push(tag);
+        match next {
+            Some(rid) => {
+                raw.extend_from_slice(&rid.page.0.to_le_bytes());
+                raw.extend_from_slice(&rid.slot.to_le_bytes());
+            }
+            None => {
+                raw.extend_from_slice(&Self::NO_NEXT.to_le_bytes());
+                raw.extend_from_slice(&0u16.to_le_bytes());
+            }
+        }
+        raw.extend_from_slice(chunk);
+        raw
+    }
+
+    /// Parse a raw cell into `(tag, next, payload)`.
+    fn parse_raw(raw: &[u8]) -> DbResult<(u8, Option<Rid>, &[u8])> {
+        let tag = *raw.first().ok_or_else(|| DbError::Storage("empty cell".into()))?;
+        match tag {
+            Self::TAG_WHOLE => Ok((tag, None, &raw[1..])),
+            Self::TAG_HEAD | Self::TAG_TAIL => {
+                if raw.len() < Self::SEG_HEADER {
+                    return Err(DbError::Storage("truncated segment header".into()));
+                }
+                let page = u32::from_le_bytes(raw[1..5].try_into().unwrap());
+                let slot = u16::from_le_bytes(raw[5..7].try_into().unwrap());
+                let next = if page == Self::NO_NEXT {
+                    None
+                } else {
+                    Some(Rid { page: PageId(page), slot })
+                };
+                Ok((tag, next, &raw[Self::SEG_HEADER..]))
+            }
+            other => Err(DbError::Storage(format!("unknown record tag {other}"))),
+        }
+    }
+
+    /// Insert one raw (already tagged) cell.
+    fn insert_raw(&self, txn: TxnId, raw: &[u8], hint: Option<PageId>) -> DbResult<Rid> {
+        debug_assert!(raw.len() <= slotted::MAX_RECORD);
+        let need = raw.len() + 8; // cell + slot entry, with slack
+        loop {
+            let candidate = self.heap.lock().pick_page(need, hint);
+            // Clustering discipline: when a placement hint was given but
+            // the hinted page is full, a *fresh* page keeps the cluster
+            // contiguous — falling back to global first-fit would
+            // scatter the overflow among unrelated objects (§4.2).
+            let candidate = match (candidate, hint) {
+                (Some(p), Some(h)) if p != h => None,
+                (c, _) => c,
+            };
+            let pid = match candidate {
+                Some(p) => p,
+                None => {
+                    let p = self.pool.allocate_slotted()?;
+                    let free = self.pool.with_page(p, slotted::usable_free)?;
+                    self.heap.lock().note_free(p, free);
+                    p
+                }
+            };
+            let slot = self.pool.with_page_mut(pid, |page| slotted::insert(page, raw))?;
+            match slot {
+                Some(slot) => {
+                    let rid = Rid { page: pid, slot };
+                    let lsn = self.wal.append(&LogRecord::Insert {
+                        txn: txn.0,
+                        rid,
+                        bytes: raw.to_vec(),
+                    });
+                    self.pool.with_page_mut(pid, |page| slotted::set_page_lsn(page, lsn.0))?;
+                    self.refresh_free(pid)?;
+                    self.record_op(txn, lsn, UndoOp::Insert { rid })?;
+                    return Ok(rid);
+                }
+                None => {
+                    // Stale free estimate; refresh and retry elsewhere.
+                    self.refresh_free(pid)?;
+                    let still = self.heap.lock().pick_page(need, None);
+                    if still == Some(pid) {
+                        return Err(DbError::Internal(format!(
+                            "page {pid} claims {need} free bytes but rejects insert"
+                        )));
+                    }
+                }
+            }
+        }
+    }
+
+    fn read_raw(&self, rid: Rid) -> DbResult<Vec<u8>> {
+        self.pool
+            .with_page(rid.page, |page| slotted::get(page, rid.slot).map(|r| r.to_vec()))?
+            .ok_or_else(|| DbError::Storage(format!("no record at {rid}")))
+    }
+
+    fn delete_raw(&self, txn: TxnId, rid: Rid) -> DbResult<()> {
+        let before = self.read_raw(rid)?;
+        self.pool.with_page_mut(rid.page, |page| slotted::delete(page, rid.slot))?;
+        let lsn = self.wal.append(&LogRecord::Delete { txn: txn.0, rid, before: before.clone() });
+        self.pool.with_page_mut(rid.page, |page| slotted::set_page_lsn(page, lsn.0))?;
+        self.refresh_free(rid.page)?;
+        self.record_op(txn, lsn, UndoOp::Delete { rid, before })?;
+        Ok(())
+    }
+
+    /// The chain of rids making up the record at `head` (head first).
+    fn chain_rids(&self, head: Rid) -> DbResult<Vec<Rid>> {
+        let mut rids = vec![head];
+        let raw = self.read_raw(head)?;
+        let (tag, mut next, _) = Self::parse_raw(&raw)?;
+        if tag == Self::TAG_TAIL {
+            return Err(DbError::Storage(format!("{head} is an overflow segment, not a record")));
+        }
+        while let Some(rid) = next {
+            rids.push(rid);
+            let raw = self.read_raw(rid)?;
+            let (tag, n, _) = Self::parse_raw(&raw)?;
+            if tag != Self::TAG_TAIL {
+                return Err(DbError::Storage(format!("broken overflow chain at {rid}")));
+            }
+            next = n;
+        }
+        Ok(rids)
+    }
+
+    /// Insert a record; `hint` asks for placement on a specific page
+    /// (composite-object clustering). Long records are chained across
+    /// overflow segments transparently. Returns the head record id.
+    pub fn insert(&self, txn: TxnId, bytes: &[u8], hint: Option<PageId>) -> DbResult<Rid> {
+        if bytes.len() > Self::MAX_LOGICAL_RECORD {
+            return Err(DbError::Storage(format!(
+                "record of {} bytes exceeds the {} byte cap",
+                bytes.len(),
+                Self::MAX_LOGICAL_RECORD
+            )));
+        }
+        if bytes.len() < slotted::MAX_RECORD {
+            return self.insert_raw(txn, &Self::encode_whole(bytes), hint);
+        }
+        // Chain: insert tail segments back-to-front so each knows its
+        // successor, then the head.
+        let seg = Self::payload_per_segment();
+        let chunks: Vec<&[u8]> = bytes.chunks(seg).collect();
+        let mut next: Option<Rid> = None;
+        for chunk in chunks[1..].iter().rev() {
+            let raw = Self::encode_segment(Self::TAG_TAIL, next, chunk);
+            next = Some(self.insert_raw(txn, &raw, hint)?);
+        }
+        let head_raw = Self::encode_segment(Self::TAG_HEAD, next, chunks[0]);
+        self.insert_raw(txn, &head_raw, hint)
+    }
+
+    /// Read a record's bytes (reassembling overflow chains).
+    pub fn read(&self, rid: Rid) -> DbResult<Vec<u8>> {
+        let raw = self.read_raw(rid)?;
+        let (tag, mut next, payload) = Self::parse_raw(&raw)?;
+        match tag {
+            Self::TAG_WHOLE => Ok(payload.to_vec()),
+            Self::TAG_HEAD => {
+                let mut out = payload.to_vec();
+                while let Some(seg_rid) = next {
+                    let raw = self.read_raw(seg_rid)?;
+                    let (tag, n, payload) = Self::parse_raw(&raw)?;
+                    if tag != Self::TAG_TAIL {
+                        return Err(DbError::Storage(format!(
+                            "broken overflow chain at {seg_rid}"
+                        )));
+                    }
+                    out.extend_from_slice(payload);
+                    next = n;
+                }
+                Ok(out)
+            }
+            _ => Err(DbError::Storage(format!("{rid} is an overflow segment, not a record"))),
+        }
+    }
+
+    /// Does a live record (head) exist at `rid`?
+    pub fn exists(&self, rid: Rid) -> DbResult<bool> {
+        let raw = self
+            .pool
+            .with_page(rid.page, |page| slotted::get(page, rid.slot).map(|r| r.to_vec()))?;
+        match raw {
+            Some(raw) => Ok(matches!(Self::parse_raw(&raw)?.0, Self::TAG_WHOLE | Self::TAG_HEAD)),
+            None => Ok(false),
+        }
+    }
+
+    /// Update a record. Small-to-small updates try in place; everything
+    /// else re-chains (delete + insert). Returns the (possibly new) rid.
+    pub fn update(&self, txn: TxnId, rid: Rid, bytes: &[u8]) -> DbResult<Rid> {
+        let before_raw = self.read_raw(rid)?;
+        let (tag, _, _) = Self::parse_raw(&before_raw)?;
+        if tag == Self::TAG_WHOLE && bytes.len() < slotted::MAX_RECORD {
+            let after_raw = Self::encode_whole(bytes);
+            let in_place = self
+                .pool
+                .with_page_mut(rid.page, |page| slotted::update(page, rid.slot, &after_raw))?;
+            if in_place {
+                let lsn = self.wal.append(&LogRecord::Update {
+                    txn: txn.0,
+                    rid,
+                    before: before_raw.clone(),
+                    after: after_raw,
+                });
+                self.pool.with_page_mut(rid.page, |page| slotted::set_page_lsn(page, lsn.0))?;
+                self.refresh_free(rid.page)?;
+                self.record_op(txn, lsn, UndoOp::Update { rid, before: before_raw })?;
+                return Ok(rid);
+            }
+        }
+        self.delete(txn, rid)?;
+        self.insert(txn, bytes, Some(rid.page))
+    }
+
+    /// Delete a record (and its whole overflow chain).
+    pub fn delete(&self, txn: TxnId, rid: Rid) -> DbResult<()> {
+        for seg in self.chain_rids(rid)? {
+            self.delete_raw(txn, seg)?;
+        }
+        Ok(())
+    }
+
+    /// Visit every live *logical* record (directory rebuild, eager
+    /// schema migration, statistics). Overflow chains are reassembled
+    /// and reported once, under their head rid.
+    pub fn scan_all(&self, mut f: impl FnMut(Rid, &[u8])) -> DbResult<()> {
+        let pages = self.disk.page_count();
+        for p in 0..pages {
+            let pid = PageId(p);
+            // Collect this page's cells first: the closure must not call
+            // back into the pool (chain reads would).
+            let cells: Vec<(u16, Vec<u8>)> = self.pool.with_page(pid, |page| {
+                slotted::iter(page).map(|(slot, rec)| (slot, rec.to_vec())).collect()
+            })?;
+            for (slot, raw) in cells {
+                let rid = Rid { page: pid, slot };
+                match Self::parse_raw(&raw)? {
+                    (Self::TAG_WHOLE, _, payload) => f(rid, payload),
+                    (Self::TAG_HEAD, _, _) => {
+                        let assembled = self.read(rid)?;
+                        f(rid, &assembled);
+                    }
+                    _ => {} // tail segments are part of some head
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpoint, crash, recovery
+    // ------------------------------------------------------------------
+
+    /// Quiescent checkpoint: flush every dirty page, then log and force a
+    /// checkpoint record. Restart recovery starts scanning here. Fails if
+    /// any transaction is active.
+    pub fn checkpoint(&self) -> DbResult<()> {
+        if !self.active.lock().is_empty() {
+            return Err(DbError::InvalidTxnState(
+                "checkpoint requires no active transactions".into(),
+            ));
+        }
+        self.pool.flush_all()?;
+        self.wal.append(&LogRecord::Checkpoint);
+        self.wal.flush();
+        Ok(())
+    }
+
+    /// Simulate a crash: the buffer pool and the unforced log tail are
+    /// lost; the disk image and the stable log survive.
+    pub fn crash(&self) {
+        self.pool.crash();
+        self.wal.crash();
+        self.active.lock().clear();
+    }
+
+    /// Restart recovery: analysis, redo, undo — then rebuild the
+    /// free-space map. Idempotent: running it twice is harmless.
+    pub fn recover(&self) -> DbResult<()> {
+        let records = self.wal.stable_records()?;
+        // Start at the last quiescent checkpoint.
+        let start = records
+            .iter()
+            .rposition(|(_, r)| matches!(r, LogRecord::Checkpoint))
+            .map(|i| i + 1)
+            .unwrap_or(0);
+        let tail = &records[start..];
+
+        // --- Analysis ---
+        let mut committed: HashSet<u64> = HashSet::new();
+        let mut aborted: HashSet<u64> = HashSet::new();
+        let mut compensated: HashMap<u64, HashSet<u64>> = HashMap::new();
+        let mut ops: HashMap<u64, Vec<(Lsn, UndoOp)>> = HashMap::new();
+        for (lsn, rec) in tail {
+            match rec {
+                LogRecord::Commit { txn } => {
+                    committed.insert(*txn);
+                }
+                LogRecord::Abort { txn } => {
+                    aborted.insert(*txn);
+                }
+                LogRecord::Clr { txn, compensates, .. } => {
+                    compensated.entry(*txn).or_default().insert(*compensates);
+                }
+                LogRecord::Insert { txn, rid, .. } => {
+                    ops.entry(*txn).or_default().push((*lsn, UndoOp::Insert { rid: *rid }));
+                }
+                LogRecord::Update { txn, rid, before, .. } => ops
+                    .entry(*txn)
+                    .or_default()
+                    .push((*lsn, UndoOp::Update { rid: *rid, before: before.clone() })),
+                LogRecord::Delete { txn, rid, before } => ops
+                    .entry(*txn)
+                    .or_default()
+                    .push((*lsn, UndoOp::Delete { rid: *rid, before: before.clone() })),
+                LogRecord::Begin { .. } | LogRecord::Checkpoint => {}
+            }
+        }
+
+        // --- Redo (history repeats, committed or not) ---
+        for (lsn, rec) in tail {
+            match rec {
+                LogRecord::Insert { rid, bytes, .. } => {
+                    self.redo_guarded(*lsn, *rid, |page| slotted::insert_at(page, rid.slot, bytes))?;
+                }
+                LogRecord::Update { rid, after, .. } => {
+                    self.redo_guarded(*lsn, *rid, |page| {
+                        if !slotted::update(page, rid.slot, after) {
+                            slotted::delete(page, rid.slot);
+                            slotted::insert_at(page, rid.slot, after)?;
+                        }
+                        Ok(())
+                    })?;
+                }
+                LogRecord::Delete { rid, .. } => {
+                    self.redo_guarded(*lsn, *rid, |page| {
+                        slotted::delete(page, rid.slot);
+                        Ok(())
+                    })?;
+                }
+                LogRecord::Clr { action, .. } => {
+                    let rid = match action {
+                        ClrAction::Remove { rid }
+                        | ClrAction::Overwrite { rid, .. }
+                        | ClrAction::ReInsert { rid, .. } => *rid,
+                    };
+                    self.redo_guarded(*lsn, rid, |page| {
+                        match action {
+                            ClrAction::Remove { rid } => {
+                                slotted::delete(page, rid.slot);
+                            }
+                            ClrAction::Overwrite { rid, bytes } => {
+                                if !slotted::update(page, rid.slot, bytes) {
+                                    slotted::delete(page, rid.slot);
+                                    slotted::insert_at(page, rid.slot, bytes)?;
+                                }
+                            }
+                            ClrAction::ReInsert { rid, bytes } => {
+                                slotted::insert_at(page, rid.slot, bytes)?;
+                            }
+                        }
+                        Ok(())
+                    })?;
+                }
+                _ => {}
+            }
+        }
+
+        // --- Undo losers (no commit, no abort record) ---
+        let mut loser_ids: Vec<u64> = ops
+            .keys()
+            .filter(|t| !committed.contains(t) && !aborted.contains(t))
+            .copied()
+            .collect();
+        loser_ids.sort_unstable();
+        for txn in loser_ids {
+            let done = compensated.get(&txn).cloned().unwrap_or_default();
+            let txn_ops = &ops[&txn];
+            for (lsn, op) in txn_ops.iter().rev() {
+                if done.contains(&lsn.0) {
+                    continue;
+                }
+                let action = match op {
+                    UndoOp::Insert { rid } => ClrAction::Remove { rid: *rid },
+                    UndoOp::Update { rid, before } => {
+                        ClrAction::Overwrite { rid: *rid, bytes: before.clone() }
+                    }
+                    UndoOp::Delete { rid, before } => {
+                        ClrAction::ReInsert { rid: *rid, bytes: before.clone() }
+                    }
+                };
+                let clr_lsn = self.wal.append(&LogRecord::Clr {
+                    txn,
+                    compensates: lsn.0,
+                    action: action.clone(),
+                });
+                self.apply_clr(&action, clr_lsn)?;
+            }
+            self.wal.append(&LogRecord::Abort { txn });
+        }
+        self.wal.flush();
+
+        // --- Rebuild the free-space map ---
+        let mut heap = self.heap.lock();
+        heap.clear();
+        drop(heap);
+        for p in 0..self.disk.page_count() {
+            self.refresh_free(PageId(p))?;
+        }
+        Ok(())
+    }
+
+    fn redo_guarded(
+        &self,
+        lsn: Lsn,
+        rid: Rid,
+        apply: impl FnOnce(&mut [u8]) -> DbResult<()>,
+    ) -> DbResult<()> {
+        self.pool.with_page_mut(rid.page, |page| -> DbResult<()> {
+            if slotted::page_lsn(page) < lsn.0 {
+                apply(page)?;
+                slotted::set_page_lsn(page, lsn.0);
+            }
+            Ok(())
+        })??;
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for StorageEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StorageEngine")
+            .field("pages", &self.disk.page_count())
+            .field("active_txns", &self.active.lock().len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(engine: &StorageEngine) -> Vec<(Rid, Vec<u8>)> {
+        let mut out = Vec::new();
+        engine.scan_all(|rid, bytes| out.push((rid, bytes.to_vec()))).unwrap();
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn insert_read_update_delete() {
+        let engine = StorageEngine::new(8);
+        let txn = engine.begin();
+        let rid = engine.insert(txn, b"alpha", None).unwrap();
+        assert_eq!(engine.read(rid).unwrap(), b"alpha");
+        let rid2 = engine.update(txn, rid, b"beta!").unwrap();
+        assert_eq!(rid2, rid, "same-size update stays in place");
+        assert_eq!(engine.read(rid).unwrap(), b"beta!");
+        engine.delete(txn, rid).unwrap();
+        assert!(engine.read(rid).is_err());
+        engine.commit(txn).unwrap();
+    }
+
+    #[test]
+    fn abort_rolls_back_everything() {
+        let engine = StorageEngine::new(8);
+        let setup = engine.begin();
+        let keep = engine.insert(setup, b"keep", None).unwrap();
+        engine.commit(setup).unwrap();
+
+        let txn = engine.begin();
+        let gone = engine.insert(txn, b"gone", None).unwrap();
+        engine.update(txn, keep, b"kep2").unwrap();
+        engine.delete(txn, keep).unwrap();
+        engine.abort(txn).unwrap();
+
+        assert!(engine.read(gone).is_err(), "inserted record removed");
+        assert_eq!(engine.read(keep).unwrap(), b"keep", "survivor restored");
+        assert_eq!(collect(&engine).len(), 1);
+    }
+
+    #[test]
+    fn commit_survives_crash() {
+        let engine = StorageEngine::new(4);
+        let txn = engine.begin();
+        let rid = engine.insert(txn, b"durable", None).unwrap();
+        engine.commit(txn).unwrap();
+        engine.crash();
+        engine.recover().unwrap();
+        assert_eq!(engine.read(rid).unwrap(), b"durable");
+    }
+
+    #[test]
+    fn uncommitted_lost_or_undone_after_crash() {
+        let engine = StorageEngine::new(4);
+        let t1 = engine.begin();
+        let committed = engine.insert(t1, b"yes", None).unwrap();
+        engine.commit(t1).unwrap();
+
+        let t2 = engine.begin();
+        let _doomed = engine.insert(t2, b"no", None).unwrap();
+        // Force the log so t2's insert is stable but unmerged — recovery
+        // must redo then undo it.
+        engine.wal().flush();
+        engine.crash();
+        engine.recover().unwrap();
+        let records = collect(&engine);
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].0, committed);
+        assert_eq!(records[0].1, b"yes");
+    }
+
+    #[test]
+    fn update_by_loser_is_undone_at_recovery() {
+        let engine = StorageEngine::new(4);
+        let t1 = engine.begin();
+        let rid = engine.insert(t1, b"original", None).unwrap();
+        engine.commit(t1).unwrap();
+
+        let t2 = engine.begin();
+        engine.update(t2, rid, b"tampered").unwrap();
+        engine.wal().flush();
+        // Also push the dirty page to disk to exercise undo of flushed data.
+        engine.pool().flush_all().unwrap();
+        engine.crash();
+        engine.recover().unwrap();
+        assert_eq!(engine.read(rid).unwrap(), b"original");
+    }
+
+    #[test]
+    fn recovery_is_idempotent() {
+        let engine = StorageEngine::new(4);
+        let t1 = engine.begin();
+        let a = engine.insert(t1, b"aa", None).unwrap();
+        engine.commit(t1).unwrap();
+        let t2 = engine.begin();
+        engine.update(t2, a, b"zz").unwrap();
+        engine.wal().flush();
+        engine.crash();
+        engine.recover().unwrap();
+        let first = collect(&engine);
+        engine.recover().unwrap();
+        let second = collect(&engine);
+        assert_eq!(first, second);
+        assert_eq!(engine.read(a).unwrap(), b"aa");
+    }
+
+    #[test]
+    fn crash_after_abort_stays_rolled_back() {
+        let engine = StorageEngine::new(4);
+        let t1 = engine.begin();
+        let rid = engine.insert(t1, b"base", None).unwrap();
+        engine.commit(t1).unwrap();
+
+        let t2 = engine.begin();
+        engine.delete(t2, rid).unwrap();
+        engine.abort(t2).unwrap(); // logs CLRs + Abort, flushed
+        engine.crash();
+        engine.recover().unwrap();
+        assert_eq!(engine.read(rid).unwrap(), b"base", "no double-undo");
+        assert_eq!(collect(&engine).len(), 1);
+    }
+
+    #[test]
+    fn checkpoint_bounds_recovery_scan() {
+        let engine = StorageEngine::new(4);
+        let t1 = engine.begin();
+        let a = engine.insert(t1, b"one", None).unwrap();
+        engine.commit(t1).unwrap();
+        engine.checkpoint().unwrap();
+        let t2 = engine.begin();
+        let b = engine.insert(t2, b"two", None).unwrap();
+        engine.commit(t2).unwrap();
+        engine.crash();
+        engine.recover().unwrap();
+        assert_eq!(engine.read(a).unwrap(), b"one");
+        assert_eq!(engine.read(b).unwrap(), b"two");
+    }
+
+    #[test]
+    fn checkpoint_refuses_active_txns() {
+        let engine = StorageEngine::new(4);
+        let t = engine.begin();
+        assert!(engine.checkpoint().is_err());
+        engine.commit(t).unwrap();
+        engine.checkpoint().unwrap();
+    }
+
+    #[test]
+    fn growing_update_relocates_when_page_full() {
+        let engine = StorageEngine::new(8);
+        let txn = engine.begin();
+        // Fill a page almost completely.
+        let big = vec![1u8; 1900];
+        let r1 = engine.insert(txn, &big, None).unwrap();
+        let r2 = engine.insert(txn, &big, None).unwrap();
+        assert_eq!(r1.page, r2.page);
+        // Growing r1 beyond the page forces relocation; rid changes.
+        let huge = vec![2u8; 3000];
+        let r1b = engine.update(txn, r1, &huge).unwrap();
+        assert_ne!(r1b.page, r1.page);
+        assert_eq!(engine.read(r1b).unwrap(), huge);
+        assert!(engine.read(r1).is_err(), "old rid is dead");
+        engine.commit(txn).unwrap();
+    }
+
+    #[test]
+    fn long_records_chain_across_pages() {
+        let engine = StorageEngine::new(8);
+        let txn = engine.begin();
+        // Three pages' worth of "multimedia" data.
+        let blob: Vec<u8> = (0..3 * slotted::MAX_RECORD).map(|i| (i % 251) as u8).collect();
+        let rid = engine.insert(txn, &blob, None).unwrap();
+        assert_eq!(engine.read(rid).unwrap(), blob);
+        assert!(engine.exists(rid).unwrap());
+        // Scan reports the logical record once, reassembled.
+        let mut seen = Vec::new();
+        engine.scan_all(|r, bytes| seen.push((r, bytes.len()))).unwrap();
+        assert_eq!(seen, vec![(rid, blob.len())]);
+        // Update to an even longer chain.
+        let bigger: Vec<u8> = (0..4 * slotted::MAX_RECORD).map(|i| (i % 13) as u8).collect();
+        let rid2 = engine.update(txn, rid, &bigger).unwrap();
+        assert_eq!(engine.read(rid2).unwrap(), bigger);
+        // And back down to a small in-page record.
+        let rid3 = engine.update(txn, rid2, b"tiny").unwrap();
+        assert_eq!(engine.read(rid3).unwrap(), b"tiny");
+        engine.commit(txn).unwrap();
+        // Only the logical record remains after all that churn.
+        let mut count = 0;
+        engine.scan_all(|_, _| count += 1).unwrap();
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn long_record_survives_crash_and_rolls_back() {
+        let engine = StorageEngine::new(4);
+        let blob: Vec<u8> = (0..2 * slotted::MAX_RECORD + 77).map(|i| (i % 199) as u8).collect();
+        let t1 = engine.begin();
+        let committed = engine.insert(t1, &blob, None).unwrap();
+        engine.commit(t1).unwrap();
+
+        let t2 = engine.begin();
+        let doomed = engine.insert(t2, &blob, None).unwrap();
+        engine.wal().flush();
+        let _ = doomed;
+        engine.crash();
+        engine.recover().unwrap();
+        assert_eq!(engine.read(committed).unwrap(), blob, "chain intact after recovery");
+        let mut count = 0;
+        engine.scan_all(|_, _| count += 1).unwrap();
+        assert_eq!(count, 1, "loser chain fully undone");
+
+        // Abort path: a chain delete rolls back as a unit.
+        let t3 = engine.begin();
+        engine.delete(t3, committed).unwrap();
+        engine.abort(t3).unwrap();
+        assert_eq!(engine.read(committed).unwrap(), blob);
+    }
+
+    #[test]
+    fn absurdly_large_record_rejected() {
+        let engine = StorageEngine::new(4);
+        let txn = engine.begin();
+        let too_big = vec![0u8; StorageEngine::MAX_LOGICAL_RECORD + 1];
+        assert!(engine.insert(txn, &too_big, None).is_err());
+        engine.commit(txn).unwrap();
+    }
+
+    #[test]
+    fn placement_hint_clusters_records() {
+        let engine = StorageEngine::new(16);
+        let txn = engine.begin();
+        let root = engine.insert(txn, b"root", None).unwrap();
+        // Fill elsewhere so the default choice would differ.
+        for _ in 0..10 {
+            engine.insert(txn, &[7u8; 64], None).unwrap();
+        }
+        let part = engine.insert(txn, b"part", Some(root.page)).unwrap();
+        assert_eq!(part.page, root.page, "hint honored while space remains");
+        engine.commit(txn).unwrap();
+    }
+
+    #[test]
+    fn many_records_span_pages_and_scan_finds_all() {
+        let engine = StorageEngine::new(8);
+        let txn = engine.begin();
+        let payload = vec![9u8; 512];
+        let mut rids = Vec::new();
+        for _ in 0..50 {
+            rids.push(engine.insert(txn, &payload, None).unwrap());
+        }
+        engine.commit(txn).unwrap();
+        assert!(engine.disk().page_count() > 1, "spilled to multiple pages");
+        assert_eq!(collect(&engine).len(), 50);
+        for rid in rids {
+            assert_eq!(engine.read(rid).unwrap().len(), 512);
+        }
+    }
+
+    #[test]
+    fn operations_on_unknown_txn_fail() {
+        let engine = StorageEngine::new(4);
+        let ghost = TxnId(999);
+        assert!(engine.insert(ghost, b"x", None).is_err());
+        assert!(engine.commit(ghost).is_err());
+        assert!(engine.abort(ghost).is_err());
+    }
+}

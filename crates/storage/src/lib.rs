@@ -1,0 +1,36 @@
+//! The storage substrate for orion: simulated disk, buffer management,
+//! slotted pages, heap files, write-ahead logging, and crash recovery.
+//!
+//! The paper requires that an OODB "supports all the database features
+//! found in conventional database systems" (§3.1, requirement 2) —
+//! durability and recovery included — and singles out *physical
+//! clustering* as one of the components needing new architectural
+//! techniques (§4.2). This crate provides:
+//!
+//! * [`SimDisk`] — a page-addressed simulated disk with read/write
+//!   accounting. Substitution note (see DESIGN.md): the paper's claims
+//!   about clustering and indexing are claims about I/O counts and
+//!   locality, which the accounting captures exactly; a spinning 1990
+//!   disk would only scale the constants.
+//! * [`slotted`] — the slotted-page record layout with per-page LSNs.
+//! * [`BufferPool`] — an LRU buffer cache with dirty tracking, a
+//!   write-ahead hook (no page leaves the pool before its log does), and
+//!   hit/miss/eviction counters (experiment E10 reads these).
+//! * [`HeapFile`] — record storage with free-space tracking and
+//!   placement hints for composite-object clustering.
+//! * [`Wal`] / [`StorageEngine`] — physiological logging with
+//!   redo/undo restart recovery, quiescent checkpoints, and a `crash()`
+//!   test hook that drops all volatile state (experiment E13).
+
+pub mod buffer;
+pub mod disk;
+pub mod engine;
+pub mod heap;
+pub mod slotted;
+pub mod wal;
+
+pub use buffer::{BufferPool, PoolStats};
+pub use disk::{DiskStats, PageId, SimDisk, PAGE_SIZE};
+pub use engine::{StorageEngine, TxnId};
+pub use heap::{HeapFile, Rid};
+pub use wal::{LogRecord, Lsn, Wal};

@@ -1,0 +1,442 @@
+//! Write-ahead logging.
+//!
+//! The log is physiological: records name a record id (`page`, `slot`)
+//! and carry byte images. A `stable` prefix models what reached the
+//! durable log device; the `tail` models the in-memory log buffer, which
+//! a crash discards. `flush` (called on commit and by the buffer pool's
+//! write-ahead hook) moves the tail into the stable prefix.
+//!
+//! Rollback uses ARIES-style compensation: undoing an operation appends
+//! a [`LogRecord::Clr`] naming the LSN it compensates, so that restart
+//! recovery never undoes the same operation twice even if the crash hits
+//! mid-rollback.
+
+use crate::heap::Rid;
+use orion_types::{DbError, DbResult};
+use parking_lot::Mutex;
+
+use bytes::{Buf, BufMut};
+
+/// A log sequence number: the byte offset of a record's start in the log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lsn(pub u64);
+
+/// The physical action a compensation record applies.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClrAction {
+    /// Re-insert `bytes` at `rid` (compensates a delete).
+    ReInsert {
+        /// Target record id.
+        rid: Rid,
+        /// The before-image being restored.
+        bytes: Vec<u8>,
+    },
+    /// Overwrite `rid` with `bytes` (compensates an update).
+    Overwrite {
+        /// Target record id.
+        rid: Rid,
+        /// The before-image being restored.
+        bytes: Vec<u8>,
+    },
+    /// Remove the record at `rid` (compensates an insert).
+    Remove {
+        /// Target record id.
+        rid: Rid,
+    },
+}
+
+/// A write-ahead log record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogRecord {
+    /// Transaction start.
+    Begin {
+        /// Transaction id.
+        txn: u64,
+    },
+    /// A record was inserted.
+    Insert {
+        /// Transaction id.
+        txn: u64,
+        /// Where the record landed.
+        rid: Rid,
+        /// The record bytes (redo image).
+        bytes: Vec<u8>,
+    },
+    /// A record was overwritten in place.
+    Update {
+        /// Transaction id.
+        txn: u64,
+        /// The record id.
+        rid: Rid,
+        /// Before-image (undo).
+        before: Vec<u8>,
+        /// After-image (redo).
+        after: Vec<u8>,
+    },
+    /// A record was deleted.
+    Delete {
+        /// Transaction id.
+        txn: u64,
+        /// The record id.
+        rid: Rid,
+        /// Before-image (undo).
+        before: Vec<u8>,
+    },
+    /// Transaction committed (forced to stable storage).
+    Commit {
+        /// Transaction id.
+        txn: u64,
+    },
+    /// Transaction fully rolled back.
+    Abort {
+        /// Transaction id.
+        txn: u64,
+    },
+    /// Compensation: `action` undoes the operation logged at
+    /// `compensates`.
+    Clr {
+        /// Transaction id.
+        txn: u64,
+        /// LSN of the operation this record compensates.
+        compensates: u64,
+        /// The physical undo action.
+        action: ClrAction,
+    },
+    /// Quiescent checkpoint: all pages flushed, no transaction active.
+    /// Recovery starts scanning here.
+    Checkpoint,
+}
+
+impl LogRecord {
+    /// The transaction this record belongs to, if any.
+    pub fn txn(&self) -> Option<u64> {
+        match self {
+            LogRecord::Begin { txn }
+            | LogRecord::Insert { txn, .. }
+            | LogRecord::Update { txn, .. }
+            | LogRecord::Delete { txn, .. }
+            | LogRecord::Commit { txn }
+            | LogRecord::Abort { txn }
+            | LogRecord::Clr { txn, .. } => Some(*txn),
+            LogRecord::Checkpoint => None,
+        }
+    }
+}
+
+fn put_rid(out: &mut Vec<u8>, rid: Rid) {
+    out.put_u32_le(rid.page.0);
+    out.put_u16_le(rid.slot);
+}
+
+fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    out.put_u32_le(bytes.len() as u32);
+    out.put_slice(bytes);
+}
+
+fn get_rid(buf: &mut &[u8]) -> Rid {
+    let page = crate::disk::PageId(buf.get_u32_le());
+    let slot = buf.get_u16_le();
+    Rid { page, slot }
+}
+
+fn get_bytes(buf: &mut &[u8]) -> Vec<u8> {
+    let len = buf.get_u32_le() as usize;
+    let out = buf[..len].to_vec();
+    buf.advance(len);
+    out
+}
+
+const T_BEGIN: u8 = 1;
+const T_INSERT: u8 = 2;
+const T_UPDATE: u8 = 3;
+const T_DELETE: u8 = 4;
+const T_COMMIT: u8 = 5;
+const T_ABORT: u8 = 6;
+const T_CLR: u8 = 7;
+const T_CHECKPOINT: u8 = 8;
+const A_REINSERT: u8 = 1;
+const A_OVERWRITE: u8 = 2;
+const A_REMOVE: u8 = 3;
+
+fn encode(rec: &LogRecord) -> Vec<u8> {
+    let mut body = Vec::with_capacity(32);
+    match rec {
+        LogRecord::Begin { txn } => {
+            body.put_u8(T_BEGIN);
+            body.put_u64_le(*txn);
+        }
+        LogRecord::Insert { txn, rid, bytes } => {
+            body.put_u8(T_INSERT);
+            body.put_u64_le(*txn);
+            put_rid(&mut body, *rid);
+            put_bytes(&mut body, bytes);
+        }
+        LogRecord::Update { txn, rid, before, after } => {
+            body.put_u8(T_UPDATE);
+            body.put_u64_le(*txn);
+            put_rid(&mut body, *rid);
+            put_bytes(&mut body, before);
+            put_bytes(&mut body, after);
+        }
+        LogRecord::Delete { txn, rid, before } => {
+            body.put_u8(T_DELETE);
+            body.put_u64_le(*txn);
+            put_rid(&mut body, *rid);
+            put_bytes(&mut body, before);
+        }
+        LogRecord::Commit { txn } => {
+            body.put_u8(T_COMMIT);
+            body.put_u64_le(*txn);
+        }
+        LogRecord::Abort { txn } => {
+            body.put_u8(T_ABORT);
+            body.put_u64_le(*txn);
+        }
+        LogRecord::Clr { txn, compensates, action } => {
+            body.put_u8(T_CLR);
+            body.put_u64_le(*txn);
+            body.put_u64_le(*compensates);
+            match action {
+                ClrAction::ReInsert { rid, bytes } => {
+                    body.put_u8(A_REINSERT);
+                    put_rid(&mut body, *rid);
+                    put_bytes(&mut body, bytes);
+                }
+                ClrAction::Overwrite { rid, bytes } => {
+                    body.put_u8(A_OVERWRITE);
+                    put_rid(&mut body, *rid);
+                    put_bytes(&mut body, bytes);
+                }
+                ClrAction::Remove { rid } => {
+                    body.put_u8(A_REMOVE);
+                    put_rid(&mut body, *rid);
+                }
+            }
+        }
+        LogRecord::Checkpoint => {
+            body.put_u8(T_CHECKPOINT);
+        }
+    }
+    let mut framed = Vec::with_capacity(body.len() + 4);
+    framed.put_u32_le(body.len() as u32);
+    framed.extend_from_slice(&body);
+    framed
+}
+
+fn decode(mut body: &[u8]) -> DbResult<LogRecord> {
+    let buf = &mut body;
+    if buf.remaining() < 1 {
+        return Err(DbError::Wal("empty log record".into()));
+    }
+    let tag = buf.get_u8();
+    let rec = match tag {
+        T_BEGIN => LogRecord::Begin { txn: buf.get_u64_le() },
+        T_INSERT => {
+            let txn = buf.get_u64_le();
+            let rid = get_rid(buf);
+            let bytes = get_bytes(buf);
+            LogRecord::Insert { txn, rid, bytes }
+        }
+        T_UPDATE => {
+            let txn = buf.get_u64_le();
+            let rid = get_rid(buf);
+            let before = get_bytes(buf);
+            let after = get_bytes(buf);
+            LogRecord::Update { txn, rid, before, after }
+        }
+        T_DELETE => {
+            let txn = buf.get_u64_le();
+            let rid = get_rid(buf);
+            let before = get_bytes(buf);
+            LogRecord::Delete { txn, rid, before }
+        }
+        T_COMMIT => LogRecord::Commit { txn: buf.get_u64_le() },
+        T_ABORT => LogRecord::Abort { txn: buf.get_u64_le() },
+        T_CLR => {
+            let txn = buf.get_u64_le();
+            let compensates = buf.get_u64_le();
+            let atag = buf.get_u8();
+            let action = match atag {
+                A_REINSERT => {
+                    let rid = get_rid(buf);
+                    let bytes = get_bytes(buf);
+                    ClrAction::ReInsert { rid, bytes }
+                }
+                A_OVERWRITE => {
+                    let rid = get_rid(buf);
+                    let bytes = get_bytes(buf);
+                    ClrAction::Overwrite { rid, bytes }
+                }
+                A_REMOVE => ClrAction::Remove { rid: get_rid(buf) },
+                other => return Err(DbError::Wal(format!("bad CLR action tag {other}"))),
+            };
+            LogRecord::Clr { txn, compensates, action }
+        }
+        T_CHECKPOINT => LogRecord::Checkpoint,
+        other => return Err(DbError::Wal(format!("bad log record tag {other}"))),
+    };
+    Ok(rec)
+}
+
+#[derive(Debug, Default)]
+struct WalInner {
+    stable: Vec<u8>,
+    tail: Vec<u8>,
+}
+
+/// The write-ahead log.
+#[derive(Debug, Default)]
+pub struct Wal {
+    inner: Mutex<WalInner>,
+}
+
+impl Wal {
+    /// An empty log.
+    pub fn new() -> Self {
+        Wal::default()
+    }
+
+    /// Append a record to the log buffer; returns its LSN.
+    pub fn append(&self, rec: &LogRecord) -> Lsn {
+        let framed = encode(rec);
+        let mut inner = self.inner.lock();
+        let lsn = Lsn((inner.stable.len() + inner.tail.len()) as u64);
+        inner.tail.extend_from_slice(&framed);
+        lsn
+    }
+
+    /// Force the log buffer to stable storage.
+    pub fn flush(&self) {
+        let mut inner = self.inner.lock();
+        let tail = std::mem::take(&mut inner.tail);
+        inner.stable.extend_from_slice(&tail);
+    }
+
+    /// Force the log up to (and including) `lsn` — the write-ahead rule
+    /// invoked by the buffer pool before writing a dirty page. The tail
+    /// is flushed wholesale when `lsn` lies inside it.
+    pub fn flush_to(&self, lsn: Lsn) {
+        let needs = {
+            let inner = self.inner.lock();
+            lsn.0 >= inner.stable.len() as u64
+        };
+        if needs {
+            self.flush();
+        }
+    }
+
+    /// Byte length of the stable prefix.
+    pub fn stable_len(&self) -> u64 {
+        self.inner.lock().stable.len() as u64
+    }
+
+    /// Total log length including the unforced tail.
+    pub fn total_len(&self) -> u64 {
+        let inner = self.inner.lock();
+        (inner.stable.len() + inner.tail.len()) as u64
+    }
+
+    /// Simulate a crash: the unforced tail is lost.
+    pub fn crash(&self) {
+        self.inner.lock().tail.clear();
+    }
+
+    /// Read every record in the *stable* prefix, with its LSN.
+    pub fn stable_records(&self) -> DbResult<Vec<(Lsn, LogRecord)>> {
+        let inner = self.inner.lock();
+        let mut out = Vec::new();
+        let mut at = 0usize;
+        let stable = &inner.stable;
+        while at + 4 <= stable.len() {
+            let len = u32::from_le_bytes(stable[at..at + 4].try_into().unwrap()) as usize;
+            if at + 4 + len > stable.len() {
+                return Err(DbError::Wal(format!("torn log record at offset {at}")));
+            }
+            let rec = decode(&stable[at + 4..at + 4 + len])?;
+            out.push((Lsn(at as u64), rec));
+            at += 4 + len;
+        }
+        if at != stable.len() {
+            return Err(DbError::Wal(format!("trailing garbage at offset {at}")));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::PageId;
+
+    fn rid(p: u32, s: u16) -> Rid {
+        Rid { page: PageId(p), slot: s }
+    }
+
+    #[test]
+    fn encode_decode_all_variants() {
+        let records = vec![
+            LogRecord::Begin { txn: 1 },
+            LogRecord::Insert { txn: 1, rid: rid(2, 3), bytes: b"abc".to_vec() },
+            LogRecord::Update {
+                txn: 1,
+                rid: rid(2, 3),
+                before: b"abc".to_vec(),
+                after: b"defg".to_vec(),
+            },
+            LogRecord::Delete { txn: 1, rid: rid(2, 3), before: b"defg".to_vec() },
+            LogRecord::Clr {
+                txn: 1,
+                compensates: 99,
+                action: ClrAction::ReInsert { rid: rid(2, 3), bytes: b"x".to_vec() },
+            },
+            LogRecord::Clr {
+                txn: 1,
+                compensates: 100,
+                action: ClrAction::Overwrite { rid: rid(2, 3), bytes: b"y".to_vec() },
+            },
+            LogRecord::Clr { txn: 1, compensates: 101, action: ClrAction::Remove { rid: rid(2, 3) } },
+            LogRecord::Commit { txn: 1 },
+            LogRecord::Abort { txn: 2 },
+            LogRecord::Checkpoint,
+        ];
+        let wal = Wal::new();
+        let lsns: Vec<Lsn> = records.iter().map(|r| wal.append(r)).collect();
+        assert!(lsns.windows(2).all(|w| w[0] < w[1]), "LSNs are monotone");
+        wal.flush();
+        let read: Vec<LogRecord> =
+            wal.stable_records().unwrap().into_iter().map(|(_, r)| r).collect();
+        assert_eq!(read, records);
+    }
+
+    #[test]
+    fn crash_loses_unflushed_tail_only() {
+        let wal = Wal::new();
+        wal.append(&LogRecord::Begin { txn: 1 });
+        wal.flush();
+        wal.append(&LogRecord::Commit { txn: 1 });
+        wal.crash();
+        let recs = wal.stable_records().unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].1, LogRecord::Begin { txn: 1 });
+    }
+
+    #[test]
+    fn flush_to_honors_write_ahead_rule() {
+        let wal = Wal::new();
+        let l1 = wal.append(&LogRecord::Begin { txn: 1 });
+        wal.flush();
+        let l2 = wal.append(&LogRecord::Commit { txn: 1 });
+        // l1 already stable: no-op.
+        wal.flush_to(l1);
+        assert_eq!(wal.stable_records().unwrap().len(), 1);
+        // l2 in the tail: flushes.
+        wal.flush_to(l2);
+        assert_eq!(wal.stable_records().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn txn_accessor() {
+        assert_eq!(LogRecord::Begin { txn: 7 }.txn(), Some(7));
+        assert_eq!(LogRecord::Checkpoint.txn(), None);
+    }
+}

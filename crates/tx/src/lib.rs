@@ -1,0 +1,27 @@
+//! Concurrency control for orion.
+//!
+//! "The semantics of these facilities in object-oriented database
+//! systems must be extended/modified to be consistent with the semantics
+//! of the core object-oriented concepts" (§3.1) — and §3.2 lists
+//! concurrency control among the components the class hierarchy impacts
+//! (\[GARZ88\]). This crate provides:
+//!
+//! * [`LockMode`] — the classic granular modes `IS, IX, S, SIX, X`,
+//! * [`LockManager`] — a blocking lock table over the granularity
+//!   hierarchy *database → class → instance*, with intention locking,
+//!   lock upgrades, FIFO-less grant (barging allowed), waits-for
+//!   deadlock detection (the requester that would close a cycle aborts),
+//!   and timeouts,
+//! * class-hierarchy locking: schema changes take `X` on a class *and
+//!   its subtree*, which the facade passes in explicitly (the catalog
+//!   owns subtree computation).
+//!
+//! Strict two-phase locking is a protocol, not a data structure: the
+//! facade acquires locks as it touches objects and calls
+//! [`LockManager::release_all`] only at commit/abort.
+
+pub mod manager;
+pub mod modes;
+
+pub use manager::{LockManager, LockTarget};
+pub use modes::LockMode;

@@ -1,0 +1,124 @@
+//! Granular lock modes and their algebra.
+
+/// The five granular locking modes.
+///
+/// Intention modes (`IS`, `IX`) are taken on ancestors in the
+/// granularity hierarchy before locking a descendant; `SIX` is the
+/// classic "read all, write some" combination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LockMode {
+    /// Intention to take `S` locks below.
+    IS,
+    /// Intention to take `X` locks below.
+    IX,
+    /// Shared: read this whole granule.
+    S,
+    /// Shared + intention exclusive: read all, write selected children.
+    SIX,
+    /// Exclusive: read/write this whole granule.
+    X,
+}
+
+impl LockMode {
+    /// The standard compatibility matrix.
+    pub fn compatible(self, other: LockMode) -> bool {
+        use LockMode::*;
+        match (self, other) {
+            (IS, X) | (X, IS) => false,
+            (IS, _) | (_, IS) => true,
+            (IX, IX) => true,
+            (IX, _) | (_, IX) => false,
+            (S, S) => true,
+            (S, _) | (_, S) => false,
+            _ => false, // SIX/X vs SIX/X
+        }
+    }
+
+    /// The least upper bound of two held modes (for lock upgrades):
+    /// a transaction holding `a` that requests `b` ends up holding
+    /// `a.combine(b)`.
+    pub fn combine(self, other: LockMode) -> LockMode {
+        use LockMode::*;
+        if self == other {
+            return self;
+        }
+        match (self, other) {
+            (X, _) | (_, X) => X,
+            (SIX, _) | (_, SIX) => SIX,
+            (S, IX) | (IX, S) => SIX,
+            (S, IS) | (IS, S) => S,
+            (IX, IS) | (IS, IX) => IX,
+            _ => unreachable!("equal cases handled above"),
+        }
+    }
+
+    /// Does holding `self` imply the permissions of `other`?
+    pub fn covers(self, other: LockMode) -> bool {
+        self.combine(other) == self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use LockMode::*;
+
+    const ALL: [LockMode; 5] = [IS, IX, S, SIX, X];
+
+    #[test]
+    fn matrix_matches_textbook() {
+        let expect = [
+            // (a, b, compatible)
+            (IS, IS, true),
+            (IS, IX, true),
+            (IS, S, true),
+            (IS, SIX, true),
+            (IS, X, false),
+            (IX, IX, true),
+            (IX, S, false),
+            (IX, SIX, false),
+            (IX, X, false),
+            (S, S, true),
+            (S, SIX, false),
+            (S, X, false),
+            (SIX, SIX, false),
+            (SIX, X, false),
+            (X, X, false),
+        ];
+        for (a, b, want) in expect {
+            assert_eq!(a.compatible(b), want, "{a:?} vs {b:?}");
+            assert_eq!(b.compatible(a), want, "matrix is symmetric");
+        }
+    }
+
+    #[test]
+    fn combine_is_commutative_upper_bound() {
+        for a in ALL {
+            for b in ALL {
+                let c = a.combine(b);
+                assert_eq!(c, b.combine(a));
+                assert!(c.covers(a), "{c:?} covers {a:?}");
+                assert!(c.covers(b), "{c:?} covers {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn classic_upgrade_cases() {
+        assert_eq!(S.combine(IX), SIX);
+        assert_eq!(S.combine(X), X);
+        assert_eq!(IS.combine(IX), IX);
+        assert_eq!(SIX.combine(S), SIX);
+    }
+
+    #[test]
+    fn covers_is_reflexive() {
+        for a in ALL {
+            assert!(a.covers(a));
+        }
+        assert!(X.covers(S));
+        assert!(!S.covers(X));
+        assert!(SIX.covers(IX));
+        assert!(!IX.covers(S));
+    }
+}

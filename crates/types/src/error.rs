@@ -1,0 +1,138 @@
+//! The error type shared across every orion subsystem.
+
+use crate::oid::{ClassId, Oid};
+use std::fmt;
+
+/// Result alias used throughout the system.
+pub type DbResult<T> = Result<T, DbError>;
+
+/// Every way an orion operation can fail.
+///
+/// One flat enum rather than per-crate error types: the subsystems are
+/// tightly coupled (a query touches schema, storage, index, and locks in
+/// one call chain) and the facade would otherwise spend its time wrapping.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DbError {
+    /// A named class does not exist.
+    UnknownClass(String),
+    /// A class id is not in the catalog (dangling id).
+    UnknownClassId(ClassId),
+    /// A named attribute does not exist on the class.
+    UnknownAttribute { class: String, attribute: String },
+    /// A method selector could not be resolved anywhere up the hierarchy.
+    UnknownMethod { class: String, selector: String },
+    /// An object id does not resolve to a stored object.
+    NoSuchObject(Oid),
+    /// A value did not conform to the attribute's domain.
+    DomainViolation { class: String, attribute: String, expected: String, got: String },
+    /// A schema change would violate a schema invariant (\[BANE87\]).
+    SchemaInvariant(String),
+    /// Duplicate definition (class, attribute, method, index, view, ...).
+    AlreadyExists(String),
+    /// The transaction was chosen as a deadlock victim and must abort.
+    Deadlock { victim: u64 },
+    /// A lock could not be granted within the configured bound.
+    LockTimeout { txn: u64, what: String },
+    /// The transaction is not in a state that allows the operation.
+    InvalidTxnState(String),
+    /// Storage-layer failure (page full beyond repair, bad record id...).
+    Storage(String),
+    /// Write-ahead log corruption or replay failure.
+    Wal(String),
+    /// Query text failed to lex/parse.
+    Parse { position: usize, message: String },
+    /// A query was well-formed but semantically invalid for the schema.
+    Query(String),
+    /// The subject lacks the required authorization.
+    AuthorizationDenied { subject: String, action: String, target: String },
+    /// Version-management misuse (e.g. updating a working version).
+    Version(String),
+    /// Composite-object integrity violation (e.g. a part with two parents).
+    Composite(String),
+    /// Deductive-rule definition or evaluation failure.
+    Rule(String),
+    /// Federation / foreign-database adapter failure (§5.2).
+    Foreign(String),
+    /// Catch-all internal invariant breach; indicates a bug in orion.
+    Internal(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::UnknownClass(name) => write!(f, "unknown class `{name}`"),
+            DbError::UnknownClassId(id) => write!(f, "unknown class id {id}"),
+            DbError::UnknownAttribute { class, attribute } => {
+                write!(f, "class `{class}` has no attribute `{attribute}`")
+            }
+            DbError::UnknownMethod { class, selector } => {
+                write!(f, "no method `{selector}` found on `{class}` or its superclasses")
+            }
+            DbError::NoSuchObject(oid) => write!(f, "no such object {oid}"),
+            DbError::DomainViolation { class, attribute, expected, got } => write!(
+                f,
+                "value of kind `{got}` does not conform to domain `{expected}` \
+                 of attribute `{class}.{attribute}`"
+            ),
+            DbError::SchemaInvariant(msg) => write!(f, "schema invariant violated: {msg}"),
+            DbError::AlreadyExists(what) => write!(f, "{what} already exists"),
+            DbError::Deadlock { victim } => {
+                write!(f, "deadlock detected; transaction {victim} chosen as victim")
+            }
+            DbError::LockTimeout { txn, what } => {
+                write!(f, "transaction {txn} timed out waiting for lock on {what}")
+            }
+            DbError::InvalidTxnState(msg) => write!(f, "invalid transaction state: {msg}"),
+            DbError::Storage(msg) => write!(f, "storage error: {msg}"),
+            DbError::Wal(msg) => write!(f, "write-ahead log error: {msg}"),
+            DbError::Parse { position, message } => {
+                write!(f, "parse error at byte {position}: {message}")
+            }
+            DbError::Query(msg) => write!(f, "query error: {msg}"),
+            DbError::AuthorizationDenied { subject, action, target } => {
+                write!(f, "subject `{subject}` is not authorized to {action} {target}")
+            }
+            DbError::Version(msg) => write!(f, "version error: {msg}"),
+            DbError::Composite(msg) => write!(f, "composite object error: {msg}"),
+            DbError::Rule(msg) => write!(f, "rule error: {msg}"),
+            DbError::Foreign(msg) => write!(f, "foreign database error: {msg}"),
+            DbError::Internal(msg) => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl DbError {
+    /// Errors that abort the surrounding transaction when they surface
+    /// (the caller must not retry the statement inside the same txn).
+    pub fn is_txn_fatal(&self) -> bool {
+        matches!(self, DbError::Deadlock { .. } | DbError::Wal(_) | DbError::Internal(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = DbError::UnknownAttribute { class: "Vehicle".into(), attribute: "wings".into() };
+        assert_eq!(e.to_string(), "class `Vehicle` has no attribute `wings`");
+        let e = DbError::Deadlock { victim: 42 };
+        assert!(e.to_string().contains("42"));
+    }
+
+    #[test]
+    fn fatality_classification() {
+        assert!(DbError::Deadlock { victim: 1 }.is_txn_fatal());
+        assert!(!DbError::UnknownClass("X".into()).is_txn_fatal());
+        assert!(DbError::Internal("bug".into()).is_txn_fatal());
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(DbError::Query("bad".into()));
+        assert!(e.to_string().contains("bad"));
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests for the value model and codec.
+
+use orion_types::codec::{decode_value, encode_value, ObjectRecord};
+use orion_types::{ClassId, Oid, Value};
+use proptest::prelude::*;
+use std::cmp::Ordering;
+
+/// Strategy producing arbitrary values, nested up to 3 levels deep.
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<i64>().prop_map(Value::Int),
+        any::<f64>().prop_map(Value::Float),
+        any::<bool>().prop_map(Value::Bool),
+        "[a-zA-Z0-9 ]{0,16}".prop_map(Value::Str),
+        (any::<u16>(), 0u64..1 << 32).prop_map(|(c, s)| Value::Ref(Oid::new(ClassId(c), s))),
+        proptest::collection::vec(any::<u8>(), 0..32).prop_map(Value::Blob),
+    ];
+    leaf.prop_recursive(3, 24, 6, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..6).prop_map(Value::set),
+            proptest::collection::vec(inner, 0..6).prop_map(Value::List),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn codec_roundtrip(v in arb_value()) {
+        let mut bytes = Vec::new();
+        encode_value(&v, &mut bytes);
+        let mut slice = bytes.as_slice();
+        let decoded = decode_value(&mut slice).expect("decode");
+        prop_assert!(slice.is_empty());
+        // NaN != NaN under PartialEq; compare with the total order instead.
+        prop_assert_eq!(decoded.cmp_total(&v), Ordering::Equal);
+    }
+
+    #[test]
+    fn cmp_total_is_reflexive(v in arb_value()) {
+        prop_assert_eq!(v.cmp_total(&v), Ordering::Equal);
+    }
+
+    #[test]
+    fn cmp_total_is_antisymmetric(a in arb_value(), b in arb_value()) {
+        let ab = a.cmp_total(&b);
+        let ba = b.cmp_total(&a);
+        prop_assert_eq!(ab, ba.reverse());
+    }
+
+    #[test]
+    fn cmp_total_is_transitive(a in arb_value(), b in arb_value(), c in arb_value()) {
+        let mut v = [a, b, c];
+        v.sort_by(|x, y| x.cmp_total(y));
+        // If sorted, pairwise order must hold end-to-end.
+        prop_assert_ne!(v[0].cmp_total(&v[2]), Ordering::Greater);
+    }
+
+    #[test]
+    fn set_constructor_is_idempotent(items in proptest::collection::vec(arb_value(), 0..8)) {
+        let once = Value::set(items);
+        if let Value::Set(inner) = once.clone() {
+            let twice = Value::set(inner);
+            prop_assert_eq!(once.cmp_total(&twice), Ordering::Equal);
+        } else {
+            unreachable!();
+        }
+    }
+
+    #[test]
+    fn record_roundtrip(
+        class in any::<u16>(),
+        serial in 0u64..1 << 40,
+        version in any::<u32>(),
+        attrs in proptest::collection::btree_map(any::<u32>(), arb_value(), 0..12),
+    ) {
+        let rec = ObjectRecord::new(
+            Oid::new(ClassId(class), serial),
+            version,
+            attrs.into_iter().collect(),
+        );
+        let decoded = ObjectRecord::decode(&rec.encode()).expect("decode");
+        prop_assert_eq!(decoded.oid, rec.oid);
+        prop_assert_eq!(decoded.schema_version, rec.schema_version);
+        prop_assert_eq!(decoded.attrs.len(), rec.attrs.len());
+        for ((id_a, val_a), (id_b, val_b)) in decoded.attrs.iter().zip(rec.attrs.iter()) {
+            prop_assert_eq!(id_a, id_b);
+            prop_assert_eq!(val_a.cmp_total(val_b), Ordering::Equal);
+        }
+    }
+
+    #[test]
+    fn decode_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let mut slice = bytes.as_slice();
+        let _ = decode_value(&mut slice); // must not panic
+        let _ = ObjectRecord::decode(&bytes); // must not panic
+    }
+}

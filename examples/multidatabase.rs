@@ -1,0 +1,120 @@
+//! The multidatabase scenario of §5.2, verbatim:
+//!
+//! "Suppose that an Employee database is managed by a relational
+//! database system ... and a Company database is managed by an
+//! object-oriented database system. An object-oriented data model may be
+//! used as the common data model for presenting the schemas of these
+//! different databases to the user."
+//!
+//! The Employee data lives in `relbase`; Company objects live in orion;
+//! the same declarative language queries both, and a deductive rule
+//! joins across the federation boundary.
+//!
+//! Run with: `cargo run --example multidatabase`
+
+use orion_oodb::orion::{
+    var, AttrSpec, Database, Domain, PrimitiveType, Rule, RuleAtom, Value,
+};
+use orion_oodb::RelbaseAdapter;
+use relbase::{ColumnDef, RelDb};
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- The legacy relational HR system ------------------------------------
+    let hr = Arc::new(RelDb::new(64));
+    hr.create_table(
+        "employee",
+        vec![
+            ColumnDef::new("ename", PrimitiveType::Str),
+            ColumnDef::new("employer", PrimitiveType::Str),
+            ColumnDef::new("salary", PrimitiveType::Int),
+        ],
+    )?;
+    let txn = hr.begin();
+    for (name, employer, salary) in [
+        ("kim", "MCC", 95_000),
+        ("banerjee", "MCC", 85_000),
+        ("garza", "MCC", 80_000),
+        ("stonebraker", "Berkeley", 99_000),
+    ] {
+        hr.insert(
+            txn,
+            "employee",
+            vec![Value::str(name), Value::str(employer), Value::Int(salary)],
+        )?;
+    }
+    hr.commit(txn)?;
+
+    // --- The object-oriented Company database -------------------------------
+    let db = Database::new();
+    db.create_class(
+        "Company",
+        &[],
+        vec![
+            AttrSpec::new("name", Domain::Primitive(PrimitiveType::Str)),
+            AttrSpec::new("location", Domain::Primitive(PrimitiveType::Str)),
+        ],
+    )?;
+    let tx = db.begin();
+    for (name, location) in [("MCC", "Austin"), ("Berkeley", "Berkeley")] {
+        db.create_object(
+            &tx,
+            "Company",
+            vec![("name", Value::str(name)), ("location", Value::str(location))],
+        )?;
+    }
+    db.commit(tx)?;
+
+    // --- Attach the relational database to the federation -------------------
+    let adapter = RelbaseAdapter::new(
+        "legacy-hr",
+        Arc::clone(&hr),
+        vec![(
+            "employee",
+            "Employee",
+            vec![
+                ("ename", PrimitiveType::Str),
+                ("employer", PrimitiveType::Str),
+                ("salary", PrimitiveType::Int),
+            ],
+        )],
+    );
+    println!("attached foreign classes: {:?}", db.attach_foreign(Box::new(adapter))?);
+
+    // One language over both databases.
+    let tx = db.begin();
+    let r = db.query(&tx, "select e.ename, e.salary from Employee e \
+                           where e.salary >= 85000 order by e.salary desc")?;
+    println!("well-paid employees (from the relational system):");
+    for row in &r.rows {
+        println!("  {} earns {}", row[0], row[1]);
+    }
+    let r = db.query(&tx, "select c.name from Company c where c.location = \"Austin\"")?;
+    println!("Austin companies (native objects): {:?}", r.rows);
+    db.commit(tx)?;
+
+    // --- Reasoning across the boundary ---------------------------------------
+    // works_in(E, City) :- employer(E, N), name(C, N), location(C, City).
+    // `employer` comes from relbase rows, `name`/`location` from orion
+    // objects — the rule engine does not care.
+    db.add_rule(Rule {
+        head: RuleAtom::new("works_in", vec![var("E"), var("City")]),
+        body: vec![
+            RuleAtom::new("employer", vec![var("E"), var("N")]),
+            RuleAtom::new("name", vec![var("C"), var("N")]),
+            RuleAtom::new("location", vec![var("C"), var("City")]),
+        ],
+    })?;
+    let result = db.infer("works_in", true)?;
+    println!("works_in tuples across the federation: {}", result.tuples.len());
+
+    // Live updates flow through: hire someone in the legacy system.
+    let txn = hr.begin();
+    hr.insert(txn, "employee", vec![Value::str("woelk"), Value::str("MCC"), Value::Int(90_000)])?;
+    hr.commit(txn)?;
+    let tx = db.begin();
+    let n = db.query(&tx, "select count(*) from Employee e")?;
+    println!("employees visible after a relational insert: {}", n.rows[0][0]);
+    db.commit(tx)?;
+    Ok(())
+}

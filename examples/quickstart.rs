@@ -1,0 +1,107 @@
+//! Quickstart: the paper's Figure 1 schema, end to end.
+//!
+//! Builds the Vehicle/Company class and aggregation hierarchies, loads
+//! a small fleet, and runs the query from §3.2 of the paper — "Find all
+//! vehicles that weigh more than 7500 lbs, and that are manufactured by
+//! a company located in Detroit" — first by extent scan, then again
+//! through a class-hierarchy index and a nested-attribute index to show
+//! the optimizer switching plans.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use orion_oodb::orion::{
+    AttrSpec, Database, Domain, IndexKind, PrimitiveType, Value,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let db = Database::new();
+
+    // --- Schema: Figure 1 ------------------------------------------------
+    let str_dom = || Domain::Primitive(PrimitiveType::Str);
+    let int_dom = || Domain::Primitive(PrimitiveType::Int);
+
+    db.create_class(
+        "Company",
+        &[],
+        vec![AttrSpec::new("name", str_dom()), AttrSpec::new("location", str_dom())],
+    )?;
+    let company = db.with_catalog(|c| c.class_id("Company"))?;
+    db.create_class(
+        "Vehicle",
+        &[],
+        vec![
+            AttrSpec::new("weight", int_dom()),
+            AttrSpec::new("manufacturer", Domain::Class(company)),
+        ],
+    )?;
+    db.create_class("Automobile", &["Vehicle"], vec![AttrSpec::new("drivetrain", str_dom())])?;
+    db.create_class("Truck", &["Vehicle"], vec![AttrSpec::new("payload", int_dom())])?;
+    db.create_class("DomesticAutomobile", &["Automobile"], vec![])?;
+
+    // --- Data --------------------------------------------------------------
+    let tx = db.begin();
+    let motorco = db.create_object(
+        &tx,
+        "Company",
+        vec![("name", Value::str("MotorCo")), ("location", Value::str("Detroit"))],
+    )?;
+    let chipco = db.create_object(
+        &tx,
+        "Company",
+        vec![("name", Value::str("ChipCo")), ("location", Value::str("Austin"))],
+    )?;
+    for i in 1..=10i64 {
+        let (class, manu) = match i % 3 {
+            0 => ("Truck", motorco),
+            1 => ("Automobile", chipco),
+            _ => ("DomesticAutomobile", motorco),
+        };
+        db.create_object(
+            &tx,
+            class,
+            vec![("weight", Value::Int(1000 * i)), ("manufacturer", Value::Ref(manu))],
+        )?;
+    }
+    db.commit(tx)?;
+
+    // --- The query of §3.2 ---------------------------------------------------
+    let query = "select v from Vehicle* v \
+                 where v.weight > 7500 and v.manufacturer.location = \"Detroit\" \
+                 order by v.weight asc";
+    let tx = db.begin();
+    println!("plan without indexes : {}", db.explain(&tx, query)?);
+    let scan_result = db.query(&tx, query)?;
+    println!("matches              : {}", scan_result.len());
+    for oid in &scan_result.oids {
+        let class = db.with_catalog(|c| c.resolve(oid.class()).map(|r| r.name.clone()))?;
+        let weight = db.get(&tx, *oid, "weight")?;
+        let maker = db.navigate(&tx, *oid, &["manufacturer"])?;
+        let maker_name = db.get(&tx, maker, "name")?;
+        println!("  {class:<20} weight={weight:<6} made by {maker_name}");
+    }
+    db.commit(tx)?;
+
+    // --- Same query, indexed -------------------------------------------------
+    db.create_index("vehicle_weight", IndexKind::ClassHierarchy, "Vehicle", &["weight"])?;
+    db.create_index("vehicle_maker_loc", IndexKind::Nested, "Vehicle", &["manufacturer", "location"])?;
+    let tx = db.begin();
+    println!("plan with indexes    : {}", db.explain(&tx, query)?);
+    let indexed_result = db.query(&tx, query)?;
+    assert_eq!(scan_result.oids, indexed_result.oids, "plans agree on results");
+    println!("indexed matches      : {} (identical)", indexed_result.len());
+    db.commit(tx)?;
+
+    // --- Hierarchy vs class scope ---------------------------------------------
+    let tx = db.begin();
+    for q in [
+        "select count(*) from Vehicle v",
+        "select count(*) from Vehicle* v",
+        "select count(*) from Automobile* v",
+        "select count(*) from Truck v",
+    ] {
+        let n = &db.query(&tx, q)?.rows[0][0];
+        println!("{q:<42} -> {n}");
+    }
+    db.commit(tx)?;
+    Ok(())
+}

@@ -1,0 +1,32 @@
+//! orion-oodb: the umbrella crate for the orion object-oriented
+//! database system, a Rust realization of the research agenda in
+//! Won Kim, *"Research Directions in Object-Oriented Database Systems"*,
+//! PODS 1990.
+//!
+//! Most applications only need [`orion`] (the facade) and, for the
+//! multidatabase scenarios of the paper's §5.2, [`RelbaseAdapter`] to
+//! attach a `relbase` relational database to the federation.
+//!
+//! ```
+//! use orion_oodb::orion::{AttrSpec, Database, Domain, PrimitiveType, Value};
+//!
+//! let db = Database::new();
+//! db.create_class(
+//!     "Company",
+//!     &[],
+//!     vec![AttrSpec::new("name", Domain::Primitive(PrimitiveType::Str))],
+//! )
+//! .unwrap();
+//! let tx = db.begin();
+//! db.create_object(&tx, "Company", vec![("name", Value::str("MCC"))]).unwrap();
+//! let r = db.query(&tx, "select c.name from Company c").unwrap();
+//! assert_eq!(r.rows[0][0], Value::str("MCC"));
+//! db.commit(tx).unwrap();
+//! ```
+
+pub use orion_core as orion;
+pub use relbase;
+
+pub mod relbase_adapter;
+
+pub use relbase_adapter::RelbaseAdapter;

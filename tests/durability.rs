@@ -1,0 +1,142 @@
+//! Durability integration tests: randomized commit/abort/crash cycles
+//! verified through the full query path, and checkpointed restarts.
+
+use orion_oodb::orion::{AttrSpec, Database, Domain, IndexKind, PrimitiveType, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+fn item_db() -> Database {
+    let db = Database::new();
+    db.create_class(
+        "Item",
+        &[],
+        vec![
+            AttrSpec::new("key", Domain::Primitive(PrimitiveType::Int)),
+            AttrSpec::new("val", Domain::Primitive(PrimitiveType::Int)),
+        ],
+    )
+    .unwrap();
+    db.create_index("bykey", IndexKind::ClassHierarchy, "Item", &["key"]).unwrap();
+    db
+}
+
+#[test]
+fn randomized_crash_recovery_matches_model() {
+    let db = item_db();
+    let mut rng = StdRng::seed_from_u64(42);
+    // key → val model of committed state.
+    let mut model: HashMap<i64, i64> = HashMap::new();
+    let mut oids: HashMap<i64, orion_oodb::orion::Oid> = HashMap::new();
+
+    for round in 0..6 {
+        // A batch of transactions, some committed, some aborted.
+        for t in 0..20 {
+            let tx = db.begin();
+            let commit = rng.gen_bool(0.7);
+            let mut staged: Vec<(i64, i64, Option<orion_oodb::orion::Oid>)> = Vec::new();
+            for _ in 0..rng.gen_range(1..4) {
+                let key = rng.gen_range(0..40i64);
+                let val = round * 1000 + t * 10 + key;
+                match oids.get(&key) {
+                    Some(&oid) => {
+                        db.set(&tx, oid, "val", Value::Int(val)).unwrap();
+                        staged.push((key, val, None));
+                    }
+                    None => {
+                        let oid = db
+                            .create_object(
+                                &tx,
+                                "Item",
+                                vec![("key", Value::Int(key)), ("val", Value::Int(val))],
+                            )
+                            .unwrap();
+                        staged.push((key, val, Some(oid)));
+                    }
+                }
+            }
+            if commit {
+                db.commit(tx).unwrap();
+                for (key, val, new_oid) in staged {
+                    model.insert(key, val);
+                    if let Some(oid) = new_oid {
+                        oids.insert(key, oid);
+                    }
+                }
+            } else {
+                db.rollback(tx).unwrap();
+                // Creations vanish; drop them from the oid map.
+                for (key, _, new_oid) in staged {
+                    if new_oid.is_some() {
+                        oids.remove(&key);
+                    }
+                }
+            }
+        }
+        // Crash between rounds (sometimes after a checkpoint).
+        if rng.gen_bool(0.5) {
+            db.checkpoint().unwrap();
+        }
+        db.crash_and_recover().unwrap();
+
+        // Verify the full state through queries (exercising the rebuilt
+        // index and directory).
+        let tx = db.begin();
+        let count =
+            db.query(&tx, "select count(*) from Item i").unwrap().rows[0][0].as_int().unwrap();
+        assert_eq!(count as usize, model.len(), "round {round}: live object count");
+        for (&key, &val) in &model {
+            let r = db
+                .query(&tx, &format!("select i.val from Item i where i.key = {key}"))
+                .unwrap();
+            assert_eq!(r.rows.len(), 1, "round {round}: key {key} present exactly once");
+            assert_eq!(r.rows[0][0], Value::Int(val), "round {round}: key {key} value");
+        }
+        db.commit(tx).unwrap();
+    }
+}
+
+#[test]
+fn oid_allocation_survives_restart_without_collisions() {
+    let db = item_db();
+    let tx = db.begin();
+    let before: Vec<_> = (0..10)
+        .map(|i| {
+            db.create_object(&tx, "Item", vec![("key", Value::Int(i)), ("val", Value::Int(i))])
+                .unwrap()
+        })
+        .collect();
+    db.commit(tx).unwrap();
+    db.crash_and_recover().unwrap();
+    let tx = db.begin();
+    let after: Vec<_> = (10..20)
+        .map(|i| {
+            db.create_object(&tx, "Item", vec![("key", Value::Int(i)), ("val", Value::Int(i))])
+                .unwrap()
+        })
+        .collect();
+    db.commit(tx).unwrap();
+    for new in &after {
+        assert!(!before.contains(new), "recovered allocator must not reuse OIDs");
+    }
+    let tx = db.begin();
+    let n = db.query(&tx, "select count(*) from Item i").unwrap();
+    assert_eq!(n.rows[0][0], Value::Int(20));
+    db.commit(tx).unwrap();
+}
+
+#[test]
+fn repeated_crashes_are_harmless() {
+    let db = item_db();
+    let tx = db.begin();
+    let oid =
+        db.create_object(&tx, "Item", vec![("key", Value::Int(1)), ("val", Value::Int(0))]).unwrap();
+    db.commit(tx).unwrap();
+    for i in 0..5 {
+        db.crash_and_recover().unwrap();
+        let tx = db.begin();
+        assert_eq!(db.get(&tx, oid, "val").unwrap(), Value::Int(i));
+        db.set(&tx, oid, "val", Value::Int(i + 1)).unwrap();
+        db.commit(tx).unwrap();
+    }
+}
