@@ -1,0 +1,123 @@
+//! Parallel-query benchmark: measures the two claims behind the
+//! read-concurrent runtime work and records them in
+//! `BENCH_parallel_query.json` at the workspace root.
+//!
+//! 1. *Intra-query parallelism*: a hierarchy scan with a residual
+//!    predicate over >10k objects, executed with 1 vs 4 worker threads
+//!    against the same plan and database.
+//! 2. *Inter-query concurrency*: aggregate throughput of 4 reader
+//!    threads on the shared (RwLock) runtime vs the same workload with
+//!    every execution serialized behind one global mutex — an emulation
+//!    of the pre-change `Mutex<Runtime>` build, where concurrent
+//!    `query()` calls could not overlap at all.
+
+use orion_bench::fleet;
+use orion_core::{DbConfig, SourceView};
+use orion_query::{execute_with, ExecOptions};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+const N_OBJECTS: usize = 12_000;
+const QUERY: &str = "select v from Vehicle* v \
+     where v.weight > 2000 and v.manufacturer.location = \"Detroit\"";
+const READERS: usize = 4;
+const QUERIES_PER_READER: usize = 12;
+
+fn best_of(rounds: usize, mut f: impl FnMut() -> usize) -> (Duration, usize) {
+    let mut best = Duration::MAX;
+    let mut len = 0;
+    for _ in 0..rounds {
+        let start = Instant::now();
+        len = f();
+        best = best.min(start.elapsed());
+    }
+    (best, len)
+}
+
+fn main() {
+    let fixture = fleet(N_OBJECTS, 4, DbConfig { query_threads: 1, ..DbConfig::default() });
+    let db = &fixture.db;
+    let tx = db.begin();
+    let planned = db.prepare_query(&tx, QUERY).expect("plan");
+
+    // --- 1. Serial vs 4-thread execution of one query -----------------
+    let run = |threads: usize| {
+        db.with_catalog(|cat| {
+            execute_with(cat, &SourceView::new(db), &planned, &ExecOptions { threads })
+                .expect("execute")
+                .len()
+        })
+    };
+    let (_, _) = best_of(2, || run(1)); // warm the buffer pool
+    let (serial, len_serial) = best_of(5, || run(1));
+    let (par4, len_par4) = best_of(5, || run(4));
+    assert_eq!(len_serial, len_par4, "parallel result diverged");
+    let speedup = serial.as_secs_f64() / par4.as_secs_f64();
+    println!(
+        "single query over {N_OBJECTS} objects: serial {serial:?}, 4 threads {par4:?} \
+         ({speedup:.2}x, {len_serial} rows)"
+    );
+    println!("plan: {}", planned.explain());
+
+    // --- 2. 4 readers: shared runtime vs global-mutex emulation -------
+    let global = Mutex::new(());
+    let fleet_time = |serialize: bool| {
+        let start = Instant::now();
+        std::thread::scope(|s| {
+            for _ in 0..READERS {
+                s.spawn(|| {
+                    for _ in 0..QUERIES_PER_READER {
+                        let _guard = serialize
+                            .then(|| global.lock().unwrap_or_else(|e| e.into_inner()));
+                        let n = run(1);
+                        assert_eq!(n, len_serial);
+                    }
+                });
+            }
+        });
+        start.elapsed()
+    };
+    fleet_time(false); // warm-up
+    let shared = fleet_time(false);
+    let mutexed = fleet_time(true);
+    let agg_speedup = mutexed.as_secs_f64() / shared.as_secs_f64();
+    let total = READERS * QUERIES_PER_READER;
+    println!(
+        "{READERS} readers x {QUERIES_PER_READER} queries: shared runtime {shared:?} \
+         ({:.1}/s), global mutex {mutexed:?} ({:.1}/s) — {agg_speedup:.2}x aggregate",
+        total as f64 / shared.as_secs_f64(),
+        total as f64 / mutexed.as_secs_f64(),
+    );
+    db.commit(tx).expect("commit");
+
+    let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    // Threads cannot beat serial wall-clock on a host with fewer cores
+    // than workers; say so in the record instead of leaving a mystery.
+    let note = if cpus < READERS {
+        format!(
+            ",\n  \"note\": \"host exposes {cpus} CPU(s); speedups are \
+             core-bound and need >= {READERS} cores to manifest\""
+        )
+    } else {
+        String::new()
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"parallel_query\",\n  \"objects\": {N_OBJECTS},\n  \
+         \"query\": \"hierarchy scan + residual (weight, manufacturer.location)\",\n  \
+         \"available_parallelism\": {cpus}{note},\n  \
+         \"single_query\": {{\n    \"serial_ms\": {:.3},\n    \"threads4_ms\": {:.3},\n    \
+         \"speedup\": {:.3},\n    \"rows\": {len_serial}\n  }},\n  \
+         \"concurrent_readers\": {{\n    \"readers\": {READERS},\n    \
+         \"queries_per_reader\": {QUERIES_PER_READER},\n    \
+         \"shared_runtime_ms\": {:.3},\n    \"global_mutex_ms\": {:.3},\n    \
+         \"aggregate_speedup\": {:.3}\n  }}\n}}\n",
+        serial.as_secs_f64() * 1e3,
+        par4.as_secs_f64() * 1e3,
+        speedup,
+        shared.as_secs_f64() * 1e3,
+        mutexed.as_secs_f64() * 1e3,
+        agg_speedup,
+    );
+    std::fs::write("BENCH_parallel_query.json", &json).expect("write BENCH_parallel_query.json");
+    println!("wrote BENCH_parallel_query.json");
+}

@@ -134,6 +134,15 @@ impl ObjectCache {
         self.by_oid.contains_key(&oid)
     }
 
+    /// The resident record for `oid`, if any, without touching recency
+    /// order or the hit/miss counters. This is the read-concurrent
+    /// probe: queries holding a shared runtime guard use it, and cache
+    /// accounting stays with the faulting [`ObjectCache::lookup`] path.
+    pub fn peek(&self, oid: Oid) -> Option<&ObjectRecord> {
+        let slot = *self.by_oid.get(&oid)?;
+        self.slab.get(slot)?.as_ref().map(|r| &r.record)
+    }
+
     /// Make `record` resident; evicts the LRU resident when full.
     /// Returns the slab slot.
     pub fn admit(&mut self, record: ObjectRecord) -> usize {

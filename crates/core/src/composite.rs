@@ -91,7 +91,7 @@ impl Database {
 
     /// The direct parts of `root` (one level).
     pub fn parts_of(&self, root: Oid) -> Vec<Oid> {
-        let rt = self.rt.lock();
+        let rt = self.rt.read();
         let mut parts: Vec<Oid> = rt
             .composite_owner
             .iter()
@@ -105,13 +105,13 @@ impl Database {
     /// The whole composite rooted at `root` (root first, then parts in
     /// closure order).
     pub fn composite_members(&self, root: Oid) -> Vec<Oid> {
-        let rt = self.rt.lock();
+        let rt = self.rt.read();
         self.composite_closure(&rt, root)
     }
 
     /// The composite parent of `part`, if it is owned.
     pub fn composite_parent(&self, part: Oid) -> Option<Oid> {
-        self.rt.lock().composite_owner.get(&part).map(|(p, _)| *p)
+        self.rt.read().composite_owner.get(&part).map(|(p, _)| *p)
     }
 
     /// Lock the whole composite rooted at `root` exclusively in one
@@ -138,7 +138,7 @@ impl Database {
         let members = self.composite_members(root);
         let catalog = self.catalog.read();
         let mut workspace = HashMap::new();
-        let mut rt = self.rt.lock();
+        let mut rt = self.rt.write();
         for member in members {
             let record = self.load_record(&mut rt, &catalog, member)?;
             let resolved = catalog.resolve(member.class())?;

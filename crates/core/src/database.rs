@@ -23,7 +23,9 @@ use orion_tx::LockManager;
 use orion_types::codec::ObjectRecord;
 use orion_types::{ClassId, DbError, DbResult, Oid, OidAllocator, Value};
 use parking_lot::{Mutex, RwLock};
+use std::borrow::Cow;
 use std::collections::{BTreeSet, HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 /// How object operations map onto the lock manager (experiment E8).
@@ -53,6 +55,9 @@ pub struct DbConfig {
     pub clustering: bool,
     /// Lock-wait timeout.
     pub lock_timeout: Duration,
+    /// Worker threads for query candidate evaluation: `0` sizes to the
+    /// machine's available parallelism, `1` forces serial execution.
+    pub query_threads: usize,
 }
 
 impl Default for DbConfig {
@@ -65,6 +70,7 @@ impl Default for DbConfig {
             authz_enabled: false,
             clustering: true,
             lock_timeout: Duration::from_secs(5),
+            query_threads: 0,
         }
     }
 }
@@ -112,8 +118,9 @@ pub(crate) struct Runtime {
     pub foreign_store: HashMap<Oid, ObjectRecord>,
     /// Record id of the persisted system-state record, if written.
     pub system_rid: Option<orion_storage::heap::Rid>,
-    /// Objects fetched from storage (experiment accounting).
-    pub fetches: u64,
+    /// Objects fetched from storage (experiment accounting). Atomic so
+    /// the read-locked query path can account fetches through `&Runtime`.
+    pub fetches: AtomicU64,
 }
 
 impl Runtime {
@@ -129,7 +136,7 @@ impl Runtime {
             foreign_classes: HashMap::new(),
             foreign_store: HashMap::new(),
             system_rid: None,
-            fetches: 0,
+            fetches: AtomicU64::new(0),
         }
     }
 }
@@ -139,7 +146,7 @@ pub struct Database {
     pub(crate) catalog: RwLock<Catalog>,
     pub(crate) engine: StorageEngine,
     pub(crate) locks: LockManager,
-    pub(crate) rt: Mutex<Runtime>,
+    pub(crate) rt: RwLock<Runtime>,
     pub(crate) methods: RwLock<MethodRegistry>,
     pub(crate) authz: RwLock<AuthzManager>,
     pub(crate) views: RwLock<HashMap<String, String>>,
@@ -162,7 +169,7 @@ impl Database {
             catalog: RwLock::new(Catalog::new()),
             engine: StorageEngine::new(config.buffer_pages),
             locks: LockManager::with_timeout(config.lock_timeout),
-            rt: Mutex::new(Runtime::new(&config)),
+            rt: RwLock::new(Runtime::new(&config)),
             methods: RwLock::new(MethodRegistry::new()),
             authz: RwLock::new(AuthzManager::new()),
             views: RwLock::new(HashMap::new()),
@@ -204,7 +211,7 @@ impl Database {
 
     /// Object-cache counters.
     pub fn cache_stats(&self) -> CacheStats {
-        self.rt.lock().cache.stats()
+        self.rt.read().cache.stats()
     }
 
     /// Buffer-pool counters.
@@ -214,14 +221,14 @@ impl Database {
 
     /// Objects fetched from storage since the last reset.
     pub fn fetch_count(&self) -> u64 {
-        self.rt.lock().fetches
+        self.rt.read().fetches.load(Ordering::Relaxed)
     }
 
     /// Reset all performance counters (between benchmark phases).
     pub fn reset_stats(&self) {
-        let mut rt = self.rt.lock();
+        let mut rt = self.rt.write();
         rt.cache.reset_stats();
-        rt.fetches = 0;
+        rt.fetches.store(0, Ordering::Relaxed);
         self.engine.pool().reset_stats();
         self.engine.disk().reset_stats();
     }
@@ -231,7 +238,7 @@ impl Database {
     pub fn cool_caches(&self) -> DbResult<()> {
         self.engine.pool().flush_all()?;
         self.engine.pool().crash();
-        self.rt.lock().cache.clear();
+        self.rt.write().cache.clear();
         Ok(())
     }
 
@@ -262,7 +269,7 @@ impl Database {
             // Lock order is catalog before runtime, everywhere: the
             // rebuild may install a persisted catalog snapshot.
             let mut catalog = self.catalog.write();
-            let mut rt = self.rt.lock();
+            let mut rt = self.rt.write();
             self.engine.abort(tx.storage)?;
             self.rebuild_runtime(&mut catalog, &mut rt)?;
         }
@@ -274,7 +281,7 @@ impl Database {
     /// Locks held by in-flight transactions evaporate with the crash.
     pub fn crash_and_recover(&self) -> DbResult<()> {
         let mut catalog = self.catalog.write();
-        let mut rt = self.rt.lock();
+        let mut rt = self.rt.write();
         self.engine.crash();
         self.locks.reset();
         self.engine.recover()?;
@@ -348,7 +355,7 @@ impl Database {
         let rid = *rt.directory.get(&oid).ok_or(DbError::NoSuchObject(oid))?;
         let bytes = self.engine.read(rid)?;
         let mut record = ObjectRecord::decode(&bytes)?;
-        rt.fetches += 1;
+        rt.fetches.fetch_add(1, Ordering::Relaxed);
         self.adapt_record(catalog, &mut record)?;
         rt.cache.admit(record.clone());
         Ok(record)
@@ -363,6 +370,33 @@ impl Database {
         oid: Oid,
     ) -> Option<ObjectRecord> {
         self.load_record(rt, catalog, oid).ok()
+    }
+
+    /// Load the record for `oid` under a *shared* runtime guard — the
+    /// read-concurrent query path. Cache residents are served in place
+    /// (borrowed, no recency update); misses decode straight from
+    /// storage and are **not** admitted, since admission needs the
+    /// write lock — the query executor's per-query memo supplies
+    /// repeat-access locality instead. `None` for dangling OIDs or
+    /// unreadable records, mirroring [`Database::try_load_record`].
+    pub(crate) fn read_record<'a>(
+        &self,
+        rt: &'a Runtime,
+        catalog: &Catalog,
+        oid: Oid,
+    ) -> Option<Cow<'a, ObjectRecord>> {
+        if let Some(rec) = rt.cache.peek(oid) {
+            return Some(Cow::Borrowed(rec));
+        }
+        if let Some(rec) = rt.foreign_store.get(&oid) {
+            return Some(Cow::Borrowed(rec));
+        }
+        let rid = *rt.directory.get(&oid)?;
+        let bytes = self.engine.read(rid).ok()?;
+        let mut record = ObjectRecord::decode(&bytes).ok()?;
+        rt.fetches.fetch_add(1, Ordering::Relaxed);
+        self.adapt_record(catalog, &mut record).ok()?;
+        Some(Cow::Owned(record))
     }
 
     /// Lazy schema adaptation: hide attributes dropped by evolution.
@@ -427,7 +461,7 @@ impl Database {
         let (class, resolved, pairs) = {
             let catalog = self.catalog.read();
             let class = catalog.class_id(class_name)?;
-            if self.rt.lock().foreign_classes.contains_key(&class) {
+            if self.rt.read().foreign_classes.contains_key(&class) {
                 return Err(DbError::Foreign(format!(
                     "class `{class_name}` is served by a foreign database; create rows there"
                 )));
@@ -454,7 +488,7 @@ impl Database {
         self.lock_write(tx, oid)?;
 
         let catalog = self.catalog.read();
-        let mut rt = self.rt.lock();
+        let mut rt = self.rt.write();
         // Composite ownership checks for composite-marked attributes.
         for (attr_id, value) in &pairs {
             if let Some(attr) = resolved.attr_by_id(*attr_id) {
@@ -483,7 +517,7 @@ impl Database {
         self.check_auth(tx, AuthAction::Read, AuthTarget::Object(oid))?;
         self.lock_read(tx, oid)?;
         let catalog = self.catalog.read();
-        let mut rt = self.rt.lock();
+        let mut rt = self.rt.write();
         self.get_attr_internal(&mut rt, &catalog, oid, attr_name)
     }
 
@@ -539,7 +573,7 @@ impl Database {
         if attr.composite {
             let doomed: Vec<Oid> = {
                 let catalog = self.catalog.read();
-                let mut rt = self.rt.lock();
+                let mut rt = self.rt.write();
                 let record = self.load_record(&mut rt, &catalog, oid)?;
                 let old = record.get(attr.id).cloned().unwrap_or(Value::Null);
                 let mut old_parts = Vec::new();
@@ -558,7 +592,7 @@ impl Database {
         }
 
         let catalog = self.catalog.read();
-        let mut rt = self.rt.lock();
+        let mut rt = self.rt.write();
         let mut record = self.load_record(&mut rt, &catalog, oid)?;
         // Version discipline: working versions are immutable; generic
         // objects are not directly writable.
@@ -608,7 +642,7 @@ impl Database {
         // Collect the composite closure (parts are dependent: they go too).
         let mut order: Vec<Oid> = Vec::new();
         {
-            let rt = self.rt.lock();
+            let rt = self.rt.read();
             let mut stack = vec![oid];
             let mut seen = HashSet::new();
             while let Some(cur) = stack.pop() {
@@ -636,7 +670,7 @@ impl Database {
     }
 
     fn delete_single(&self, tx: &Tx, catalog: &Catalog, oid: Oid) -> DbResult<()> {
-        let mut rt = self.rt.lock();
+        let mut rt = self.rt.write();
         let record = self.load_record(&mut rt, catalog, oid)?;
         let nested_pre = self.nested_snapshot(&mut rt, catalog, oid)?;
 
@@ -658,14 +692,14 @@ impl Database {
 
     /// Does the object exist?
     pub fn exists(&self, oid: Oid) -> bool {
-        let rt = self.rt.lock();
+        let rt = self.rt.read();
         rt.directory.contains_key(&oid) || rt.foreign_store.contains_key(&oid)
     }
 
     /// Number of instances of exactly `class_name` (not subclasses).
     pub fn extent_len(&self, class_name: &str) -> DbResult<usize> {
         let class = self.catalog.read().class_id(class_name)?;
-        Ok(self.rt.lock().extents.get(&class).map_or(0, BTreeSet::len))
+        Ok(self.rt.read().extents.get(&class).map_or(0, BTreeSet::len))
     }
 
     // ------------------------------------------------------------------
@@ -679,7 +713,7 @@ impl Database {
     pub fn navigate(&self, tx: &Tx, oid: Oid, path: &[&str]) -> DbResult<Oid> {
         self.lock_read(tx, oid)?;
         let catalog = self.catalog.read();
-        let mut rt = self.rt.lock();
+        let mut rt = self.rt.write();
         let mut slot = match rt.cache.lookup(oid) {
             Some(s) => s,
             None => {
@@ -869,7 +903,7 @@ impl Database {
             }
         }
         for (_, record) in &records {
-            self.index_object_insert(rt, &catalog, record)?;
+            self.index_object_insert(rt, catalog, record)?;
         }
         Ok(())
     }
@@ -1045,7 +1079,7 @@ impl Default for Database {
 
 impl std::fmt::Debug for Database {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let rt = self.rt.lock();
+        let rt = self.rt.read();
         f.debug_struct("Database")
             .field("classes", &self.catalog.read().class_count())
             .field("objects", &rt.directory.len())

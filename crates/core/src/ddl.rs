@@ -81,7 +81,7 @@ impl Database {
 
         // Guard: dropping a class with live instances is rejected.
         if let SchemaChange::DropClass { class } = &change {
-            let live = self.rt.lock().extents.get(class).map_or(0, |e| e.len());
+            let live = self.rt.read().extents.get(class).map_or(0, |e| e.len());
             if live > 0 {
                 return Err(DbError::SchemaInvariant(format!(
                     "class has {live} live instance(s); delete or migrate them first"
@@ -118,7 +118,7 @@ impl Database {
     }
 
     fn instances_of(&self, classes: &[ClassId]) -> Vec<Oid> {
-        let rt = self.rt.lock();
+        let rt = self.rt.read();
         classes
             .iter()
             .flat_map(|c| rt.extents.get(c).into_iter().flatten().copied())
@@ -128,7 +128,7 @@ impl Database {
     fn eager_scrub(&self, tx: &Tx, classes: &[ClassId], attr_id: u32) -> DbResult<()> {
         let catalog = self.catalog.read();
         for oid in self.instances_of(classes) {
-            let mut rt = self.rt.lock();
+            let mut rt = self.rt.write();
             let mut record = self.load_record(&mut rt, &catalog, oid)?;
             if record.remove(attr_id).is_some() {
                 record.schema_version = catalog.resolve(oid.class())?.version;
@@ -147,7 +147,7 @@ impl Database {
     ) -> DbResult<()> {
         let catalog = self.catalog.read();
         for oid in self.instances_of(classes) {
-            let mut rt = self.rt.lock();
+            let mut rt = self.rt.write();
             let mut record = self.load_record(&mut rt, &catalog, oid)?;
             record.set(attr_id, default.clone());
             record.schema_version = catalog.resolve(oid.class())?.version;
@@ -159,7 +159,7 @@ impl Database {
     fn eager_reshape(&self, tx: &Tx, classes: &[ClassId]) -> DbResult<()> {
         let catalog = self.catalog.read();
         for oid in self.instances_of(classes) {
-            let mut rt = self.rt.lock();
+            let mut rt = self.rt.write();
             let resolved = catalog.resolve(oid.class())?;
             let mut record = self.load_record(&mut rt, &catalog, oid)?;
             record.attrs.retain(|(id, _)| {
@@ -205,7 +205,7 @@ impl Database {
         let query_path = orion_query::Path::new(path.to_vec());
         let path_ids = orion_query::plan::bind_path(&catalog, target, &query_path)?;
 
-        let mut rt = self.rt.lock();
+        let mut rt = self.rt.write();
         if rt.indexes.iter().any(|i| i.def.name == name) {
             return Err(DbError::AlreadyExists(format!("index `{name}`")));
         }
@@ -263,7 +263,7 @@ impl Database {
     /// Drop an index by name.
     pub fn drop_index(&self, name: &str) -> DbResult<()> {
         {
-            let mut rt = self.rt.lock();
+            let mut rt = self.rt.write();
             let before = rt.indexes.len();
             rt.indexes.retain(|i| i.def.name != name);
             if rt.indexes.len() == before {
@@ -274,19 +274,19 @@ impl Database {
     }
 
     fn drop_indexes_using_attr(&self, attr_id: u32) -> DbResult<()> {
-        let mut rt = self.rt.lock();
+        let mut rt = self.rt.write();
         rt.indexes.retain(|i| !i.def.path.contains(&attr_id));
         Ok(())
     }
 
     /// Descriptors of every live index.
     pub fn index_defs(&self) -> Vec<IndexDef> {
-        self.rt.lock().indexes.iter().map(|i| i.def.clone()).collect()
+        self.rt.read().indexes.iter().map(|i| i.def.clone()).collect()
     }
 
     /// `(entries, distinct keys)` for a named index.
     pub fn index_stats(&self, name: &str) -> Option<(usize, usize)> {
-        let rt = self.rt.lock();
+        let rt = self.rt.read();
         rt.indexes
             .iter()
             .find(|i| i.def.name == name)

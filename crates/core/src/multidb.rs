@@ -65,7 +65,7 @@ impl Database {
         let mut attached = Vec::with_capacity(classes.len());
         {
             let mut catalog = self.catalog.write();
-            let mut rt = self.rt.lock();
+            let mut rt = self.rt.write();
             for fc in &classes {
                 let attrs = fc
                     .attrs

@@ -147,7 +147,7 @@ impl Database {
     pub(crate) fn persist_system_state(&self) -> DbResult<()> {
         let bytes = {
             let catalog = self.catalog.read();
-            let rt = self.rt.lock();
+            let rt = self.rt.read();
             let defs: Vec<IndexDef> = rt.indexes.iter().map(|i| i.def.clone()).collect();
             let views: Vec<(String, String)> = {
                 let v = self.views.read();
@@ -165,7 +165,7 @@ impl Database {
         );
         let tx = self.begin();
         let result = (|| -> DbResult<()> {
-            let mut rt = self.rt.lock();
+            let mut rt = self.rt.write();
             match rt.system_rid {
                 Some(rid) => {
                     let new_rid = self.engine.update(tx.storage, rid, &record.encode())?;
@@ -207,7 +207,7 @@ impl Database {
     pub fn simulate_cold_restart(&self) -> DbResult<()> {
         {
             let mut catalog = self.catalog.write();
-            let mut rt = self.rt.lock();
+            let mut rt = self.rt.write();
             self.engine.crash();
             self.locks.reset();
             *catalog = Catalog::new();

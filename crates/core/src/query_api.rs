@@ -12,7 +12,7 @@ use crate::authz::{AuthAction, AuthTarget};
 use crate::database::{Database, Tx};
 use crate::source::SourceView;
 use orion_query::ast::{Expr, Query};
-use orion_query::{execute, parse, plan, PlannedQuery, QueryResult};
+use orion_query::{execute_with, parse, plan, ExecOptions, PlannedQuery, QueryResult};
 use orion_types::{DbError, DbResult};
 
 impl Database {
@@ -23,7 +23,7 @@ impl Database {
         let planned = self.prepare(tx, text)?;
         let catalog = self.catalog.read();
         let source = SourceView::new(self);
-        execute(&catalog, &source, &planned)
+        execute_with(&catalog, &source, &planned, &self.exec_options())
     }
 
     /// Plan a query and return the optimizer's explanation (E4).
@@ -42,7 +42,11 @@ impl Database {
     pub fn execute_prepared(&self, planned: &PlannedQuery) -> DbResult<QueryResult> {
         let catalog = self.catalog.read();
         let source = SourceView::new(self);
-        execute(&catalog, &source, planned)
+        execute_with(&catalog, &source, planned, &self.exec_options())
+    }
+
+    fn exec_options(&self) -> ExecOptions {
+        ExecOptions { threads: self.config.query_threads }
     }
 
     fn prepare(&self, tx: &Tx, text: &str) -> DbResult<PlannedQuery> {

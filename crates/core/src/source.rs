@@ -9,7 +9,9 @@ use orion_types::{ClassId, DbError, DbResult, Oid, Value};
 use std::ops::Bound;
 
 /// A lightweight view of the database for the query processor. Methods
-/// lock the runtime briefly per call; the executor holds no locks across
+/// take the runtime's *shared* lock briefly per call — any number of
+/// queries proceed concurrently, serializing only against DML/DDL
+/// (which take the write lock). The executor holds no locks across
 /// calls, so navigation can fault objects in freely.
 pub struct SourceView<'a> {
     db: &'a Database,
@@ -25,43 +27,42 @@ impl<'a> SourceView<'a> {
 impl DataSource for SourceView<'_> {
     fn scan_class(&self, class: ClassId) -> DbResult<Vec<Oid>> {
         // Foreign classes refresh their materialized extent on scan.
-        let adapter_name = self.db.rt.lock().foreign_classes.get(&class).cloned();
+        let adapter_name = self.db.rt.read().foreign_classes.get(&class).cloned();
         if let Some(name) = adapter_name {
             self.db.refresh_foreign_extent(&name, class)?;
         }
-        let rt = self.db.rt.lock();
+        let rt = self.db.rt.read();
         Ok(rt.extents.get(&class).map(|e| e.iter().copied().collect()).unwrap_or_default())
     }
 
     fn extent_size(&self, class: ClassId) -> usize {
-        self.db.rt.lock().extents.get(&class).map_or(0, |e| e.len())
+        self.db.rt.read().extents.get(&class).map_or(0, |e| e.len())
     }
 
     fn get_attr_value(&self, oid: Oid, attr: u32) -> DbResult<Value> {
         let catalog = self.db.catalog.read();
-        let mut rt = self.db.rt.lock();
-        let record = match self.db.try_load_record(&mut rt, &catalog, oid) {
+        let rt = self.db.rt.read();
+        let record = match self.db.read_record(&rt, &catalog, oid) {
             Some(r) => r,
             None => return Ok(Value::Null), // dangling reference
         };
         // Generic objects answer through their default version.
         if let Some(Value::Ref(default)) = record.get(crate::sysattr::ATTR_DEFAULT_VERSION) {
             let default = *default;
-            let fwd = match self.db.try_load_record(&mut rt, &catalog, default) {
-                Some(r) => r,
-                None => return Ok(Value::Null),
-            };
-            return Ok(fwd.get(attr).cloned().unwrap_or(Value::Null));
+            return Ok(match self.db.read_record(&rt, &catalog, default) {
+                Some(fwd) => fwd.get(attr).cloned().unwrap_or(Value::Null),
+                None => Value::Null,
+            });
         }
         Ok(record.get(attr).cloned().unwrap_or(Value::Null))
     }
 
     fn indexes(&self) -> Vec<IndexDef> {
-        self.db.rt.lock().indexes.iter().map(|i| i.def.clone()).collect()
+        self.db.rt.read().indexes.iter().map(|i| i.def.clone()).collect()
     }
 
     fn index_stats(&self, id: u32) -> (usize, usize) {
-        let rt = self.db.rt.lock();
+        let rt = self.db.rt.read();
         rt.indexes
             .iter()
             .find(|i| i.def.id == id)
@@ -69,7 +70,7 @@ impl DataSource for SourceView<'_> {
     }
 
     fn index_key_bounds(&self, id: u32) -> Option<(Value, Value)> {
-        let rt = self.db.rt.lock();
+        let rt = self.db.rt.read();
         rt.indexes.iter().find(|i| i.def.id == id).and_then(|i| i.imp.key_bounds())
     }
 
@@ -79,7 +80,7 @@ impl DataSource for SourceView<'_> {
         key: &Value,
         scope: Option<&[ClassId]>,
     ) -> DbResult<Vec<Oid>> {
-        let rt = self.db.rt.lock();
+        let rt = self.db.rt.read();
         let inst = rt
             .indexes
             .iter()
@@ -95,7 +96,7 @@ impl DataSource for SourceView<'_> {
         upper: Bound<&Value>,
         scope: Option<&[ClassId]>,
     ) -> DbResult<Vec<Oid>> {
-        let rt = self.db.rt.lock();
+        let rt = self.db.rt.read();
         let inst = rt
             .indexes
             .iter()
@@ -115,7 +116,7 @@ impl Database {
         let catalog = self.catalog.read();
         let resolved = catalog.resolve(class)?;
         let rows = ad.scan(&resolved.name)?;
-        let mut rt = self.rt.lock();
+        let mut rt = self.rt.write();
         // Replace the extent wholesale: foreign data is snapshot-consistent.
         let mut extent = std::collections::BTreeSet::new();
         // Drop previous snapshot records of this class.

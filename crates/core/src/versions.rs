@@ -60,7 +60,7 @@ impl Database {
     ) -> DbResult<()> {
         debug_assert!(sysattr::is_reserved(attr));
         let catalog = self.catalog.read();
-        let mut rt = self.rt.lock();
+        let mut rt = self.rt.write();
         let mut record = self.load_record(&mut rt, &catalog, oid)?;
         let old = record.get(attr).cloned().unwrap_or(Value::Null);
         self.remove_reverse_edges_for_attr(&mut rt, oid, attr, &old);
@@ -72,7 +72,7 @@ impl Database {
 
     fn system_attr(&self, oid: Oid, attr: u32) -> DbResult<Value> {
         let catalog = self.catalog.read();
-        let mut rt = self.rt.lock();
+        let mut rt = self.rt.write();
         let record = self.load_record(&mut rt, &catalog, oid)?;
         Ok(record.get(attr).cloned().unwrap_or(Value::Null))
     }
@@ -113,7 +113,7 @@ impl Database {
         // Copy user attributes from the source version.
         let catalog = self.catalog.read();
         let source_record: ObjectRecord = {
-            let mut rt = self.rt.lock();
+            let mut rt = self.rt.write();
             self.load_record(&mut rt, &catalog, from)?
         };
         let class_name = catalog.resolve(from.class())?.name.clone();
@@ -124,7 +124,7 @@ impl Database {
         // when the source stored them).
         {
             let catalog = self.catalog.read();
-            let mut rt = self.rt.lock();
+            let mut rt = self.rt.write();
             let old_record = self.load_record(&mut rt, &catalog, new_version)?;
             let resolved = catalog.resolve(new_version.class())?;
             let mut record = old_record.clone();
@@ -226,7 +226,7 @@ impl Database {
 
     /// Every version of a generic object, in OID order.
     pub fn versions_of(&self, generic: Oid) -> DbResult<Vec<Oid>> {
-        let rt = self.rt.lock();
+        let rt = self.rt.read();
         let mut out: Vec<Oid> = rt
             .reverse
             .get(&generic)

@@ -8,6 +8,15 @@
 //! Null semantics are two-valued: a comparison against an absent or
 //! null value is simply false (`is null` exists to test absence
 //! explicitly). Set-valued steps quantify existentially.
+//!
+//! Evaluation is data-parallel: the candidate vector is partitioned
+//! into contiguous chunks, one scoped thread per chunk, and per-chunk
+//! outputs are concatenated *in chunk order* — so the parallel and
+//! serial executors produce byte-identical results (including
+//! `order by` tie handling) regardless of scheduling. A per-query
+//! `(object, path) → values` memo shared by all workers fetches each
+//! attribute path once across the residual, order, and projection
+//! phases.
 
 use crate::ast::{CmpOp, Expr, Path, Query, SelectItem};
 use crate::plan::{literal_value, AccessPath, PlannedQuery};
@@ -15,7 +24,12 @@ use crate::source::DataSource;
 use orion_schema::Catalog;
 use orion_types::{ClassId, DbResult, Oid, Value};
 use std::cmp::Ordering;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BinaryHeap, HashMap};
+use std::hash::{Hash, Hasher};
 use std::ops::Bound;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering::Relaxed};
+use std::sync::{Arc, Mutex};
 
 /// A query result: one row per match (or one row for `count(*)`).
 #[derive(Debug, Clone, PartialEq)]
@@ -35,6 +49,160 @@ impl QueryResult {
     /// Is the result empty?
     pub fn is_empty(&self) -> bool {
         self.rows.is_empty()
+    }
+}
+
+/// Execution tuning for [`execute_with`].
+#[derive(Debug, Clone, Default)]
+pub struct ExecOptions {
+    /// Worker threads for candidate evaluation: `0` sizes to the
+    /// machine's available parallelism (for large candidate sets),
+    /// `1` forces the serial path, `n > 1` forces `n` workers.
+    pub threads: usize,
+}
+
+/// Counters describing the most recent execution of a plan, surfaced
+/// through [`PlannedQuery::explain`].
+#[derive(Debug, Default)]
+pub struct ExecStats {
+    /// Completed executions of this plan.
+    pub executions: AtomicU64,
+    /// Worker threads used by the last execution.
+    pub parallelism: AtomicUsize,
+    /// Path-memo hits during the last execution.
+    pub memo_hits: AtomicU64,
+    /// Path-memo lookups during the last execution.
+    pub memo_lookups: AtomicU64,
+}
+
+/// Below this many candidates per worker, another thread does not pay
+/// for its spawn (auto sizing only; explicit thread counts are obeyed).
+const PAR_MIN_PER_THREAD: usize = 64;
+
+fn resolve_threads(requested: usize, items: usize) -> usize {
+    if requested > 0 {
+        return requested.min(items.max(1));
+    }
+    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    hw.min(items / PAR_MIN_PER_THREAD).max(1)
+}
+
+/// Map `f` over `items` on `threads` scoped workers, preserving item
+/// order in the output: chunks are contiguous slices and per-chunk
+/// outputs are concatenated in chunk order, so the result is the same
+/// vector a sequential map would produce.
+fn par_chunks<T, R, F>(items: &[T], threads: usize, f: &F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|slice| s.spawn(move || slice.iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("query worker panicked"))
+            .collect()
+    })
+}
+
+// ---------------------------------------------------------------------
+// Per-query path memo
+// ---------------------------------------------------------------------
+
+const MEMO_SHARDS: usize = 16;
+
+/// One memo shard: `(object, interned path index) → shared value list`.
+type MemoShard = Mutex<HashMap<(Oid, usize), Arc<Vec<Value>>>>;
+
+/// Per-query cache of `(object, path) → reachable values`. The
+/// residual, order, and projection phases often walk the same attribute
+/// path for the same object; each distinct pair is fetched from the
+/// source once and shared (behind an `Arc`) afterwards. Sharded so
+/// parallel workers rarely contend on one map.
+struct QueryMemo {
+    /// The query's distinct paths, interned to indices.
+    paths: Vec<Path>,
+    shards: Vec<MemoShard>,
+    hits: AtomicU64,
+    lookups: AtomicU64,
+}
+
+fn intern(paths: &mut Vec<Path>, p: &Path) {
+    if !paths.iter().any(|q| q == p) {
+        paths.push(p.clone());
+    }
+}
+
+fn expr_paths(expr: &Expr, paths: &mut Vec<Path>) {
+    match expr {
+        Expr::Cmp { path, .. } | Expr::Contains { path, .. } | Expr::IsNull { path } => {
+            intern(paths, path);
+        }
+        Expr::IsA { .. } => {}
+        Expr::And(a, b) | Expr::Or(a, b) => {
+            expr_paths(a, paths);
+            expr_paths(b, paths);
+        }
+        Expr::Not(e) => expr_paths(e, paths),
+    }
+}
+
+impl QueryMemo {
+    fn for_plan(plan: &PlannedQuery) -> Self {
+        let mut paths = Vec::new();
+        if let Some(expr) = &plan.residual {
+            expr_paths(expr, &mut paths);
+        }
+        if let Some((p, _)) = &plan.query.order_by {
+            intern(&mut paths, p);
+        }
+        for item in &plan.query.select {
+            if let SelectItem::Path(p) = item {
+                intern(&mut paths, p);
+            }
+        }
+        QueryMemo {
+            paths,
+            shards: (0..MEMO_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            lookups: AtomicU64::new(0),
+        }
+    }
+
+    fn values(
+        &self,
+        catalog: &Catalog,
+        source: &dyn DataSource,
+        oid: Oid,
+        path: &Path,
+    ) -> DbResult<Arc<Vec<Value>>> {
+        let Some(idx) = self.paths.iter().position(|p| p == path) else {
+            return path_values(catalog, source, oid, path).map(Arc::new);
+        };
+        self.lookups.fetch_add(1, Relaxed);
+        let mut h = DefaultHasher::new();
+        (oid, idx).hash(&mut h);
+        let shard = &self.shards[h.finish() as usize % MEMO_SHARDS];
+        if let Some(hit) = shard.lock().unwrap_or_else(|e| e.into_inner()).get(&(oid, idx)) {
+            self.hits.fetch_add(1, Relaxed);
+            return Ok(Arc::clone(hit));
+        }
+        // Compute outside the shard lock; a racing duplicate fetch is
+        // harmless (last insert wins, values are equal).
+        let computed = Arc::new(path_values(catalog, source, oid, path)?);
+        shard
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert((oid, idx), Arc::clone(&computed));
+        Ok(computed)
     }
 }
 
@@ -100,6 +268,69 @@ pub fn like_match(pattern: &str, text: &str) -> bool {
     true
 }
 
+/// Shared, immutable evaluation context: catalog, source, and the
+/// optional per-query memo. One instance serves every worker thread.
+struct EvalCtx<'a> {
+    catalog: &'a Catalog,
+    source: &'a dyn DataSource,
+    memo: Option<&'a QueryMemo>,
+}
+
+impl EvalCtx<'_> {
+    fn values(&self, oid: Oid, path: &Path) -> DbResult<Arc<Vec<Value>>> {
+        match self.memo {
+            Some(m) => m.values(self.catalog, self.source, oid, path),
+            None => path_values(self.catalog, self.source, oid, path).map(Arc::new),
+        }
+    }
+
+    fn eval(&self, oid: Oid, expr: &Expr) -> DbResult<bool> {
+        match expr {
+            Expr::Cmp { path, op, value } => {
+                let want = literal_value(value);
+                if want.is_null() {
+                    // Comparisons against null are false; `is null` tests absence.
+                    return Ok(false);
+                }
+                let values = self.values(oid, path)?;
+                Ok(values.iter().any(|v| {
+                    if v.is_null() {
+                        return false;
+                    }
+                    match op {
+                        CmpOp::Eq => v.eq_total(&want),
+                        CmpOp::Ne => !v.eq_total(&want),
+                        CmpOp::Lt => v.cmp_total(&want) == Ordering::Less,
+                        CmpOp::Le => v.cmp_total(&want) != Ordering::Greater,
+                        CmpOp::Gt => v.cmp_total(&want) == Ordering::Greater,
+                        CmpOp::Ge => v.cmp_total(&want) != Ordering::Less,
+                        CmpOp::Like => match (v.as_str(), want.as_str()) {
+                            (Some(text), Some(pattern)) => like_match(pattern, text),
+                            _ => false,
+                        },
+                    }
+                }))
+            }
+            Expr::Contains { path, value } => {
+                let want = literal_value(value);
+                let values = self.values(oid, path)?;
+                Ok(values.iter().any(|v| v.eq_total(&want)))
+            }
+            Expr::IsNull { path } => {
+                let values = self.values(oid, path)?;
+                Ok(values.iter().all(|v| v.is_null()) || values.is_empty())
+            }
+            Expr::IsA { class } => {
+                let cid = self.catalog.class_id(class)?;
+                Ok(self.catalog.is_subclass(oid.class(), cid))
+            }
+            Expr::And(a, b) => Ok(self.eval(oid, a)? && self.eval(oid, b)?),
+            Expr::Or(a, b) => Ok(self.eval(oid, a)? || self.eval(oid, b)?),
+            Expr::Not(e) => Ok(!self.eval(oid, e)?),
+        }
+    }
+}
+
 /// Evaluate a predicate for one object.
 pub fn eval_expr(
     catalog: &Catalog,
@@ -107,60 +338,68 @@ pub fn eval_expr(
     oid: Oid,
     expr: &Expr,
 ) -> DbResult<bool> {
-    match expr {
-        Expr::Cmp { path, op, value } => {
-            let want = literal_value(value);
-            if want.is_null() {
-                // Comparisons against null are false; `is null` tests absence.
-                return Ok(false);
-            }
-            let values = path_values(catalog, source, oid, path)?;
-            Ok(values.iter().any(|v| {
-                if v.is_null() {
-                    return false;
-                }
-                match op {
-                    CmpOp::Eq => v.eq_total(&want),
-                    CmpOp::Ne => !v.eq_total(&want),
-                    CmpOp::Lt => v.cmp_total(&want) == Ordering::Less,
-                    CmpOp::Le => v.cmp_total(&want) != Ordering::Greater,
-                    CmpOp::Gt => v.cmp_total(&want) == Ordering::Greater,
-                    CmpOp::Ge => v.cmp_total(&want) != Ordering::Less,
-                    CmpOp::Like => match (v.as_str(), want.as_str()) {
-                        (Some(text), Some(pattern)) => like_match(pattern, text),
-                        _ => false,
-                    },
-                }
-            }))
-        }
-        Expr::Contains { path, value } => {
-            let want = literal_value(value);
-            let values = path_values(catalog, source, oid, path)?;
-            Ok(values.iter().any(|v| v.eq_total(&want)))
-        }
-        Expr::IsNull { path } => {
-            let values = path_values(catalog, source, oid, path)?;
-            Ok(values.iter().all(|v| v.is_null()) || values.is_empty())
-        }
-        Expr::IsA { class } => {
-            let cid = catalog.class_id(class)?;
-            Ok(catalog.is_subclass(oid.class(), cid))
-        }
-        Expr::And(a, b) => {
-            Ok(eval_expr(catalog, source, oid, a)? && eval_expr(catalog, source, oid, b)?)
-        }
-        Expr::Or(a, b) => {
-            Ok(eval_expr(catalog, source, oid, a)? || eval_expr(catalog, source, oid, b)?)
-        }
-        Expr::Not(e) => Ok(!eval_expr(catalog, source, oid, e)?),
+    EvalCtx { catalog, source, memo: None }.eval(oid, expr)
+}
+
+/// One `order by` sort key with its original position. The ordering
+/// reproduces the reference semantics exactly: ascending is a stable
+/// sort by key (ties keep candidate order), descending is that sort
+/// *reversed* (ties in reverse candidate order) — so descending
+/// compares both key and position reversed.
+struct SortEntry {
+    key: Value,
+    pos: usize,
+    oid: Oid,
+    asc: bool,
+}
+
+impl PartialEq for SortEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
     }
 }
 
-/// Execute a planned query.
+impl Eq for SortEntry {}
+
+impl PartialOrd for SortEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SortEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        let base = self.key.cmp_total(&other.key).then(self.pos.cmp(&other.pos));
+        if self.asc {
+            base
+        } else {
+            base.reverse()
+        }
+    }
+}
+
+/// Execute a planned query with default options (auto parallelism).
 pub fn execute(
     catalog: &Catalog,
     source: &dyn DataSource,
     plan: &PlannedQuery,
+) -> DbResult<QueryResult> {
+    execute_with(catalog, source, plan, &ExecOptions::default())
+}
+
+/// Execute a planned query.
+///
+/// The parallel path (`threads > 1`) partitions work by candidate
+/// position and merges in candidate order, so its `QueryResult` is
+/// byte-identical to the serial path's — including error selection
+/// (the first failing candidate in order wins) and the `limit`
+/// early-exit semantics (errors past the point where the serial
+/// executor would have stopped are discarded, not surfaced).
+pub fn execute_with(
+    catalog: &Catalog,
+    source: &dyn DataSource,
+    plan: &PlannedQuery,
+    opts: &ExecOptions,
 ) -> DbResult<QueryResult> {
     let scope: &[ClassId] = &plan.scope;
     // 1. Candidates from the access path.
@@ -191,20 +430,44 @@ pub fn execute(
     // indexes probed with a wider scope — filter defensively.
     candidates.retain(|o| scope.binary_search(&o.class()).is_ok());
 
+    let threads = resolve_threads(opts.threads, candidates.len());
+    let memo = QueryMemo::for_plan(plan);
+    let ctx = EvalCtx { catalog, source, memo: Some(&memo) };
+
+    // Early exit: no ordering means any `limit` objects do.
+    let early_limit = if plan.query.order_by.is_none() && !is_count(&plan.query) {
+        plan.query.limit
+    } else {
+        None
+    };
+
     // 2. Residual predicate.
     let mut matches: Vec<Oid> = Vec::new();
-    for oid in candidates {
-        let keep = match &plan.residual {
-            Some(expr) => eval_expr(catalog, source, oid, expr)?,
-            None => true,
-        };
-        if keep {
-            matches.push(oid);
-            // Early exit: no ordering means any `limit` objects do.
-            if plan.query.order_by.is_none() {
-                if let Some(limit) = plan.query.limit {
-                    if matches.len() >= limit && !is_count(&plan.query) {
-                        break;
+    match &plan.residual {
+        None => {
+            matches = candidates;
+            if let Some(limit) = early_limit {
+                matches.truncate(limit);
+            }
+        }
+        Some(expr) => {
+            if threads <= 1 {
+                for oid in candidates {
+                    if ctx.eval(oid, expr)? {
+                        matches.push(oid);
+                        if early_limit.is_some_and(|l| matches.len() >= l) {
+                            break;
+                        }
+                    }
+                }
+            } else {
+                let evals = par_chunks(&candidates, threads, &|&oid| ctx.eval(oid, expr));
+                for (oid, keep) in candidates.iter().zip(evals) {
+                    if keep? {
+                        matches.push(*oid);
+                        if early_limit.is_some_and(|l| matches.len() >= l) {
+                            break;
+                        }
                     }
                 }
             }
@@ -213,27 +476,41 @@ pub fn execute(
 
     // 3. count(*) short-circuits projection.
     if is_count(&plan.query) {
+        finish_stats(plan, &memo, threads);
         return Ok(QueryResult {
             rows: vec![vec![Value::Int(matches.len() as i64)]],
             oids: Vec::new(),
         });
     }
 
-    // 4. Order.
+    // 4. Order (bounded top-K when a limit is present).
     if let Some((path, asc)) = &plan.query.order_by {
-        let mut keyed: Vec<(Value, Oid)> = Vec::with_capacity(matches.len());
-        for oid in matches {
-            let key = path_values(catalog, source, oid, path)?
-                .into_iter()
-                .next()
-                .unwrap_or(Value::Null);
-            keyed.push((key, oid));
+        let order_key =
+            |oid: &Oid| ctx.values(*oid, path).map(|v| v.first().cloned().unwrap_or(Value::Null));
+        let keys = par_chunks(&matches, threads, &order_key);
+        let mut entries: Vec<SortEntry> = Vec::with_capacity(matches.len());
+        for (pos, (oid, key)) in matches.iter().zip(keys).enumerate() {
+            entries.push(SortEntry { key: key?, pos, oid: *oid, asc: *asc });
         }
-        keyed.sort_by(|a, b| a.0.cmp_total(&b.0));
-        if !asc {
-            keyed.reverse();
-        }
-        matches = keyed.into_iter().map(|(_, o)| o).collect();
+        matches = match plan.query.limit {
+            // A full sort of N matches to keep K is wasted work: a
+            // bounded max-heap of K entries evicts the current worst as
+            // it goes, then drains in final order.
+            Some(limit) if limit < entries.len() => {
+                let mut heap: BinaryHeap<SortEntry> = BinaryHeap::with_capacity(limit + 1);
+                for e in entries {
+                    heap.push(e);
+                    if heap.len() > limit {
+                        heap.pop();
+                    }
+                }
+                heap.into_sorted_vec().into_iter().map(|e| e.oid).collect()
+            }
+            _ => {
+                entries.sort();
+                entries.into_iter().map(|e| e.oid).collect()
+            }
+        };
     }
 
     // 5. Limit.
@@ -242,26 +519,38 @@ pub fn execute(
     }
 
     // 6. Project.
-    let mut rows = Vec::with_capacity(matches.len());
-    for &oid in &matches {
+    let project = |oid: &Oid| -> DbResult<Vec<Value>> {
         let mut row = Vec::with_capacity(plan.query.select.len());
         for item in &plan.query.select {
             match item {
-                SelectItem::Object => row.push(Value::Ref(oid)),
+                SelectItem::Object => row.push(Value::Ref(*oid)),
                 SelectItem::Path(path) => {
-                    let mut values = path_values(catalog, source, oid, path)?;
+                    let values = ctx.values(*oid, path)?;
                     row.push(match values.len() {
                         0 => Value::Null,
-                        1 => values.pop().expect("len checked"),
-                        _ => Value::set(values),
+                        1 => values[0].clone(),
+                        _ => Value::set(values.as_ref().clone()),
                     });
                 }
                 SelectItem::Count => unreachable!("count handled above"),
             }
         }
-        rows.push(row);
-    }
+        Ok(row)
+    };
+    let rows = par_chunks(&matches, threads, &project)
+        .into_iter()
+        .collect::<DbResult<Vec<_>>>()?;
+
+    finish_stats(plan, &memo, threads);
     Ok(QueryResult { rows, oids: matches })
+}
+
+fn finish_stats(plan: &PlannedQuery, memo: &QueryMemo, threads: usize) {
+    let stats = &plan.exec_stats;
+    stats.parallelism.store(threads, Relaxed);
+    stats.memo_hits.store(memo.hits.load(Relaxed), Relaxed);
+    stats.memo_lookups.store(memo.lookups.load(Relaxed), Relaxed);
+    stats.executions.fetch_add(1, Relaxed);
 }
 
 fn is_count(query: &Query) -> bool {
@@ -285,5 +574,27 @@ mod tests {
         assert!(like_match("%", ""));
         assert!(!like_match("a%b", "ab_c"));
         assert!(like_match("a%b", "ab"));
+    }
+
+    #[test]
+    fn thread_resolution() {
+        // Explicit counts are obeyed (capped by the candidate count).
+        assert_eq!(resolve_threads(4, 1000), 4);
+        assert_eq!(resolve_threads(4, 2), 2);
+        assert_eq!(resolve_threads(1, 1000), 1);
+        // Auto sizing refuses to spawn for small inputs.
+        assert_eq!(resolve_threads(0, 10), 1);
+        assert_eq!(resolve_threads(0, PAR_MIN_PER_THREAD - 1), 1);
+    }
+
+    #[test]
+    fn par_chunks_preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let doubled = par_chunks(&items, 7, &|&x| x * 2);
+        assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        // Degenerate shapes.
+        assert_eq!(par_chunks(&items[..1], 4, &|&x| x), vec![0]);
+        let empty: Vec<u64> = Vec::new();
+        assert_eq!(par_chunks(&empty, 4, &|&x| x), empty);
     }
 }

@@ -26,7 +26,7 @@ pub mod plan;
 pub mod source;
 
 pub use ast::{CmpOp, Expr, Literal, Path, Query, SelectItem};
-pub use exec::{eval_expr, execute, path_values, QueryResult};
+pub use exec::{eval_expr, execute, execute_with, path_values, ExecOptions, ExecStats, QueryResult};
 pub use plan::{plan, AccessPath, PlannedQuery};
 pub use parser::parse;
 pub use source::{DataSource, MemSource};

@@ -11,11 +11,15 @@
 //! and nested-attribute index by estimated cost (experiment E4).
 
 use crate::ast::{CmpOp, Expr, Literal, Path, Query};
+use crate::exec::ExecStats;
 use crate::source::DataSource;
 use orion_index::{IndexDef, IndexKind};
 use orion_schema::Catalog;
 use orion_types::{ClassId, DbError, DbResult, Value};
+use std::collections::HashMap;
 use std::ops::Bound;
+use std::sync::atomic::Ordering::Relaxed;
+use std::sync::Arc;
 
 /// Convert a literal to a runtime value.
 pub fn literal_value(lit: &Literal) -> Value {
@@ -66,10 +70,15 @@ pub struct PlannedQuery {
     pub residual: Option<Expr>,
     /// Estimated result cardinality (diagnostics).
     pub estimated_candidates: usize,
+    /// Counters from the most recent execution of this plan (shared
+    /// across clones; filled by [`crate::exec::execute_with`]).
+    pub exec_stats: Arc<ExecStats>,
 }
 
 impl PlannedQuery {
     /// A human-readable plan description (experiment E4 asserts on it).
+    /// Once the plan has been executed, the degree of parallelism and
+    /// the path-memo hit rate of the last run are appended.
     pub fn explain(&self) -> String {
         let access = match &self.access {
             AccessPath::Scan => format!("scan of {} class extent(s)", self.scope.len()),
@@ -80,7 +89,16 @@ impl PlannedQuery {
             Some(e) => format!(" residual=[{e}]"),
             None => String::new(),
         };
-        format!("{access} (~{} candidates){residual}", self.estimated_candidates)
+        let run = if self.exec_stats.executions.load(Relaxed) > 0 {
+            let threads = self.exec_stats.parallelism.load(Relaxed);
+            let hits = self.exec_stats.memo_hits.load(Relaxed);
+            let lookups = self.exec_stats.memo_lookups.load(Relaxed);
+            let pct = (hits * 100).checked_div(lookups).unwrap_or(0);
+            format!("; last run: parallelism={threads}, memo hits {hits}/{lookups} ({pct}%)")
+        } else {
+            String::new()
+        };
+        format!("{access} (~{} candidates){residual}{run}", self.estimated_candidates)
     }
 }
 
@@ -189,18 +207,43 @@ pub fn path_is_single_valued(catalog: &Catalog, class: ClassId, path: &Path) -> 
     Ok(true)
 }
 
+/// Memoized path resolution within one `plan()` call. A query names
+/// the same path in several conjuncts (and again in select/order
+/// clauses); each distinct path is resolved against the catalog once
+/// and its `(attribute ids, single-valued)` pair is reused.
+struct PathBinder<'c> {
+    catalog: &'c Catalog,
+    target: ClassId,
+    cache: HashMap<Vec<String>, (Vec<u32>, bool)>,
+}
+
+impl<'c> PathBinder<'c> {
+    fn new(catalog: &'c Catalog, target: ClassId) -> Self {
+        PathBinder { catalog, target, cache: HashMap::new() }
+    }
+
+    fn bind(&mut self, path: &Path) -> DbResult<&(Vec<u32>, bool)> {
+        if !self.cache.contains_key(&path.steps) {
+            let ids = bind_path(self.catalog, self.target, path)?;
+            let single = path_is_single_valued(self.catalog, self.target, path)?;
+            self.cache.insert(path.steps.clone(), (ids, single));
+        }
+        Ok(&self.cache[&path.steps])
+    }
+}
+
 /// Validate every path in the expression against the schema.
-fn validate_expr(catalog: &Catalog, class: ClassId, expr: &Expr) -> DbResult<()> {
+fn validate_expr(binder: &mut PathBinder<'_>, expr: &Expr) -> DbResult<()> {
     match expr {
         Expr::Cmp { path, .. } | Expr::Contains { path, .. } | Expr::IsNull { path } => {
-            bind_path(catalog, class, path).map(|_| ())
+            binder.bind(path).map(|_| ())
         }
-        Expr::IsA { class: name } => catalog.class_id(name).map(|_| ()),
+        Expr::IsA { class: name } => binder.catalog.class_id(name).map(|_| ()),
         Expr::And(a, b) | Expr::Or(a, b) => {
-            validate_expr(catalog, class, a)?;
-            validate_expr(catalog, class, b)
+            validate_expr(binder, a)?;
+            validate_expr(binder, b)
         }
-        Expr::Not(e) => validate_expr(catalog, class, e),
+        Expr::Not(e) => validate_expr(binder, e),
     }
 }
 
@@ -213,17 +256,19 @@ pub fn plan(catalog: &Catalog, source: &dyn DataSource, query: Query) -> DbResul
         vec![target]
     };
 
-    // Validate select/order/predicate paths up front.
+    // Validate select/order/predicate paths up front. The binder caches
+    // each distinct path's resolution for the rest of this plan() call.
+    let mut binder = PathBinder::new(catalog, target);
     for item in &query.select {
         if let crate::ast::SelectItem::Path(p) = item {
-            bind_path(catalog, target, p)?;
+            binder.bind(p)?;
         }
     }
     if let Some((p, _)) = &query.order_by {
-        bind_path(catalog, target, p)?;
+        binder.bind(p)?;
     }
     if let Some(pred) = &query.predicate {
-        validate_expr(catalog, target, pred)?;
+        validate_expr(&mut binder, pred)?;
     }
 
     let scan_cost: usize = scope.iter().map(|c| source.extent_size(*c)).sum();
@@ -246,14 +291,13 @@ pub fn plan(catalog: &Catalog, source: &dyn DataSource, query: Query) -> DbResul
                 CmpOp::Ge => (Bound::Included(v), Bound::Unbounded),
                 CmpOp::Ne | CmpOp::Like => continue,
             };
-            let path_ids = bind_path(catalog, target, path)?;
+            let (path_ids, mergeable) = binder.bind(path)?.clone();
             // Merge with an existing sarg on the same path: `w >= a and
             // w < b` becomes one index range. Merging is only sound for
             // single-valued paths — on a set-valued path two conjuncts
             // may be satisfied by *different* elements, so the merged
             // range would under-approximate; such paths keep one sarg
             // per conjunct (each individually exact).
-            let mergeable = path_is_single_valued(catalog, target, path)?;
             match sargs.iter_mut().find(|s| mergeable && s.path_ids == path_ids) {
                 Some(existing) => {
                     existing.lower = tighten_lower(existing.lower.clone(), lower);
@@ -344,7 +388,15 @@ pub fn plan(catalog: &Catalog, source: &dyn DataSource, query: Query) -> DbResul
             .collect(),
     );
 
-    Ok(PlannedQuery { query, target, scope, access, residual, estimated_candidates: estimated })
+    Ok(PlannedQuery {
+        query,
+        target,
+        scope,
+        access,
+        residual,
+        estimated_candidates: estimated,
+        exec_stats: Arc::new(ExecStats::default()),
+    })
 }
 
 /// Does `def` serve a predicate on `path_ids` for a query over `scope`?

@@ -11,7 +11,12 @@ use orion_types::{ClassId, DbResult, Oid, Value};
 use std::ops::Bound;
 
 /// What the query processor requires from the layers below.
-pub trait DataSource {
+///
+/// `Sync` is a supertrait: the parallel executor shares one source
+/// across its scoped worker threads, so implementations must be safe
+/// to call concurrently (`orion-core`'s view takes the runtime's
+/// shared lock per call; `MemSource` is immutable during execution).
+pub trait DataSource: Sync {
     /// All instances of exactly `class` (not its subclasses).
     fn scan_class(&self, class: ClassId) -> DbResult<Vec<Oid>>;
 

@@ -1,0 +1,7 @@
+#!/usr/bin/env bash
+# Workspace lint gate: clippy over every target (libs, bins, tests,
+# benches, examples) with warnings promoted to errors. Run from anywhere
+# inside the repo; CI and pre-commit should call exactly this.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+exec cargo clippy --workspace --all-targets -- -D warnings

@@ -1,0 +1,284 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! A minimal wall-clock benchmark runner exposing the API shape orion's
+//! benches use (`benchmark_group`, `bench_function`, `iter`,
+//! `iter_batched`, the `criterion_group!`/`criterion_main!` macros). No
+//! statistics beyond mean-of-samples; results print one line per bench:
+//!
+//! ```text
+//! bench e1_hierarchy_range_query/access/extent_scan ... 1234567 ns/iter (20 samples)
+//! ```
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark identifier: `function_id/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_id: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{function_id}/{parameter}") }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Anything accepted as a bench name.
+pub trait IntoBenchmarkId {
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Batch-size hint for `iter_batched` (ignored by the shim).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+    NumIterations(u64),
+}
+
+/// Passed to bench closures; runs and times the routine.
+pub struct Bencher<'a> {
+    samples: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    result: &'a mut Option<(f64, usize)>, // (ns per iter, samples)
+}
+
+impl Bencher<'_> {
+    /// Time `routine` called in a loop.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Warm-up and calibration: how many iterations fit one sample?
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        let mut calib_iters = 0u64;
+        let calib_start = Instant::now();
+        loop {
+            black_box(routine());
+            calib_iters += 1;
+            if Instant::now() >= warm_deadline {
+                break;
+            }
+        }
+        let per_iter = calib_start.elapsed().as_secs_f64() / calib_iters as f64;
+        let per_sample = self.measurement_time.as_secs_f64() / self.samples as f64;
+        let iters = ((per_sample / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+        let mut total_ns = 0.0;
+        let mut total_iters = 0u64;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            total_ns += start.elapsed().as_nanos() as f64;
+            total_iters += iters;
+        }
+        *self.result = Some((total_ns / total_iters as f64, self.samples));
+    }
+
+    /// Time `routine` with a fresh `setup` value per batch.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        let mut total_ns = 0.0;
+        let mut total_iters = 0u64;
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total_ns += start.elapsed().as_nanos() as f64;
+            total_iters += 1;
+        }
+        *self.result = Some((total_ns / total_iters as f64, self.samples));
+    }
+}
+
+/// Shared tuning knobs for a group of benches.
+#[derive(Debug, Clone)]
+struct Knobs {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Knobs {
+    fn default() -> Self {
+        Knobs {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+}
+
+/// The benchmark manager.
+#[derive(Debug, Clone, Default)]
+pub struct Criterion {
+    knobs: Knobs,
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.knobs.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.knobs.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.knobs.warm_up_time = d;
+        self
+    }
+
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            knobs: self.knobs.clone(),
+            _parent: self,
+            _measurement: std::marker::PhantomData,
+        }
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: impl FnMut(&mut Bencher<'_>),
+    ) -> &mut Self {
+        let knobs = self.knobs.clone();
+        run_one("", &id.into_id(), &knobs, f);
+        self
+    }
+
+    pub fn final_summary(&self) {}
+}
+
+/// Measurement marker types; only wall-clock time exists here, but the
+/// real crate's `BenchmarkGroup<WallTime>` signatures must still name it.
+pub mod measurement {
+    pub struct WallTime;
+}
+
+/// A named group of benches sharing tuning knobs.
+pub struct BenchmarkGroup<'a, M = measurement::WallTime> {
+    name: String,
+    knobs: Knobs,
+    _parent: &'a mut Criterion,
+    _measurement: std::marker::PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.knobs.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.knobs.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.knobs.warm_up_time = d;
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: impl FnMut(&mut Bencher<'_>),
+    ) -> &mut Self {
+        run_one(&self.name, &id.into_id(), &self.knobs, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher<'_>, &I),
+    ) -> &mut Self {
+        run_one(&self.name, &id.into_id(), &self.knobs, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one(group: &str, id: &str, knobs: &Knobs, mut f: impl FnMut(&mut Bencher<'_>)) {
+    let label = if group.is_empty() { id.to_owned() } else { format!("{group}/{id}") };
+    let mut result = None;
+    let mut bencher = Bencher {
+        samples: knobs.sample_size,
+        measurement_time: knobs.measurement_time,
+        warm_up_time: knobs.warm_up_time,
+        result: &mut result,
+    };
+    f(&mut bencher);
+    match result {
+        Some((ns, samples)) => {
+            println!("bench {label} ... {ns:.0} ns/iter ({samples} samples)");
+        }
+        None => println!("bench {label} ... no measurement (closure never called iter)"),
+    }
+}
+
+/// Define a bench group. Supports both forms the real crate accepts.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

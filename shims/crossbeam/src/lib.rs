@@ -1,0 +1,69 @@
+//! Offline shim for the `crossbeam` crate: just `crossbeam::scope`,
+//! implemented over `std::thread::scope` (which did not exist when the
+//! real crate introduced scoped threads).
+//!
+//! Differences from the real API are limited to what orion never uses:
+//! the argument passed to spawned closures is a placeholder that does
+//! not support nested spawning (every caller in this workspace writes
+//! `scope.spawn(|_| …)`).
+
+/// Re-export under the real crate's module path as well.
+pub mod thread {
+    pub use super::{scope, Scope, SpawnPlaceholder};
+}
+
+/// The value handed to spawned closures (nested spawning unsupported).
+pub struct SpawnPlaceholder(());
+
+/// Scope handle: spawn threads that may borrow from the caller's stack.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped thread. The closure's argument mirrors crossbeam's
+    /// nested-scope handle and is a placeholder here.
+    pub fn spawn<T, F>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&SpawnPlaceholder) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        self.inner.spawn(move || f(&SpawnPlaceholder(())))
+    }
+}
+
+/// Create a scope for spawning borrowing threads. Like crossbeam, child
+/// panics surface as `Err` rather than unwinding through the caller.
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn spawned_threads_borrow_and_join() {
+        let counter = AtomicUsize::new(0);
+        super::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|_| counter.fetch_add(1, Ordering::SeqCst));
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn child_panic_is_an_err() {
+        let r = super::scope(|scope| {
+            scope.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

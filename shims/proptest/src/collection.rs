@@ -1,0 +1,84 @@
+//! Collection strategies: `vec` and `btree_map`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::collections::BTreeMap;
+use std::ops::Range;
+
+/// Acceptable length specifications.
+pub trait IntoSizeRange {
+    fn bounds(&self) -> (usize, usize); // inclusive lo, exclusive hi
+}
+
+impl IntoSizeRange for Range<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        (self.start, self.end)
+    }
+}
+
+impl IntoSizeRange for usize {
+    fn bounds(&self) -> (usize, usize) {
+        (*self, *self + 1)
+    }
+}
+
+impl IntoSizeRange for std::ops::RangeInclusive<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        (*self.start(), *self.end() + 1)
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with length drawn from `size`.
+pub struct VecStrategy<S> {
+    element: S,
+    lo: usize,
+    hi: usize,
+}
+
+/// Vectors of values from `element`, length in `size`.
+pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+    let (lo, hi) = size.bounds();
+    assert!(lo < hi, "empty vec size range");
+    VecStrategy { element, lo, hi }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let len = rng.usize_in(self.lo, self.hi);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Strategy for `BTreeMap<K, V>`; duplicate keys collapse, so the map
+/// may come out smaller than the drawn size (matches the real crate).
+pub struct BTreeMapStrategy<K, V> {
+    key: K,
+    value: V,
+    lo: usize,
+    hi: usize,
+}
+
+/// Maps with entries from `key`/`value`, size drawn from `size`.
+pub fn btree_map<K: Strategy, V: Strategy>(
+    key: K,
+    value: V,
+    size: impl IntoSizeRange,
+) -> BTreeMapStrategy<K, V> {
+    let (lo, hi) = size.bounds();
+    assert!(lo < hi, "empty btree_map size range");
+    BTreeMapStrategy { key, value, lo, hi }
+}
+
+impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+where
+    K::Value: Ord,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let len = rng.usize_in(self.lo, self.hi);
+        (0..len).map(|_| (self.key.generate(rng), self.value.generate(rng))).collect()
+    }
+}

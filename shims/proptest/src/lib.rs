@@ -1,0 +1,154 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! Implements the API subset orion's property tests use: `Strategy`
+//! (`prop_map`, `prop_recursive`, `boxed`), `Just`, `any::<T>()`,
+//! integer ranges, char-class string patterns, tuples,
+//! `collection::{vec, btree_map}`, `option::of`, `prop_oneof!`, the
+//! `proptest!` test macro with `ProptestConfig`, and the `prop_assert*`
+//! macros.
+//!
+//! Differences from the real crate: cases are generated from a
+//! deterministic per-test RNG and failing inputs are *not shrunk* —
+//! the failing case's `Debug` rendering is printed instead. That trades
+//! minimal counterexamples for zero dependencies.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fail the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// Fail the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, $($fmt)*);
+    }};
+}
+
+/// Discard the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Define property tests. Each function runs `config.cases` random
+/// cases; a failing case panics with its `Debug`-rendered inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut rejected: u32 = 0;
+            let mut case: u64 = 0;
+            let mut ran: u32 = 0;
+            while ran < config.cases {
+                let mut rng = $crate::test_runner::TestRng::for_case(stringify!($name), case);
+                case += 1;
+                $(let $arg = $crate::strategy::Strategy::generate(&$strategy, &mut rng);)+
+                // Rendered eagerly: the body may move the inputs.
+                let rendered = {
+                    let mut s = ::std::string::String::new();
+                    $(s.push_str(&format!(
+                        "\n  {} = {:?}", stringify!($arg), $arg,
+                    ));)+
+                    s
+                };
+                let outcome: $crate::test_runner::TestCaseResult = (|| { $body Ok(()) })();
+                match outcome {
+                    Ok(()) => ran += 1,
+                    Err($crate::test_runner::TestCaseError::Reject(_)) => {
+                        rejected += 1;
+                        assert!(
+                            rejected < config.cases * 16 + 256,
+                            "proptest {}: too many rejected cases", stringify!($name),
+                        );
+                    }
+                    Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest {} failed at case {} (no shrinking): {}\ninputs:{}",
+                            stringify!($name), case - 1, msg, rendered,
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+}

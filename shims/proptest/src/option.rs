@@ -1,0 +1,27 @@
+//! `option::of` — optional values.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy producing `None` a quarter of the time (the real crate's
+/// default `prob` for `option::of`), otherwise `Some` of the inner.
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+/// `Option<T>` values from an inner strategy.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! The `Strategy` trait and combinators.
+
+use crate::test_runner::TestRng;
+use std::rc::Rc;
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Build a recursive strategy: at each of `depth` levels, generation
+    /// chooses between this (leaf) strategy and `branch(inner)`, where
+    /// `inner` generates the next level down. `_desired_size` and
+    /// `_expected_branch` are accepted for API compatibility; recursion
+    /// here is bounded structurally by `depth` alone.
+    fn prop_recursive<F, B>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        branch: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> B,
+        B: Strategy<Value = Self::Value> + 'static,
+    {
+        let leaf = self.boxed();
+        let mut current = leaf.clone();
+        for _ in 0..depth {
+            let deeper = branch(current).boxed();
+            // Lean toward leaves (2:1) so sizes stay reasonable.
+            current = Union::weighted(vec![(2, leaf.clone()), (1, deeper)]).boxed();
+        }
+        current
+    }
+
+    /// Type-erase this strategy. The result is cheaply cloneable.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// A type-erased, cheaply cloneable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// Always the same value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `prop_map` combinator.
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Weighted choice among same-typed strategies (`prop_oneof!`).
+pub struct Union<T> {
+    choices: Vec<(u32, BoxedStrategy<T>)>,
+    total: u32,
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union { choices: self.choices.clone(), total: self.total }
+    }
+}
+
+impl<T> Union<T> {
+    pub fn new(choices: Vec<BoxedStrategy<T>>) -> Self {
+        Self::weighted(choices.into_iter().map(|c| (1, c)).collect())
+    }
+
+    pub fn weighted(choices: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(!choices.is_empty(), "prop_oneof! needs at least one choice");
+        let total = choices.iter().map(|(w, _)| *w).sum();
+        Union { choices, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.below(self.total as u64) as u32;
+        for (weight, choice) in &self.choices {
+            if pick < *weight {
+                return choice.generate(rng);
+            }
+            pick -= weight;
+        }
+        unreachable!("weights sum to total")
+    }
+}
+
+// ---------------------------------------------------------------------
+// Ranges as strategies
+// ---------------------------------------------------------------------
+
+/// Integers (and floats) usable as range strategies.
+pub trait RangedValue: Copy {
+    fn sample_range(rng: &mut TestRng, lo: Self, hi_exclusive: Self) -> Self;
+}
+
+macro_rules! impl_ranged_int {
+    ($($t:ty),*) => {$(
+        impl RangedValue for $t {
+            fn sample_range(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u64;
+                (lo as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_ranged_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl RangedValue for f64 {
+    fn sample_range(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+        lo + rng.unit_f64() * (hi - lo)
+    }
+}
+
+impl<T: RangedValue> Strategy for std::ops::Range<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::sample_range(rng, self.start, self.end)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tuples of strategies
+// ---------------------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, G);
+
+// String patterns live in crate::string; `&str` gets its Strategy impl
+// there.

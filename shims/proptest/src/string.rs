@@ -1,0 +1,102 @@
+//! String strategies from pattern literals.
+//!
+//! The real crate compiles any regex; this shim supports the shapes
+//! orion's tests use — a single character class with a bounded repeat,
+//! e.g. `"[a-zA-Z0-9 ]{0,16}"` — and treats anything else as a literal
+//! string.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Parsed form of a supported pattern.
+enum Pattern {
+    /// `[class]{lo,hi}` — characters drawn from `chars`, length in
+    /// `lo..=hi`.
+    ClassRepeat { chars: Vec<char>, lo: usize, hi: usize },
+    /// Anything else, emitted verbatim.
+    Literal(String),
+}
+
+fn parse_class(body: &str) -> Option<Vec<char>> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = body.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        if i + 2 < chars.len() && chars[i + 1] == '-' {
+            let (lo, hi) = (chars[i], chars[i + 2]);
+            if lo > hi {
+                return None;
+            }
+            for c in lo..=hi {
+                out.push(c);
+            }
+            i += 3;
+        } else {
+            out.push(chars[i]);
+            i += 1;
+        }
+    }
+    if out.is_empty() {
+        None
+    } else {
+        Some(out)
+    }
+}
+
+fn parse_pattern(pattern: &str) -> Pattern {
+    // Recognize: '[' class ']' '{' lo ',' hi '}'
+    let parsed = (|| {
+        let rest = pattern.strip_prefix('[')?;
+        let (class, rest) = rest.split_once(']')?;
+        let rest = rest.strip_prefix('{')?;
+        let body = rest.strip_suffix('}')?;
+        let (lo, hi) = match body.split_once(',') {
+            Some((lo, hi)) => (lo.trim().parse().ok()?, hi.trim().parse().ok()?),
+            None => {
+                let n: usize = body.trim().parse().ok()?;
+                (n, n)
+            }
+        };
+        if lo > hi {
+            return None;
+        }
+        Some(Pattern::ClassRepeat { chars: parse_class(class)?, lo, hi })
+    })();
+    parsed.unwrap_or_else(|| Pattern::Literal(pattern.to_owned()))
+}
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        match parse_pattern(self) {
+            Pattern::ClassRepeat { chars, lo, hi } => {
+                let len = rng.usize_in(lo, hi + 1);
+                (0..len).map(|_| chars[rng.usize_in(0, chars.len())]).collect()
+            }
+            Pattern::Literal(s) => s,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn class_repeat_respects_alphabet_and_length() {
+        let mut rng = TestRng::for_case("class_repeat", 0);
+        for _ in 0..200 {
+            let s = "[a-zA-Z0-9 ]{0,16}".generate(&mut rng);
+            assert!(s.chars().count() <= 16);
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || c == ' '));
+        }
+    }
+
+    #[test]
+    fn unknown_pattern_is_literal() {
+        let mut rng = TestRng::for_case("literal", 0);
+        assert_eq!("hello".generate(&mut rng), "hello");
+    }
+}

@@ -1,0 +1,238 @@
+//! Offline shim for the `rand` crate.
+//!
+//! Implements the subset orion's fixtures and tests use — `Rng` with
+//! `gen_range`/`gen_bool`/`gen`, `SeedableRng::seed_from_u64`,
+//! `rngs::StdRng`, and `seq::SliceRandom` — over a xoshiro256**
+//! generator seeded via splitmix64. Streams are deterministic for a
+//! given seed but are NOT the same streams as the real rand crate.
+
+use std::ops::Range;
+
+/// Sample a uniform value from a range (the shim's stand-in for rand's
+/// `SampleUniform` machinery).
+pub trait Uniformable: Copy {
+    fn sample(rng: &mut dyn RngCore, range: Range<Self>) -> Self;
+}
+
+/// Object-safe random source: 64 random bits per call.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Draw a `u64` below `bound` without modulo bias (Lemire's method
+/// simplified to rejection sampling on the top bits).
+fn bounded(rng: &mut dyn RngCore, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    if bound.is_power_of_two() {
+        return rng.next_u64() & (bound - 1);
+    }
+    let zone = u64::MAX - (u64::MAX % bound) - 1;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return v % bound;
+        }
+    }
+}
+
+macro_rules! impl_uniformable_int {
+    ($($t:ty),*) => {$(
+        impl Uniformable for $t {
+            fn sample(rng: &mut dyn RngCore, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "empty gen_range");
+                let span = (range.end as i128 - range.start as i128) as u64;
+                let v = bounded(rng, span);
+                (range.start as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniformable_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Uniformable for f64 {
+    fn sample(rng: &mut dyn RngCore, range: Range<Self>) -> Self {
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        range.start + unit * (range.end - range.start)
+    }
+}
+
+/// Types producible by `Rng::gen` (`Standard` distribution stand-in).
+pub trait Generable {
+    fn generate(rng: &mut dyn RngCore) -> Self;
+}
+
+impl Generable for u64 {
+    fn generate(rng: &mut dyn RngCore) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Generable for u32 {
+    fn generate(rng: &mut dyn RngCore) -> Self {
+        rng.next_u64() as u32
+    }
+}
+
+impl Generable for bool {
+    fn generate(rng: &mut dyn RngCore) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Generable for f64 {
+    fn generate(rng: &mut dyn RngCore) -> Self {
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// The user-facing random-value API.
+pub trait Rng: RngCore {
+    fn gen_range<T: Uniformable>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self, range)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        f64::generate(self) < p
+    }
+
+    #[allow(clippy::should_implement_trait)] // matches the real rand API
+    fn gen<T: Generable>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::generate(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Seedable generators (only `seed_from_u64` is provided).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    /// Deterministic xoshiro256** generator.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl super::RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Slice helpers (`shuffle`, `choose`).
+    pub trait SliceRandom {
+        type Item;
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+            // Fisher–Yates.
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..i + 1);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1000), b.gen_range(0u64..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_hit_bounds_only() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-20i64..20);
+            assert!((-20..20).contains(&v));
+        }
+        let mut ones = 0;
+        for _ in 0..1000 {
+            if rng.gen_bool(0.5) {
+                ones += 1;
+            }
+        }
+        assert!((300..700).contains(&ones), "suspicious bias: {ones}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert!(v.choose(&mut rng).is_some());
+    }
+}
