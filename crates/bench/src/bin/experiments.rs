@@ -174,25 +174,25 @@ fn e2() {
 
     let mut table = Table::new(&["access method", "time", "rows", "objects fetched"]);
     let tx = db.begin();
-    db.reset_stats();
+    db.reset_metrics();
     let (d, r) = time(|| db.query(&tx, q).unwrap());
     table.row(vec![
         "forward traversal per object".into(),
         fmt_dur(d),
         r.rows[0][0].to_string(),
-        db.fetch_count().to_string(),
+        db.stats().fetches.to_string(),
     ]);
     db.commit(tx).unwrap();
 
     db.create_index("loc", IndexKind::Nested, "Vehicle", &["manufacturer", "location"]).unwrap();
     let tx = db.begin();
-    db.reset_stats();
+    db.reset_metrics();
     let (d, r) = time(|| db.query(&tx, q).unwrap());
     table.row(vec![
         "nested-attribute index".into(),
         fmt_dur(d),
         r.rows[0][0].to_string(),
-        db.fetch_count().to_string(),
+        db.stats().fetches.to_string(),
     ]);
     db.commit(tx).unwrap();
     table.print();
@@ -291,7 +291,7 @@ fn e3() {
         let tx = db.begin();
         // Cold run (first touch faults everything in).
         db.cool_caches().unwrap();
-        db.reset_stats();
+        db.reset_metrics();
         let cold = time_per(1, || {
             for &h in &heads {
                 std::hint::black_box(db.navigate(&tx, h, &path).unwrap());
@@ -303,7 +303,7 @@ fn e3() {
                 std::hint::black_box(db.navigate(&tx, h, &path).unwrap());
             }
         }) / heads.len() as u32;
-        let stats = db.cache_stats();
+        let stats = db.stats().cache;
         let label = if swizzling { "orion: swizzled pointers" } else { "orion: OID hash per hop" };
         table.row(vec![
             label.into(),
@@ -351,7 +351,7 @@ fn e4() {
     let mut table = Table::new(&["query (where-clause)", "chosen plan", "time"]);
     let tx = db.begin();
     for q in queries {
-        let plan = db.explain(&tx, q).unwrap();
+        let plan = db.explain(&tx, q).unwrap().to_string();
         let (d, _) = time(|| db.query(&tx, q).unwrap());
         let clause = q.split(" where ").nth(1).unwrap_or(q);
         table.row(vec![clause.to_string(), plan, fmt_dur(d)]);
@@ -724,7 +724,7 @@ fn e10() {
             order.shuffle(&mut rng);
         }
         db.cool_caches().unwrap();
-        db.reset_stats();
+        db.reset_metrics();
         let tx = db.begin();
         let (d, ()) = time(|| {
             for &i in &order {
@@ -734,7 +734,7 @@ fn e10() {
             }
         });
         db.commit(tx).unwrap();
-        let misses = db.pool_stats().misses as f64 / ASSEMBLIES as f64;
+        let misses = db.stats().pool.misses as f64 / ASSEMBLIES as f64;
         table.row(vec![
             if clustering { "clustered with parent (hints)" } else { "creation order (scattered)" }
                 .into(),

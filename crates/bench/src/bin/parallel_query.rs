@@ -13,8 +13,8 @@
 
 use orion_bench::fleet;
 use orion_core::{DbConfig, SourceView};
-use orion_query::{execute_with, ExecOptions};
-use std::sync::Mutex;
+use orion_query::{execute_with, ExecMetrics, ExecOptions};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 const N_OBJECTS: usize = 12_000;
@@ -41,13 +41,12 @@ fn main() {
     let planned = db.prepare_query(&tx, QUERY).expect("plan");
 
     // --- 1. Serial vs 4-thread execution of one query -----------------
-    let run = |threads: usize| {
+    let run_with = |opts: &ExecOptions| {
         db.with_catalog(|cat| {
-            execute_with(cat, &SourceView::new(db), &planned, &ExecOptions { threads })
-                .expect("execute")
-                .len()
+            execute_with(cat, &SourceView::new(db), &planned, opts).expect("execute").len()
         })
     };
+    let run = |threads: usize| run_with(&ExecOptions::with_threads(threads));
     let (_, _) = best_of(2, || run(1)); // warm the buffer pool
     let (serial, len_serial) = best_of(5, || run(1));
     let (par4, len_par4) = best_of(5, || run(4));
@@ -57,7 +56,19 @@ fn main() {
         "single query over {N_OBJECTS} objects: serial {serial:?}, 4 threads {par4:?} \
          ({speedup:.2}x, {len_serial} rows)"
     );
-    println!("plan: {}", planned.explain());
+    println!("plan: {}", planned.report());
+
+    // --- 1b. Instrumentation overhead: metrics sink off vs on ---------
+    let exec_metrics = Arc::new(ExecMetrics::default());
+    let opts_off = ExecOptions::with_threads(1);
+    let opts_on = ExecOptions { threads: 1, metrics: Some(Arc::clone(&exec_metrics)) };
+    let (metrics_off, _) = best_of(7, || run_with(&opts_off));
+    let (metrics_on, _) = best_of(7, || run_with(&opts_on));
+    let overhead_pct = (metrics_on.as_secs_f64() / metrics_off.as_secs_f64() - 1.0) * 100.0;
+    println!(
+        "instrumentation: metrics off {metrics_off:?}, on {metrics_on:?} \
+         ({overhead_pct:+.2}% overhead)"
+    );
 
     // --- 2. 4 readers: shared runtime vs global-mutex emulation -------
     let global = Mutex::new(());
@@ -88,6 +99,12 @@ fn main() {
         total as f64 / shared.as_secs_f64(),
         total as f64 / mutexed.as_secs_f64(),
     );
+    // A few facade-path queries so the database's own executor metrics
+    // are populated, then snapshot every layer's counters.
+    for _ in 0..3 {
+        db.query(&tx, QUERY).expect("query");
+    }
+    let stats = db.stats();
     db.commit(tx).expect("commit");
 
     let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
@@ -110,13 +127,30 @@ fn main() {
          \"concurrent_readers\": {{\n    \"readers\": {READERS},\n    \
          \"queries_per_reader\": {QUERIES_PER_READER},\n    \
          \"shared_runtime_ms\": {:.3},\n    \"global_mutex_ms\": {:.3},\n    \
-         \"aggregate_speedup\": {:.3}\n  }}\n}}\n",
+         \"aggregate_speedup\": {:.3}\n  }},\n  \
+         \"instrumentation\": {{\n    \"metrics_off_ms\": {:.3},\n    \
+         \"metrics_on_ms\": {:.3},\n    \"overhead_pct\": {:.3}\n  }},\n  \
+         \"stats\": {{\n    \"pool_hits\": {},\n    \"pool_misses\": {},\n    \
+         \"wal_appends\": {},\n    \"wal_flushes\": {},\n    \
+         \"lock_acquisitions\": {},\n    \"exec_queries\": {},\n    \
+         \"exec_rows_scanned\": {},\n    \"object_fetches\": {}\n  }}\n}}\n",
         serial.as_secs_f64() * 1e3,
         par4.as_secs_f64() * 1e3,
         speedup,
         shared.as_secs_f64() * 1e3,
         mutexed.as_secs_f64() * 1e3,
         agg_speedup,
+        metrics_off.as_secs_f64() * 1e3,
+        metrics_on.as_secs_f64() * 1e3,
+        overhead_pct,
+        stats.pool.hits,
+        stats.pool.misses,
+        stats.wal.appends,
+        stats.wal.flushes,
+        stats.locks.acquisitions,
+        stats.exec.queries,
+        stats.exec.rows_scanned,
+        stats.fetches,
     );
     std::fs::write("BENCH_parallel_query.json", &json).expect("write BENCH_parallel_query.json");
     println!("wrote BENCH_parallel_query.json");

@@ -14,6 +14,7 @@ use crate::cache::{CacheStats, ObjectCache};
 use crate::methods::MethodRegistry;
 use crate::multidb::ForeignAdapter;
 use crate::notify::{NotificationKind, NotifyCenter};
+use crate::stats::{DbMetrics, DbStats};
 use crate::sysattr;
 use orion_index::IndexInstance;
 use orion_schema::Catalog;
@@ -72,6 +73,94 @@ impl Default for DbConfig {
             lock_timeout: Duration::from_secs(5),
             query_threads: 0,
         }
+    }
+}
+
+impl DbConfig {
+    /// Start building a configuration. `build()` validates, so a
+    /// database constructed through the builder never starts with a
+    /// zero-sized buffer pool or similar nonsense.
+    pub fn builder() -> DbConfigBuilder {
+        DbConfigBuilder { config: DbConfig::default() }
+    }
+
+    /// Check every invariant the builder enforces. `Err(DbError::Config)`
+    /// names the first offending setting.
+    pub fn validate(&self) -> DbResult<()> {
+        if self.buffer_pages == 0 {
+            return Err(DbError::Config("buffer_pages must be at least 1".into()));
+        }
+        if self.cache_objects == 0 {
+            return Err(DbError::Config("cache_objects must be at least 1".into()));
+        }
+        if self.lock_timeout == Duration::ZERO {
+            return Err(DbError::Config("lock_timeout must be non-zero".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`DbConfig`]; settings are validated at [`build`].
+///
+/// [`build`]: DbConfigBuilder::build
+#[derive(Debug, Clone, Default)]
+pub struct DbConfigBuilder {
+    config: DbConfig,
+}
+
+impl DbConfigBuilder {
+    /// Buffer-pool frames (4 KiB pages). Must be at least 1.
+    pub fn buffer_pages(mut self, pages: usize) -> Self {
+        self.config.buffer_pages = pages;
+        self
+    }
+
+    /// Object-cache capacity (resident objects). Must be at least 1.
+    pub fn cache_objects(mut self, objects: usize) -> Self {
+        self.config.cache_objects = objects;
+        self
+    }
+
+    /// Pointer swizzling in the object cache.
+    pub fn swizzling(mut self, on: bool) -> Self {
+        self.config.swizzling = on;
+        self
+    }
+
+    /// Lock granularity.
+    pub fn locking(mut self, strategy: LockingStrategy) -> Self {
+        self.config.locking = strategy;
+        self
+    }
+
+    /// Enforce authorization checks for transactions with a subject.
+    pub fn authz_enabled(mut self, on: bool) -> Self {
+        self.config.authz_enabled = on;
+        self
+    }
+
+    /// Cluster composite parts with their parent.
+    pub fn clustering(mut self, on: bool) -> Self {
+        self.config.clustering = on;
+        self
+    }
+
+    /// Lock-wait timeout. Must be non-zero.
+    pub fn lock_timeout(mut self, timeout: Duration) -> Self {
+        self.config.lock_timeout = timeout;
+        self
+    }
+
+    /// Worker threads for query candidate evaluation (`0` = auto).
+    pub fn query_threads(mut self, threads: usize) -> Self {
+        self.config.query_threads = threads;
+        self
+    }
+
+    /// Validate and produce the configuration.
+    pub fn build(self) -> DbResult<DbConfig> {
+        self.config.validate()?;
+        Ok(self.config)
     }
 }
 
@@ -155,6 +244,7 @@ pub struct Database {
     pub(crate) adapters: RwLock<HashMap<String, Box<dyn ForeignAdapter>>>,
     pub(crate) config: DbConfig,
     pub(crate) alloc: OidAllocator,
+    pub(crate) metrics: DbMetrics,
 }
 
 impl Database {
@@ -178,7 +268,17 @@ impl Database {
             adapters: RwLock::new(HashMap::new()),
             config,
             alloc: OidAllocator::new(),
+            metrics: DbMetrics::default(),
         }
+    }
+
+    /// A fresh database from a validated configuration; rejects invalid
+    /// settings with [`DbError::Config`]. Equivalent to
+    /// `DbConfig::builder()...build()` followed by
+    /// [`Database::with_config`].
+    pub fn try_with_config(config: DbConfig) -> DbResult<Self> {
+        config.validate()?;
+        Ok(Self::with_config(config))
     }
 
     /// The active configuration.
@@ -209,28 +309,67 @@ impl Database {
         f(&mut self.catalog.write())
     }
 
+    /// One structured snapshot of every performance counter in the
+    /// system: object cache, buffer pool, disk, WAL, lock manager,
+    /// query executor, fetches, and method dispatches. Safe to call
+    /// while queries and transactions run — everything is lock-free
+    /// atomics except the object cache, which takes a *shared* runtime
+    /// read guard (never the write lock, so it cannot deadlock against
+    /// the read-concurrent query path).
+    pub fn stats(&self) -> DbStats {
+        let (cache, fetches) = {
+            let rt = self.rt.read();
+            (rt.cache.stats(), rt.fetches.load(Ordering::Relaxed))
+        };
+        DbStats {
+            cache,
+            pool: self.engine.pool().stats(),
+            disk: self.engine.disk().stats(),
+            wal: self.engine.wal().stats(),
+            locks: self.locks.stats(),
+            exec: self.metrics.exec.snapshot(),
+            fetches,
+            method_calls: self.metrics.method_calls.get(),
+        }
+    }
+
+    /// Zero every performance counter (between benchmark phases).
+    pub fn reset_metrics(&self) {
+        {
+            let mut rt = self.rt.write();
+            rt.cache.reset_stats();
+            rt.fetches.store(0, Ordering::Relaxed);
+        }
+        self.engine.pool().reset_stats();
+        self.engine.disk().reset_stats();
+        self.engine.wal().reset_stats();
+        self.locks.reset_stats();
+        self.metrics.exec.reset();
+        self.metrics.method_calls.reset();
+    }
+
     /// Object-cache counters.
+    #[deprecated(note = "use `stats().cache`")]
     pub fn cache_stats(&self) -> CacheStats {
-        self.rt.read().cache.stats()
+        self.stats().cache
     }
 
     /// Buffer-pool counters.
+    #[deprecated(note = "use `stats().pool`")]
     pub fn pool_stats(&self) -> PoolStats {
-        self.engine.pool().stats()
+        self.stats().pool
     }
 
     /// Objects fetched from storage since the last reset.
+    #[deprecated(note = "use `stats().fetches`")]
     pub fn fetch_count(&self) -> u64 {
-        self.rt.read().fetches.load(Ordering::Relaxed)
+        self.stats().fetches
     }
 
     /// Reset all performance counters (between benchmark phases).
+    #[deprecated(note = "use `reset_metrics()`")]
     pub fn reset_stats(&self) {
-        let mut rt = self.rt.write();
-        rt.cache.reset_stats();
-        rt.fetches.store(0, Ordering::Relaxed);
-        self.engine.pool().reset_stats();
-        self.engine.disk().reset_stats();
+        self.reset_metrics();
     }
 
     /// Drop the object cache and buffer pool contents without touching
@@ -827,6 +966,7 @@ impl Database {
                 "method `{selector}` resolved to class {defining} but has no registered body"
             ))
         })?;
+        self.metrics.method_calls.inc();
         body(self, tx, receiver, args)
     }
 

@@ -28,12 +28,14 @@ pub mod persist;
 pub mod query_api;
 pub mod rules;
 pub mod source;
+pub mod stats;
 pub mod sysattr;
 pub mod versions;
 
 pub use authz::{AuthAction, AuthTarget};
 pub use cache::{CacheStats, ObjectCache};
-pub use database::{Database, DbConfig, LockingStrategy, Tx};
+pub use database::{Database, DbConfig, DbConfigBuilder, LockingStrategy, Tx};
+pub use stats::DbStats;
 pub use ddl::Migration;
 pub use methods::MethodBody;
 pub use multidb::{ForeignAdapter, ForeignClass, ForeignObject};
@@ -44,6 +46,8 @@ pub use versions::VersionStatus;
 
 // Re-exports so downstream users need only one crate.
 pub use orion_index::{IndexDef, IndexKind};
-pub use orion_query::QueryResult;
+pub use orion_query::{AccessPath, ExecSnapshot, ExplainReport, QueryResult, RunStats};
 pub use orion_schema::{AttrSpec, SchemaChange};
+pub use orion_storage::{DiskStats, PoolStats, WalStats};
+pub use orion_tx::LockStats;
 pub use orion_types::{ClassId, DbError, DbResult, Domain, Oid, PrimitiveType, Value};

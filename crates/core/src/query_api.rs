@@ -12,8 +12,11 @@ use crate::authz::{AuthAction, AuthTarget};
 use crate::database::{Database, Tx};
 use crate::source::SourceView;
 use orion_query::ast::{Expr, Query};
-use orion_query::{execute_with, parse, plan, ExecOptions, PlannedQuery, QueryResult};
+use orion_query::{
+    execute_with, parse, plan, AccessPath, ExecOptions, ExplainReport, PlannedQuery, QueryResult,
+};
 use orion_types::{DbError, DbResult};
+use std::sync::Arc;
 
 impl Database {
     /// Parse, authorize, plan, and execute a query. A hierarchy query
@@ -26,9 +29,11 @@ impl Database {
         execute_with(&catalog, &source, &planned, &self.exec_options())
     }
 
-    /// Plan a query and return the optimizer's explanation (E4).
-    pub fn explain(&self, tx: &Tx, text: &str) -> DbResult<String> {
-        Ok(self.prepare(tx, text)?.explain())
+    /// Plan a query and return the optimizer's structured explanation
+    /// (E4). `Display` renders the classic one-line explain text, so
+    /// `db.explain(tx, q)?.to_string()` is the old string API.
+    pub fn explain(&self, tx: &Tx, text: &str) -> DbResult<ExplainReport> {
+        Ok(self.prepare(tx, text)?.report())
     }
 
     /// Prepare a query once for repeated execution (parse, authorize,
@@ -46,7 +51,10 @@ impl Database {
     }
 
     fn exec_options(&self) -> ExecOptions {
-        ExecOptions { threads: self.config.query_threads }
+        ExecOptions {
+            threads: self.config.query_threads,
+            metrics: Some(Arc::clone(&self.metrics.exec)),
+        }
     }
 
     fn prepare(&self, tx: &Tx, text: &str) -> DbResult<PlannedQuery> {
@@ -87,7 +95,12 @@ impl Database {
 
         let catalog = self.catalog.read();
         let source = SourceView::new(self);
-        plan(&catalog, &source, query)
+        let planned = plan(&catalog, &source, query)?;
+        match planned.access {
+            AccessPath::Scan => self.metrics.exec.scan_picks.inc(),
+            _ => self.metrics.exec.index_picks.inc(),
+        }
+        Ok(planned)
     }
 
     // ------------------------------------------------------------------

@@ -1,0 +1,237 @@
+//! Unified observability: the [`Database::stats`] snapshot and its
+//! Prometheus text rendering.
+//!
+//! Every layer keeps its own lock-free counters (buffer pool, simulated
+//! disk, WAL, lock manager, query executor, object cache); this module
+//! is the one place they are gathered into a coherent, structured view.
+//! A snapshot is cheap — atomic loads plus one shared runtime read
+//! guard for the object cache — and safe to take while queries and
+//! transactions are running: individual fields may be skewed by
+//! in-flight updates but no value is ever torn.
+//!
+//! [`Database::stats`]: crate::Database::stats
+
+use crate::cache::CacheStats;
+use orion_obs::{render, Counter};
+use orion_query::{ExecMetrics, ExecSnapshot};
+use orion_storage::{DiskStats, PoolStats, WalStats};
+use orion_tx::LockStats;
+use std::sync::Arc;
+
+/// The metric sinks one `Database` owns and threads through its layers.
+/// The executor sink is `Arc`-shared with every [`orion_query::ExecOptions`]
+/// the facade hands out, so concurrent queries account into one place.
+#[derive(Debug, Default)]
+pub(crate) struct DbMetrics {
+    /// Cross-query executor metrics (attached to every execution).
+    pub exec: Arc<ExecMetrics>,
+    /// Late-bound method dispatches through `Database::call`.
+    pub method_calls: Counter,
+}
+
+/// A structured snapshot of every performance counter in the system,
+/// returned by [`Database::stats`].
+///
+/// [`Database::stats`]: crate::Database::stats
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DbStats {
+    /// Object-cache counters (hits, misses, swizzle traversals).
+    pub cache: CacheStats,
+    /// Buffer-pool counters (hits, misses, evictions, writebacks).
+    pub pool: PoolStats,
+    /// Simulated-disk I/O counters.
+    pub disk: DiskStats,
+    /// Write-ahead log counters and flush latency.
+    pub wal: WalStats,
+    /// Lock-manager counters and wait latency.
+    pub locks: LockStats,
+    /// Query-executor counters.
+    pub exec: ExecSnapshot,
+    /// Objects fetched (decoded) from storage.
+    pub fetches: u64,
+    /// Late-bound method dispatches.
+    pub method_calls: u64,
+}
+
+impl DbStats {
+    /// Render the snapshot in the Prometheus text exposition format.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        render::counter(
+            &mut out,
+            "orion_cache_hits_total",
+            "Object-cache lookups answered by a resident object",
+            self.cache.hits,
+        );
+        render::counter(
+            &mut out,
+            "orion_cache_misses_total",
+            "Object-cache lookups that faulted in from storage",
+            self.cache.misses,
+        );
+        render::counter(
+            &mut out,
+            "orion_cache_evictions_total",
+            "Object-cache residents evicted to stay within capacity",
+            self.cache.evictions,
+        );
+        render::counter(
+            &mut out,
+            "orion_cache_swizzled_hops_total",
+            "Ref traversals answered through a valid swizzle slot",
+            self.cache.swizzled_hops,
+        );
+        render::counter(
+            &mut out,
+            "orion_cache_unswizzled_hops_total",
+            "Ref traversals that resolved via the OID map",
+            self.cache.unswizzled_hops,
+        );
+        render::counter(
+            &mut out,
+            "orion_pool_hits_total",
+            "Buffer-pool page requests satisfied without disk I/O",
+            self.pool.hits,
+        );
+        render::counter(
+            &mut out,
+            "orion_pool_misses_total",
+            "Buffer-pool page requests that read from disk",
+            self.pool.misses,
+        );
+        render::counter(
+            &mut out,
+            "orion_pool_evictions_total",
+            "Buffer-pool frames evicted to make room",
+            self.pool.evictions,
+        );
+        render::counter(
+            &mut out,
+            "orion_pool_writebacks_total",
+            "Dirty pages written back to disk",
+            self.pool.writebacks,
+        );
+        render::counter(&mut out, "orion_disk_reads_total", "Pages read from disk", self.disk.reads);
+        render::counter(
+            &mut out,
+            "orion_disk_writes_total",
+            "Pages written to disk",
+            self.disk.writes,
+        );
+        render::counter(
+            &mut out,
+            "orion_wal_appends_total",
+            "Log records appended to the WAL",
+            self.wal.appends,
+        );
+        render::counter(
+            &mut out,
+            "orion_wal_flushes_total",
+            "Non-empty WAL flushes to stable storage",
+            self.wal.flushes,
+        );
+        render::counter(
+            &mut out,
+            "orion_wal_flushed_bytes_total",
+            "Bytes moved to the stable WAL",
+            self.wal.flushed_bytes,
+        );
+        render::histogram(
+            &mut out,
+            "orion_wal_flush_latency_seconds",
+            "WAL flush latency",
+            &self.wal.flush_latency,
+        );
+        render::counter(
+            &mut out,
+            "orion_lock_acquisitions_total",
+            "Lock requests granted",
+            self.locks.acquisitions,
+        );
+        render::counter(
+            &mut out,
+            "orion_lock_waits_total",
+            "Lock requests that blocked at least once",
+            self.locks.waits,
+        );
+        render::counter(
+            &mut out,
+            "orion_lock_deadlock_victims_total",
+            "Lock requests aborted as deadlock victims",
+            self.locks.deadlock_victims,
+        );
+        render::counter(
+            &mut out,
+            "orion_lock_timeouts_total",
+            "Lock requests that timed out",
+            self.locks.timeouts,
+        );
+        render::histogram(
+            &mut out,
+            "orion_lock_wait_latency_seconds",
+            "Lock wait latency",
+            &self.locks.wait_latency,
+        );
+        render::counter(
+            &mut out,
+            "orion_exec_queries_total",
+            "Completed query executions",
+            self.exec.queries,
+        );
+        render::counter(
+            &mut out,
+            "orion_exec_rows_scanned_total",
+            "Candidate objects pulled from access paths",
+            self.exec.rows_scanned,
+        );
+        render::counter(
+            &mut out,
+            "orion_exec_rows_matched_total",
+            "Objects that survived the residual predicate",
+            self.exec.rows_matched,
+        );
+        render::counter(
+            &mut out,
+            "orion_exec_memo_hits_total",
+            "Path-memo hits",
+            self.exec.memo_hits,
+        );
+        render::counter(
+            &mut out,
+            "orion_exec_memo_lookups_total",
+            "Path-memo lookups",
+            self.exec.memo_lookups,
+        );
+        render::counter(
+            &mut out,
+            "orion_exec_index_picks_total",
+            "Plans that chose an index access path",
+            self.exec.index_picks,
+        );
+        render::counter(
+            &mut out,
+            "orion_exec_scan_picks_total",
+            "Plans that chose a full extent scan",
+            self.exec.scan_picks,
+        );
+        render::gauge(
+            &mut out,
+            "orion_exec_last_parallelism",
+            "Worker threads used by the most recent execution",
+            self.exec.last_parallelism,
+        );
+        render::counter(
+            &mut out,
+            "orion_object_fetches_total",
+            "Objects decoded from storage",
+            self.fetches,
+        );
+        render::counter(
+            &mut out,
+            "orion_method_calls_total",
+            "Late-bound method dispatches",
+            self.method_calls,
+        );
+        out
+    }
+}

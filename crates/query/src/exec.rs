@@ -21,6 +21,7 @@
 use crate::ast::{CmpOp, Expr, Path, Query, SelectItem};
 use crate::plan::{literal_value, AccessPath, PlannedQuery};
 use crate::source::DataSource;
+use orion_obs::{Counter, Gauge};
 use orion_schema::Catalog;
 use orion_types::{ClassId, DbResult, Oid, Value};
 use std::cmp::Ordering;
@@ -59,6 +60,93 @@ pub struct ExecOptions {
     /// machine's available parallelism (for large candidate sets),
     /// `1` forces the serial path, `n > 1` forces `n` workers.
     pub threads: usize,
+    /// Cross-query metrics sink shared by every plan executed with
+    /// these options (a `Database` attaches its own). `None` disables
+    /// global accounting; the per-plan [`ExecStats`] is always kept.
+    pub metrics: Option<Arc<ExecMetrics>>,
+}
+
+impl ExecOptions {
+    /// Options with an explicit worker count and no metrics sink.
+    pub fn with_threads(threads: usize) -> Self {
+        ExecOptions { threads, metrics: None }
+    }
+}
+
+/// Cross-query executor metrics, accumulated over every execution that
+/// carries the same [`ExecOptions::metrics`] sink. All counters are
+/// lock-free atomics: workers update them without coordination and a
+/// snapshot never blocks a running query.
+#[derive(Debug, Default)]
+pub struct ExecMetrics {
+    /// Completed query executions.
+    pub queries: Counter,
+    /// Candidate objects pulled from access paths (before the residual
+    /// predicate runs).
+    pub rows_scanned: Counter,
+    /// Objects that survived the residual predicate.
+    pub rows_matched: Counter,
+    /// Path-memo hits, summed across executions.
+    pub memo_hits: Counter,
+    /// Path-memo lookups, summed across executions.
+    pub memo_lookups: Counter,
+    /// Plans that chose an index access path (counted at prepare time).
+    pub index_picks: Counter,
+    /// Plans that chose a full extent scan (counted at prepare time).
+    pub scan_picks: Counter,
+    /// Worker threads used by the most recent execution.
+    pub last_parallelism: Gauge,
+}
+
+impl ExecMetrics {
+    /// A point-in-time copy of every counter. Fields are read
+    /// individually (`Relaxed`), so a snapshot taken mid-query may be
+    /// skewed across fields but each value is exact, never torn.
+    pub fn snapshot(&self) -> ExecSnapshot {
+        ExecSnapshot {
+            queries: self.queries.get(),
+            rows_scanned: self.rows_scanned.get(),
+            rows_matched: self.rows_matched.get(),
+            memo_hits: self.memo_hits.get(),
+            memo_lookups: self.memo_lookups.get(),
+            index_picks: self.index_picks.get(),
+            scan_picks: self.scan_picks.get(),
+            last_parallelism: self.last_parallelism.get(),
+        }
+    }
+
+    /// Zero every counter.
+    pub fn reset(&self) {
+        self.queries.reset();
+        self.rows_scanned.reset();
+        self.rows_matched.reset();
+        self.memo_hits.reset();
+        self.memo_lookups.reset();
+        self.index_picks.reset();
+        self.scan_picks.reset();
+        self.last_parallelism.reset();
+    }
+}
+
+/// Plain-value snapshot of [`ExecMetrics`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ExecSnapshot {
+    /// Completed query executions.
+    pub queries: u64,
+    /// Candidate objects pulled from access paths.
+    pub rows_scanned: u64,
+    /// Objects that survived the residual predicate.
+    pub rows_matched: u64,
+    /// Path-memo hits.
+    pub memo_hits: u64,
+    /// Path-memo lookups.
+    pub memo_lookups: u64,
+    /// Plans that chose an index access path.
+    pub index_picks: u64,
+    /// Plans that chose a full extent scan.
+    pub scan_picks: u64,
+    /// Worker threads used by the most recent execution.
+    pub last_parallelism: u64,
 }
 
 /// Counters describing the most recent execution of a plan, surfaced
@@ -429,6 +517,7 @@ pub fn execute_with(
     // Index results may contain classes outside scope for single-class
     // indexes probed with a wider scope — filter defensively.
     candidates.retain(|o| scope.binary_search(&o.class()).is_ok());
+    let scanned = candidates.len();
 
     let threads = resolve_threads(opts.threads, candidates.len());
     let memo = QueryMemo::for_plan(plan);
@@ -476,7 +565,7 @@ pub fn execute_with(
 
     // 3. count(*) short-circuits projection.
     if is_count(&plan.query) {
-        finish_stats(plan, &memo, threads);
+        finish_stats(plan, &memo, threads, opts, scanned, matches.len());
         return Ok(QueryResult {
             rows: vec![vec![Value::Int(matches.len() as i64)]],
             oids: Vec::new(),
@@ -541,16 +630,33 @@ pub fn execute_with(
         .into_iter()
         .collect::<DbResult<Vec<_>>>()?;
 
-    finish_stats(plan, &memo, threads);
+    finish_stats(plan, &memo, threads, opts, scanned, matches.len());
     Ok(QueryResult { rows, oids: matches })
 }
 
-fn finish_stats(plan: &PlannedQuery, memo: &QueryMemo, threads: usize) {
+fn finish_stats(
+    plan: &PlannedQuery,
+    memo: &QueryMemo,
+    threads: usize,
+    opts: &ExecOptions,
+    scanned: usize,
+    matched: usize,
+) {
     let stats = &plan.exec_stats;
+    let hits = memo.hits.load(Relaxed);
+    let lookups = memo.lookups.load(Relaxed);
     stats.parallelism.store(threads, Relaxed);
-    stats.memo_hits.store(memo.hits.load(Relaxed), Relaxed);
-    stats.memo_lookups.store(memo.lookups.load(Relaxed), Relaxed);
+    stats.memo_hits.store(hits, Relaxed);
+    stats.memo_lookups.store(lookups, Relaxed);
     stats.executions.fetch_add(1, Relaxed);
+    if let Some(metrics) = &opts.metrics {
+        metrics.queries.inc();
+        metrics.rows_scanned.add(scanned as u64);
+        metrics.rows_matched.add(matched as u64);
+        metrics.memo_hits.add(hits);
+        metrics.memo_lookups.add(lookups);
+        metrics.last_parallelism.set(threads as u64);
+    }
 }
 
 fn is_count(query: &Query) -> bool {

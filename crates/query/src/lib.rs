@@ -26,8 +26,11 @@ pub mod plan;
 pub mod source;
 
 pub use ast::{CmpOp, Expr, Literal, Path, Query, SelectItem};
-pub use exec::{eval_expr, execute, execute_with, path_values, ExecOptions, ExecStats, QueryResult};
-pub use plan::{plan, AccessPath, PlannedQuery};
+pub use exec::{
+    eval_expr, execute, execute_with, path_values, ExecMetrics, ExecOptions, ExecSnapshot,
+    ExecStats, QueryResult,
+};
+pub use plan::{plan, AccessPath, ExplainReport, PlannedQuery, RunStats};
 pub use parser::parse;
 pub use source::{DataSource, MemSource};
 
@@ -212,7 +215,7 @@ mod tests {
         assert!(
             matches!(planned.access, AccessPath::IndexEq { index: 7, .. }),
             "expected index probe, got {}",
-            planned.explain()
+            planned.report()
         );
         assert!(planned.residual.is_none(), "single conjunct fully consumed");
         let r = execute(&cat, &src, &planned).unwrap();
@@ -252,7 +255,7 @@ mod tests {
         // Hierarchy query cannot use the single-class index.
         let q = parse("select v from Vehicle* v where v.weight = 2000").unwrap();
         let planned = plan(&cat, &src, q).unwrap();
-        assert_eq!(planned.access, AccessPath::Scan, "{}", planned.explain());
+        assert_eq!(planned.access, AccessPath::Scan, "{}", planned.report());
         // Truck-scoped query can.
         let q = parse("select v from Truck v where v.weight = 2000").unwrap();
         let planned = plan(&cat, &src, q).unwrap();

@@ -76,29 +76,95 @@ pub struct PlannedQuery {
 }
 
 impl PlannedQuery {
-    /// A human-readable plan description (experiment E4 asserts on it).
-    /// Once the plan has been executed, the degree of parallelism and
-    /// the path-memo hit rate of the last run are appended.
-    pub fn explain(&self) -> String {
-        let access = match &self.access {
-            AccessPath::Scan => format!("scan of {} class extent(s)", self.scope.len()),
-            AccessPath::IndexEq { index, key } => format!("index #{index} probe key={key}"),
-            AccessPath::IndexRange { index, .. } => format!("index #{index} range scan"),
-        };
-        let residual = match &self.residual {
-            Some(e) => format!(" residual=[{e}]"),
-            None => String::new(),
-        };
-        let run = if self.exec_stats.executions.load(Relaxed) > 0 {
-            let threads = self.exec_stats.parallelism.load(Relaxed);
-            let hits = self.exec_stats.memo_hits.load(Relaxed);
-            let lookups = self.exec_stats.memo_lookups.load(Relaxed);
-            let pct = (hits * 100).checked_div(lookups).unwrap_or(0);
-            format!("; last run: parallelism={threads}, memo hits {hits}/{lookups} ({pct}%)")
+    /// A structured description of the plan: the chosen access path,
+    /// scope width, cardinality estimate, residual predicate, and —
+    /// once the plan has run — the last execution's parallelism and
+    /// path-memo hit rate. Its `Display` is the classic one-line
+    /// explain text (experiment E4 asserts on it).
+    pub fn report(&self) -> ExplainReport {
+        let last_run = if self.exec_stats.executions.load(Relaxed) > 0 {
+            Some(RunStats {
+                parallelism: self.exec_stats.parallelism.load(Relaxed),
+                memo_hits: self.exec_stats.memo_hits.load(Relaxed),
+                memo_lookups: self.exec_stats.memo_lookups.load(Relaxed),
+            })
         } else {
-            String::new()
+            None
         };
-        format!("{access} (~{} candidates){residual}{run}", self.estimated_candidates)
+        ExplainReport {
+            access: self.access.clone(),
+            scope_classes: self.scope.len(),
+            estimated_candidates: self.estimated_candidates,
+            residual: self.residual.clone(),
+            last_run,
+        }
+    }
+
+    /// A human-readable plan description.
+    #[deprecated(note = "use `report()`, whose `Display` renders the same text")]
+    pub fn explain(&self) -> String {
+        self.report().to_string()
+    }
+}
+
+/// Structured explain output for a [`PlannedQuery`]. The `Display`
+/// implementation renders the exact one-line text `explain()` has
+/// always produced, so existing log scrapes and test assertions keep
+/// working while programs match on the fields instead of the string.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExplainReport {
+    /// The chosen access path.
+    pub access: AccessPath,
+    /// Number of class extents in scope.
+    pub scope_classes: usize,
+    /// Estimated result cardinality.
+    pub estimated_candidates: usize,
+    /// The residual predicate, if any conjunct survived the access path.
+    pub residual: Option<Expr>,
+    /// Stats from the most recent execution; `None` until the plan runs.
+    pub last_run: Option<RunStats>,
+}
+
+/// Execution stats attached to an [`ExplainReport`] after a plan runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunStats {
+    /// Worker threads used.
+    pub parallelism: usize,
+    /// Path-memo hits.
+    pub memo_hits: u64,
+    /// Path-memo lookups.
+    pub memo_lookups: u64,
+}
+
+impl RunStats {
+    /// Memo hit rate in whole percent (0 when there were no lookups).
+    pub fn memo_hit_pct(&self) -> u64 {
+        (self.memo_hits * 100).checked_div(self.memo_lookups).unwrap_or(0)
+    }
+}
+
+impl std::fmt::Display for ExplainReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.access {
+            AccessPath::Scan => write!(f, "scan of {} class extent(s)", self.scope_classes)?,
+            AccessPath::IndexEq { index, key } => write!(f, "index #{index} probe key={key}")?,
+            AccessPath::IndexRange { index, .. } => write!(f, "index #{index} range scan")?,
+        }
+        write!(f, " (~{} candidates)", self.estimated_candidates)?;
+        if let Some(e) = &self.residual {
+            write!(f, " residual=[{e}]")?;
+        }
+        if let Some(run) = &self.last_run {
+            write!(
+                f,
+                "; last run: parallelism={}, memo hits {}/{} ({}%)",
+                run.parallelism,
+                run.memo_hits,
+                run.memo_lookups,
+                run.memo_hit_pct()
+            )?;
+        }
+        Ok(())
     }
 }
 

@@ -79,14 +79,14 @@ fn parallel_results_match_serial_exactly() {
     for text in QUERIES {
         let planned = plan(&cat, &src, parse(text).unwrap()).unwrap();
         let serial =
-            execute_with(&cat, &src, &planned, &ExecOptions { threads: 1 }).unwrap();
+            execute_with(&cat, &src, &planned, &ExecOptions::with_threads(1)).unwrap();
         for threads in [2, 4, 8] {
             let parallel =
-                execute_with(&cat, &src, &planned, &ExecOptions { threads }).unwrap();
+                execute_with(&cat, &src, &planned, &ExecOptions::with_threads(threads)).unwrap();
             assert_eq!(
                 serial, parallel,
                 "`{text}` diverged at {threads} threads ({})",
-                planned.explain()
+                planned.report()
             );
         }
     }
@@ -111,7 +111,7 @@ fn desc_ties_reproduce_reversed_stable_order() {
     )
     .unwrap();
     for threads in [1, 4] {
-        let opts = ExecOptions { threads };
+        let opts = ExecOptions::with_threads(threads);
         let top = execute_with(&cat, &src, &planned, &opts).unwrap();
         let full = execute_with(&cat, &src, &unlimited, &opts).unwrap();
         assert_eq!(top.oids, full.oids[..15], "top-K must be a prefix of the full sort");
@@ -130,15 +130,53 @@ fn explain_reports_parallelism_and_memo_rate() {
             .unwrap(),
     )
     .unwrap();
-    assert!(!planned.explain().contains("last run"), "no run recorded before execution");
-    execute_with(&cat, &src, &planned, &ExecOptions { threads: 4 }).unwrap();
-    let explain = planned.explain();
-    assert!(explain.contains("parallelism=4"), "missing thread count: {explain}");
-    assert!(explain.contains("memo hits"), "missing memo stats: {explain}");
-    use std::sync::atomic::Ordering::Relaxed;
-    let hits = planned.exec_stats.memo_hits.load(Relaxed);
-    let lookups = planned.exec_stats.memo_lookups.load(Relaxed);
+    assert!(planned.report().last_run.is_none(), "no run recorded before execution");
+    execute_with(&cat, &src, &planned, &ExecOptions::with_threads(4)).unwrap();
+    let report = planned.report();
+    let run = report.last_run.expect("execution recorded");
+    assert_eq!(run.parallelism, 4);
     // 600 objects × 3 phases = 1800 lookups, only 600 misses.
-    assert_eq!(lookups, 1800);
-    assert_eq!(hits, 1200);
+    assert_eq!(run.memo_lookups, 1800);
+    assert_eq!(run.memo_hits, 1200);
+    assert_eq!(run.memo_hit_pct(), 66);
+    let text = report.to_string();
+    assert!(text.contains("parallelism=4"), "missing thread count: {text}");
+    assert!(text.contains("memo hits 1200/1800 (66%)"), "missing memo stats: {text}");
+    // The deprecated string API renders the identical line.
+    #[allow(deprecated)]
+    let legacy = planned.explain();
+    assert_eq!(legacy, text);
+}
+
+#[test]
+fn exec_metrics_accumulate_across_queries() {
+    use orion_query::ExecMetrics;
+    use std::sync::Arc;
+
+    let (cat, src, _) = fixture(300);
+    let metrics = Arc::new(ExecMetrics::default());
+    let opts = ExecOptions { threads: 2, metrics: Some(Arc::clone(&metrics)) };
+
+    let planned = plan(
+        &cat,
+        &src,
+        parse("select v from Vehicle* v where v.weight < 10").unwrap(),
+    )
+    .unwrap();
+    execute_with(&cat, &src, &planned, &opts).unwrap();
+    let s1 = metrics.snapshot();
+    assert_eq!(s1.queries, 1);
+    assert_eq!(s1.rows_scanned, 300, "every candidate counted");
+    assert_eq!(s1.rows_matched, 100, "weights 0..=9 cover serials 0..100");
+    assert_eq!(s1.last_parallelism, 2);
+
+    // A second execution accumulates rather than overwrites.
+    execute_with(&cat, &src, &planned, &opts).unwrap();
+    let s2 = metrics.snapshot();
+    assert_eq!(s2.queries, 2);
+    assert_eq!(s2.rows_scanned, 600);
+    assert_eq!(s2.rows_matched, 200);
+
+    metrics.reset();
+    assert_eq!(metrics.snapshot(), Default::default());
 }

@@ -218,7 +218,7 @@ proptest! {
         }
         prop_assert_eq!(
             &got, &want,
-            "plan {} disagreed with brute force", planned.explain()
+            "plan {} disagreed with brute force", planned.report()
         );
 
         // count(*) agrees with the row set.

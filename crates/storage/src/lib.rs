@@ -33,4 +33,4 @@ pub use buffer::{BufferPool, PoolStats};
 pub use disk::{DiskStats, PageId, SimDisk, PAGE_SIZE};
 pub use engine::{StorageEngine, TxnId};
 pub use heap::{HeapFile, Rid};
-pub use wal::{LogRecord, Lsn, Wal};
+pub use wal::{LogRecord, Lsn, Wal, WalStats};

@@ -12,8 +12,10 @@
 //! mid-rollback.
 
 use crate::heap::Rid;
+use orion_obs::{Counter, Histogram, HistogramSnapshot, SpanTimer};
 use orion_types::{DbError, DbResult};
 use parking_lot::Mutex;
+use std::time::Instant;
 
 use bytes::{Buf, BufMut};
 
@@ -284,10 +286,27 @@ struct WalInner {
     tail: Vec<u8>,
 }
 
+/// Cumulative WAL counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct WalStats {
+    /// Records appended to the log buffer.
+    pub appends: u64,
+    /// Forces of the log buffer to stable storage (the simulated fsync).
+    pub flushes: u64,
+    /// Bytes moved into the stable prefix by those flushes.
+    pub flushed_bytes: u64,
+    /// Latency distribution of non-empty flushes.
+    pub flush_latency: HistogramSnapshot,
+}
+
 /// The write-ahead log.
 #[derive(Debug, Default)]
 pub struct Wal {
     inner: Mutex<WalInner>,
+    appends: Counter,
+    flushes: Counter,
+    flushed_bytes: Counter,
+    flush_latency: Histogram,
 }
 
 impl Wal {
@@ -302,14 +321,44 @@ impl Wal {
         let mut inner = self.inner.lock();
         let lsn = Lsn((inner.stable.len() + inner.tail.len()) as u64);
         inner.tail.extend_from_slice(&framed);
+        self.appends.inc();
         lsn
     }
 
-    /// Force the log buffer to stable storage.
+    /// Force the log buffer to stable storage. The flush — the simulated
+    /// fsync — is timed; an already-empty tail is a free no-op and is
+    /// neither counted nor timed.
     pub fn flush(&self) {
-        let mut inner = self.inner.lock();
-        let tail = std::mem::take(&mut inner.tail);
-        inner.stable.extend_from_slice(&tail);
+        let span = SpanTimer::starting_at(Instant::now());
+        let moved = {
+            let mut inner = self.inner.lock();
+            let tail = std::mem::take(&mut inner.tail);
+            inner.stable.extend_from_slice(&tail);
+            tail.len() as u64
+        };
+        if moved > 0 {
+            self.flushes.inc();
+            self.flushed_bytes.add(moved);
+            span.record(Instant::now(), &self.flush_latency);
+        }
+    }
+
+    /// Snapshot the WAL counters.
+    pub fn stats(&self) -> WalStats {
+        WalStats {
+            appends: self.appends.get(),
+            flushes: self.flushes.get(),
+            flushed_bytes: self.flushed_bytes.get(),
+            flush_latency: self.flush_latency.snapshot(),
+        }
+    }
+
+    /// Reset the WAL counters (between benchmark phases).
+    pub fn reset_stats(&self) {
+        self.appends.reset();
+        self.flushes.reset();
+        self.flushed_bytes.reset();
+        self.flush_latency.reset();
     }
 
     /// Force the log up to (and including) `lsn` — the write-ahead rule
@@ -438,5 +487,23 @@ mod tests {
     fn txn_accessor() {
         assert_eq!(LogRecord::Begin { txn: 7 }.txn(), Some(7));
         assert_eq!(LogRecord::Checkpoint.txn(), None);
+    }
+
+    #[test]
+    fn stats_count_appends_and_nonempty_flushes() {
+        let wal = Wal::new();
+        wal.flush(); // empty: not counted
+        assert_eq!(wal.stats().flushes, 0);
+        wal.append(&LogRecord::Begin { txn: 1 });
+        wal.append(&LogRecord::Commit { txn: 1 });
+        wal.flush();
+        wal.flush(); // empty again: not counted
+        let s = wal.stats();
+        assert_eq!(s.appends, 2);
+        assert_eq!(s.flushes, 1);
+        assert_eq!(s.flushed_bytes, wal.stable_len());
+        assert_eq!(s.flush_latency.count, 1);
+        wal.reset_stats();
+        assert_eq!(wal.stats(), WalStats::default());
     }
 }

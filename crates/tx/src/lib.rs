@@ -23,5 +23,5 @@
 pub mod manager;
 pub mod modes;
 
-pub use manager::{LockManager, LockTarget};
+pub use manager::{LockManager, LockStats, LockTarget};
 pub use modes::LockMode;

@@ -2,10 +2,11 @@
 //! hierarchy with deadlock detection.
 
 use crate::modes::LockMode;
+use orion_obs::{Counter, Histogram, HistogramSnapshot, SpanTimer};
 use orion_types::{ClassId, DbError, DbResult, Oid};
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, HashSet};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A lockable granule: the database, one class (its extent and
 /// definition), or one object.
@@ -91,6 +92,28 @@ pub struct LockManager {
     state: Mutex<TableState>,
     available: Condvar,
     timeout: Duration,
+    acquisitions: Counter,
+    waits: Counter,
+    wait_latency: Histogram,
+    deadlocks: Counter,
+    timeouts: Counter,
+}
+
+/// Cumulative lock-manager counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct LockStats {
+    /// Granted acquisitions (covered re-requests included).
+    pub acquisitions: u64,
+    /// Acquisitions that blocked on a conflicting holder at least once.
+    pub waits: u64,
+    /// Wait-time distribution of those blocked acquisitions (granted or
+    /// not — a timed-out wait is still a wait).
+    pub wait_latency: HistogramSnapshot,
+    /// Requests refused because granting would close a waits-for cycle
+    /// (the requester is the chosen victim).
+    pub deadlock_victims: u64,
+    /// Requests abandoned at the configured wait timeout.
+    pub timeouts: u64,
 }
 
 impl LockManager {
@@ -101,7 +124,36 @@ impl LockManager {
 
     /// A lock manager with a custom wait timeout.
     pub fn with_timeout(timeout: Duration) -> Self {
-        LockManager { state: Mutex::new(TableState::default()), available: Condvar::new(), timeout }
+        LockManager {
+            state: Mutex::new(TableState::default()),
+            available: Condvar::new(),
+            timeout,
+            acquisitions: Counter::new(),
+            waits: Counter::new(),
+            wait_latency: Histogram::new(),
+            deadlocks: Counter::new(),
+            timeouts: Counter::new(),
+        }
+    }
+
+    /// Snapshot the lock counters.
+    pub fn stats(&self) -> LockStats {
+        LockStats {
+            acquisitions: self.acquisitions.get(),
+            waits: self.waits.get(),
+            wait_latency: self.wait_latency.snapshot(),
+            deadlock_victims: self.deadlocks.get(),
+            timeouts: self.timeouts.get(),
+        }
+    }
+
+    /// Reset the lock counters (between benchmark phases).
+    pub fn reset_stats(&self) {
+        self.acquisitions.reset();
+        self.waits.reset();
+        self.wait_latency.reset();
+        self.deadlocks.reset();
+        self.timeouts.reset();
     }
 
     /// Acquire `mode` on `target` for `txn`, blocking while conflicting
@@ -112,27 +164,49 @@ impl LockManager {
         if let Some(holders) = state.granted.get(&target) {
             if let Some(held) = holders.get(&txn) {
                 if held.covers(mode) {
+                    self.acquisitions.inc();
                     return Ok(());
                 }
             }
         }
+        // The clock is read only once a conflict forces a wait; the
+        // uncontended grant path stays clock-free.
+        let mut wait_span: Option<SpanTimer> = None;
+        let finish_wait = |span: Option<SpanTimer>| {
+            if let Some(span) = span {
+                span.record(Instant::now(), &self.wait_latency);
+            }
+        };
         loop {
             let blockers = state.conflicts(&target, txn, mode);
             if blockers.is_empty() {
                 state.waits_for.remove(&txn);
                 state.grant(target, txn, mode);
+                self.acquisitions.inc();
+                drop(state);
+                finish_wait(wait_span);
                 return Ok(());
             }
             // Record wait edges and check for a cycle through us.
             let closes_cycle = blockers.iter().any(|b| state.reaches(*b, txn));
             if closes_cycle {
                 state.waits_for.remove(&txn);
+                self.deadlocks.inc();
+                drop(state);
+                finish_wait(wait_span);
                 return Err(DbError::Deadlock { victim: txn });
+            }
+            if wait_span.is_none() {
+                self.waits.inc();
+                wait_span = Some(SpanTimer::starting_at(Instant::now()));
             }
             state.waits_for.insert(txn, blockers.iter().copied().collect());
             let timed_out = self.available.wait_for(&mut state, self.timeout).timed_out();
             if timed_out {
                 state.waits_for.remove(&txn);
+                self.timeouts.inc();
+                drop(state);
+                finish_wait(wait_span);
                 return Err(DbError::LockTimeout { txn, what: target.to_string() });
             }
         }
@@ -143,6 +217,7 @@ impl LockManager {
         let mut state = self.state.lock();
         if state.conflicts(&target, txn, mode).is_empty() {
             state.grant(target, txn, mode);
+            self.acquisitions.inc();
             Ok(true)
         } else {
             Ok(false)
@@ -367,6 +442,50 @@ mod tests {
         lm.release_all(1);
         t.join().unwrap().unwrap();
         assert_eq!(lm.held_mode(2, LockTarget::Object(oid(1, 1))), Some(LockMode::X));
+    }
+
+    #[test]
+    fn stats_count_grants_waits_deadlocks_timeouts() {
+        let lm = Arc::new(LockManager::with_timeout(Duration::from_millis(50)));
+        lm.lock_object_read(1, oid(1, 1)).unwrap(); // 3 grants (IS, IS, S)
+        assert_eq!(lm.stats().acquisitions, 3);
+        assert_eq!(lm.stats().waits, 0);
+
+        // A conflicting writer waits, then times out.
+        let err = lm.lock_object_write(2, oid(1, 1)).unwrap_err();
+        assert!(matches!(err, DbError::LockTimeout { .. }));
+        let s = lm.stats();
+        assert_eq!(s.waits, 1);
+        assert_eq!(s.timeouts, 1);
+        assert_eq!(s.wait_latency.count, 1, "the timed-out wait was measured");
+        assert!(s.wait_latency.sum_micros >= 50_000, "waited at least the timeout");
+
+        // A blocked-then-granted acquisition records its wait too.
+        let lm2 = Arc::clone(&lm);
+        let t = std::thread::spawn(move || lm2.lock_object_write(3, oid(1, 1)));
+        std::thread::sleep(Duration::from_millis(10));
+        lm.release_all(1);
+        t.join().unwrap().unwrap();
+        let s = lm.stats();
+        assert_eq!(s.waits, 2);
+        assert_eq!(s.wait_latency.count, 2);
+
+        // Deadlock victims are counted.
+        lm.release_all(3);
+        lm.reset_stats();
+        let a = oid(2, 1);
+        let b = oid(2, 2);
+        lm.lock_object_write(10, a).unwrap();
+        lm.lock_object_write(11, b).unwrap();
+        let lm2 = Arc::clone(&lm);
+        let t = std::thread::spawn(move || lm2.lock_object_write(10, b));
+        std::thread::sleep(Duration::from_millis(10));
+        let err = lm.lock_object_write(11, a).unwrap_err();
+        assert!(matches!(err, DbError::Deadlock { victim: 11 }));
+        assert_eq!(lm.stats().deadlock_victims, 1);
+        lm.release_all(11);
+        t.join().unwrap().unwrap();
+        lm.release_all(10);
     }
 
     #[test]

@@ -53,6 +53,8 @@ pub enum DbError {
     Rule(String),
     /// Federation / foreign-database adapter failure (§5.2).
     Foreign(String),
+    /// A configuration value was rejected at database construction.
+    Config(String),
     /// Catch-all internal invariant breach; indicates a bug in orion.
     Internal(String),
 }
@@ -96,6 +98,7 @@ impl fmt::Display for DbError {
             DbError::Composite(msg) => write!(f, "composite object error: {msg}"),
             DbError::Rule(msg) => write!(f, "rule error: {msg}"),
             DbError::Foreign(msg) => write!(f, "foreign database error: {msg}"),
+            DbError::Config(msg) => write!(f, "configuration error: {msg}"),
             DbError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }

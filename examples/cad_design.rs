@@ -53,10 +53,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Clustering: the composite traversal after a cold start touches few
     // pages because parts were placed next to their root.
     db.cool_caches()?;
-    db.reset_stats();
+    db.reset_metrics();
     let tx = db.begin();
     let _workspace = db.checkout(&tx, v1)?;
-    let pool = db.pool_stats();
+    let pool = db.stats().pool;
     println!(
         "cold checkout of the composite: {} page miss(es) for {} objects",
         pool.misses,

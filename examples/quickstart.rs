@@ -10,7 +10,7 @@
 //! Run with: `cargo run --example quickstart`
 
 use orion_oodb::orion::{
-    AttrSpec, Database, Domain, IndexKind, PrimitiveType, Value,
+    AccessPath, AttrSpec, Database, Domain, IndexKind, PrimitiveType, Value,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -85,7 +85,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     db.create_index("vehicle_weight", IndexKind::ClassHierarchy, "Vehicle", &["weight"])?;
     db.create_index("vehicle_maker_loc", IndexKind::Nested, "Vehicle", &["manufacturer", "location"])?;
     let tx = db.begin();
-    println!("plan with indexes    : {}", db.explain(&tx, query)?);
+    let report = db.explain(&tx, query)?;
+    println!("plan with indexes    : {report}");
+    assert!(!matches!(report.access, AccessPath::Scan), "optimizer picked an index");
     let indexed_result = db.query(&tx, query)?;
     assert_eq!(scan_result.oids, indexed_result.oids, "plans agree on results");
     println!("indexed matches      : {} (identical)", indexed_result.len());
@@ -103,5 +105,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("{q:<42} -> {n}");
     }
     db.commit(tx)?;
+
+    // --- One stats snapshot for the whole session ------------------------------
+    let stats = db.stats();
+    println!(
+        "session stats: {} queries ({} rows scanned), {} pool hits / {} misses, \
+         {} WAL appends, {} lock acquisitions, {} object fetches",
+        stats.exec.queries,
+        stats.exec.rows_scanned,
+        stats.pool.hits,
+        stats.pool.misses,
+        stats.wal.appends,
+        stats.locks.acquisitions,
+        stats.fetches,
+    );
     Ok(())
 }

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# The full local CI gate: release build, test suite, lint (clippy with
+# warnings-as-errors, which also blocks internal use of deprecated
+# APIs), and a parallel_query bench smoke run that regenerates
+# BENCH_parallel_query.json — including the instrumentation-overhead
+# measurement, which must stay within its 5% budget.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> scripts/lint.sh"
+scripts/lint.sh
+
+echo "==> bench smoke: parallel_query"
+cargo run -p orion-bench --release --bin parallel_query
+
+echo "==> ci.sh: all gates passed"
