@@ -1,0 +1,163 @@
+//! Network throughput benchmark: N client threads hammer one server
+//! over real sockets and the record lands in `BENCH_net.json` at the
+//! workspace root.
+//!
+//! Each client runs a mixed workload — the Figure 1 hierarchy query and
+//! point reads — against a fleet database, measuring per-request
+//! latency end to end (encode, socket, server dispatch, decode). The
+//! record includes p50/p99 latency, aggregate throughput, the
+//! in-process latency of the same query for comparison (the wire tax),
+//! and the server-side `net_*` counters scraped over the wire.
+//!
+//! `--smoke` shrinks the workload to a ~2 second CI sanity run.
+
+use orion_bench::fleet;
+use orion_core::{DbConfig, Value};
+use orion_net::{Client, Server, ServerConfig};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const QUERY: &str = "select v from Vehicle* v \
+     where v.weight > 500 and v.manufacturer.location = \"Detroit\"";
+
+struct Load {
+    objects: usize,
+    clients: usize,
+    requests_per_client: usize,
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let load = if smoke {
+        Load { objects: 1_000, clients: 4, requests_per_client: 20 }
+    } else {
+        Load { objects: 6_000, clients: 4, requests_per_client: 60 }
+    };
+
+    let fixture = fleet(load.objects, 4, DbConfig::default());
+    let db = Arc::new(fixture.db);
+    let vehicles = fixture.vehicles;
+
+    // In-process baseline: what the same query costs without the wire.
+    let tx = db.begin();
+    db.query(&tx, QUERY).expect("warm");
+    let start = Instant::now();
+    let expected_rows = db.query(&tx, QUERY).expect("baseline").len();
+    let in_process = start.elapsed();
+    db.commit(tx).expect("commit");
+    assert!(expected_rows > 0, "fixture must produce matches for the bench query");
+
+    let server = Server::bind(
+        Arc::clone(&db),
+        "127.0.0.1:0",
+        ServerConfig { workers: load.clients, ..ServerConfig::default() },
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+    db.reset_metrics(); // count only the measured window
+
+    let requests_per_client = load.requests_per_client;
+    let started = Instant::now();
+    let mut latencies: Vec<Duration> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..load.clients)
+            .map(|c| {
+                let vehicles = &vehicles;
+                s.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let mut lat = Vec::with_capacity(requests_per_client);
+                    for r in 0..requests_per_client {
+                        let t = Instant::now();
+                        // 1 query per 4 point reads: queries dominate the
+                        // tail, reads the median — like a workstation
+                        // refreshing one design view while navigating.
+                        if r % 4 == 0 {
+                            let got = client.query(QUERY).expect("query").len();
+                            assert_eq!(got, expected_rows, "wire result diverged");
+                        } else {
+                            let oid = vehicles[(c * 7919 + r * 131) % vehicles.len()];
+                            let w = client.get(oid, "weight").expect("get");
+                            assert!(matches!(w, Value::Int(_)));
+                        }
+                        lat.push(t.elapsed());
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("client thread")).collect()
+    });
+    let elapsed = started.elapsed();
+    latencies.sort();
+    let total = latencies.len();
+    let throughput = total as f64 / elapsed.as_secs_f64();
+    let p50 = percentile(&latencies, 0.50);
+    let p99 = percentile(&latencies, 0.99);
+
+    // Scrape the server's own view of the run, over the wire.
+    let mut probe = Client::connect(addr).expect("probe connect");
+    let scrape = probe.stats_prometheus().expect("scrape");
+    drop(probe);
+    server.shutdown();
+    let net = db.stats().net;
+    assert!(net.requests >= total as u64, "every request was counted");
+    assert!(
+        scrape.contains("orion_net_requests_total") && !scrape.contains("orion_net_requests_total 0\n"),
+        "prometheus scrape carries live net counters"
+    );
+
+    println!(
+        "{} clients x {} requests over {} objects: {elapsed:?} ({throughput:.1} req/s)",
+        load.clients, load.requests_per_client, load.objects
+    );
+    println!(
+        "latency: p50 {p50:?}, p99 {p99:?}; in-process query baseline {in_process:?} \
+         ({expected_rows} rows)"
+    );
+    println!(
+        "server counters: {} requests, {} connections, {} errors, {} timeouts",
+        net.requests, net.connections_total, net.errors, net.timeouts
+    );
+
+    let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let note = if cpus < load.clients {
+        format!(
+            ",\n  \"note\": \"host exposes {cpus} CPU(s); {} clients contend for them, \
+             so latencies include scheduling\"",
+            load.clients
+        )
+    } else {
+        String::new()
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"net_throughput\",\n  \"smoke\": {smoke},\n  \
+         \"objects\": {},\n  \"clients\": {},\n  \"requests_per_client\": {},\n  \
+         \"available_parallelism\": {cpus}{note},\n  \
+         \"total_requests\": {total},\n  \"elapsed_ms\": {:.3},\n  \
+         \"throughput_rps\": {:.1},\n  \
+         \"latency\": {{\n    \"p50_ms\": {:.3},\n    \"p99_ms\": {:.3},\n    \
+         \"in_process_query_ms\": {:.3}\n  }},\n  \
+         \"query_rows\": {expected_rows},\n  \
+         \"server\": {{\n    \"requests\": {},\n    \"connections_total\": {},\n    \
+         \"errors\": {},\n    \"timeouts\": {},\n    \"busy_rejections\": {}\n  }}\n}}\n",
+        load.objects,
+        load.clients,
+        load.requests_per_client,
+        elapsed.as_secs_f64() * 1e3,
+        throughput,
+        p50.as_secs_f64() * 1e3,
+        p99.as_secs_f64() * 1e3,
+        in_process.as_secs_f64() * 1e3,
+        net.requests,
+        net.connections_total,
+        net.errors,
+        net.timeouts,
+        net.busy_rejections,
+    );
+    std::fs::write("BENCH_net.json", &json).expect("write BENCH_net.json");
+    println!("wrote BENCH_net.json");
+}

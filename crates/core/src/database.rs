@@ -27,6 +27,7 @@ use parking_lot::{Mutex, RwLock};
 use std::borrow::Cow;
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// How object operations map onto the lock manager (experiment E8).
@@ -330,7 +331,17 @@ impl Database {
             exec: self.metrics.exec.snapshot(),
             fetches,
             method_calls: self.metrics.method_calls.get(),
+            net: self.metrics.net.snapshot(),
         }
+    }
+
+    /// The network front-door metric sinks. An `orion-net` server built
+    /// over this database clones the `Arc` and accounts connections,
+    /// requests, errors, timeouts, and request latency into it, so
+    /// [`Database::stats`] and the Prometheus rendering cover the wire
+    /// with no dependency from core on the net crate.
+    pub fn net_metrics(&self) -> Arc<crate::stats::NetMetrics> {
+        Arc::clone(&self.metrics.net)
     }
 
     /// Zero every performance counter (between benchmark phases).
@@ -346,6 +357,7 @@ impl Database {
         self.locks.reset_stats();
         self.metrics.exec.reset();
         self.metrics.method_calls.reset();
+        self.metrics.net.reset();
     }
 
     /// Object-cache counters.

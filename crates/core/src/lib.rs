@@ -35,7 +35,7 @@ pub mod versions;
 pub use authz::{AuthAction, AuthTarget};
 pub use cache::{CacheStats, ObjectCache};
 pub use database::{Database, DbConfig, DbConfigBuilder, LockingStrategy, Tx};
-pub use stats::DbStats;
+pub use stats::{DbStats, NetMetrics, NetStats};
 pub use ddl::Migration;
 pub use methods::MethodBody;
 pub use multidb::{ForeignAdapter, ForeignClass, ForeignObject};

@@ -12,7 +12,7 @@
 //! [`Database::stats`]: crate::Database::stats
 
 use crate::cache::CacheStats;
-use orion_obs::{render, Counter};
+use orion_obs::{render, Counter, Gauge, Histogram, HistogramSnapshot};
 use orion_query::{ExecMetrics, ExecSnapshot};
 use orion_storage::{DiskStats, PoolStats, WalStats};
 use orion_tx::LockStats;
@@ -27,6 +27,81 @@ pub(crate) struct DbMetrics {
     pub exec: Arc<ExecMetrics>,
     /// Late-bound method dispatches through `Database::call`.
     pub method_calls: Counter,
+    /// Network front-door metrics; `Arc`-shared with any `orion-net`
+    /// server built over this database.
+    pub net: Arc<NetMetrics>,
+}
+
+/// Live counters for the network front door (`orion-net`). The server
+/// crate sits *above* orion-core in the dependency graph, so the sinks
+/// live here and the database hands the server an `Arc` via
+/// [`Database::net_metrics`] — that is what lets `stats()` and the
+/// Prometheus rendering cover the wire without core depending on net.
+///
+/// [`Database::net_metrics`]: crate::Database::net_metrics
+#[derive(Debug, Default)]
+pub struct NetMetrics {
+    /// Currently open client connections.
+    pub connections: Gauge,
+    /// Connections accepted since startup.
+    pub connections_total: Counter,
+    /// Requests served (any outcome).
+    pub requests: Counter,
+    /// Requests answered with an error response.
+    pub errors: Counter,
+    /// Connections evicted for idleness or read/write timeout.
+    pub timeouts: Counter,
+    /// Connections refused because the accept queue was full.
+    pub busy_rejections: Counter,
+    /// End-to-end server-side request latency (decode → respond).
+    pub request_latency: Histogram,
+}
+
+impl NetMetrics {
+    /// A point-in-time copy of every sink.
+    pub fn snapshot(&self) -> NetStats {
+        NetStats {
+            connections: self.connections.get(),
+            connections_total: self.connections_total.get(),
+            requests: self.requests.get(),
+            errors: self.errors.get(),
+            timeouts: self.timeouts.get(),
+            busy_rejections: self.busy_rejections.get(),
+            request_latency: self.request_latency.snapshot(),
+        }
+    }
+
+    /// Zero every sink (between benchmark phases).
+    pub fn reset(&self) {
+        self.connections.reset();
+        self.connections_total.reset();
+        self.requests.reset();
+        self.errors.reset();
+        self.timeouts.reset();
+        self.busy_rejections.reset();
+        self.request_latency.reset();
+    }
+}
+
+/// Network front-door counters, as captured by [`Database::stats`].
+///
+/// [`Database::stats`]: crate::Database::stats
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct NetStats {
+    /// Currently open client connections.
+    pub connections: u64,
+    /// Connections accepted since startup.
+    pub connections_total: u64,
+    /// Requests served (any outcome).
+    pub requests: u64,
+    /// Requests answered with an error response.
+    pub errors: u64,
+    /// Connections evicted for idleness or read/write timeout.
+    pub timeouts: u64,
+    /// Connections refused because the accept queue was full.
+    pub busy_rejections: u64,
+    /// Server-side request latency distribution.
+    pub request_latency: HistogramSnapshot,
 }
 
 /// A structured snapshot of every performance counter in the system,
@@ -51,6 +126,8 @@ pub struct DbStats {
     pub fetches: u64,
     /// Late-bound method dispatches.
     pub method_calls: u64,
+    /// Network front-door counters (zero when no server is attached).
+    pub net: NetStats,
 }
 
 impl DbStats {
@@ -231,6 +308,48 @@ impl DbStats {
             "orion_method_calls_total",
             "Late-bound method dispatches",
             self.method_calls,
+        );
+        render::gauge(
+            &mut out,
+            "orion_net_connections",
+            "Currently open client connections",
+            self.net.connections,
+        );
+        render::counter(
+            &mut out,
+            "orion_net_connections_total",
+            "Client connections accepted since startup",
+            self.net.connections_total,
+        );
+        render::counter(
+            &mut out,
+            "orion_net_requests_total",
+            "Wire requests served",
+            self.net.requests,
+        );
+        render::counter(
+            &mut out,
+            "orion_net_errors_total",
+            "Wire requests answered with an error response",
+            self.net.errors,
+        );
+        render::counter(
+            &mut out,
+            "orion_net_timeouts_total",
+            "Connections evicted for idleness or I/O timeout",
+            self.net.timeouts,
+        );
+        render::counter(
+            &mut out,
+            "orion_net_busy_rejections_total",
+            "Connections refused because the accept queue was full",
+            self.net.busy_rejections,
+        );
+        render::histogram(
+            &mut out,
+            "orion_net_request_latency_seconds",
+            "Server-side request latency",
+            &self.net.request_latency,
         );
         out
     }

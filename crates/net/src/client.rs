@@ -1,0 +1,323 @@
+//! The blocking client: typed methods over the wire protocol.
+//!
+//! One [`Client`] is one session on the server — its principal, its
+//! (at most one) explicit transaction. The client is deliberately
+//! synchronous: a request is written, the response is awaited under
+//! `request_timeout`, and transport failures surface as
+//! [`DbError::Net`]. With `reconnect` enabled, a dead connection is
+//! re-dialed transparently and *idempotent read-only* requests are
+//! retried once; writes and anything inside an explicit transaction
+//! never retry (the first attempt may have taken effect server-side).
+
+use crate::frame::{self, read_frame, write_frame};
+use crate::wire::{Request, Response, WorkspaceEntry};
+use orion_core::{AttrSpec, IndexKind, QueryResult};
+use orion_types::{DbError, DbResult, Oid, Value};
+use std::io::BufWriter;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Tuning knobs for [`Client`].
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// How long to wait for a TCP connect.
+    pub connect_timeout: Duration,
+    /// How long to wait for each response.
+    pub request_timeout: Duration,
+    /// Re-dial a dead connection and retry idempotent reads once.
+    pub reconnect: bool,
+    /// Maximum frame payload accepted from the server.
+    pub max_frame: usize,
+    /// Authorization principal for the session (None = system).
+    pub principal: Option<String>,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Duration::from_secs(5),
+            request_timeout: Duration::from_secs(30),
+            reconnect: true,
+            max_frame: frame::MAX_FRAME,
+            principal: None,
+        }
+    }
+}
+
+/// A blocking connection to an orion server.
+pub struct Client {
+    addr: SocketAddr,
+    config: ClientConfig,
+    conn: Option<TcpStream>,
+    /// True between a successful `begin()` and the following
+    /// `commit()`/`rollback()`: retries are forbidden because the
+    /// transaction lives on the (possibly dead) old connection.
+    in_tx: bool,
+}
+
+impl Client {
+    /// Connect with default configuration.
+    pub fn connect(addr: impl ToSocketAddrs) -> DbResult<Client> {
+        Client::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connect with explicit configuration; performs the Hello
+    /// handshake before returning.
+    pub fn connect_with(addr: impl ToSocketAddrs, config: ClientConfig) -> DbResult<Client> {
+        let addr = addr
+            .to_socket_addrs()
+            .map_err(|e| frame::io_err("resolve", &e))?
+            .next()
+            .ok_or_else(|| DbError::Net("address resolved to nothing".into()))?;
+        let mut client = Client { addr, config, conn: None, in_tx: false };
+        client.dial()?;
+        Ok(client)
+    }
+
+    /// The server address this client dials.
+    pub fn server_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    fn dial(&mut self) -> DbResult<()> {
+        let stream = TcpStream::connect_timeout(&self.addr, self.config.connect_timeout)
+            .map_err(|e| frame::io_err("connect", &e))?;
+        stream.set_nodelay(true).map_err(|e| frame::io_err("nodelay", &e))?;
+        stream
+            .set_read_timeout(Some(self.config.request_timeout))
+            .map_err(|e| frame::io_err("read timeout", &e))?;
+        stream
+            .set_write_timeout(Some(self.config.request_timeout))
+            .map_err(|e| frame::io_err("write timeout", &e))?;
+        let mut conn = Some(stream);
+        let hello = Request::Hello { principal: self.config.principal.clone() };
+        match exchange(&mut conn, &self.config, &hello)? {
+            Response::Hello { .. } => {
+                self.conn = conn;
+                Ok(())
+            }
+            Response::Err(e) => Err(e),
+            other => Err(unexpected("Hello", &other)),
+        }
+    }
+
+    /// Send one request and decode one response, reconnecting and
+    /// retrying once when that is safe.
+    fn request(&mut self, request: &Request) -> DbResult<Response> {
+        if self.conn.is_none() {
+            if !self.config.reconnect {
+                return Err(DbError::Net("connection closed".into()));
+            }
+            self.in_tx = false; // the old session (and its tx) is gone
+            self.dial()?;
+        }
+        match exchange(&mut self.conn, &self.config, request) {
+            Err(DbError::Net(first)) if self.may_retry(request) => {
+                self.conn = None;
+                self.dial().map_err(|e| {
+                    DbError::Net(format!("{first}; reconnect failed: {e}"))
+                })?;
+                exchange(&mut self.conn, &self.config, request)
+            }
+            other => other,
+        }
+    }
+
+    /// A retry is safe only for idempotent read-only requests outside
+    /// an explicit transaction.
+    fn may_retry(&self, request: &Request) -> bool {
+        self.config.reconnect
+            && !self.in_tx
+            && matches!(
+                request,
+                Request::Ping
+                    | Request::Query { .. }
+                    | Request::Explain { .. }
+                    | Request::Get { .. }
+                    | Request::Stats
+            )
+    }
+
+    // -----------------------------------------------------------------
+    // Typed API
+    // -----------------------------------------------------------------
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> DbResult<()> {
+        match self.request(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            Response::Err(e) => Err(e),
+            other => Err(unexpected("Pong", &other)),
+        }
+    }
+
+    /// Run a declarative query.
+    pub fn query(&mut self, text: &str) -> DbResult<QueryResult> {
+        match self.request(&Request::Query { text: text.into() })? {
+            Response::Query { rows, oids } => Ok(QueryResult { rows, oids }),
+            Response::Err(e) => Err(e),
+            other => Err(unexpected("Query", &other)),
+        }
+    }
+
+    /// Fetch the optimizer's plan explanation for a query.
+    pub fn explain(&mut self, text: &str) -> DbResult<String> {
+        match self.request(&Request::Explain { text: text.into() })? {
+            Response::Explain { text } => Ok(text),
+            Response::Err(e) => Err(e),
+            other => Err(unexpected("Explain", &other)),
+        }
+    }
+
+    /// Open the session's explicit transaction; returns its id.
+    pub fn begin(&mut self) -> DbResult<u64> {
+        match self.request(&Request::Begin)? {
+            Response::Txn { id } => {
+                self.in_tx = true;
+                Ok(id)
+            }
+            Response::Err(e) => Err(e),
+            other => Err(unexpected("Txn", &other)),
+        }
+    }
+
+    /// Commit the session transaction.
+    pub fn commit(&mut self) -> DbResult<()> {
+        let r = self.expect_ok(&Request::Commit);
+        self.in_tx = false;
+        r
+    }
+
+    /// Roll back the session transaction.
+    pub fn rollback(&mut self) -> DbResult<()> {
+        let r = self.expect_ok(&Request::Rollback);
+        self.in_tx = false;
+        r
+    }
+
+    /// Create an object with named attribute values.
+    pub fn create_object(&mut self, class: &str, attrs: Vec<(&str, Value)>) -> DbResult<Oid> {
+        let attrs = attrs.into_iter().map(|(n, v)| (n.to_string(), v)).collect();
+        match self.request(&Request::CreateObject { class: class.into(), attrs })? {
+            Response::Created { oid } => Ok(oid),
+            Response::Err(e) => Err(e),
+            other => Err(unexpected("Created", &other)),
+        }
+    }
+
+    /// Read one attribute by name.
+    pub fn get(&mut self, oid: Oid, attr: &str) -> DbResult<Value> {
+        match self.request(&Request::Get { oid, attr: attr.into() })? {
+            Response::Value(v) => Ok(v),
+            Response::Err(e) => Err(e),
+            other => Err(unexpected("Value", &other)),
+        }
+    }
+
+    /// Update one attribute by name.
+    pub fn set(&mut self, oid: Oid, attr: &str, value: Value) -> DbResult<()> {
+        self.expect_ok(&Request::Set { oid, attr: attr.into(), value })
+    }
+
+    /// Delete an object (and its composite parts).
+    pub fn delete(&mut self, oid: Oid) -> DbResult<()> {
+        self.expect_ok(&Request::Delete { oid })
+    }
+
+    /// DDL: create a class; returns the raw class id.
+    pub fn create_class(
+        &mut self,
+        name: &str,
+        supers: &[&str],
+        attrs: Vec<AttrSpec>,
+    ) -> DbResult<u16> {
+        let supers = supers.iter().map(|s| s.to_string()).collect();
+        match self.request(&Request::CreateClass { name: name.into(), supers, attrs })? {
+            Response::Class { class_id } => Ok(class_id),
+            Response::Err(e) => Err(e),
+            other => Err(unexpected("Class", &other)),
+        }
+    }
+
+    /// DDL: create an index.
+    pub fn create_index(
+        &mut self,
+        name: &str,
+        kind: IndexKind,
+        class: &str,
+        path: &[&str],
+    ) -> DbResult<()> {
+        let path = path.iter().map(|s| s.to_string()).collect();
+        self.expect_ok(&Request::CreateIndex { name: name.into(), kind, class: class.into(), path })
+    }
+
+    /// Check a composite out into a local workspace. Requires an open
+    /// explicit transaction (see the server's checkout policy).
+    pub fn checkout(&mut self, root: Oid) -> DbResult<Vec<WorkspaceEntry>> {
+        match self.request(&Request::Checkout { root })? {
+            Response::Workspace(ws) => Ok(ws),
+            Response::Err(e) => Err(e),
+            other => Err(unexpected("Workspace", &other)),
+        }
+    }
+
+    /// Write an edited workspace back.
+    pub fn checkin(&mut self, workspace: Vec<WorkspaceEntry>) -> DbResult<()> {
+        self.expect_ok(&Request::Checkin { workspace })
+    }
+
+    /// Scrape the server's metrics in the Prometheus text format.
+    pub fn stats_prometheus(&mut self) -> DbResult<String> {
+        match self.request(&Request::Stats)? {
+            Response::Stats { prometheus } => Ok(prometheus),
+            Response::Err(e) => Err(e),
+            other => Err(unexpected("Stats", &other)),
+        }
+    }
+
+    fn expect_ok(&mut self, request: &Request) -> DbResult<()> {
+        match self.request(request)? {
+            Response::Ok => Ok(()),
+            Response::Err(e) => Err(e),
+            other => Err(unexpected("Ok", &other)),
+        }
+    }
+}
+
+/// Write `request`, read one frame, decode the response. On transport
+/// failure the connection is dropped so the caller can re-dial.
+fn exchange(
+    conn: &mut Option<TcpStream>,
+    config: &ClientConfig,
+    request: &Request,
+) -> DbResult<Response> {
+    let stream = conn.as_mut().ok_or_else(|| DbError::Net("not connected".into()))?;
+    let result = (|| {
+        let mut w = BufWriter::new(&mut *stream);
+        write_frame(&mut w, &request.encode()).map_err(|e| frame::io_err("send", &e))?;
+        drop(w);
+        match read_frame(stream, config.max_frame) {
+            Ok(Some(payload)) => Response::decode(&payload),
+            Ok(None) => Err(DbError::Net("server closed the connection".into())),
+            Err(e) if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ) =>
+            {
+                Err(DbError::Net(format!(
+                    "request timed out after {:?}",
+                    config.request_timeout
+                )))
+            }
+            Err(e) => Err(frame::io_err("recv", &e)),
+        }
+    })();
+    if matches!(result, Err(DbError::Net(_))) {
+        *conn = None;
+    }
+    result
+}
+
+fn unexpected(wanted: &str, got: &Response) -> DbError {
+    DbError::Protocol(format!("expected {wanted} response, got {got:?}"))
+}

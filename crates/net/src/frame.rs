@@ -1,0 +1,187 @@
+//! Length-prefixed framing over a byte stream.
+//!
+//! Every message on the wire is one frame: a 4-byte little-endian
+//! payload length followed by the payload (whose first byte is the
+//! message tag, see [`crate::wire`]). The frame layer enforces a
+//! maximum payload size on both ends — a malformed or hostile peer can
+//! cost at most `max_frame` bytes of buffering, never an unbounded
+//! allocation — and gives the server a *polling* read so one worker
+//! thread can simultaneously honor three clocks: the per-read stall
+//! timeout, the connection idle deadline, and the server's shutdown
+//! flag.
+
+use orion_types::{DbError, DbResult};
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// Default maximum frame payload (16 MiB) — large enough for any
+/// realistic query result, small enough to bound per-connection memory.
+pub const MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// The poll granularity of [`read_frame_polling`]: how often a blocked
+/// read wakes to check the shutdown flag and idle deadline.
+pub(crate) const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// Write one frame (length prefix + payload) and flush.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    let len = (payload.len() as u32).to_le_bytes();
+    w.write_all(&len)?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one frame, blocking until it arrives or the stream's own read
+/// timeout fires (the client side sets that to its request timeout).
+/// `Ok(None)` means clean EOF at a frame boundary.
+pub fn read_frame(r: &mut impl Read, max_frame: usize) -> std::io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    match r.read(&mut len_buf) {
+        Ok(0) => return Ok(None),
+        Ok(n) => r.read_exact(&mut len_buf[n..])?,
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > max_frame {
+        return Err(std::io::Error::new(
+            ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {max_frame}-byte cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// Why [`read_frame_polling`] returned without a frame.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// A complete frame payload.
+    Frame(Vec<u8>),
+    /// The peer closed the connection at a frame boundary.
+    Eof,
+    /// No frame *started* within the idle deadline — evict the session.
+    Idle,
+    /// A frame started but stalled longer than the read timeout.
+    Stalled,
+    /// The server's shutdown flag was raised while waiting.
+    Shutdown,
+}
+
+/// Read one frame from `stream`, waking every [`POLL_INTERVAL`] to
+/// check `shutdown` and the two deadlines: `idle_timeout` bounds the
+/// wait for a frame to *start* (session eviction), `read_timeout`
+/// bounds mid-frame stalls (a peer that sent half a message). I/O
+/// errors other than timeout are mapped to [`ReadOutcome::Eof`]-like
+/// termination by the caller via `Err`.
+pub fn read_frame_polling(
+    stream: &mut TcpStream,
+    max_frame: usize,
+    idle_timeout: Duration,
+    read_timeout: Duration,
+    shutdown: &AtomicBool,
+) -> std::io::Result<ReadOutcome> {
+    stream.set_read_timeout(Some(POLL_INTERVAL))?;
+    let started = Instant::now();
+    let mut len_buf = [0u8; 4];
+    let mut got = 0usize;
+    let mut payload: Option<(Vec<u8>, usize)> = None; // (buf, filled)
+    let mut progress_at = Instant::now();
+    loop {
+        let (dst, mid_frame): (&mut [u8], bool) = match payload {
+            Some((ref mut buf, filled)) => (&mut buf[filled..], true),
+            None => (&mut len_buf[got..], got > 0),
+        };
+        if dst.is_empty() {
+            // Header complete: size the payload buffer (empty payloads
+            // complete immediately below).
+            let len = u32::from_le_bytes(len_buf) as usize;
+            if len > max_frame {
+                return Err(std::io::Error::new(
+                    ErrorKind::InvalidData,
+                    format!("frame of {len} bytes exceeds the {max_frame}-byte cap"),
+                ));
+            }
+            payload = Some((vec![0u8; len], 0));
+            if len == 0 {
+                return Ok(ReadOutcome::Frame(Vec::new()));
+            }
+            continue;
+        }
+        match stream.read(dst) {
+            Ok(0) => return Ok(ReadOutcome::Eof),
+            Ok(n) => {
+                progress_at = Instant::now();
+                match payload {
+                    Some((ref buf, ref mut filled)) => {
+                        *filled += n;
+                        if *filled == buf.len() {
+                            let (buf, _) = payload.take().expect("payload present");
+                            return Ok(ReadOutcome::Frame(buf));
+                        }
+                    }
+                    None => got += n,
+                }
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if shutdown.load(Ordering::Acquire) {
+                    return Ok(ReadOutcome::Shutdown);
+                }
+                if mid_frame {
+                    if progress_at.elapsed() >= read_timeout {
+                        return Ok(ReadOutcome::Stalled);
+                    }
+                } else if started.elapsed() >= idle_timeout {
+                    return Ok(ReadOutcome::Idle);
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Map an I/O failure into the facade's error vocabulary.
+pub fn io_err(context: &str, e: &std::io::Error) -> DbError {
+    DbError::Net(format!("{context}: {e}"))
+}
+
+/// `write_frame` with [`DbError`] mapping, for protocol code.
+pub fn send(w: &mut impl Write, payload: &[u8]) -> DbResult<()> {
+    write_frame(w, payload).map_err(|e| io_err("send", &e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frame_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = Cursor::new(buf);
+        assert_eq!(read_frame(&mut r, MAX_FRAME).unwrap().as_deref(), Some(&b"hello"[..]));
+        assert_eq!(read_frame(&mut r, MAX_FRAME).unwrap().as_deref(), Some(&b""[..]));
+        assert_eq!(read_frame(&mut r, MAX_FRAME).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &[0u8; 64]).unwrap();
+        let mut r = Cursor::new(buf);
+        assert!(read_frame(&mut r, 63).is_err());
+    }
+
+    #[test]
+    fn truncated_frame_is_an_error_not_a_hang() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello world").unwrap();
+        buf.truncate(buf.len() - 3);
+        let mut r = Cursor::new(buf);
+        assert!(read_frame(&mut r, MAX_FRAME).is_err());
+    }
+}

@@ -1,0 +1,37 @@
+//! orion-net: the database as a network service.
+//!
+//! The paper's architecture (§2) assumes a shared server that many
+//! design workstations dial into; this crate is that wire. It layers a
+//! length-prefixed binary protocol ([`frame`], [`wire`]) over
+//! `std::net` blocking sockets, a bounded-worker-pool [`Server`] that
+//! exposes the whole `orion_core::Database` facade — queries, DML, DDL,
+//! checkout/checkin, the stats scrape — and a blocking [`Client`] with
+//! reconnect. Everything that crosses the wire reuses `orion-types`'
+//! storage codec, so a remote query result is byte-identical to the
+//! in-process one and a remote failure decodes to the *same*
+//! [`orion_types::DbError`] variant the facade raised.
+//!
+//! No async runtime: one worker thread per concurrent session, polling
+//! reads for timeouts and graceful shutdown. See `DESIGN.md` §8 for
+//! the frame format and the timeout/backpressure policy.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use orion_core::Database;
+//! use orion_net::{Client, Server, ServerConfig};
+//!
+//! let db = Arc::new(Database::new());
+//! let server = Server::bind(db, "127.0.0.1:0", ServerConfig::default()).unwrap();
+//! let mut client = Client::connect(server.local_addr()).unwrap();
+//! client.ping().unwrap();
+//! server.shutdown();
+//! ```
+
+pub mod client;
+pub mod frame;
+pub mod server;
+pub mod wire;
+
+pub use client::{Client, ClientConfig};
+pub use server::{Server, ServerConfig};
+pub use wire::{Request, Response, WorkspaceEntry};

@@ -1,0 +1,481 @@
+//! The multi-client server: a bounded worker pool over blocking
+//! sockets.
+//!
+//! One acceptor thread pushes connections onto a bounded queue; `N`
+//! worker threads pop them and run one session each, so `N` is both the
+//! pool size and the concurrent-connection limit. When the queue is
+//! full the acceptor answers [`DbError::ServerBusy`] and closes — load
+//! sheds at the door instead of growing an unbounded backlog
+//! (backpressure the client can see and retry on).
+//!
+//! A session is one connection: a handshake naming the authorization
+//! principal, then a request/response loop. Requests run inside the
+//! session's explicit transaction when one is open, else each runs in
+//! its own auto-committed transaction. A connection that dies with a
+//! transaction open gets it rolled back — strict 2PL locks never
+//! outlive their session.
+//!
+//! Shutdown is graceful: workers notice the flag only *between*
+//! requests (the polling read), so every in-flight request finishes and
+//! its response reaches the client before the socket closes.
+
+use crate::frame::{self, read_frame_polling, ReadOutcome};
+use crate::wire::{Request, Response};
+use orion_core::{Database, DbError, DbResult, NetMetrics, Tx};
+use std::collections::{HashMap, VecDeque};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for [`Server`]. The defaults suit tests and small
+/// deployments; production raises `workers` to the expected concurrent
+/// client count.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads = maximum concurrent sessions.
+    pub workers: usize,
+    /// Accepted-but-unclaimed connections to hold before shedding load
+    /// with [`DbError::ServerBusy`].
+    pub accept_queue: usize,
+    /// Mid-frame stall tolerance: a peer that starts a frame and then
+    /// goes silent this long is disconnected.
+    pub read_timeout: Duration,
+    /// Socket write timeout for responses.
+    pub write_timeout: Duration,
+    /// A session with no new request for this long is evicted (its open
+    /// transaction, if any, is rolled back).
+    pub idle_timeout: Duration,
+    /// Maximum frame payload accepted from a client.
+    pub max_frame: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            accept_queue: 16,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            idle_timeout: Duration::from_secs(60),
+            max_frame: frame::MAX_FRAME,
+        }
+    }
+}
+
+impl ServerConfig {
+    fn validate(&self) -> DbResult<()> {
+        if self.workers == 0 {
+            return Err(DbError::Config("server workers must be >= 1".into()));
+        }
+        if self.accept_queue == 0 {
+            return Err(DbError::Config("server accept_queue must be >= 1".into()));
+        }
+        if self.read_timeout.is_zero()
+            || self.write_timeout.is_zero()
+            || self.idle_timeout.is_zero()
+        {
+            return Err(DbError::Config("server timeouts must be nonzero".into()));
+        }
+        if self.max_frame == 0 {
+            return Err(DbError::Config("server max_frame must be nonzero".into()));
+        }
+        Ok(())
+    }
+}
+
+/// State shared by the acceptor and every worker.
+struct Shared {
+    db: Arc<Database>,
+    config: ServerConfig,
+    metrics: Arc<NetMetrics>,
+    queue: Mutex<VecDeque<TcpStream>>,
+    queue_cv: Condvar,
+    shutdown: AtomicBool,
+    active: AtomicUsize,
+    sessions: AtomicU64,
+}
+
+impl Shared {
+    /// Track the live-connection count and mirror it into the gauge.
+    fn connection_opened(&self) {
+        let now = self.active.fetch_add(1, Ordering::AcqRel) + 1;
+        self.metrics.connections.set(now as u64);
+        self.metrics.connections_total.inc();
+    }
+
+    fn connection_closed(&self) {
+        let now = self.active.fetch_sub(1, Ordering::AcqRel) - 1;
+        self.metrics.connections.set(now as u64);
+    }
+}
+
+/// A running database server. Bind with [`Server::bind`], stop with
+/// [`Server::shutdown`] (drains in-flight requests) — dropping without
+/// shutting down stops threads abruptly but never corrupts the
+/// database (open transactions roll back).
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind to `addr` (use port 0 for an ephemeral port) and start the
+    /// acceptor plus worker pool.
+    pub fn bind(
+        db: Arc<Database>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> DbResult<Server> {
+        config.validate()?;
+        let listener = TcpListener::bind(addr).map_err(|e| frame::io_err("bind", &e))?;
+        let addr = listener.local_addr().map_err(|e| frame::io_err("local_addr", &e))?;
+        let metrics = db.net_metrics();
+        let shared = Arc::new(Shared {
+            db,
+            config,
+            metrics,
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
+            sessions: AtomicU64::new(0),
+        });
+        let workers = (0..shared.config.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("orion-net-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .map_err(|e| DbError::Net(format!("spawn worker: {e}")))
+            })
+            .collect::<DbResult<Vec<_>>>()?;
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("orion-net-acceptor".into())
+                .spawn(move || acceptor_loop(&listener, &shared))
+                .map_err(|e| DbError::Net(format!("spawn acceptor: {e}")))?
+        };
+        Ok(Server { shared, addr, acceptor: Some(acceptor), workers })
+    }
+
+    /// The bound address (resolves ephemeral ports for clients).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Sessions currently being served (diagnostic).
+    pub fn active_connections(&self) -> usize {
+        self.shared.active.load(Ordering::Acquire)
+    }
+
+    /// Stop gracefully: no new connections, in-flight requests finish
+    /// and their responses are written, then all threads join.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // Unblock the acceptor (it sits in a blocking accept()): a
+        // throwaway self-connection makes accept() return, after which
+        // it sees the flag.
+        let _ = TcpStream::connect(self.addr);
+        self.shared.queue_cv.notify_all();
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn acceptor_loop(listener: &TcpListener, shared: &Shared) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let mut queue = shared.queue.lock().expect("accept queue poisoned");
+        if queue.len() >= shared.config.accept_queue {
+            drop(queue);
+            shared.metrics.busy_rejections.inc();
+            reject_busy(stream, shared);
+            continue;
+        }
+        queue.push_back(stream);
+        drop(queue);
+        shared.queue_cv.notify_one();
+    }
+}
+
+/// Tell an over-capacity client why it is being turned away.
+fn reject_busy(mut stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+    let _ = frame::write_frame(&mut stream, &Response::Err(DbError::ServerBusy).encode());
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let stream = {
+            let mut queue = shared.queue.lock().expect("accept queue poisoned");
+            loop {
+                if let Some(stream) = queue.pop_front() {
+                    break Some(stream);
+                }
+                if shared.shutdown.load(Ordering::Acquire) {
+                    break None;
+                }
+                let (q, _) = shared
+                    .queue_cv
+                    .wait_timeout(queue, Duration::from_millis(100))
+                    .expect("accept queue poisoned");
+                queue = q;
+            }
+        };
+        let Some(stream) = stream else { return };
+        shared.connection_opened();
+        serve_connection(stream, shared);
+        shared.connection_closed();
+    }
+}
+
+/// Per-connection state: who the client is and whether an explicit
+/// transaction is open.
+struct Session {
+    principal: Option<String>,
+    tx: Option<Tx>,
+}
+
+fn serve_connection(mut stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+    let mut session = Session { principal: None, tx: None };
+    let mut handshaken = false;
+    while let Ok(outcome) = read_frame_polling(
+        &mut stream,
+        shared.config.max_frame,
+        shared.config.idle_timeout,
+        shared.config.read_timeout,
+        &shared.shutdown,
+    ) {
+        let payload = match outcome {
+            ReadOutcome::Frame(p) => p,
+            ReadOutcome::Eof | ReadOutcome::Shutdown => break,
+            ReadOutcome::Idle | ReadOutcome::Stalled => {
+                shared.metrics.timeouts.inc();
+                break;
+            }
+        };
+        shared.metrics.requests.inc();
+        let started = Instant::now();
+        let response = match Request::decode(&payload) {
+            Ok(request) => dispatch(shared, &mut session, &mut handshaken, request),
+            Err(e) => Response::Err(e),
+        };
+        shared.metrics.request_latency.observe(started.elapsed());
+        if matches!(response, Response::Err(_)) {
+            shared.metrics.errors.inc();
+        }
+        if frame::write_frame(&mut stream, &response.encode()).is_err() {
+            break;
+        }
+    }
+    // The session is over; its locks must not outlive it.
+    if let Some(tx) = session.tx.take() {
+        let _ = shared.db.rollback(tx);
+    }
+}
+
+/// Run `f` inside the session transaction when one is open; otherwise
+/// begin/commit around it (auto-commit), rolling back on error.
+fn with_tx<T>(
+    shared: &Shared,
+    session: &mut Session,
+    f: impl FnOnce(&Database, &Tx) -> DbResult<T>,
+) -> DbResult<T> {
+    if let Some(tx) = session.tx.as_ref() {
+        return f(&shared.db, tx);
+    }
+    let tx = begin_session_tx(shared, session);
+    match f(&shared.db, &tx) {
+        Ok(v) => {
+            shared.db.commit(tx)?;
+            Ok(v)
+        }
+        Err(e) => {
+            let _ = shared.db.rollback(tx);
+            Err(e)
+        }
+    }
+}
+
+fn begin_session_tx(shared: &Shared, session: &Session) -> Tx {
+    match session.principal.as_deref() {
+        Some(p) => shared.db.begin_as(p),
+        None => shared.db.begin(),
+    }
+}
+
+fn dispatch(
+    shared: &Shared,
+    session: &mut Session,
+    handshaken: &mut bool,
+    request: Request,
+) -> Response {
+    if !*handshaken {
+        return match request {
+            Request::Hello { principal } => {
+                *handshaken = true;
+                session.principal = principal;
+                let id = shared.sessions.fetch_add(1, Ordering::AcqRel) + 1;
+                Response::Hello { session: id }
+            }
+            _ => Response::Err(DbError::Protocol(
+                "first message on a connection must be Hello".into(),
+            )),
+        };
+    }
+    match request {
+        Request::Hello { .. } => {
+            Response::Err(DbError::Protocol("duplicate Hello on an open session".into()))
+        }
+        Request::Ping => Response::Pong,
+        Request::Query { text } => {
+            match with_tx(shared, session, |db, tx| db.query(tx, &text)) {
+                Ok(r) => Response::from_query_result(r),
+                Err(e) => Response::Err(e),
+            }
+        }
+        Request::Explain { text } => {
+            match with_tx(shared, session, |db, tx| db.explain(tx, &text)) {
+                Ok(report) => Response::Explain { text: report.to_string() },
+                Err(e) => Response::Err(e),
+            }
+        }
+        Request::Begin => {
+            if session.tx.is_some() {
+                return Response::Err(DbError::InvalidTxnState(
+                    "a transaction is already open on this session".into(),
+                ));
+            }
+            let tx = begin_session_tx(shared, session);
+            let id = tx.id();
+            session.tx = Some(tx);
+            Response::Txn { id }
+        }
+        Request::Commit => match session.tx.take() {
+            Some(tx) => match shared.db.commit(tx) {
+                Ok(()) => Response::Ok,
+                Err(e) => Response::Err(e),
+            },
+            None => Response::Err(DbError::InvalidTxnState(
+                "no open transaction to commit".into(),
+            )),
+        },
+        Request::Rollback => match session.tx.take() {
+            Some(tx) => match shared.db.rollback(tx) {
+                Ok(()) => Response::Ok,
+                Err(e) => Response::Err(e),
+            },
+            None => Response::Err(DbError::InvalidTxnState(
+                "no open transaction to roll back".into(),
+            )),
+        },
+        Request::CreateObject { class, attrs } => {
+            let result = with_tx(shared, session, |db, tx| {
+                let borrowed: Vec<(&str, orion_core::Value)> =
+                    attrs.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
+                db.create_object(tx, &class, borrowed)
+            });
+            match result {
+                Ok(oid) => Response::Created { oid },
+                Err(e) => Response::Err(e),
+            }
+        }
+        Request::Get { oid, attr } => {
+            match with_tx(shared, session, |db, tx| db.get(tx, oid, &attr)) {
+                Ok(v) => Response::Value(v),
+                Err(e) => Response::Err(e),
+            }
+        }
+        Request::Set { oid, attr, value } => {
+            match with_tx(shared, session, |db, tx| db.set(tx, oid, &attr, value.clone())) {
+                Ok(()) => Response::Ok,
+                Err(e) => Response::Err(e),
+            }
+        }
+        Request::Delete { oid } => {
+            match with_tx(shared, session, |db, tx| db.delete_object(tx, oid)) {
+                Ok(()) => Response::Ok,
+                Err(e) => Response::Err(e),
+            }
+        }
+        Request::CreateClass { name, supers, attrs } => {
+            let supers: Vec<&str> = supers.iter().map(String::as_str).collect();
+            match shared.db.create_class(&name, &supers, attrs) {
+                Ok(class_id) => Response::Class { class_id: class_id.raw() },
+                Err(e) => Response::Err(e),
+            }
+        }
+        Request::CreateIndex { name, kind, class, path } => {
+            let path: Vec<&str> = path.iter().map(String::as_str).collect();
+            match shared.db.create_index(&name, kind, &class, &path) {
+                Ok(_) => Response::Ok,
+                Err(e) => Response::Err(e),
+            }
+        }
+        Request::Checkout { root } => {
+            // Checkout locks must outlive the request, so an explicit
+            // session transaction is required (auto-commit would release
+            // them before the client ever edits the workspace).
+            let Some(tx) = session.tx.as_ref() else {
+                return Response::Err(DbError::InvalidTxnState(
+                    "checkout requires an explicit transaction (Begin first)".into(),
+                ));
+            };
+            match shared.db.checkout(tx, root) {
+                Ok(ws) => {
+                    let mut entries: Vec<_> = ws.into_iter().collect();
+                    entries.sort_by_key(|(oid, _)| oid.to_raw());
+                    Response::Workspace(entries)
+                }
+                Err(e) => Response::Err(e),
+            }
+        }
+        Request::Checkin { workspace } => {
+            let result = with_tx(shared, session, |db, tx| {
+                let ws: HashMap<_, _> = workspace.iter().cloned().collect();
+                db.checkin(tx, ws)
+            });
+            match result {
+                Ok(()) => Response::Ok,
+                Err(e) => Response::Err(e),
+            }
+        }
+        Request::Stats => {
+            Response::Stats { prometheus: shared.db.stats().render_prometheus() }
+        }
+    }
+}

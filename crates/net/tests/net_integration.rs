@@ -1,0 +1,355 @@
+//! End-to-end tests: a real server on an ephemeral port, real sockets,
+//! concurrent clients.
+
+use orion_core::{AttrSpec, Database, DbConfig, Domain, PrimitiveType, Value};
+use orion_net::frame::{read_frame, write_frame, MAX_FRAME};
+use orion_net::{Client, ClientConfig, Request, Response, Server, ServerConfig};
+use orion_types::{DbError, Oid};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The Figure 1 schema and data: vehicles (a small hierarchy) made by
+/// companies in various cities.
+fn fleet_db(config: DbConfig) -> (Arc<Database>, Oid) {
+    let db = Database::with_config(config);
+    let str_dom = || Domain::Primitive(PrimitiveType::Str);
+    let int_dom = || Domain::Primitive(PrimitiveType::Int);
+    db.create_class(
+        "Company",
+        &[],
+        vec![AttrSpec::new("name", str_dom()), AttrSpec::new("location", str_dom())],
+    )
+    .unwrap();
+    let company = db.with_catalog(|c| c.class_id("Company")).unwrap();
+    db.create_class(
+        "Vehicle",
+        &[],
+        vec![
+            AttrSpec::new("weight", int_dom()),
+            AttrSpec::new("manufacturer", Domain::Class(company)),
+        ],
+    )
+    .unwrap();
+    db.create_class("Truck", &["Vehicle"], vec![AttrSpec::new("payload", int_dom())]).unwrap();
+    let tx = db.begin();
+    let motorco = db
+        .create_object(
+            &tx,
+            "Company",
+            vec![("name", Value::str("MotorCo")), ("location", Value::str("Detroit"))],
+        )
+        .unwrap();
+    let chipco = db
+        .create_object(
+            &tx,
+            "Company",
+            vec![("name", Value::str("ChipCo")), ("location", Value::str("Austin"))],
+        )
+        .unwrap();
+    let mut first_vehicle = None;
+    for i in 1..=10i64 {
+        let (class, manu) = if i % 2 == 0 { ("Truck", motorco) } else { ("Vehicle", chipco) };
+        let oid = db
+            .create_object(
+                &tx,
+                class,
+                vec![("weight", Value::Int(1000 * i)), ("manufacturer", Value::Ref(manu))],
+            )
+            .unwrap();
+        first_vehicle.get_or_insert(oid);
+    }
+    db.commit(tx).unwrap();
+    (Arc::new(db), first_vehicle.unwrap())
+}
+
+const FIG1_QUERY: &str = "select v from Vehicle* v \
+     where v.weight > 7500 and v.manufacturer.location = \"Detroit\" \
+     order by v.weight asc";
+
+#[test]
+fn concurrent_clients_get_byte_identical_results() {
+    let (db, _) = fleet_db(DbConfig::default());
+    let expected = {
+        let tx = db.begin();
+        let r = db.query(&tx, FIG1_QUERY).unwrap();
+        db.commit(tx).unwrap();
+        r
+    };
+    assert!(!expected.oids.is_empty(), "fixture matches the Figure 1 query");
+    let expected_bytes =
+        Response::Query { rows: expected.rows.clone(), oids: expected.oids.clone() }.encode();
+
+    let server = Server::bind(
+        Arc::clone(&db),
+        "127.0.0.1:0",
+        ServerConfig { workers: 6, ..ServerConfig::default() },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    let handles: Vec<_> = (0..6)
+        .map(|_| {
+            let expected_bytes = expected_bytes.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                for _ in 0..5 {
+                    let got = client.query(FIG1_QUERY).unwrap();
+                    let got_bytes =
+                        Response::Query { rows: got.rows, oids: got.oids }.encode();
+                    assert_eq!(got_bytes, expected_bytes, "wire result differs from facade");
+                }
+                client.explain(FIG1_QUERY).unwrap()
+            })
+        })
+        .collect();
+    let tx = db.begin();
+    let in_process_plan = db.explain(&tx, FIG1_QUERY).unwrap().to_string();
+    db.commit(tx).unwrap();
+    for h in handles {
+        let remote_plan = h.join().expect("client thread");
+        assert_eq!(remote_plan, in_process_plan);
+    }
+    server.shutdown();
+}
+
+#[test]
+fn lock_conflict_surfaces_as_lock_timeout_over_the_wire() {
+    let config = DbConfig::builder().lock_timeout(Duration::from_millis(200)).build().unwrap();
+    let (db, vehicle) = fleet_db(config);
+    let server = Server::bind(db, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    let mut holder = Client::connect(addr).unwrap();
+    let holder_tx = holder.begin().unwrap();
+    holder.set(vehicle, "weight", Value::Int(9999)).unwrap(); // X lock held
+
+    let mut waiter = Client::connect(addr).unwrap();
+    waiter.begin().unwrap();
+    match waiter.set(vehicle, "weight", Value::Int(1)) {
+        Err(DbError::LockTimeout { txn, what }) => {
+            assert_ne!(txn, holder_tx, "the waiter times out, not the holder");
+            assert!(!what.is_empty());
+        }
+        other => panic!("expected LockTimeout over the wire, got {other:?}"),
+    }
+    waiter.rollback().unwrap();
+    holder.commit().unwrap();
+
+    // The holder's committed write is visible to a fresh reader.
+    let mut reader = Client::connect(addr).unwrap();
+    assert_eq!(reader.get(vehicle, "weight").unwrap(), Value::Int(9999));
+    server.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_request() {
+    let config = DbConfig::builder().lock_timeout(Duration::from_secs(3)).build().unwrap();
+    let (db, vehicle) = fleet_db(config);
+    let server = Server::bind(db, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    // The holder takes an X lock and then goes quiet.
+    let mut holder = Client::connect(addr).unwrap();
+    holder.begin().unwrap();
+    holder.set(vehicle, "weight", Value::Int(1)).unwrap();
+
+    // The waiter's read is now in flight, blocked on that lock.
+    let waiter = std::thread::spawn(move || {
+        let mut client = Client::connect_with(
+            addr,
+            ClientConfig { reconnect: false, ..ClientConfig::default() },
+        )
+        .unwrap();
+        client.get(vehicle, "weight")
+    });
+    std::thread::sleep(Duration::from_millis(300));
+
+    // Shutdown must let the waiter's request finish and deliver its
+    // response: either the value (holder evicted first, its uncommitted
+    // write rolled back, lock released) or a LockTimeout — never a dead
+    // socket.
+    server.shutdown();
+    match waiter.join().expect("waiter thread") {
+        Ok(v) => assert_eq!(v, Value::Int(1000), "the holder's write rolled back"),
+        Err(DbError::LockTimeout { .. }) => {}
+        Err(other) => panic!("drained request lost its response: {other:?}"),
+    }
+}
+
+#[test]
+fn accept_queue_overflow_is_rejected_with_server_busy() {
+    let (db, _) = fleet_db(DbConfig::default());
+    let server = Server::bind(
+        Arc::clone(&db),
+        "127.0.0.1:0",
+        ServerConfig { workers: 1, accept_queue: 1, ..ServerConfig::default() },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    // Occupies the only worker.
+    let mut served = Client::connect(addr).unwrap();
+    served.ping().unwrap();
+    // Fills the accept queue (never claimed by a worker).
+    let _queued = TcpStream::connect(addr).unwrap();
+    std::thread::sleep(Duration::from_millis(200));
+    // Over capacity: turned away at the door.
+    let mut rejected = TcpStream::connect(addr).unwrap();
+    let payload = read_frame(&mut rejected, MAX_FRAME).unwrap().expect("a rejection frame");
+    match Response::decode(&payload).unwrap() {
+        Response::Err(DbError::ServerBusy) => {}
+        other => panic!("expected ServerBusy, got {other:?}"),
+    }
+    assert!(db.stats().net.busy_rejections >= 1);
+    server.shutdown();
+}
+
+#[test]
+fn idle_sessions_are_evicted_and_the_client_reconnects() {
+    let (db, _) = fleet_db(DbConfig::default());
+    let server = Server::bind(
+        Arc::clone(&db),
+        "127.0.0.1:0",
+        ServerConfig { idle_timeout: Duration::from_millis(200), ..ServerConfig::default() },
+    )
+    .unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client.ping().unwrap();
+    std::thread::sleep(Duration::from_millis(600)); // evicted meanwhile
+    client.ping().unwrap(); // transparently re-dials
+    assert!(db.stats().net.timeouts >= 1, "eviction counts as a timeout");
+
+    let mut rigid = Client::connect_with(
+        server.local_addr(),
+        ClientConfig { reconnect: false, ..ClientConfig::default() },
+    )
+    .unwrap();
+    rigid.ping().unwrap();
+    std::thread::sleep(Duration::from_millis(600));
+    match rigid.ping() {
+        Err(DbError::Net(_)) => {}
+        other => panic!("reconnect disabled must surface the dead socket, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn protocol_violations_are_answered_not_dropped() {
+    let (db, _) = fleet_db(DbConfig::default());
+    let server = Server::bind(db, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    // A request before Hello is a protocol error.
+    let mut raw = TcpStream::connect(addr).unwrap();
+    write_frame(&mut raw, &Request::Ping.encode()).unwrap();
+    let payload = read_frame(&mut raw, MAX_FRAME).unwrap().expect("an error frame");
+    assert!(matches!(Response::decode(&payload).unwrap(), Response::Err(DbError::Protocol(_))));
+
+    // So is a second Hello on an open session.
+    let mut raw = TcpStream::connect(addr).unwrap();
+    write_frame(&mut raw, &Request::Hello { principal: None }.encode()).unwrap();
+    let payload = read_frame(&mut raw, MAX_FRAME).unwrap().expect("a hello ack");
+    assert!(matches!(Response::decode(&payload).unwrap(), Response::Hello { .. }));
+    write_frame(&mut raw, &Request::Hello { principal: None }.encode()).unwrap();
+    let payload = read_frame(&mut raw, MAX_FRAME).unwrap().expect("an error frame");
+    assert!(matches!(Response::decode(&payload).unwrap(), Response::Err(DbError::Protocol(_))));
+    server.shutdown();
+}
+
+#[test]
+fn facade_errors_cross_the_wire_intact() {
+    let (db, vehicle) = fleet_db(DbConfig::default());
+    let server = Server::bind(db, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    match client.query("select v from Spaceship v") {
+        Err(DbError::UnknownClass(name)) => assert_eq!(name, "Spaceship"),
+        other => panic!("expected UnknownClass, got {other:?}"),
+    }
+    match client.get(vehicle, "wingspan") {
+        Err(DbError::UnknownAttribute { class: _, attribute }) => {
+            assert_eq!(attribute, "wingspan")
+        }
+        other => panic!("expected UnknownAttribute, got {other:?}"),
+    }
+    match client.checkout(vehicle) {
+        Err(DbError::InvalidTxnState(_)) => {} // checkout needs an explicit tx
+        other => panic!("expected InvalidTxnState, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn full_session_ddl_dml_checkout_checkin_over_the_wire() {
+    let db = Arc::new(Database::new());
+    let server = Server::bind(Arc::clone(&db), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    // DDL: a composite design hierarchy, created remotely.
+    let cell_id = client
+        .create_class(
+            "Cell",
+            &[],
+            vec![AttrSpec::new("area", Domain::Primitive(PrimitiveType::Int))],
+        )
+        .unwrap();
+    client
+        .create_class(
+            "Design",
+            &[],
+            vec![
+                AttrSpec::new("title", Domain::Primitive(PrimitiveType::Str)),
+                AttrSpec::new(
+                    "cells",
+                    Domain::set_of_class(orion_types::ClassId(cell_id)),
+                )
+                .composite(),
+            ],
+        )
+        .unwrap();
+    client
+        .create_index(
+            "design_title",
+            orion_core::IndexKind::SingleClass,
+            "Design",
+            &["title"],
+        )
+        .unwrap();
+
+    // DML in an explicit transaction.
+    client.begin().unwrap();
+    let design = client
+        .create_object("Design", vec![("title", Value::str("alu64"))])
+        .unwrap();
+    client.commit().unwrap();
+
+    // Checkout requires a transaction; edit the workspace, check it in.
+    client.begin().unwrap();
+    let mut workspace = client.checkout(design).unwrap();
+    assert_eq!(workspace.len(), 1);
+    for (_, attrs) in &mut workspace {
+        for (name, value) in attrs.iter_mut() {
+            if name == "title" {
+                *value = Value::str("alu128");
+            }
+        }
+    }
+    client.checkin(workspace).unwrap();
+    client.commit().unwrap();
+    assert_eq!(client.get(design, "title").unwrap(), Value::str("alu128"));
+
+    // The indexed query sees the committed edit.
+    let hits = client
+        .query("select d from Design d where d.title = \"alu128\"")
+        .unwrap();
+    assert_eq!(hits.oids, vec![design]);
+
+    // The scrape reflects the traffic this session generated.
+    let scrape = client.stats_prometheus().unwrap();
+    assert!(scrape.contains("orion_net_requests_total"));
+    assert!(!scrape.contains("orion_net_requests_total 0\n"), "request counter is live");
+    assert!(scrape.contains("orion_net_connections 1"));
+    server.shutdown();
+    assert_eq!(db.stats().net.connections, 0, "gauge returns to zero after shutdown");
+}

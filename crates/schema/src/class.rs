@@ -27,7 +27,7 @@ pub struct Attribute {
 }
 
 /// What a user supplies when declaring an attribute.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AttrSpec {
     /// Attribute name.
     pub name: String,

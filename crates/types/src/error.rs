@@ -55,6 +55,12 @@ pub enum DbError {
     Foreign(String),
     /// A configuration value was rejected at database construction.
     Config(String),
+    /// Network transport failure (connection refused, reset, timed out).
+    Net(String),
+    /// The server's accept queue is full; retry later (backpressure).
+    ServerBusy,
+    /// The peer violated the wire protocol (bad frame, unknown tag).
+    Protocol(String),
     /// Catch-all internal invariant breach; indicates a bug in orion.
     Internal(String),
 }
@@ -99,6 +105,9 @@ impl fmt::Display for DbError {
             DbError::Rule(msg) => write!(f, "rule error: {msg}"),
             DbError::Foreign(msg) => write!(f, "foreign database error: {msg}"),
             DbError::Config(msg) => write!(f, "configuration error: {msg}"),
+            DbError::Net(msg) => write!(f, "network error: {msg}"),
+            DbError::ServerBusy => write!(f, "server busy: accept queue is full, retry later"),
+            DbError::Protocol(msg) => write!(f, "protocol error: {msg}"),
             DbError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }

@@ -10,7 +10,10 @@
 //! * [`Domain`] — attribute domains, which may be primitive classes or
 //!   arbitrary user classes (§3.1 concept 4),
 //! * [`DbError`] / [`DbResult`] — the error type used across the system,
-//! * [`codec`] — the binary on-page encoding of values and objects.
+//! * [`codec`] — the binary on-page encoding of values and objects,
+//! * [`wire`] — wire-codec primitives on top of [`codec`]: prefixed
+//!   strings and the lossless [`DbError`] encoding the network layer
+//!   (`orion-net`) ships between client and server.
 //!
 //! Nothing in this crate depends on storage, schema, or query processing;
 //! it is the bottom of the dependency stack.
@@ -20,6 +23,7 @@ pub mod domain;
 pub mod error;
 pub mod oid;
 pub mod value;
+pub mod wire;
 
 pub use domain::{Domain, PrimitiveType};
 pub use error::{DbError, DbResult};

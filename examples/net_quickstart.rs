@@ -1,0 +1,94 @@
+//! The quickstart scenario, client/server: the shared database server
+//! of the paper's §2 architecture, with the Figure 1 query ("vehicles
+//! heavier than 7500 lbs made by a company in Detroit") arriving over
+//! a socket instead of a function call.
+//!
+//!     cargo run --example net_quickstart
+
+use orion_oodb::net::{Client, Server, ServerConfig};
+use orion_oodb::orion::{AttrSpec, Database, DbResult, Domain, PrimitiveType, Value};
+use std::sync::Arc;
+
+fn main() -> DbResult<()> {
+    // --- Server side: schema + data, then bind -----------------------------
+    let db = Arc::new(Database::new());
+    let str_dom = || Domain::Primitive(PrimitiveType::Str);
+    let int_dom = || Domain::Primitive(PrimitiveType::Int);
+
+    db.create_class(
+        "Company",
+        &[],
+        vec![AttrSpec::new("name", str_dom()), AttrSpec::new("location", str_dom())],
+    )?;
+    let company = db.with_catalog(|c| c.class_id("Company"))?;
+    db.create_class(
+        "Vehicle",
+        &[],
+        vec![
+            AttrSpec::new("weight", int_dom()),
+            AttrSpec::new("manufacturer", Domain::Class(company)),
+        ],
+    )?;
+    db.create_class("Automobile", &["Vehicle"], vec![])?;
+    db.create_class("Truck", &["Vehicle"], vec![AttrSpec::new("payload", int_dom())])?;
+
+    let tx = db.begin();
+    let motorco = db.create_object(
+        &tx,
+        "Company",
+        vec![("name", Value::str("MotorCo")), ("location", Value::str("Detroit"))],
+    )?;
+    let chipco = db.create_object(
+        &tx,
+        "Company",
+        vec![("name", Value::str("ChipCo")), ("location", Value::str("Austin"))],
+    )?;
+    for i in 1..=10i64 {
+        let (class, manu) = if i % 2 == 0 { ("Truck", motorco) } else { ("Automobile", chipco) };
+        db.create_object(
+            &tx,
+            class,
+            vec![("weight", Value::Int(1000 * i)), ("manufacturer", Value::Ref(manu))],
+        )?;
+    }
+    db.commit(tx)?;
+
+    // Port 0 = ephemeral: the OS picks a free port, local_addr() tells us.
+    let server = Server::bind(Arc::clone(&db), "127.0.0.1:0", ServerConfig::default())?;
+    let addr = server.local_addr();
+    println!("serving orion on {addr}");
+
+    // --- Client side: dial in and run the Figure 1 query -------------------
+    let mut client = Client::connect(addr)?;
+    client.ping()?;
+
+    let query = "select v from Vehicle* v \
+                 where v.weight > 7500 and v.manufacturer.location = \"Detroit\" \
+                 order by v.weight asc";
+    println!("remote plan   : {}", client.explain(query)?);
+    let result = client.query(query)?;
+    println!("remote matches: {}", result.oids.len());
+    for oid in &result.oids {
+        let weight = client.get(*oid, "weight")?;
+        println!("  {oid}  weight={weight}");
+    }
+
+    // The wire returns exactly what the in-process facade computes.
+    let tx = db.begin();
+    let local = db.query(&tx, query)?;
+    db.commit(tx)?;
+    assert_eq!(result.oids, local.oids, "wire and facade agree");
+
+    // One scrape covers the whole service, network layer included.
+    let scrape = client.stats_prometheus()?;
+    let net_lines: Vec<&str> =
+        scrape.lines().filter(|l| l.starts_with("orion_net_") && !l.ends_with(" 0")).collect();
+    println!("live net series after this session:");
+    for line in &net_lines {
+        println!("  {line}");
+    }
+
+    server.shutdown();
+    println!("server drained and stopped");
+    Ok(())
+}

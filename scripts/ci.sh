@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # The full local CI gate: release build, test suite, lint (clippy with
 # warnings-as-errors, which also blocks internal use of deprecated
-# APIs), and a parallel_query bench smoke run that regenerates
-# BENCH_parallel_query.json — including the instrumentation-overhead
-# measurement, which must stay within its 5% budget.
+# APIs), the client/server integration tests, and two bench smoke runs:
+# parallel_query regenerates BENCH_parallel_query.json (its
+# instrumentation-overhead measurement must stay within the 5% budget)
+# and net_throughput --smoke regenerates BENCH_net.json (a ~2 second
+# multi-client run over real sockets).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,10 +15,16 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> net integration tests"
+cargo test -q -p orion-net --test net_integration
+
 echo "==> scripts/lint.sh"
 scripts/lint.sh
 
 echo "==> bench smoke: parallel_query"
 cargo run -p orion-bench --release --bin parallel_query
+
+echo "==> bench smoke: net_throughput"
+cargo run -p orion-bench --release --bin net_throughput -- --smoke
 
 echo "==> ci.sh: all gates passed"

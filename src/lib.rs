@@ -5,7 +5,10 @@
 //!
 //! Most applications only need [`orion`] (the facade) and, for the
 //! multidatabase scenarios of the paper's §5.2, [`RelbaseAdapter`] to
-//! attach a `relbase` relational database to the federation.
+//! attach a `relbase` relational database to the federation. To serve
+//! the database to remote clients — the shared-server architecture of
+//! the paper's §2 — use [`net`] (`orion-net`): a wire-protocol
+//! [`net::Server`] plus blocking [`net::Client`].
 //!
 //! ```
 //! use orion_oodb::orion::{AttrSpec, Database, Domain, PrimitiveType, Value};
@@ -25,6 +28,7 @@
 //! ```
 
 pub use orion_core as orion;
+pub use orion_net as net;
 pub use relbase;
 
 pub mod relbase_adapter;
