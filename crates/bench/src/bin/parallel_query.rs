@@ -10,9 +10,14 @@
 //!    every execution serialized behind one global mutex — an emulation
 //!    of the pre-change `Mutex<Runtime>` build, where concurrent
 //!    `query()` calls could not overlap at all.
+//! 3. *Mixed read/write scaling*: a fixed budget of write transactions
+//!    split across 1, 2, then 4 writer threads on *disjoint classes*,
+//!    running concurrently with reader threads — the decomposed-runtime
+//!    claim that disjoint writers scale instead of serializing behind
+//!    one big lock.
 
 use orion_bench::fleet;
-use orion_core::{DbConfig, SourceView};
+use orion_core::{AttrSpec, DbConfig, Domain, Oid, PrimitiveType, SourceView, Value};
 use orion_query::{execute_with, ExecMetrics, ExecOptions};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -99,6 +104,71 @@ fn main() {
         total as f64 / shared.as_secs_f64(),
         total as f64 / mutexed.as_secs_f64(),
     );
+    // --- 3. Mixed read/write scaling on disjoint classes --------------
+    // A fixed budget of write transactions is split across 1, 2, then 4
+    // writer threads, each owning its own class (disjoint 2PL and
+    // component-lock footprints), while reader threads run the scan
+    // query concurrently. Under the old big-lock runtime every write
+    // serialized; with decomposed components the same budget should
+    // shrink in wall-clock as writers are added.
+    const MIX_WRITERS: [usize; 3] = [1, 2, 4];
+    const WRITE_TXNS_TOTAL: usize = 240;
+    const MIX_READERS: usize = 2;
+    const MIX_QUERIES_PER_READER: usize = 6;
+    let ledger_seeds: Vec<Oid> = (0..*MIX_WRITERS.last().unwrap())
+        .map(|i| {
+            let class = format!("Ledger{i}");
+            db.create_class(
+                &class,
+                &[],
+                vec![AttrSpec::new("n", Domain::Primitive(PrimitiveType::Int))],
+            )
+            .expect("ledger class");
+            let seed_tx = db.begin();
+            let oid = db
+                .create_object(&seed_tx, &class, vec![("n", Value::Int(0))])
+                .expect("ledger seed");
+            db.commit(seed_tx).expect("commit seed");
+            oid
+        })
+        .collect();
+    let mix_time = |writers: usize| {
+        let start = Instant::now();
+        std::thread::scope(|s| {
+            for (t, &seed) in ledger_seeds.iter().enumerate().take(writers) {
+                let class = format!("Ledger{t}");
+                s.spawn(move || {
+                    for i in 0..WRITE_TXNS_TOTAL / writers {
+                        let wtx = db.begin();
+                        let v = db.get(&wtx, seed, "n").expect("get").as_int().unwrap();
+                        db.set(&wtx, seed, "n", Value::Int(v + 1)).expect("set");
+                        db.create_object(&wtx, &class, vec![("n", Value::Int(i as i64))])
+                            .expect("create");
+                        db.commit(wtx).expect("commit write txn");
+                    }
+                });
+            }
+            for _ in 0..MIX_READERS {
+                s.spawn(|| {
+                    for _ in 0..MIX_QUERIES_PER_READER {
+                        let n = run(1);
+                        assert_eq!(n, len_serial, "writer traffic must not disturb the query");
+                    }
+                });
+            }
+        });
+        start.elapsed()
+    };
+    mix_time(1); // warm-up
+    let mix: Vec<(usize, Duration)> = MIX_WRITERS.iter().map(|&w| (w, mix_time(w))).collect();
+    for (w, d) in &mix {
+        println!(
+            "mixed load, {w} writer(s) on disjoint classes + {MIX_READERS} readers: \
+             {WRITE_TXNS_TOTAL} write txns in {d:?} ({:.1} writes/s)",
+            WRITE_TXNS_TOTAL as f64 / d.as_secs_f64()
+        );
+    }
+
     // A few facade-path queries so the database's own executor metrics
     // are populated, then snapshot every layer's counters.
     for _ in 0..3 {
@@ -118,6 +188,17 @@ fn main() {
     } else {
         String::new()
     };
+    let writer_scaling = mix
+        .iter()
+        .map(|(w, d)| {
+            format!(
+                "{{ \"writers\": {w}, \"ms\": {:.3}, \"write_txns_per_s\": {:.1} }}",
+                d.as_secs_f64() * 1e3,
+                WRITE_TXNS_TOTAL as f64 / d.as_secs_f64()
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n      ");
     let json = format!(
         "{{\n  \"bench\": \"parallel_query\",\n  \"objects\": {N_OBJECTS},\n  \
          \"query\": \"hierarchy scan + residual (weight, manufacturer.location)\",\n  \
@@ -128,6 +209,10 @@ fn main() {
          \"queries_per_reader\": {QUERIES_PER_READER},\n    \
          \"shared_runtime_ms\": {:.3},\n    \"global_mutex_ms\": {:.3},\n    \
          \"aggregate_speedup\": {:.3}\n  }},\n  \
+         \"mixed_read_write\": {{\n    \"write_txns_total\": {WRITE_TXNS_TOTAL},\n    \
+         \"readers\": {MIX_READERS},\n    \
+         \"queries_per_reader\": {MIX_QUERIES_PER_READER},\n    \
+         \"disjoint_class_writer_scaling\": [\n      {writer_scaling}\n    ]\n  }},\n  \
          \"instrumentation\": {{\n    \"metrics_off_ms\": {:.3},\n    \
          \"metrics_on_ms\": {:.3},\n    \"overhead_pct\": {:.3}\n  }},\n  \
          \"stats\": {{\n    \"pool_hits\": {},\n    \"pool_misses\": {},\n    \

@@ -11,14 +11,25 @@
 //! refined in ORION" (§3.3).
 //!
 //! Resident objects live in a slab; reference attributes carry a
-//! *swizzle slot*: after the first traversal resolves the target, later
+//! *swizzle hint*: after the first traversal resolves the target, later
 //! traversals jump straight to the slab slot (validated against the OID
 //! so eviction and slot reuse stay safe). Swizzling can be disabled to
 //! measure its benefit (experiment E3).
+//!
+//! Since the runtime decomposition, the production cache is
+//! [`ShardedCache`]: OID-sharded [`ObjectCache`]s, each behind its own
+//! short mutex, so transactions touching disjoint objects fault, admit,
+//! and navigate without contending. Swizzle hints are *shard-qualified*
+//! (`(shard, slot, expected OID)`), so a warm traversal stays pure
+//! pointer chasing even when a hop crosses shards; the hop protocol
+//! holds at most one shard lock at a time, which keeps the shard locks
+//! true leaves in the system lock order (`crate::runtime` docs).
 
 use orion_types::codec::ObjectRecord;
 use orion_types::{Oid, Value};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
 
 /// Counters for cache behavior (experiments E3/E10 read these).
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -29,30 +40,47 @@ pub struct CacheStats {
     pub misses: u64,
     /// Residents evicted to stay within capacity.
     pub evictions: u64,
-    /// Ref traversals answered directly through a valid swizzle slot.
+    /// Ref traversals answered directly through a valid swizzle hint.
     pub swizzled_hops: u64,
     /// Ref traversals that had to resolve via the OID map.
     pub unswizzled_hops: u64,
 }
 
-/// A resident object: the decoded record plus swizzle slots for its
+/// A swizzle hint: where a reference attribute's target was resident
+/// when last traversed. Validated (never trusted) on use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct SwizzleHint {
+    /// Cache shard holding the target (always the owner's own shard id
+    /// for a standalone [`ObjectCache`]).
+    pub shard: u32,
+    /// Slab slot within that shard.
+    pub slot: u32,
+    /// The OID the slot is expected to hold; a mismatch (eviction, slot
+    /// reuse) invalidates the hint.
+    pub expected: Oid,
+}
+
+/// A resident object: the decoded record plus swizzle hints for its
 /// reference attributes.
 #[derive(Debug)]
 pub struct Resident {
     /// The object's identity.
     pub oid: Oid,
-    /// Decoded record (write-through: always matches storage).
-    pub record: ObjectRecord,
-    /// `attr id → (slab slot, expected OID)` — the swizzle table. A hit
-    /// validates only `slab[slot].oid == expected`, skipping both the
-    /// record lookup and the OID hash (this is what makes a swizzled
-    /// hop "a few memory lookups"). Entries are hints; eviction and
-    /// slot reuse are caught by the validation.
-    swizzles: HashMap<u32, (usize, Oid)>,
+    /// Decoded record (write-through: always matches storage). Shared
+    /// so the read-concurrent query path can hold the record without
+    /// cloning its attributes or pinning a shard lock.
+    pub record: Arc<ObjectRecord>,
+    /// `attr id → hint` — the swizzle table. A hit validates only
+    /// `shard.slab[slot].oid == expected`, skipping both the record
+    /// lookup and the OID hash (this is what makes a swizzled hop "a
+    /// few memory lookups"). Entries are hints; eviction and slot reuse
+    /// are caught by the validation.
+    swizzles: HashMap<u32, SwizzleHint>,
     last_used: u64,
 }
 
-/// An LRU-capped slab of resident objects.
+/// An LRU-capped slab of resident objects: one shard of the production
+/// [`ShardedCache`] (or a standalone cache in tests and tools).
 #[derive(Debug)]
 pub struct ObjectCache {
     slab: Vec<Option<Resident>>,
@@ -61,12 +89,19 @@ pub struct ObjectCache {
     capacity: usize,
     tick: u64,
     swizzling: bool,
+    shard_id: u32,
     stats: CacheStats,
 }
 
 impl ObjectCache {
     /// A cache holding at most `capacity` resident objects.
     pub fn new(capacity: usize, swizzling: bool) -> Self {
+        Self::with_shard(capacity, swizzling, 0)
+    }
+
+    /// A cache that records swizzle hints qualified with `shard_id`
+    /// (what [`ShardedCache`] constructs).
+    pub(crate) fn with_shard(capacity: usize, swizzling: bool, shard_id: u32) -> Self {
         assert!(capacity > 0, "object cache needs capacity");
         ObjectCache {
             slab: Vec::new(),
@@ -75,11 +110,12 @@ impl ObjectCache {
             capacity,
             tick: 0,
             swizzling,
+            shard_id,
             stats: CacheStats::default(),
         }
     }
 
-    /// Enable/disable swizzling (clears existing swizzle slots).
+    /// Enable/disable swizzling (clears existing swizzle hints).
     pub fn set_swizzling(&mut self, on: bool) {
         self.swizzling = on;
         for slot in self.slab.iter_mut().flatten() {
@@ -136,11 +172,26 @@ impl ObjectCache {
 
     /// The resident record for `oid`, if any, without touching recency
     /// order or the hit/miss counters. This is the read-concurrent
-    /// probe: queries holding a shared runtime guard use it, and cache
-    /// accounting stays with the faulting [`ObjectCache::lookup`] path.
-    pub fn peek(&self, oid: Oid) -> Option<&ObjectRecord> {
+    /// probe: queries use it, and cache accounting stays with the
+    /// faulting [`ObjectCache::lookup`] path.
+    pub fn peek(&self, oid: Oid) -> Option<&Arc<ObjectRecord>> {
         let slot = *self.by_oid.get(&oid)?;
         self.slab.get(slot)?.as_ref().map(|r| &r.record)
+    }
+
+    /// The slab slot of `oid` without stats or recency side effects
+    /// (hop source probes).
+    pub(crate) fn slot_of(&self, oid: Oid) -> Option<usize> {
+        self.by_oid.get(&oid).copied()
+    }
+
+    /// The slab slot of `oid`, refreshing recency but counting nothing
+    /// (hop target probes — the old in-slab traversal touched resident
+    /// targets the same way).
+    pub(crate) fn resident_slot(&mut self, oid: Oid) -> Option<usize> {
+        let slot = self.by_oid.get(&oid).copied()?;
+        self.touch(slot);
+        Some(slot)
     }
 
     /// Make `record` resident; evicts the LRU resident when full.
@@ -153,7 +204,7 @@ impl ObjectCache {
             self.tick += 1;
             let tick = self.tick;
             if let Some(r) = &mut self.slab[slot] {
-                r.record = record;
+                r.record = Arc::new(record);
                 r.last_used = tick;
                 r.swizzles.clear();
             }
@@ -172,8 +223,12 @@ impl ObjectCache {
             self.evict_slot(victim);
         }
         self.tick += 1;
-        let resident =
-            Resident { oid, record, swizzles: HashMap::new(), last_used: self.tick };
+        let resident = Resident {
+            oid,
+            record: Arc::new(record),
+            swizzles: HashMap::new(),
+            last_used: self.tick,
+        };
         let slot = match self.free.pop() {
             Some(s) => {
                 self.slab[s] = Some(resident);
@@ -221,42 +276,75 @@ impl ObjectCache {
 
     /// The resident record at `slot` (None if the slot was evicted).
     pub fn record(&self, slot: usize) -> Option<&ObjectRecord> {
-        self.slab[slot].as_ref().map(|r| &r.record)
+        self.slab[slot].as_ref().map(|r| &*r.record)
+    }
+
+    /// Shared handle to the resident record at `slot`.
+    pub(crate) fn record_arc(&self, slot: usize) -> Option<Arc<ObjectRecord>> {
+        self.slab[slot].as_ref().map(|r| Arc::clone(&r.record))
     }
 
     /// Overwrite the resident record at `slot` (write-through update);
-    /// clears swizzle slots for changed reference attributes implicitly
-    /// by replacing the record (slots are re-validated on use anyway).
+    /// clears swizzle hints — they may point at targets the new value
+    /// no longer references.
     pub fn update_record(&mut self, slot: usize, record: ObjectRecord) {
         self.tick += 1;
         let tick = self.tick;
         if let Some(r) = &mut self.slab[slot] {
-            r.record = record;
+            r.record = Arc::new(record);
             r.last_used = tick;
             r.swizzles.clear();
         }
     }
 
+    /// The swizzle hint recorded for `attr` of the resident at `slot`
+    /// (None when swizzling is off).
+    pub(crate) fn hint(&self, slot: usize, attr: u32) -> Option<SwizzleHint> {
+        if !self.swizzling {
+            return None;
+        }
+        self.slab.get(slot)?.as_ref()?.swizzles.get(&attr).copied()
+    }
+
+    /// Record a hint for `attr` of the resident at `slot` (no-op when
+    /// swizzling is off).
+    pub(crate) fn set_hint(&mut self, slot: usize, attr: u32, hint: SwizzleHint) {
+        if !self.swizzling {
+            return;
+        }
+        if let Some(r) = self.slab.get_mut(slot).and_then(|s| s.as_mut()) {
+            r.swizzles.insert(attr, hint);
+        }
+    }
+
+    /// Does `slot` currently hold `expected`? (Hint validation; no
+    /// recency or stats side effects, matching the swizzled fast path.)
+    pub(crate) fn validate(&self, slot: usize, expected: Oid) -> bool {
+        self.slab.get(slot).and_then(|s| s.as_ref()).is_some_and(|r| r.oid == expected)
+    }
+
+    /// The target OID of reference attribute `attr` at `slot` (None if
+    /// the slot is empty or the attribute is not a scalar reference).
+    pub(crate) fn ref_target(&self, slot: usize, attr: u32) -> Option<Oid> {
+        self.slab.get(slot)?.as_ref()?.record.get(attr).and_then(|v| v.as_ref_oid())
+    }
+
     /// Traverse the reference attribute `attr` of the resident at
-    /// `from_slot`. Returns the target's slab slot if resident —
-    /// following the swizzle slot when valid, falling back to the OID
-    /// map (and recording the new swizzle) otherwise. `Ok(Err(oid))`
-    /// means the target is not resident and must be faulted in by the
-    /// caller, who then calls [`ObjectCache::note_swizzle`].
+    /// `from_slot` within this one cache. Returns the target's slab
+    /// slot if resident — following the swizzle hint when valid,
+    /// falling back to the OID map (and recording the new hint)
+    /// otherwise. `Ok(Err(oid))` means the target is not resident and
+    /// must be faulted in by the caller, who then calls
+    /// [`ObjectCache::note_swizzle`].
     pub fn traverse_ref(&mut self, from_slot: usize, attr: u32) -> Option<Result<usize, Oid>> {
         // Fast path: a valid swizzle answers without touching the record
         // bytes or the OID map at all.
         if self.swizzling {
             let hint = self.slab[from_slot].as_ref()?.swizzles.get(&attr).copied();
-            if let Some((slot, expected)) = hint {
-                let valid = self
-                    .slab
-                    .get(slot)
-                    .and_then(|s| s.as_ref())
-                    .is_some_and(|r| r.oid == expected);
-                if valid {
+            if let Some(h) = hint {
+                if h.shard == self.shard_id && self.validate(h.slot as usize, h.expected) {
                     self.stats.swizzled_hops += 1;
-                    return Some(Ok(slot));
+                    return Some(Ok(h.slot as usize));
                 }
             }
         }
@@ -267,9 +355,13 @@ impl ObjectCache {
         self.stats.unswizzled_hops += 1;
         match self.by_oid.get(&target_oid).copied() {
             Some(slot) => {
+                let shard = self.shard_id;
                 if self.swizzling {
                     if let Some(r) = self.slab[from_slot].as_mut() {
-                        r.swizzles.insert(attr, (slot, target_oid));
+                        r.swizzles.insert(
+                            attr,
+                            SwizzleHint { shard, slot: slot as u32, expected: target_oid },
+                        );
                     }
                 }
                 self.touch(slot);
@@ -287,9 +379,235 @@ impl ObjectCache {
                 Some(r) => r.oid,
                 None => return,
             };
+            let shard = self.shard_id;
             if let Some(r) = self.slab[from_slot].as_mut() {
-                r.swizzles.insert(attr, (target_slot, expected));
+                r.swizzles.insert(
+                    attr,
+                    SwizzleHint { shard, slot: target_slot as u32, expected },
+                );
             }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The sharded production cache
+// ---------------------------------------------------------------------
+
+/// Outcome of one reference hop through the sharded cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Hop {
+    /// The hop resolved; `true` means the swizzle fast path answered.
+    To(Oid, bool),
+    /// The attribute is a reference but its target is not resident; the
+    /// caller faults it in and then calls [`ShardedCache::note`].
+    Miss(Oid),
+    /// The attribute exists but is not a scalar reference (or the
+    /// source record has no such attribute).
+    NotRef,
+    /// The source object itself is not resident; the caller re-admits
+    /// it and retries.
+    Absent,
+}
+
+/// The production object cache: OID-sharded [`ObjectCache`]s behind
+/// short per-shard mutexes. Capacity is divided across shards (LRU is
+/// per-shard); small caches collapse to one shard so eviction-sensitive
+/// experiments behave exactly like the unsharded cache. Hop and hint
+/// bookkeeping never holds two shard locks at once.
+#[derive(Debug)]
+pub struct ShardedCache {
+    shards: Box<[parking_lot::Mutex<ObjectCache>]>,
+    swizzled_hops: AtomicU64,
+    unswizzled_hops: AtomicU64,
+}
+
+/// Below this total capacity the cache stays single-shard: dividing a
+/// tiny capacity sixteen ways would distort per-shard LRU behavior that
+/// experiments (E3/E10) deliberately provoke.
+const SINGLE_SHARD_BELOW: usize = 256;
+const CACHE_SHARDS: usize = 16;
+
+impl ShardedCache {
+    /// A sharded cache holding at most `capacity` residents in total.
+    pub fn new(capacity: usize, swizzling: bool) -> Self {
+        assert!(capacity > 0, "object cache needs capacity");
+        let n = if capacity < SINGLE_SHARD_BELOW { 1 } else { CACHE_SHARDS };
+        let per_shard = capacity.div_ceil(n);
+        ShardedCache {
+            shards: (0..n)
+                .map(|i| {
+                    parking_lot::Mutex::new(ObjectCache::with_shard(
+                        per_shard, swizzling, i as u32,
+                    ))
+                })
+                .collect(),
+            swizzled_hops: AtomicU64::new(0),
+            unswizzled_hops: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    fn shard_idx(&self, oid: Oid) -> usize {
+        if self.shards.len() == 1 {
+            0
+        } else {
+            ((oid.serial() ^ ((oid.class().0 as u64) << 3)) as usize) % self.shards.len()
+        }
+    }
+
+    #[inline]
+    fn shard(&self, oid: Oid) -> &parking_lot::Mutex<ObjectCache> {
+        &self.shards[self.shard_idx(oid)]
+    }
+
+    /// The resident record for `oid`, counting a hit or miss and
+    /// refreshing recency (the faulting path's probe).
+    pub(crate) fn get(&self, oid: Oid) -> Option<Arc<ObjectRecord>> {
+        let mut c = self.shard(oid).lock();
+        let slot = c.lookup(oid)?;
+        c.record_arc(slot)
+    }
+
+    /// The resident record for `oid` with no stats or recency side
+    /// effects (the read-concurrent probe).
+    pub(crate) fn peek(&self, oid: Oid) -> Option<Arc<ObjectRecord>> {
+        let c = self.shard(oid).lock();
+        c.peek(oid).cloned()
+    }
+
+    /// Is `oid` resident? (No side effects.)
+    pub fn contains(&self, oid: Oid) -> bool {
+        self.shard(oid).lock().contains(oid)
+    }
+
+    /// Make `record` resident in its shard.
+    pub(crate) fn admit(&self, record: ObjectRecord) {
+        self.shard(record.oid).lock().admit(record);
+    }
+
+    /// Write-through refresh: counts the same hit/miss as the faulting
+    /// path (parity with the pre-decomposition `lookup` + update
+    /// sequence), then installs the new record.
+    pub(crate) fn refresh(&self, record: &ObjectRecord) {
+        let mut c = self.shard(record.oid).lock();
+        match c.lookup(record.oid) {
+            Some(slot) => c.update_record(slot, record.clone()),
+            None => {
+                c.admit(record.clone());
+            }
+        }
+    }
+
+    /// Drop `oid` (deleted or rolled back).
+    pub(crate) fn invalidate(&self, oid: Oid) {
+        self.shard(oid).lock().invalidate(oid);
+    }
+
+    /// Drop everything (crash simulation, cold-cache setup).
+    pub fn clear(&self) {
+        for shard in self.shards.iter() {
+            shard.lock().clear();
+        }
+    }
+
+    /// Total resident objects across shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enable/disable swizzling on every shard.
+    pub fn set_swizzling(&self, on: bool) {
+        for shard in self.shards.iter() {
+            shard.lock().set_swizzling(on);
+        }
+    }
+
+    /// Aggregated counters across shards plus the cross-shard hop
+    /// counts. Shard locks are taken one at a time (leaf locks), so
+    /// this is safe from any thread at any time.
+    pub fn stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for shard in self.shards.iter() {
+            let s = shard.lock().stats();
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.evictions += s.evictions;
+            total.swizzled_hops += s.swizzled_hops;
+            total.unswizzled_hops += s.unswizzled_hops;
+        }
+        total.swizzled_hops += self.swizzled_hops.load(Relaxed);
+        total.unswizzled_hops += self.unswizzled_hops.load(Relaxed);
+        total
+    }
+
+    /// Reset every counter.
+    pub fn reset_stats(&self) {
+        for shard in self.shards.iter() {
+            shard.lock().reset_stats();
+        }
+        self.swizzled_hops.store(0, Relaxed);
+        self.unswizzled_hops.store(0, Relaxed);
+    }
+
+    /// One reference hop from `from` along `attr`. At most one shard
+    /// lock is held at any instant: the source shard is released before
+    /// the target shard (possibly the same one) is probed, and hint
+    /// validation tolerates any interleaved eviction — a stale hint
+    /// simply falls back to the OID-map path.
+    pub(crate) fn hop(&self, from: Oid, attr: u32) -> Hop {
+        let sidx = self.shard_idx(from);
+        let (hint, target) = {
+            let c = self.shards[sidx].lock();
+            let Some(slot) = c.slot_of(from) else { return Hop::Absent };
+            (c.hint(slot, attr), c.ref_target(slot, attr))
+        };
+        if let Some(h) = hint {
+            if let Some(shard) = self.shards.get(h.shard as usize) {
+                if shard.lock().validate(h.slot as usize, h.expected) {
+                    self.swizzled_hops.fetch_add(1, Relaxed);
+                    return Hop::To(h.expected, true);
+                }
+            }
+        }
+        let Some(target) = target else { return Hop::NotRef };
+        self.unswizzled_hops.fetch_add(1, Relaxed);
+        let tidx = self.shard_idx(target);
+        let target_slot = self.shards[tidx].lock().resident_slot(target);
+        match target_slot {
+            Some(tslot) => {
+                let mut c = self.shards[sidx].lock();
+                if let Some(slot) = c.slot_of(from) {
+                    c.set_hint(
+                        slot,
+                        attr,
+                        SwizzleHint { shard: tidx as u32, slot: tslot as u32, expected: target },
+                    );
+                }
+                Hop::To(target, false)
+            }
+            None => Hop::Miss(target),
+        }
+    }
+
+    /// Record that `attr` of `from` resolves to `target` (after the
+    /// caller faulted the target in). Two sequential single-shard
+    /// sections; never both locks at once.
+    pub(crate) fn note(&self, from: Oid, attr: u32, target: Oid) {
+        let tidx = self.shard_idx(target);
+        let Some(tslot) = self.shards[tidx].lock().slot_of(target) else { return };
+        let mut c = self.shard(from).lock();
+        if let Some(slot) = c.slot_of(from) {
+            c.set_hint(
+                slot,
+                attr,
+                SwizzleHint { shard: tidx as u32, slot: tslot as u32, expected: target },
+            );
         }
     }
 }
@@ -346,7 +664,7 @@ mod tests {
         let a = rec(1, 1, &[(7, b_oid)]);
         let a_slot = cache.admit(a);
         let b_slot = cache.admit(b);
-        // First hop: unswizzled (map lookup), records the slot.
+        // First hop: unswizzled (map lookup), records the hint.
         assert_eq!(cache.traverse_ref(a_slot, 7), Some(Ok(b_slot)));
         assert_eq!(cache.stats().unswizzled_hops, 1);
         // Second hop: swizzled.
@@ -428,5 +746,65 @@ mod tests {
         assert_eq!(slot1, slot2);
         assert_eq!(cache.attr(slot1, 3), Some(Value::Int(2)));
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn sharded_hop_crosses_shards_swizzled() {
+        // Capacity ≥ SINGLE_SHARD_BELOW so the cache actually shards.
+        let cache = ShardedCache::new(4096, true);
+        // A chain long enough to guarantee cross-shard hops.
+        let mut prev: Option<Oid> = None;
+        let mut oids = Vec::new();
+        for serial in 1..=20u64 {
+            let r = match prev {
+                Some(p) => rec(1, serial, &[(7, p)]),
+                None => rec(1, serial, &[]),
+            };
+            prev = Some(r.oid);
+            oids.push(r.oid);
+            cache.admit(r);
+        }
+        // Walk the chain backwards: 19 hops, all unswizzled first pass.
+        for w in oids.windows(2) {
+            assert_eq!(cache.hop(w[1], 7), Hop::To(w[0], false));
+        }
+        assert_eq!(cache.stats().unswizzled_hops, 19);
+        // Second pass: every hop swizzled, including cross-shard ones.
+        for w in oids.windows(2) {
+            assert_eq!(cache.hop(w[1], 7), Hop::To(w[0], true));
+        }
+        assert_eq!(cache.stats().swizzled_hops, 19);
+    }
+
+    #[test]
+    fn sharded_hop_miss_then_note() {
+        let cache = ShardedCache::new(4096, true);
+        let b = rec(1, 2, &[]);
+        let b_oid = b.oid;
+        let a = rec(1, 1, &[(7, b_oid)]);
+        let a_oid = a.oid;
+        cache.admit(a);
+        assert_eq!(cache.hop(a_oid, 7), Hop::Miss(b_oid), "target not resident");
+        cache.admit(b);
+        cache.note(a_oid, 7, b_oid);
+        assert_eq!(cache.hop(a_oid, 7), Hop::To(b_oid, true), "noted hint is hot");
+        assert_eq!(cache.hop(Oid::new(ClassId(9), 99), 7), Hop::Absent);
+        assert_eq!(cache.hop(a_oid, 99), Hop::NotRef);
+    }
+
+    #[test]
+    fn sharded_small_capacity_single_shard_lru() {
+        let cache = ShardedCache::new(2, true);
+        let (a, b, c) = (rec(1, 1, &[]), rec(1, 2, &[]), rec(1, 3, &[]));
+        let (ao, bo, co) = (a.oid, b.oid, c.oid);
+        cache.admit(a);
+        cache.admit(b);
+        let _ = cache.get(ao); // a more recent than b
+        cache.admit(c); // evicts b — exact global LRU, single shard
+        assert!(cache.contains(ao));
+        assert!(!cache.contains(bo));
+        assert!(cache.contains(co));
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.len(), 2);
     }
 }

@@ -91,9 +91,9 @@ impl Database {
 
     /// The direct parts of `root` (one level).
     pub fn parts_of(&self, root: Oid) -> Vec<Oid> {
-        let rt = self.rt.read();
-        let mut parts: Vec<Oid> = rt
-            .composite_owner
+        let rt = self.rt_read();
+        let owner = rt.composite_owner.read();
+        let mut parts: Vec<Oid> = owner
             .iter()
             .filter(|(_, (parent, _))| *parent == root)
             .map(|(part, _)| *part)
@@ -105,13 +105,13 @@ impl Database {
     /// The whole composite rooted at `root` (root first, then parts in
     /// closure order).
     pub fn composite_members(&self, root: Oid) -> Vec<Oid> {
-        let rt = self.rt.read();
+        let rt = self.rt_read();
         self.composite_closure(&rt, root)
     }
 
     /// The composite parent of `part`, if it is owned.
     pub fn composite_parent(&self, part: Oid) -> Option<Oid> {
-        self.rt.read().composite_owner.get(&part).map(|(p, _)| *p)
+        self.rt_read().composite_owner.read().get(&part).map(|(p, _)| *p)
     }
 
     /// Lock the whole composite rooted at `root` exclusively in one
@@ -138,9 +138,9 @@ impl Database {
         let members = self.composite_members(root);
         let catalog = self.catalog.read();
         let mut workspace = HashMap::new();
-        let mut rt = self.rt.write();
+        let rt = self.rt_read();
         for member in members {
-            let record = self.load_record(&mut rt, &catalog, member)?;
+            let record = self.load_record(&rt, &catalog, member)?;
             let resolved = catalog.resolve(member.class())?;
             let mut attrs = Vec::new();
             for attr in &resolved.attrs {

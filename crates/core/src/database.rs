@@ -8,12 +8,21 @@
 //! undo and then rebuilds the derived state; crash recovery does the
 //! same after WAL restart. (Rebuild is O(database); rollback is not a
 //! hot path in any of the paper's workloads.)
+//!
+//! Concurrency: writer *isolation* comes from the 2PL hierarchy locks
+//! in `orion-tx` (IX on class + X on object for DML), never from
+//! structural mutexes. The [`Runtime`]'s components each synchronize
+//! themselves (see `crate::runtime` for the canonical lock order), so
+//! transactions touching disjoint objects execute concurrently; the old
+//! big runtime lock survives only as the *maintenance gate* `rt`, taken
+//! shared by all normal work and exclusively by whole-state rebuilds.
 
 use crate::authz::{AuthAction, AuthTarget, AuthzManager};
-use crate::cache::{CacheStats, ObjectCache};
+use crate::cache::{CacheStats, Hop};
 use crate::methods::MethodRegistry;
 use crate::multidb::ForeignAdapter;
 use crate::notify::{NotificationKind, NotifyCenter};
+use crate::runtime::Runtime;
 use crate::stats::{DbMetrics, DbStats};
 use crate::sysattr;
 use orion_index::IndexInstance;
@@ -23,12 +32,11 @@ use orion_storage::{PoolStats, StorageEngine, TxnId};
 use orion_tx::LockManager;
 use orion_types::codec::ObjectRecord;
 use orion_types::{ClassId, DbError, DbResult, Oid, OidAllocator, Value};
-use parking_lot::{Mutex, RwLock};
-use std::borrow::Cow;
-use std::collections::{BTreeSet, HashMap, HashSet};
-use std::sync::atomic::{AtomicU64, Ordering};
+use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How object operations map onto the lock manager (experiment E8).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -185,57 +193,15 @@ impl Tx {
     }
 }
 
-/// Derived, in-memory object state — a deterministic function of the
-/// stored records.
-#[derive(Debug)]
-pub(crate) struct Runtime {
-    /// OID → record id ("object directory management", §4.2).
-    pub directory: HashMap<Oid, Rid>,
-    /// Class → its own instances (not subclasses).
-    pub extents: HashMap<ClassId, BTreeSet<Oid>>,
-    /// The memory-resident object cache.
-    pub cache: ObjectCache,
-    /// Live indexes.
-    pub indexes: Vec<IndexInstance>,
-    pub next_index_id: u32,
-    /// target → set of (referrer, attr) edges pointing at it.
-    pub reverse: HashMap<Oid, HashSet<(Oid, u32)>>,
-    /// part → (parent, composite attr) exclusive ownership.
-    pub composite_owner: HashMap<Oid, (Oid, u32)>,
-    /// Foreign class → adapter name (extents served by the federation).
-    pub foreign_classes: HashMap<ClassId, String>,
-    /// Materialized foreign records (refreshed on scan).
-    pub foreign_store: HashMap<Oid, ObjectRecord>,
-    /// Record id of the persisted system-state record, if written.
-    pub system_rid: Option<orion_storage::heap::Rid>,
-    /// Objects fetched from storage (experiment accounting). Atomic so
-    /// the read-locked query path can account fetches through `&Runtime`.
-    pub fetches: AtomicU64,
-}
-
-impl Runtime {
-    fn new(config: &DbConfig) -> Self {
-        Runtime {
-            directory: HashMap::new(),
-            extents: HashMap::new(),
-            cache: ObjectCache::new(config.cache_objects, config.swizzling),
-            indexes: Vec::new(),
-            next_index_id: 1,
-            reverse: HashMap::new(),
-            composite_owner: HashMap::new(),
-            foreign_classes: HashMap::new(),
-            foreign_store: HashMap::new(),
-            system_rid: None,
-            fetches: AtomicU64::new(0),
-        }
-    }
-}
-
 /// The orion object-oriented database.
 pub struct Database {
     pub(crate) catalog: RwLock<Catalog>,
     pub(crate) engine: StorageEngine,
     pub(crate) locks: LockManager,
+    /// The maintenance gate around the decomposed [`Runtime`]: shared
+    /// for DML/queries/reads (components synchronize themselves),
+    /// exclusive only for whole-state rebuilds. See `crate::runtime`
+    /// for the lock order.
     pub(crate) rt: RwLock<Runtime>,
     pub(crate) methods: RwLock<MethodRegistry>,
     pub(crate) authz: RwLock<AuthzManager>,
@@ -310,16 +276,40 @@ impl Database {
         f(&mut self.catalog.write())
     }
 
+    // ------------------------------------------------------------------
+    // Maintenance gate
+    // ------------------------------------------------------------------
+
+    /// Shared gate acquisition — every normal operation (DML, query,
+    /// read, stats). Blocks only against a concurrent exclusive holder
+    /// (rollback/recovery/index DDL), never against other shared work.
+    pub(crate) fn rt_read(&self) -> RwLockReadGuard<'_, Runtime> {
+        self.metrics.gate_shared.inc();
+        self.rt.read()
+    }
+
+    /// Exclusive gate acquisition — whole-state rebuilds only. Waits for
+    /// every in-flight shared holder to drain; the wait is recorded so
+    /// pathological gate contention shows up in `stats()`.
+    pub(crate) fn rt_write(&self) -> RwLockWriteGuard<'_, Runtime> {
+        self.metrics.gate_exclusive.inc();
+        let start = Instant::now();
+        let guard = self.rt.write();
+        self.metrics.gate_exclusive_wait.observe(start.elapsed());
+        guard
+    }
+
     /// One structured snapshot of every performance counter in the
     /// system: object cache, buffer pool, disk, WAL, lock manager,
-    /// query executor, fetches, and method dispatches. Safe to call
-    /// while queries and transactions run — everything is lock-free
-    /// atomics except the object cache, which takes a *shared* runtime
-    /// read guard (never the write lock, so it cannot deadlock against
-    /// the read-concurrent query path).
+    /// query executor, fetches, maintenance gate, and method
+    /// dispatches. Safe to call while queries and transactions run —
+    /// everything is lock-free atomics except the object cache, whose
+    /// shard locks are leaves taken one at a time under a *shared* gate
+    /// guard (never the exclusive gate, never the 2PL lock manager), so
+    /// `stats()` can never deadlock against writers or rollback.
     pub fn stats(&self) -> DbStats {
         let (cache, fetches) = {
-            let rt = self.rt.read();
+            let rt = self.rt_read();
             (rt.cache.stats(), rt.fetches.load(Ordering::Relaxed))
         };
         DbStats {
@@ -329,6 +319,7 @@ impl Database {
             wal: self.engine.wal().stats(),
             locks: self.locks.stats(),
             exec: self.metrics.exec.snapshot(),
+            gate: self.metrics.gate_snapshot(),
             fetches,
             method_calls: self.metrics.method_calls.get(),
             net: self.metrics.net.snapshot(),
@@ -347,7 +338,7 @@ impl Database {
     /// Zero every performance counter (between benchmark phases).
     pub fn reset_metrics(&self) {
         {
-            let mut rt = self.rt.write();
+            let rt = self.rt_read();
             rt.cache.reset_stats();
             rt.fetches.store(0, Ordering::Relaxed);
         }
@@ -358,6 +349,9 @@ impl Database {
         self.metrics.exec.reset();
         self.metrics.method_calls.reset();
         self.metrics.net.reset();
+        self.metrics.gate_shared.reset();
+        self.metrics.gate_exclusive.reset();
+        self.metrics.gate_exclusive_wait.reset();
     }
 
     /// Object-cache counters.
@@ -389,7 +383,7 @@ impl Database {
     pub fn cool_caches(&self) -> DbResult<()> {
         self.engine.pool().flush_all()?;
         self.engine.pool().crash();
-        self.rt.write().cache.clear();
+        self.rt_read().cache.clear();
         Ok(())
     }
 
@@ -417,12 +411,14 @@ impl Database {
     /// Roll back: undo storage, rebuild derived state, release locks.
     pub fn rollback(&self, tx: Tx) -> DbResult<()> {
         {
-            // Lock order is catalog before runtime, everywhere: the
-            // rebuild may install a persisted catalog snapshot.
+            // Lock order is catalog before the gate, everywhere: the
+            // rebuild may install a persisted catalog snapshot. The
+            // exclusive gate waits out all in-flight shared work, so
+            // the rebuild observes quiescent components.
             let mut catalog = self.catalog.write();
-            let mut rt = self.rt.write();
+            let rt = self.rt_write();
             self.engine.abort(tx.storage)?;
-            self.rebuild_runtime(&mut catalog, &mut rt)?;
+            self.rebuild_runtime(&mut catalog, &rt)?;
         }
         self.locks.release_all(tx.id());
         Ok(())
@@ -432,11 +428,11 @@ impl Database {
     /// Locks held by in-flight transactions evaporate with the crash.
     pub fn crash_and_recover(&self) -> DbResult<()> {
         let mut catalog = self.catalog.write();
-        let mut rt = self.rt.write();
+        let rt = self.rt_write();
         self.engine.crash();
         self.locks.reset();
         self.engine.recover()?;
-        self.rebuild_runtime(&mut catalog, &mut rt)
+        self.rebuild_runtime(&mut catalog, &rt)
     }
 
     /// Quiescent checkpoint (no active transactions).
@@ -491,63 +487,61 @@ impl Database {
     /// write).
     pub(crate) fn load_record(
         &self,
-        rt: &mut Runtime,
+        rt: &Runtime,
         catalog: &Catalog,
         oid: Oid,
-    ) -> DbResult<ObjectRecord> {
-        if let Some(slot) = rt.cache.lookup(oid) {
-            if let Some(rec) = rt.cache.record(slot) {
-                return Ok(rec.clone());
-            }
+    ) -> DbResult<Arc<ObjectRecord>> {
+        if let Some(rec) = rt.cache.get(oid) {
+            return Ok(rec);
         }
-        if let Some(rec) = rt.foreign_store.get(&oid) {
-            return Ok(rec.clone());
+        if let Some(rec) = rt.foreign_store.read().get(&oid) {
+            return Ok(Arc::clone(rec));
         }
-        let rid = *rt.directory.get(&oid).ok_or(DbError::NoSuchObject(oid))?;
+        let rid = rt.directory.get(oid).ok_or(DbError::NoSuchObject(oid))?;
         let bytes = self.engine.read(rid)?;
         let mut record = ObjectRecord::decode(&bytes)?;
         rt.fetches.fetch_add(1, Ordering::Relaxed);
         self.adapt_record(catalog, &mut record)?;
         rt.cache.admit(record.clone());
-        Ok(record)
+        Ok(Arc::new(record))
     }
 
     /// Like [`Database::load_record`], but `None` for dangling OIDs
     /// (path traversal over deleted targets).
     pub(crate) fn try_load_record(
         &self,
-        rt: &mut Runtime,
+        rt: &Runtime,
         catalog: &Catalog,
         oid: Oid,
-    ) -> Option<ObjectRecord> {
+    ) -> Option<Arc<ObjectRecord>> {
         self.load_record(rt, catalog, oid).ok()
     }
 
-    /// Load the record for `oid` under a *shared* runtime guard — the
-    /// read-concurrent query path. Cache residents are served in place
-    /// (borrowed, no recency update); misses decode straight from
-    /// storage and are **not** admitted, since admission needs the
-    /// write lock — the query executor's per-query memo supplies
-    /// repeat-access locality instead. `None` for dangling OIDs or
+    /// Load the record for `oid` without touching cache recency or
+    /// admission — the read-concurrent query path. Cache residents are
+    /// served as shared handles; misses decode straight from storage and
+    /// are **not** admitted (the query executor's per-query memo
+    /// supplies repeat-access locality instead, and the read path must
+    /// not perturb eviction order). `None` for dangling OIDs or
     /// unreadable records, mirroring [`Database::try_load_record`].
-    pub(crate) fn read_record<'a>(
+    pub(crate) fn read_record(
         &self,
-        rt: &'a Runtime,
+        rt: &Runtime,
         catalog: &Catalog,
         oid: Oid,
-    ) -> Option<Cow<'a, ObjectRecord>> {
+    ) -> Option<Arc<ObjectRecord>> {
         if let Some(rec) = rt.cache.peek(oid) {
-            return Some(Cow::Borrowed(rec));
+            return Some(rec);
         }
-        if let Some(rec) = rt.foreign_store.get(&oid) {
-            return Some(Cow::Borrowed(rec));
+        if let Some(rec) = rt.foreign_store.read().get(&oid) {
+            return Some(Arc::clone(rec));
         }
-        let rid = *rt.directory.get(&oid)?;
+        let rid = rt.directory.get(oid)?;
         let bytes = self.engine.read(rid).ok()?;
         let mut record = ObjectRecord::decode(&bytes).ok()?;
         rt.fetches.fetch_add(1, Ordering::Relaxed);
         self.adapt_record(catalog, &mut record).ok()?;
-        Some(Cow::Owned(record))
+        Some(Arc::new(record))
     }
 
     /// Lazy schema adaptation: hide attributes dropped by evolution.
@@ -570,21 +564,17 @@ impl Database {
     /// cache coherent. Returns the (possibly moved) rid.
     pub(crate) fn store_record(
         &self,
-        rt: &mut Runtime,
+        rt: &Runtime,
         tx: &Tx,
         record: &ObjectRecord,
     ) -> DbResult<Rid> {
         let oid = record.oid;
-        let rid = *rt.directory.get(&oid).ok_or(DbError::NoSuchObject(oid))?;
+        let rid = rt.directory.get(oid).ok_or(DbError::NoSuchObject(oid))?;
         let new_rid = self.engine.update(tx.storage, rid, &record.encode())?;
         if new_rid != rid {
             rt.directory.insert(oid, new_rid);
         }
-        if let Some(slot) = rt.cache.lookup(oid) {
-            rt.cache.update_record(slot, record.clone());
-        } else {
-            rt.cache.admit(record.clone());
-        }
+        rt.cache.refresh(record);
         Ok(new_rid)
     }
 
@@ -612,7 +602,7 @@ impl Database {
         let (class, resolved, pairs) = {
             let catalog = self.catalog.read();
             let class = catalog.class_id(class_name)?;
-            if self.rt.read().foreign_classes.contains_key(&class) {
+            if self.rt_read().foreign_classes.read().contains_key(&class) {
                 return Err(DbError::Foreign(format!(
                     "class `{class_name}` is served by a foreign database; create rows there"
                 )));
@@ -639,26 +629,26 @@ impl Database {
         self.lock_write(tx, oid)?;
 
         let catalog = self.catalog.read();
-        let mut rt = self.rt.write();
+        let rt = self.rt_read();
         // Composite ownership checks for composite-marked attributes.
         for (attr_id, value) in &pairs {
             if let Some(attr) = resolved.attr_by_id(*attr_id) {
                 if attr.composite {
-                    self.claim_parts(&mut rt, oid, *attr_id, value)?;
+                    self.claim_parts(&rt, oid, *attr_id, value)?;
                 }
             }
         }
         let record = ObjectRecord::new(oid, resolved.version, pairs);
         let hint = if self.config.clustering {
-            placement_hint.and_then(|p| rt.directory.get(&p).map(|rid| rid.page))
+            placement_hint.and_then(|p| rt.directory.get(p).map(|rid| rid.page))
         } else {
             None
         };
         let rid = self.engine.insert(tx.storage, &record.encode(), hint)?;
         rt.directory.insert(oid, rid);
-        rt.extents.entry(class).or_default().insert(oid);
-        self.add_reverse_edges(&mut rt, &record);
-        self.index_object_insert(&mut rt, &catalog, &record)?;
+        rt.extents.insert(class, oid);
+        self.add_reverse_edges(&rt, &record);
+        self.index_object_insert(&rt, &catalog, &record)?;
         rt.cache.admit(record);
         Ok(oid)
     }
@@ -668,13 +658,13 @@ impl Database {
         self.check_auth(tx, AuthAction::Read, AuthTarget::Object(oid))?;
         self.lock_read(tx, oid)?;
         let catalog = self.catalog.read();
-        let mut rt = self.rt.write();
-        self.get_attr_internal(&mut rt, &catalog, oid, attr_name)
+        let rt = self.rt_read();
+        self.get_attr_internal(&rt, &catalog, oid, attr_name)
     }
 
     pub(crate) fn get_attr_internal(
         &self,
-        rt: &mut Runtime,
+        rt: &Runtime,
         catalog: &Catalog,
         oid: Oid,
         attr_name: &str,
@@ -718,14 +708,14 @@ impl Database {
         };
 
         // Composite unlinks trigger dependent deletes; those parts must
-        // be X-locked *before* the runtime lock is taken (a thread must
-        // never block on the lock manager while holding the runtime
-        // mutex or a catalog guard).
+        // be X-locked *before* the catalog guard and gate are taken (a
+        // thread must never block on the lock manager while holding
+        // either).
         if attr.composite {
             let doomed: Vec<Oid> = {
                 let catalog = self.catalog.read();
-                let mut rt = self.rt.write();
-                let record = self.load_record(&mut rt, &catalog, oid)?;
+                let rt = self.rt_read();
+                let record = self.load_record(&rt, &catalog, oid)?;
                 let old = record.get(attr.id).cloned().unwrap_or(Value::Null);
                 let mut old_parts = Vec::new();
                 old.collect_refs(&mut old_parts);
@@ -743,8 +733,8 @@ impl Database {
         }
 
         let catalog = self.catalog.read();
-        let mut rt = self.rt.write();
-        let mut record = self.load_record(&mut rt, &catalog, oid)?;
+        let rt = self.rt_read();
+        let mut record = (*self.load_record(&rt, &catalog, oid)?).clone();
         // Version discipline: working versions are immutable; generic
         // objects are not directly writable.
         if record.get(sysattr::ATTR_DEFAULT_VERSION).is_some() {
@@ -763,25 +753,25 @@ impl Database {
 
         // Composite bookkeeping.
         if attr.composite {
-            self.recheck_composite_change(&mut rt, tx, &catalog, oid, attr.id, &old_value, &value)?;
+            self.recheck_composite_change(&rt, tx, &catalog, oid, attr.id, &old_value, &value)?;
         }
 
         // Nested-index bookkeeping, phase 1: snapshot affected roots'
         // keys before the change.
-        let nested_pre = self.nested_snapshot(&mut rt, &catalog, oid)?;
+        let nested_pre = self.nested_snapshot(&rt, &catalog, oid)?;
 
         // Apply the change.
-        self.remove_reverse_edges_for_attr(&mut rt, oid, attr.id, &old_value);
+        self.remove_reverse_edges_for_attr(&rt, oid, attr.id, &old_value);
         record.set(attr.id, value.clone());
         record.schema_version = resolved.version;
-        self.store_record(&mut rt, tx, &record)?;
-        self.add_reverse_edges_for_attr(&mut rt, oid, attr.id, &value);
+        self.store_record(&rt, tx, &record)?;
+        self.add_reverse_edges_for_attr(&rt, oid, attr.id, &value);
 
         // Simple-index maintenance.
-        self.simple_index_update(&mut rt, &catalog, oid, attr.id, &old_value, &value);
+        self.simple_index_update(&rt, &catalog, oid, attr.id, &old_value, &value);
 
         // Nested-index bookkeeping, phase 2: diff against the snapshot.
-        self.nested_apply_diff(&mut rt, &catalog, nested_pre)?;
+        self.nested_apply_diff(&rt, &catalog, nested_pre)?;
 
         self.notify.lock().publish(oid, NotificationKind::Updated, None);
         Ok(())
@@ -793,7 +783,8 @@ impl Database {
         // Collect the composite closure (parts are dependent: they go too).
         let mut order: Vec<Oid> = Vec::new();
         {
-            let rt = self.rt.read();
+            let rt = self.rt_read();
+            let owner = rt.composite_owner.read();
             let mut stack = vec![oid];
             let mut seen = HashSet::new();
             while let Some(cur) = stack.pop() {
@@ -801,56 +792,62 @@ impl Database {
                     continue;
                 }
                 order.push(cur);
-                for (part, (parent, _)) in rt.composite_owner.iter() {
+                for (part, (parent, _)) in owner.iter() {
                     if *parent == cur {
                         stack.push(*part);
                     }
                 }
             }
         }
-        // Lock everything up front (no catalog guard held while the
-        // lock manager may block), then delete children before parents.
+        // Lock everything up front (no catalog guard or gate held while
+        // the lock manager may block), then delete children before
+        // parents.
         for target in order.iter().rev() {
             self.lock_write(tx, *target)?;
         }
         let catalog = self.catalog.read();
+        let rt = self.rt_read();
         for target in order.iter().rev() {
-            self.delete_single(tx, &catalog, *target)?;
+            self.delete_single(&rt, tx, &catalog, *target)?;
         }
         Ok(())
     }
 
-    fn delete_single(&self, tx: &Tx, catalog: &Catalog, oid: Oid) -> DbResult<()> {
-        let mut rt = self.rt.write();
-        let record = self.load_record(&mut rt, catalog, oid)?;
-        let nested_pre = self.nested_snapshot(&mut rt, catalog, oid)?;
+    /// Delete one object (no closure walk — the caller already ordered
+    /// and X-locked the closure).
+    fn delete_single(
+        &self,
+        rt: &Runtime,
+        tx: &Tx,
+        catalog: &Catalog,
+        oid: Oid,
+    ) -> DbResult<()> {
+        let record = self.load_record(rt, catalog, oid)?;
+        let nested_pre = self.nested_snapshot(rt, catalog, oid)?;
 
-        let rid = *rt.directory.get(&oid).ok_or(DbError::NoSuchObject(oid))?;
+        let rid = rt.directory.get(oid).ok_or(DbError::NoSuchObject(oid))?;
         self.engine.delete(tx.storage, rid)?;
-        rt.directory.remove(&oid);
-        if let Some(extent) = rt.extents.get_mut(&oid.class()) {
-            extent.remove(&oid);
-        }
+        rt.directory.remove(oid);
+        rt.extents.remove(oid.class(), oid);
         rt.cache.invalidate(oid);
-        self.remove_reverse_edges(&mut rt, &record);
-        rt.composite_owner.remove(&oid);
-        self.index_object_remove(&mut rt, catalog, &record)?;
-        self.nested_apply_diff(&mut rt, catalog, nested_pre)?;
-        drop(rt);
+        self.remove_reverse_edges(rt, &record);
+        rt.composite_owner.write().remove(&oid);
+        self.index_object_remove(rt, catalog, &record)?;
+        self.nested_apply_diff(rt, catalog, nested_pre)?;
         self.notify.lock().publish(oid, NotificationKind::Deleted, None);
         Ok(())
     }
 
     /// Does the object exist?
     pub fn exists(&self, oid: Oid) -> bool {
-        let rt = self.rt.read();
-        rt.directory.contains_key(&oid) || rt.foreign_store.contains_key(&oid)
+        let rt = self.rt_read();
+        rt.directory.contains(oid) || rt.foreign_store.read().contains_key(&oid)
     }
 
     /// Number of instances of exactly `class_name` (not subclasses).
     pub fn extent_len(&self, class_name: &str) -> DbResult<usize> {
         let class = self.catalog.read().class_id(class_name)?;
-        Ok(self.rt.read().extents.get(&class).map_or(0, BTreeSet::len))
+        Ok(self.rt_read().extents.len_of(class))
     }
 
     // ------------------------------------------------------------------
@@ -864,14 +861,11 @@ impl Database {
     pub fn navigate(&self, tx: &Tx, oid: Oid, path: &[&str]) -> DbResult<Oid> {
         self.lock_read(tx, oid)?;
         let catalog = self.catalog.read();
-        let mut rt = self.rt.write();
-        let mut slot = match rt.cache.lookup(oid) {
-            Some(s) => s,
-            None => {
-                let record = self.load_record(&mut rt, &catalog, oid)?;
-                rt.cache.admit(record)
-            }
-        };
+        let rt = self.rt_read();
+        if rt.cache.get(oid).is_none() {
+            let record = self.load_record(&rt, &catalog, oid)?;
+            rt.cache.admit((*record).clone());
+        }
         // Per-(step, class) attribute-id memo: traversals revisit the
         // same classes, and resolving names per hop would mask the
         // swizzle fast path the experiment measures.
@@ -890,27 +884,38 @@ impl Database {
                     attr.id
                 }
             };
-            let next = match rt.cache.traverse_ref(slot, attr_id) {
-                Some(Ok(next_slot)) => next_slot,
-                Some(Err(miss_oid)) => {
-                    // Fault the target in, then record the swizzle.
-                    let record = self.load_record(&mut rt, &catalog, miss_oid)?;
-                    let next_slot = rt.cache.admit(record);
-                    rt.cache.note_swizzle(slot, attr_id, next_slot);
-                    next_slot
-                }
-                None => {
-                    return Err(DbError::Query(format!(
-                        "attribute `{step}` of {cur_oid} is not a scalar reference"
-                    )))
+            let mut respawns = 0;
+            cur_oid = loop {
+                match rt.cache.hop(cur_oid, attr_id) {
+                    Hop::To(next, _) => break next,
+                    Hop::Miss(miss_oid) => {
+                        // Fault the target in, then record the swizzle.
+                        let record = self.load_record(&rt, &catalog, miss_oid)?;
+                        rt.cache.admit((*record).clone());
+                        rt.cache.note(cur_oid, attr_id, miss_oid);
+                        break miss_oid;
+                    }
+                    Hop::NotRef => {
+                        return Err(DbError::Query(format!(
+                            "attribute `{step}` of {cur_oid} is not a scalar reference"
+                        )))
+                    }
+                    Hop::Absent => {
+                        // A concurrent admit evicted the hop source;
+                        // re-fault it and retry. Bounded: sustained
+                        // re-eviction means the cache is thrashing far
+                        // below the working set.
+                        respawns += 1;
+                        if respawns > 16 {
+                            return Err(DbError::Internal(
+                                "navigation source evicted repeatedly; cache too small".into(),
+                            ));
+                        }
+                        let record = self.load_record(&rt, &catalog, cur_oid)?;
+                        rt.cache.admit((*record).clone());
+                    }
                 }
             };
-            cur_oid = rt
-                .cache
-                .record(next)
-                .map(|r| r.oid)
-                .ok_or_else(|| DbError::Internal("slot vanished mid-navigation".into()))?;
-            slot = next;
         }
         Ok(cur_oid)
     }
@@ -987,21 +992,22 @@ impl Database {
     // ------------------------------------------------------------------
 
     /// Rebuild every piece of derived state from the stored records.
-    /// The caller holds the catalog write lock (lock order: catalog
-    /// before runtime) — a persisted system snapshot replaces `catalog`
-    /// in place.
+    /// The caller holds the catalog write lock and the exclusive
+    /// maintenance gate (lock order: catalog before gate) — a persisted
+    /// system snapshot replaces `catalog` in place, and the exclusive
+    /// gate guarantees no other thread is inside any component.
     pub(crate) fn rebuild_runtime(
         &self,
         catalog: &mut orion_schema::Catalog,
-        rt: &mut Runtime,
+        rt: &Runtime,
     ) -> DbResult<()> {
         rt.directory.clear();
         rt.extents.clear();
         rt.cache.clear();
         rt.reverse.clear();
-        rt.composite_owner.clear();
+        rt.composite_owner.write().clear();
         // Note: foreign_store survives — it is not storage-backed.
-        for inst in &mut rt.indexes {
+        for inst in rt.indexes.write().iter_mut() {
             *inst = IndexInstance::new(inst.def.clone());
         }
 
@@ -1023,7 +1029,7 @@ impl Database {
             records.iter().position(|(_, r)| r.oid.class() == crate::persist::SYSTEM_CLASS)
         {
             let (rid, record) = records.remove(pos);
-            rt.system_rid = Some(rid);
+            *rt.system_rid.lock() = Some(rid);
             let state = Self::decode_system_record(&record)?;
             crate::persist::install_state(self, catalog, rt, state);
         }
@@ -1034,21 +1040,24 @@ impl Database {
             let oid = record.oid;
             max_serial = max_serial.max(oid.serial());
             rt.directory.insert(oid, *rid);
-            rt.extents.entry(oid.class()).or_default().insert(oid);
+            rt.extents.insert(oid.class(), oid);
             self.add_reverse_edges(rt, record);
         }
         self.alloc.seed_above(max_serial);
 
         // Composite ownership + indexes need resolved schemas.
-        for (_, record) in &records {
-            let Ok(resolved) = catalog.resolve(record.oid.class()) else { continue };
-            for (attr_id, value) in &record.attrs {
-                if let Some(attr) = resolved.attr_by_id(*attr_id) {
-                    if attr.composite {
-                        let mut refs = Vec::new();
-                        value.collect_refs(&mut refs);
-                        for part in refs {
-                            rt.composite_owner.insert(part, (record.oid, *attr_id));
+        {
+            let mut owner = rt.composite_owner.write();
+            for (_, record) in &records {
+                let Ok(resolved) = catalog.resolve(record.oid.class()) else { continue };
+                for (attr_id, value) in &record.attrs {
+                    if let Some(attr) = resolved.attr_by_id(*attr_id) {
+                        if attr.composite {
+                            let mut refs = Vec::new();
+                            value.collect_refs(&mut refs);
+                            for part in refs {
+                                owner.insert(part, (record.oid, *attr_id));
+                            }
                         }
                     }
                 }
@@ -1064,7 +1073,7 @@ impl Database {
     // Reverse-reference maintenance
     // ------------------------------------------------------------------
 
-    pub(crate) fn add_reverse_edges(&self, rt: &mut Runtime, record: &ObjectRecord) {
+    pub(crate) fn add_reverse_edges(&self, rt: &Runtime, record: &ObjectRecord) {
         for (attr_id, value) in &record.attrs {
             self.add_reverse_edges_for_attr(rt, record.oid, *attr_id, value);
         }
@@ -1072,7 +1081,7 @@ impl Database {
 
     pub(crate) fn add_reverse_edges_for_attr(
         &self,
-        rt: &mut Runtime,
+        rt: &Runtime,
         from: Oid,
         attr: u32,
         value: &Value,
@@ -1080,11 +1089,13 @@ impl Database {
         let mut refs = Vec::new();
         value.collect_refs(&mut refs);
         for target in refs {
-            rt.reverse.entry(target).or_default().insert((from, attr));
+            rt.reverse.update(target, |shard| {
+                shard.entry(target).or_default().insert((from, attr));
+            });
         }
     }
 
-    pub(crate) fn remove_reverse_edges(&self, rt: &mut Runtime, record: &ObjectRecord) {
+    pub(crate) fn remove_reverse_edges(&self, rt: &Runtime, record: &ObjectRecord) {
         for (attr_id, value) in &record.attrs {
             self.remove_reverse_edges_for_attr(rt, record.oid, *attr_id, value);
         }
@@ -1092,7 +1103,7 @@ impl Database {
 
     pub(crate) fn remove_reverse_edges_for_attr(
         &self,
-        rt: &mut Runtime,
+        rt: &Runtime,
         from: Oid,
         attr: u32,
         value: &Value,
@@ -1100,12 +1111,14 @@ impl Database {
         let mut refs = Vec::new();
         value.collect_refs(&mut refs);
         for target in refs {
-            if let Some(edges) = rt.reverse.get_mut(&target) {
-                edges.remove(&(from, attr));
-                if edges.is_empty() {
-                    rt.reverse.remove(&target);
+            rt.reverse.update(target, |shard| {
+                if let Some(edges) = shard.get_mut(&target) {
+                    edges.remove(&(from, attr));
+                    if edges.is_empty() {
+                        shard.remove(&target);
+                    }
                 }
-            }
+            });
         }
     }
 
@@ -1114,18 +1127,15 @@ impl Database {
     // ------------------------------------------------------------------
 
     /// Claim every part referenced by a composite attribute value for
-    /// `(parent, attr)`; rejects parts already owned elsewhere.
-    fn claim_parts(
-        &self,
-        rt: &mut Runtime,
-        parent: Oid,
-        attr: u32,
-        value: &Value,
-    ) -> DbResult<()> {
+    /// `(parent, attr)`; rejects parts already owned elsewhere. One
+    /// write guard spans check + claim, so two parents racing for the
+    /// same part cannot both win.
+    fn claim_parts(&self, rt: &Runtime, parent: Oid, attr: u32, value: &Value) -> DbResult<()> {
         let mut parts = Vec::new();
         value.collect_refs(&mut parts);
+        let mut owner = rt.composite_owner.write();
         for part in &parts {
-            if let Some((other_parent, other_attr)) = rt.composite_owner.get(part) {
+            if let Some((other_parent, other_attr)) = owner.get(part) {
                 if !(*other_parent == parent && *other_attr == attr) {
                     return Err(DbError::Composite(format!(
                         "object {part} is already an exclusive part of {other_parent}"
@@ -1137,7 +1147,7 @@ impl Database {
             }
         }
         for part in parts {
-            rt.composite_owner.insert(part, (parent, attr));
+            owner.insert(part, (parent, attr));
         }
         Ok(())
     }
@@ -1148,7 +1158,7 @@ impl Database {
     #[allow(clippy::too_many_arguments)]
     fn recheck_composite_change(
         &self,
-        rt: &mut Runtime,
+        rt: &Runtime,
         tx: &Tx,
         catalog: &Catalog,
         parent: Oid,
@@ -1164,22 +1174,20 @@ impl Database {
         let removed: Vec<Oid> =
             old_parts.into_iter().filter(|p| !new_parts.contains(p)).collect();
         for part in removed {
-            rt.composite_owner.remove(&part);
+            rt.composite_owner.write().remove(&part);
             // Dependent semantics: an unlinked part does not survive.
-            // (Recursive delete through the public path would deadlock
-            // on the runtime mutex; parts of parts are handled because
-            // delete_single is called per closure level here.)
-            // Parts were X-locked by set() before the runtime lock was
-            // taken; deleting here cannot block.
+            // Parts were X-locked by set() before the catalog guard and
+            // gate were taken; deleting here cannot block.
             let closure = self.composite_closure(rt, part);
             for target in closure.iter().rev() {
-                self.delete_single_locked(rt, tx, catalog, *target)?;
+                self.delete_single(rt, tx, catalog, *target)?;
             }
         }
         Ok(())
     }
 
     pub(crate) fn composite_closure(&self, rt: &Runtime, root: Oid) -> Vec<Oid> {
+        let owner = rt.composite_owner.read();
         let mut order = Vec::new();
         let mut stack = vec![root];
         let mut seen = HashSet::new();
@@ -1188,38 +1196,13 @@ impl Database {
                 continue;
             }
             order.push(cur);
-            for (part, (parent, _)) in rt.composite_owner.iter() {
+            for (part, (parent, _)) in owner.iter() {
                 if *parent == cur {
                     stack.push(*part);
                 }
             }
         }
         order
-    }
-
-    /// `delete_single` body for callers already holding the runtime lock.
-    fn delete_single_locked(
-        &self,
-        rt: &mut Runtime,
-        tx: &Tx,
-        catalog: &Catalog,
-        oid: Oid,
-    ) -> DbResult<()> {
-        let record = self.load_record(rt, catalog, oid)?;
-        let nested_pre = self.nested_snapshot(rt, catalog, oid)?;
-        let rid = *rt.directory.get(&oid).ok_or(DbError::NoSuchObject(oid))?;
-        self.engine.delete(tx.storage, rid)?;
-        rt.directory.remove(&oid);
-        if let Some(extent) = rt.extents.get_mut(&oid.class()) {
-            extent.remove(&oid);
-        }
-        rt.cache.invalidate(oid);
-        self.remove_reverse_edges(rt, &record);
-        rt.composite_owner.remove(&oid);
-        self.index_object_remove(rt, catalog, &record)?;
-        self.nested_apply_diff(rt, catalog, nested_pre)?;
-        self.notify.lock().publish(oid, NotificationKind::Deleted, None);
-        Ok(())
     }
 }
 
@@ -1232,10 +1215,11 @@ impl Default for Database {
 impl std::fmt::Debug for Database {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let rt = self.rt.read();
+        let indexes = rt.indexes.read().len();
         f.debug_struct("Database")
             .field("classes", &self.catalog.read().class_count())
             .field("objects", &rt.directory.len())
-            .field("indexes", &rt.indexes.len())
+            .field("indexes", &indexes)
             .finish()
     }
 }

@@ -6,12 +6,20 @@
 //! transaction's `rollback`. (ORION made the same choice; undoing
 //! schema changes is \[KIM88a\]'s *schema versioning*, which orion offers
 //! through views instead.)
+//!
+//! Index create/drop takes the *exclusive* maintenance gate: populating
+//! a new index scans extents while DML maintains existing indexes, and
+//! the only way a freshly built index can be neither missing concurrent
+//! writes nor double-entering them is for the build to be atomic with
+//! respect to all mutators. Index DDL is rare; DML never takes the
+//! exclusive gate.
 
 use crate::database::{Database, Tx};
 use orion_index::{IndexDef, IndexInstance, IndexKind};
 use orion_schema::evolution::ChangeEffect;
 use orion_schema::{AttrSpec, SchemaChange};
 use orion_types::{ClassId, DbError, DbResult, Oid};
+use std::sync::atomic::Ordering;
 
 /// When instance adaptation happens after a schema change (E6).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,7 +89,7 @@ impl Database {
 
         // Guard: dropping a class with live instances is rejected.
         if let SchemaChange::DropClass { class } = &change {
-            let live = self.rt.read().extents.get(class).map_or(0, |e| e.len());
+            let live = self.rt_read().extents.len_of(*class);
             if live > 0 {
                 return Err(DbError::SchemaInvariant(format!(
                     "class has {live} live instance(s); delete or migrate them first"
@@ -117,22 +125,18 @@ impl Database {
         Ok(())
     }
 
-    fn instances_of(&self, classes: &[ClassId]) -> Vec<Oid> {
-        let rt = self.rt.read();
-        classes
-            .iter()
-            .flat_map(|c| rt.extents.get(c).into_iter().flatten().copied())
-            .collect()
+    fn instances_of(rt: &crate::runtime::Runtime, classes: &[ClassId]) -> Vec<Oid> {
+        classes.iter().flat_map(|c| rt.extents.snapshot(*c)).collect()
     }
 
     fn eager_scrub(&self, tx: &Tx, classes: &[ClassId], attr_id: u32) -> DbResult<()> {
         let catalog = self.catalog.read();
-        for oid in self.instances_of(classes) {
-            let mut rt = self.rt.write();
-            let mut record = self.load_record(&mut rt, &catalog, oid)?;
+        let rt = self.rt_read();
+        for oid in Self::instances_of(&rt, classes) {
+            let mut record = (*self.load_record(&rt, &catalog, oid)?).clone();
             if record.remove(attr_id).is_some() {
                 record.schema_version = catalog.resolve(oid.class())?.version;
-                self.store_record(&mut rt, tx, &record)?;
+                self.store_record(&rt, tx, &record)?;
             }
         }
         Ok(())
@@ -146,27 +150,27 @@ impl Database {
         default: orion_types::Value,
     ) -> DbResult<()> {
         let catalog = self.catalog.read();
-        for oid in self.instances_of(classes) {
-            let mut rt = self.rt.write();
-            let mut record = self.load_record(&mut rt, &catalog, oid)?;
+        let rt = self.rt_read();
+        for oid in Self::instances_of(&rt, classes) {
+            let mut record = (*self.load_record(&rt, &catalog, oid)?).clone();
             record.set(attr_id, default.clone());
             record.schema_version = catalog.resolve(oid.class())?.version;
-            self.store_record(&mut rt, tx, &record)?;
+            self.store_record(&rt, tx, &record)?;
         }
         Ok(())
     }
 
     fn eager_reshape(&self, tx: &Tx, classes: &[ClassId]) -> DbResult<()> {
         let catalog = self.catalog.read();
-        for oid in self.instances_of(classes) {
-            let mut rt = self.rt.write();
+        let rt = self.rt_read();
+        for oid in Self::instances_of(&rt, classes) {
             let resolved = catalog.resolve(oid.class())?;
-            let mut record = self.load_record(&mut rt, &catalog, oid)?;
+            let mut record = (*self.load_record(&rt, &catalog, oid)?).clone();
             record.attrs.retain(|(id, _)| {
                 crate::sysattr::is_reserved(*id) || resolved.attr_by_id(*id).is_some()
             });
             record.schema_version = resolved.version;
-            self.store_record(&mut rt, tx, &record)?;
+            self.store_record(&rt, tx, &record)?;
         }
         Ok(())
     }
@@ -177,7 +181,9 @@ impl Database {
 
     /// Create an index of `kind` on `class_name` over a named attribute
     /// path (length 1 for simple indexes, ≥ 2 for nested ones). The
-    /// index is populated from existing instances.
+    /// index is populated from existing instances under the exclusive
+    /// maintenance gate (atomic with respect to concurrent DML index
+    /// maintenance).
     pub fn create_index(
         &self,
         name: &str,
@@ -205,12 +211,11 @@ impl Database {
         let query_path = orion_query::Path::new(path.to_vec());
         let path_ids = orion_query::plan::bind_path(&catalog, target, &query_path)?;
 
-        let mut rt = self.rt.write();
-        if rt.indexes.iter().any(|i| i.def.name == name) {
+        let rt = self.rt_write();
+        if rt.indexes.read().iter().any(|i| i.def.name == name) {
             return Err(DbError::AlreadyExists(format!("index `{name}`")));
         }
-        let id = rt.next_index_id;
-        rt.next_index_id += 1;
+        let id = rt.next_index_id.fetch_add(1, Ordering::Relaxed);
         let def = IndexDef {
             id,
             name: name.to_owned(),
@@ -227,14 +232,11 @@ impl Database {
                 catalog.subtree(target)?.as_ref().clone()
             }
         };
-        let members: Vec<Oid> = covered
-            .iter()
-            .flat_map(|c| rt.extents.get(c).into_iter().flatten().copied())
-            .collect();
+        let members: Vec<Oid> = covered.iter().flat_map(|c| rt.extents.snapshot(*c)).collect();
         for oid in members {
             match kind {
                 IndexKind::SingleClass | IndexKind::ClassHierarchy => {
-                    let record = self.load_record(&mut rt, &catalog, oid)?;
+                    let record = self.load_record(&rt, &catalog, oid)?;
                     let attr_id = inst.def.path[0];
                     let resolved = catalog.resolve(oid.class())?;
                     if let Some(attr) = resolved.attr_by_id(attr_id) {
@@ -246,14 +248,14 @@ impl Database {
                     }
                 }
                 IndexKind::Nested => {
-                    let keys = self.nested_path_values(&mut rt, &catalog, oid, &inst.def.path)?;
+                    let keys = self.nested_path_values(&rt, &catalog, oid, &inst.def.path)?;
                     for key in keys {
                         inst.imp.insert(key, oid);
                     }
                 }
             }
         }
-        rt.indexes.push(inst);
+        rt.indexes.write().push(inst);
         drop(rt);
         drop(catalog);
         self.persist_system_state()?;
@@ -263,10 +265,11 @@ impl Database {
     /// Drop an index by name.
     pub fn drop_index(&self, name: &str) -> DbResult<()> {
         {
-            let mut rt = self.rt.write();
-            let before = rt.indexes.len();
-            rt.indexes.retain(|i| i.def.name != name);
-            if rt.indexes.len() == before {
+            let rt = self.rt_write();
+            let mut indexes = rt.indexes.write();
+            let before = indexes.len();
+            indexes.retain(|i| i.def.name != name);
+            if indexes.len() == before {
                 return Err(DbError::Query(format!("no index named `{name}`")));
             }
         }
@@ -274,20 +277,21 @@ impl Database {
     }
 
     fn drop_indexes_using_attr(&self, attr_id: u32) -> DbResult<()> {
-        let mut rt = self.rt.write();
-        rt.indexes.retain(|i| !i.def.path.contains(&attr_id));
+        let rt = self.rt_write();
+        rt.indexes.write().retain(|i| !i.def.path.contains(&attr_id));
         Ok(())
     }
 
     /// Descriptors of every live index.
     pub fn index_defs(&self) -> Vec<IndexDef> {
-        self.rt.read().indexes.iter().map(|i| i.def.clone()).collect()
+        self.rt_read().indexes.read().iter().map(|i| i.def.clone()).collect()
     }
 
     /// `(entries, distinct keys)` for a named index.
     pub fn index_stats(&self, name: &str) -> Option<(usize, usize)> {
-        let rt = self.rt.read();
-        rt.indexes
+        let rt = self.rt_read();
+        let indexes = rt.indexes.read();
+        indexes
             .iter()
             .find(|i| i.def.name == name)
             .map(|i| (i.imp.len(), i.imp.distinct_keys()))

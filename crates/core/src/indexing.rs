@@ -9,9 +9,19 @@
 //! roots by climbing the maintained reverse-reference graph along the
 //! index path prefix — the standard technique — then diffs each root's
 //! key set before/after the mutation.
+//!
+//! Locking: maintenance runs under the *shared* maintenance gate with
+//! the caller's 2PL locks providing isolation; the index set's own
+//! `RwLock` guards structural integrity. Holding the `indexes` guard
+//! while nested re-keying faults records through the cache is permitted
+//! by the lock order (`indexes` precedes the cache shards; see
+//! `crate::runtime`). Index *positions* in the `Vec` are stable here
+//! because create/drop index take the exclusive gate, which cannot be
+//! granted while any mutator holds the shared gate.
 
-use crate::database::{Database, Runtime};
-use orion_index::{IndexInstance, IndexKind};
+use crate::database::Database;
+use crate::runtime::Runtime;
+use orion_index::{IndexDef, IndexInstance, IndexKind};
 use orion_schema::Catalog;
 use orion_types::codec::ObjectRecord;
 use orion_types::{ClassId, DbResult, Oid, Value};
@@ -43,10 +53,10 @@ pub(crate) type NestedSnapshot = Vec<(usize, HashMap<Oid, Vec<Value>>)>;
 
 impl Database {
     /// Does a simple index cover instances of `class`?
-    fn simple_covers(catalog: &Catalog, inst: &IndexInstance, class: ClassId) -> bool {
-        match inst.def.kind {
-            IndexKind::SingleClass => inst.def.target == class,
-            IndexKind::ClassHierarchy => catalog.is_subclass(class, inst.def.target),
+    fn simple_covers(catalog: &Catalog, def: &IndexDef, class: ClassId) -> bool {
+        match def.kind {
+            IndexKind::SingleClass => def.target == class,
+            IndexKind::ClassHierarchy => catalog.is_subclass(class, def.target),
             IndexKind::Nested => false,
         }
     }
@@ -67,20 +77,21 @@ impl Database {
     /// Enter a whole record into every covering index (create, rebuild).
     pub(crate) fn index_object_insert(
         &self,
-        rt: &mut Runtime,
+        rt: &Runtime,
         catalog: &Catalog,
         record: &ObjectRecord,
     ) -> DbResult<()> {
         let oid = record.oid;
-        for i in 0..rt.indexes.len() {
-            let def = rt.indexes[i].def.clone();
+        let mut indexes = rt.indexes.write();
+        for inst in indexes.iter_mut() {
+            let def = inst.def.clone();
             match def.kind {
                 IndexKind::SingleClass | IndexKind::ClassHierarchy => {
-                    if !Self::simple_covers(catalog, &rt.indexes[i], oid.class()) {
+                    if !Self::simple_covers(catalog, &def, oid.class()) {
                         continue;
                     }
                     for key in Self::record_keys(catalog, record, def.path[0]) {
-                        rt.indexes[i].imp.insert(key, oid);
+                        inst.imp.insert(key, oid);
                     }
                 }
                 IndexKind::Nested => {
@@ -89,7 +100,7 @@ impl Database {
                     }
                     let keys = self.nested_path_values(rt, catalog, oid, &def.path)?;
                     for key in keys {
-                        rt.indexes[i].imp.insert(key, oid);
+                        inst.imp.insert(key, oid);
                     }
                 }
             }
@@ -100,20 +111,21 @@ impl Database {
     /// Remove a whole record from every covering index (delete, rebuild).
     pub(crate) fn index_object_remove(
         &self,
-        rt: &mut Runtime,
+        rt: &Runtime,
         catalog: &Catalog,
         record: &ObjectRecord,
     ) -> DbResult<()> {
         let oid = record.oid;
-        for i in 0..rt.indexes.len() {
-            let def = rt.indexes[i].def.clone();
+        let mut indexes = rt.indexes.write();
+        for inst in indexes.iter_mut() {
+            let def = inst.def.clone();
             match def.kind {
                 IndexKind::SingleClass | IndexKind::ClassHierarchy => {
-                    if !Self::simple_covers(catalog, &rt.indexes[i], oid.class()) {
+                    if !Self::simple_covers(catalog, &def, oid.class()) {
                         continue;
                     }
                     for key in Self::record_keys(catalog, record, def.path[0]) {
-                        rt.indexes[i].imp.remove(&key, oid);
+                        inst.imp.remove(&key, oid);
                     }
                 }
                 IndexKind::Nested => {
@@ -124,7 +136,7 @@ impl Database {
                     // currently contributes as a root.
                     let keys = self.nested_path_values(rt, catalog, oid, &def.path)?;
                     for key in keys {
-                        rt.indexes[i].imp.remove(&key, oid);
+                        inst.imp.remove(&key, oid);
                     }
                 }
             }
@@ -135,7 +147,7 @@ impl Database {
     /// Update simple indexes after one attribute changed.
     pub(crate) fn simple_index_update(
         &self,
-        rt: &mut Runtime,
+        rt: &Runtime,
         catalog: &Catalog,
         oid: Oid,
         attr_id: u32,
@@ -149,7 +161,8 @@ impl Database {
             .unwrap_or(Value::Null);
         let old_keys = keys_of(if old_value.is_null() { &default } else { old_value });
         let new_keys = keys_of(if new_value.is_null() { &default } else { new_value });
-        for inst in &mut rt.indexes {
+        let mut indexes = rt.indexes.write();
+        for inst in indexes.iter_mut() {
             let simple = matches!(
                 inst.def.kind,
                 IndexKind::SingleClass | IndexKind::ClassHierarchy
@@ -178,7 +191,7 @@ impl Database {
     /// nothing.
     pub(crate) fn nested_path_values(
         &self,
-        rt: &mut Runtime,
+        rt: &Runtime,
         catalog: &Catalog,
         root: Oid,
         path: &[u32],
@@ -223,13 +236,15 @@ impl Database {
             for k in (0..depth).rev() {
                 let mut up = HashSet::new();
                 for o in &frontier {
-                    if let Some(edges) = rt.reverse.get(o) {
-                        for (referrer, attr) in edges {
-                            if *attr == path[k] {
-                                up.insert(*referrer);
+                    rt.reverse.with(*o, |edges| {
+                        if let Some(edges) = edges {
+                            for (referrer, attr) in edges {
+                                if *attr == path[k] {
+                                    up.insert(*referrer);
+                                }
                             }
                         }
-                    }
+                    });
                 }
                 frontier = up;
                 if frontier.is_empty() {
@@ -246,19 +261,25 @@ impl Database {
     }
 
     /// Phase 1 of nested maintenance: snapshot the key sets of every
-    /// root that might be affected by a mutation of `oid`.
+    /// root that might be affected by a mutation of `oid`. The nested
+    /// defs are copied out under a short read guard — path evaluation
+    /// faults records and must not pin the index set.
     pub(crate) fn nested_snapshot(
         &self,
-        rt: &mut Runtime,
+        rt: &Runtime,
         catalog: &Catalog,
         oid: Oid,
     ) -> DbResult<NestedSnapshot> {
+        let nested: Vec<(usize, IndexDef)> = rt
+            .indexes
+            .read()
+            .iter()
+            .enumerate()
+            .filter(|(_, inst)| inst.def.kind == IndexKind::Nested)
+            .map(|(i, inst)| (i, inst.def.clone()))
+            .collect();
         let mut snapshot = Vec::new();
-        for i in 0..rt.indexes.len() {
-            let def = rt.indexes[i].def.clone();
-            if def.kind != IndexKind::Nested {
-                continue;
-            }
+        for (i, def) in nested {
             let roots = self.nested_roots(rt, catalog, def.target, &def.path, oid);
             if roots.is_empty() {
                 continue;
@@ -274,29 +295,34 @@ impl Database {
     }
 
     /// Phase 2: recompute the same roots and apply the key-set diff.
+    /// Positions from the snapshot remain valid: index create/drop needs
+    /// the exclusive gate, which the mutating caller's shared gate guard
+    /// excludes for the whole operation.
     pub(crate) fn nested_apply_diff(
         &self,
-        rt: &mut Runtime,
+        rt: &Runtime,
         catalog: &Catalog,
         snapshot: NestedSnapshot,
     ) -> DbResult<()> {
         for (i, pre) in snapshot {
-            let def = rt.indexes[i].def.clone();
+            let def = rt.indexes.read()[i].def.clone();
             for (root, old_keys) in pre {
                 // A root that was deleted mid-operation keys to nothing.
-                let new_keys = if rt.directory.contains_key(&root) {
+                let new_keys = if rt.directory.contains(root) {
                     self.nested_path_values(rt, catalog, root, &def.path)?
                 } else {
                     Vec::new()
                 };
+                let mut indexes = rt.indexes.write();
+                let inst: &mut IndexInstance = &mut indexes[i];
                 for key in &old_keys {
                     if !new_keys.iter().any(|k| k.eq_total(key)) {
-                        rt.indexes[i].imp.remove(key, root);
+                        inst.imp.remove(key, root);
                     }
                 }
                 for key in new_keys {
                     if !old_keys.iter().any(|k| k.eq_total(&key)) {
-                        rt.indexes[i].imp.insert(key, root);
+                        inst.imp.insert(key, root);
                     }
                 }
             }

@@ -27,6 +27,7 @@ pub mod notify;
 pub mod persist;
 pub mod query_api;
 pub mod rules;
+pub(crate) mod runtime;
 pub mod source;
 pub mod stats;
 pub mod sysattr;
@@ -35,7 +36,7 @@ pub mod versions;
 pub use authz::{AuthAction, AuthTarget};
 pub use cache::{CacheStats, ObjectCache};
 pub use database::{Database, DbConfig, DbConfigBuilder, LockingStrategy, Tx};
-pub use stats::{DbStats, NetMetrics, NetStats};
+pub use stats::{DbStats, GateStats, NetMetrics, NetStats};
 pub use ddl::Migration;
 pub use methods::MethodBody;
 pub use multidb::{ForeignAdapter, ForeignClass, ForeignObject};

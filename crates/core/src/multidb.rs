@@ -65,7 +65,10 @@ impl Database {
         let mut attached = Vec::with_capacity(classes.len());
         {
             let mut catalog = self.catalog.write();
-            let mut rt = self.rt.write();
+            // Exclusive gate: attaching re-plumbs how extents are served,
+            // which must not race an in-flight scan or DML.
+            let rt = self.rt_write();
+            let mut foreign = rt.foreign_classes.write();
             for fc in &classes {
                 let attrs = fc
                     .attrs
@@ -73,7 +76,7 @@ impl Database {
                     .map(|(n, t)| AttrSpec::new(n.clone(), Domain::Primitive(*t)))
                     .collect();
                 let class_id = catalog.create_class(&fc.name, &[], attrs)?;
-                rt.foreign_classes.insert(class_id, name.clone());
+                foreign.insert(class_id, name.clone());
                 attached.push(fc.name.clone());
             }
         }

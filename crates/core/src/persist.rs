@@ -8,7 +8,8 @@
 //! any database); their catalog signatures and late-binding resolution
 //! survive.
 
-use crate::database::{Database, Runtime};
+use crate::database::Database;
+use crate::runtime::Runtime;
 use crate::sysattr;
 use orion_index::{IndexDef, IndexInstance, IndexKind};
 use orion_schema::Catalog;
@@ -147,8 +148,9 @@ impl Database {
     pub(crate) fn persist_system_state(&self) -> DbResult<()> {
         let bytes = {
             let catalog = self.catalog.read();
-            let rt = self.rt.read();
-            let defs: Vec<IndexDef> = rt.indexes.iter().map(|i| i.def.clone()).collect();
+            let rt = self.rt_read();
+            let defs: Vec<IndexDef> =
+                rt.indexes.read().iter().map(|i| i.def.clone()).collect();
             let views: Vec<(String, String)> = {
                 let v = self.views.read();
                 let mut pairs: Vec<_> =
@@ -156,7 +158,12 @@ impl Database {
                 pairs.sort();
                 pairs
             };
-            encode_state(&catalog, &defs, rt.next_index_id, &views)
+            encode_state(
+                &catalog,
+                &defs,
+                rt.next_index_id.load(std::sync::atomic::Ordering::Relaxed),
+                &views,
+            )
         };
         let record = ObjectRecord::new(
             SYSTEM_OID,
@@ -165,15 +172,19 @@ impl Database {
         );
         let tx = self.begin();
         let result = (|| -> DbResult<()> {
-            let mut rt = self.rt.write();
-            match rt.system_rid {
+            let rt = self.rt_read();
+            // The rid slot's mutex spans read-modify-write, so two
+            // concurrent DDL persists serialize on it rather than both
+            // inserting a fresh system record.
+            let mut rid_slot = rt.system_rid.lock();
+            match *rid_slot {
                 Some(rid) => {
                     let new_rid = self.engine.update(tx.storage, rid, &record.encode())?;
-                    rt.system_rid = Some(new_rid);
+                    *rid_slot = Some(new_rid);
                 }
                 None => {
                     let rid = self.engine.insert(tx.storage, &record.encode(), None)?;
-                    rt.system_rid = Some(rid);
+                    *rid_slot = Some(rid);
                 }
             }
             Ok(())
@@ -207,17 +218,17 @@ impl Database {
     pub fn simulate_cold_restart(&self) -> DbResult<()> {
         {
             let mut catalog = self.catalog.write();
-            let mut rt = self.rt.write();
+            let rt = self.rt_write();
             self.engine.crash();
             self.locks.reset();
             *catalog = Catalog::new();
             self.views.write().clear();
             *self.methods.write() = crate::methods::MethodRegistry::new();
-            rt.indexes.clear();
-            rt.next_index_id = 1;
-            rt.system_rid = None;
+            rt.indexes.write().clear();
+            rt.next_index_id.store(1, std::sync::atomic::Ordering::Relaxed);
+            *rt.system_rid.lock() = None;
             self.engine.recover()?;
-            self.rebuild_runtime(&mut catalog, &mut rt)?;
+            self.rebuild_runtime(&mut catalog, &rt)?;
         }
         Ok(())
     }
@@ -225,11 +236,11 @@ impl Database {
 
 /// Install decoded system state into the database (called from
 /// `rebuild_runtime`, which holds the catalog write lock and the
-/// runtime lock — in that order).
+/// exclusive maintenance gate — in that order).
 pub(crate) fn install_state(
     db: &Database,
     catalog: &mut Catalog,
-    rt: &mut Runtime,
+    rt: &Runtime,
     state: SystemState,
 ) {
     *catalog = state.catalog;
@@ -238,6 +249,6 @@ pub(crate) fn install_state(
     for (name, body) in state.views {
         views.insert(name, body);
     }
-    rt.indexes = state.index_defs.into_iter().map(IndexInstance::new).collect();
-    rt.next_index_id = state.next_index_id;
+    *rt.indexes.write() = state.index_defs.into_iter().map(IndexInstance::new).collect();
+    rt.next_index_id.store(state.next_index_id, std::sync::atomic::Ordering::Relaxed);
 }

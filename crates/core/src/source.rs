@@ -7,12 +7,16 @@ use orion_query::DataSource;
 use orion_types::codec::ObjectRecord;
 use orion_types::{ClassId, DbError, DbResult, Oid, Value};
 use std::ops::Bound;
+use std::sync::Arc;
 
 /// A lightweight view of the database for the query processor. Methods
-/// take the runtime's *shared* lock briefly per call — any number of
-/// queries proceed concurrently, serializing only against DML/DDL
-/// (which take the write lock). The executor holds no locks across
-/// calls, so navigation can fault objects in freely.
+/// take the maintenance gate *shared* briefly per call plus the
+/// component lock they need (extents for scans, the index set for
+/// lookups, cache shards for attribute reads) — any number of queries
+/// proceed concurrently with each other and with DML; isolation comes
+/// from the 2PL class locks the query API acquires at prepare time. The
+/// executor holds no locks across calls, so navigation can fault
+/// objects in freely.
 pub struct SourceView<'a> {
     db: &'a Database,
 }
@@ -27,21 +31,20 @@ impl<'a> SourceView<'a> {
 impl DataSource for SourceView<'_> {
     fn scan_class(&self, class: ClassId) -> DbResult<Vec<Oid>> {
         // Foreign classes refresh their materialized extent on scan.
-        let adapter_name = self.db.rt.read().foreign_classes.get(&class).cloned();
+        let adapter_name = self.db.rt_read().foreign_classes.read().get(&class).cloned();
         if let Some(name) = adapter_name {
             self.db.refresh_foreign_extent(&name, class)?;
         }
-        let rt = self.db.rt.read();
-        Ok(rt.extents.get(&class).map(|e| e.iter().copied().collect()).unwrap_or_default())
+        Ok(self.db.rt_read().extents.snapshot(class))
     }
 
     fn extent_size(&self, class: ClassId) -> usize {
-        self.db.rt.read().extents.get(&class).map_or(0, |e| e.len())
+        self.db.rt_read().extents.len_of(class)
     }
 
     fn get_attr_value(&self, oid: Oid, attr: u32) -> DbResult<Value> {
         let catalog = self.db.catalog.read();
-        let rt = self.db.rt.read();
+        let rt = self.db.rt_read();
         let record = match self.db.read_record(&rt, &catalog, oid) {
             Some(r) => r,
             None => return Ok(Value::Null), // dangling reference
@@ -58,20 +61,22 @@ impl DataSource for SourceView<'_> {
     }
 
     fn indexes(&self) -> Vec<IndexDef> {
-        self.db.rt.read().indexes.iter().map(|i| i.def.clone()).collect()
+        self.db.rt_read().indexes.read().iter().map(|i| i.def.clone()).collect()
     }
 
     fn index_stats(&self, id: u32) -> (usize, usize) {
-        let rt = self.db.rt.read();
-        rt.indexes
+        let rt = self.db.rt_read();
+        let indexes = rt.indexes.read();
+        indexes
             .iter()
             .find(|i| i.def.id == id)
             .map_or((0, 0), |i| (i.imp.len(), i.imp.distinct_keys()))
     }
 
     fn index_key_bounds(&self, id: u32) -> Option<(Value, Value)> {
-        let rt = self.db.rt.read();
-        rt.indexes.iter().find(|i| i.def.id == id).and_then(|i| i.imp.key_bounds())
+        let rt = self.db.rt_read();
+        let indexes = rt.indexes.read();
+        indexes.iter().find(|i| i.def.id == id).and_then(|i| i.imp.key_bounds())
     }
 
     fn index_lookup_eq(
@@ -80,9 +85,9 @@ impl DataSource for SourceView<'_> {
         key: &Value,
         scope: Option<&[ClassId]>,
     ) -> DbResult<Vec<Oid>> {
-        let rt = self.db.rt.read();
-        let inst = rt
-            .indexes
+        let rt = self.db.rt_read();
+        let indexes = rt.indexes.read();
+        let inst = indexes
             .iter()
             .find(|i| i.def.id == id)
             .ok_or_else(|| DbError::Query(format!("no index with id {id}")))?;
@@ -96,9 +101,9 @@ impl DataSource for SourceView<'_> {
         upper: Bound<&Value>,
         scope: Option<&[ClassId]>,
     ) -> DbResult<Vec<Oid>> {
-        let rt = self.db.rt.read();
-        let inst = rt
-            .indexes
+        let rt = self.db.rt_read();
+        let indexes = rt.indexes.read();
+        let inst = indexes
             .iter()
             .find(|i| i.def.id == id)
             .ok_or_else(|| DbError::Query(format!("no index with id {id}")))?;
@@ -116,11 +121,11 @@ impl Database {
         let catalog = self.catalog.read();
         let resolved = catalog.resolve(class)?;
         let rows = ad.scan(&resolved.name)?;
-        let mut rt = self.rt.write();
-        // Replace the extent wholesale: foreign data is snapshot-consistent.
+        // Decode off-lock, then swap the store and extent in two short
+        // critical sections (the foreign_store guard is a leaf — it is
+        // dropped before the extent lock is touched).
         let mut extent = std::collections::BTreeSet::new();
-        // Drop previous snapshot records of this class.
-        rt.foreign_store.retain(|oid, _| oid.class() != class);
+        let mut fresh: Vec<(Oid, Arc<ObjectRecord>)> = Vec::with_capacity(rows.len());
         for row in rows {
             let serial = row.key & ((1u64 << 48) - 1);
             let oid = Oid::new(class, serial);
@@ -130,10 +135,20 @@ impl Database {
                     attrs.push((attr.id, value));
                 }
             }
-            rt.foreign_store.insert(oid, ObjectRecord::new(oid, resolved.version, attrs));
+            fresh.push((oid, Arc::new(ObjectRecord::new(oid, resolved.version, attrs))));
             extent.insert(oid);
         }
-        rt.extents.insert(class, extent);
+        let rt = self.rt_read();
+        {
+            let mut store = rt.foreign_store.write();
+            // Replace the snapshot wholesale: foreign data is
+            // snapshot-consistent.
+            store.retain(|oid, _| oid.class() != class);
+            for (oid, record) in fresh {
+                store.insert(oid, record);
+            }
+        }
+        rt.extents.replace(class, extent);
         Ok(())
     }
 }

@@ -30,6 +30,42 @@ pub(crate) struct DbMetrics {
     /// Network front-door metrics; `Arc`-shared with any `orion-net`
     /// server built over this database.
     pub net: Arc<NetMetrics>,
+    /// Shared maintenance-gate acquisitions (DML/query/read paths).
+    pub gate_shared: Counter,
+    /// Exclusive maintenance-gate acquisitions (rollback, recovery,
+    /// index DDL, foreign attach).
+    pub gate_exclusive: Counter,
+    /// Time an exclusive gate acquisition waited for shared holders to
+    /// drain — the cost of quiescing the decomposed runtime.
+    pub gate_exclusive_wait: Histogram,
+}
+
+impl DbMetrics {
+    /// A point-in-time copy of the maintenance-gate sinks.
+    pub(crate) fn gate_snapshot(&self) -> GateStats {
+        GateStats {
+            shared_acquisitions: self.gate_shared.get(),
+            exclusive_acquisitions: self.gate_exclusive.get(),
+            exclusive_wait: self.gate_exclusive_wait.snapshot(),
+        }
+    }
+}
+
+/// Maintenance-gate counters, as captured by [`Database::stats`]. The
+/// gate is the `RwLock` around the decomposed runtime: shared for all
+/// normal work, exclusive only for whole-state rebuilds, so a high
+/// exclusive wait means rebuild operations are stalling behind live
+/// traffic (see `crate::runtime` for the lock order).
+///
+/// [`Database::stats`]: crate::Database::stats
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct GateStats {
+    /// Shared acquisitions (DML, queries, reads, stats).
+    pub shared_acquisitions: u64,
+    /// Exclusive acquisitions (rollback, recovery, index DDL, attach).
+    pub exclusive_acquisitions: u64,
+    /// Wait-for-quiescence latency of exclusive acquisitions.
+    pub exclusive_wait: HistogramSnapshot,
 }
 
 /// Live counters for the network front door (`orion-net`). The server
@@ -122,6 +158,8 @@ pub struct DbStats {
     pub locks: LockStats,
     /// Query-executor counters.
     pub exec: ExecSnapshot,
+    /// Maintenance-gate counters (runtime decomposition).
+    pub gate: GateStats,
     /// Objects fetched (decoded) from storage.
     pub fetches: u64,
     /// Late-bound method dispatches.
@@ -296,6 +334,24 @@ impl DbStats {
             "orion_exec_last_parallelism",
             "Worker threads used by the most recent execution",
             self.exec.last_parallelism,
+        );
+        render::counter(
+            &mut out,
+            "orion_gate_shared_acquisitions_total",
+            "Shared maintenance-gate acquisitions",
+            self.gate.shared_acquisitions,
+        );
+        render::counter(
+            &mut out,
+            "orion_gate_exclusive_acquisitions_total",
+            "Exclusive maintenance-gate acquisitions (rebuilds)",
+            self.gate.exclusive_acquisitions,
+        );
+        render::histogram(
+            &mut out,
+            "orion_gate_exclusive_wait_seconds",
+            "Exclusive gate wait for shared holders to drain",
+            &self.gate.exclusive_wait,
         );
         render::counter(
             &mut out,

@@ -60,20 +60,20 @@ impl Database {
     ) -> DbResult<()> {
         debug_assert!(sysattr::is_reserved(attr));
         let catalog = self.catalog.read();
-        let mut rt = self.rt.write();
-        let mut record = self.load_record(&mut rt, &catalog, oid)?;
+        let rt = self.rt_read();
+        let mut record = (*self.load_record(&rt, &catalog, oid)?).clone();
         let old = record.get(attr).cloned().unwrap_or(Value::Null);
-        self.remove_reverse_edges_for_attr(&mut rt, oid, attr, &old);
+        self.remove_reverse_edges_for_attr(&rt, oid, attr, &old);
         record.set(attr, value.clone());
-        self.store_record(&mut rt, tx, &record)?;
-        self.add_reverse_edges_for_attr(&mut rt, oid, attr, &value);
+        self.store_record(&rt, tx, &record)?;
+        self.add_reverse_edges_for_attr(&rt, oid, attr, &value);
         Ok(())
     }
 
     fn system_attr(&self, oid: Oid, attr: u32) -> DbResult<Value> {
         let catalog = self.catalog.read();
-        let mut rt = self.rt.write();
-        let record = self.load_record(&mut rt, &catalog, oid)?;
+        let rt = self.rt_read();
+        let record = self.load_record(&rt, &catalog, oid)?;
         Ok(record.get(attr).cloned().unwrap_or(Value::Null))
     }
 
@@ -112,9 +112,9 @@ impl Database {
         };
         // Copy user attributes from the source version.
         let catalog = self.catalog.read();
-        let source_record: ObjectRecord = {
-            let mut rt = self.rt.write();
-            self.load_record(&mut rt, &catalog, from)?
+        let source_record: std::sync::Arc<ObjectRecord> = {
+            let rt = self.rt_read();
+            self.load_record(&rt, &catalog, from)?
         };
         let class_name = catalog.resolve(from.class())?.name.clone();
         drop(catalog);
@@ -124,10 +124,10 @@ impl Database {
         // when the source stored them).
         {
             let catalog = self.catalog.read();
-            let mut rt = self.rt.write();
-            let old_record = self.load_record(&mut rt, &catalog, new_version)?;
+            let rt = self.rt_read();
+            let old_record = self.load_record(&rt, &catalog, new_version)?;
             let resolved = catalog.resolve(new_version.class())?;
-            let mut record = old_record.clone();
+            let mut record = (*old_record).clone();
             for (attr_id, value) in &source_record.attrs {
                 if sysattr::is_reserved(*attr_id) {
                     continue;
@@ -141,11 +141,11 @@ impl Database {
                 }
                 record.set(*attr_id, value.clone());
             }
-            self.index_object_remove(&mut rt, &catalog, &old_record)?;
-            self.remove_reverse_edges(&mut rt, &old_record);
-            self.store_record(&mut rt, tx, &record)?;
-            self.add_reverse_edges(&mut rt, &record);
-            self.index_object_insert(&mut rt, &catalog, &record)?;
+            self.index_object_remove(&rt, &catalog, &old_record)?;
+            self.remove_reverse_edges(&rt, &old_record);
+            self.store_record(&rt, tx, &record)?;
+            self.add_reverse_edges(&rt, &record);
+            self.index_object_insert(&rt, &catalog, &record)?;
         }
         self.set_system_attr(tx, new_version, sysattr::ATTR_GENERIC, Value::Ref(generic))?;
         self.set_system_attr(tx, new_version, sysattr::ATTR_VERSION_PARENT, Value::Ref(from))?;
@@ -226,15 +226,15 @@ impl Database {
 
     /// Every version of a generic object, in OID order.
     pub fn versions_of(&self, generic: Oid) -> DbResult<Vec<Oid>> {
-        let rt = self.rt.read();
-        let mut out: Vec<Oid> = rt
-            .reverse
-            .get(&generic)
-            .into_iter()
-            .flatten()
-            .filter(|(_, attr)| *attr == sysattr::ATTR_GENERIC)
-            .map(|(v, _)| *v)
-            .collect();
+        let rt = self.rt_read();
+        let mut out: Vec<Oid> = rt.reverse.with(generic, |edges| {
+            edges
+                .into_iter()
+                .flatten()
+                .filter(|(_, attr)| *attr == sysattr::ATTR_GENERIC)
+                .map(|(v, _)| *v)
+                .collect()
+        });
         out.sort();
         Ok(out)
     }

@@ -20,9 +20,10 @@ use std::time::{Duration, Instant};
 /// realistic query result, small enough to bound per-connection memory.
 pub const MAX_FRAME: usize = 16 * 1024 * 1024;
 
-/// The poll granularity of [`read_frame_polling`]: how often a blocked
-/// read wakes to check the shutdown flag and idle deadline.
-pub(crate) const POLL_INTERVAL: Duration = Duration::from_millis(50);
+/// Default poll granularity of [`read_frame_polling`]: how often a
+/// blocked read wakes to check the shutdown flag and idle deadline.
+/// Overridable per server via `ServerConfig::frame_poll_interval`.
+pub const DEFAULT_POLL_INTERVAL: Duration = Duration::from_millis(50);
 
 /// Write one frame (length prefix + payload) and flush.
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
@@ -69,20 +70,21 @@ pub enum ReadOutcome {
     Shutdown,
 }
 
-/// Read one frame from `stream`, waking every [`POLL_INTERVAL`] to
-/// check `shutdown` and the two deadlines: `idle_timeout` bounds the
-/// wait for a frame to *start* (session eviction), `read_timeout`
-/// bounds mid-frame stalls (a peer that sent half a message). I/O
-/// errors other than timeout are mapped to [`ReadOutcome::Eof`]-like
-/// termination by the caller via `Err`.
+/// Read one frame from `stream`, waking every `poll_interval` to check
+/// `shutdown` and the two deadlines: `idle_timeout` bounds the wait for
+/// a frame to *start* (session eviction), `read_timeout` bounds
+/// mid-frame stalls (a peer that sent half a message). I/O errors other
+/// than timeout are mapped to [`ReadOutcome::Eof`]-like termination by
+/// the caller via `Err`.
 pub fn read_frame_polling(
     stream: &mut TcpStream,
     max_frame: usize,
     idle_timeout: Duration,
     read_timeout: Duration,
+    poll_interval: Duration,
     shutdown: &AtomicBool,
 ) -> std::io::Result<ReadOutcome> {
-    stream.set_read_timeout(Some(POLL_INTERVAL))?;
+    stream.set_read_timeout(Some(poll_interval))?;
     let started = Instant::now();
     let mut len_buf = [0u8; 4];
     let mut got = 0usize;

@@ -49,6 +49,16 @@ pub struct ServerConfig {
     pub idle_timeout: Duration,
     /// Maximum frame payload accepted from a client.
     pub max_frame: usize,
+    /// How often a blocked frame read wakes to check the shutdown flag
+    /// and the idle/stall deadlines. Smaller values make shutdown and
+    /// eviction more responsive at the cost of idle wakeups; it must
+    /// not exceed `read_timeout` or `idle_timeout`, or those deadlines
+    /// would be quantized past their configured values.
+    pub frame_poll_interval: Duration,
+    /// How long an idle worker sleeps on the accept-queue condvar
+    /// before re-checking the shutdown flag (bounds shutdown latency
+    /// for workers with no connection to serve).
+    pub queue_poll_interval: Duration,
 }
 
 impl Default for ServerConfig {
@@ -60,6 +70,8 @@ impl Default for ServerConfig {
             write_timeout: Duration::from_secs(5),
             idle_timeout: Duration::from_secs(60),
             max_frame: frame::MAX_FRAME,
+            frame_poll_interval: frame::DEFAULT_POLL_INTERVAL,
+            queue_poll_interval: Duration::from_millis(100),
         }
     }
 }
@@ -80,6 +92,16 @@ impl ServerConfig {
         }
         if self.max_frame == 0 {
             return Err(DbError::Config("server max_frame must be nonzero".into()));
+        }
+        if self.frame_poll_interval.is_zero() || self.queue_poll_interval.is_zero() {
+            return Err(DbError::Config("server poll intervals must be nonzero".into()));
+        }
+        if self.frame_poll_interval > self.read_timeout
+            || self.frame_poll_interval > self.idle_timeout
+        {
+            return Err(DbError::Config(
+                "frame_poll_interval must not exceed read_timeout or idle_timeout".into(),
+            ));
         }
         Ok(())
     }
@@ -249,7 +271,7 @@ fn worker_loop(shared: &Shared) {
                 }
                 let (q, _) = shared
                     .queue_cv
-                    .wait_timeout(queue, Duration::from_millis(100))
+                    .wait_timeout(queue, shared.config.queue_poll_interval)
                     .expect("accept queue poisoned");
                 queue = q;
             }
@@ -278,6 +300,7 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
         shared.config.max_frame,
         shared.config.idle_timeout,
         shared.config.read_timeout,
+        shared.config.frame_poll_interval,
         &shared.shutdown,
     ) {
         let payload = match outcome {

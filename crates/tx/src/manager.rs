@@ -261,6 +261,27 @@ impl LockManager {
         self.state.lock().granted.len()
     }
 
+    /// Sizes of the three internal tables, `(granted targets, holding
+    /// transactions, waiting transactions)` — hygiene diagnostics: after
+    /// every transaction has ended (commit, abort, or deadlock-victim
+    /// abort), all three must be zero or the table is leaking entries.
+    pub fn table_sizes(&self) -> (usize, usize, usize) {
+        let state = self.state.lock();
+        (state.granted.len(), state.held.len(), state.waits_for.len())
+    }
+
+    /// Do the internal tables hold any trace of `txn`? Used by tests to
+    /// prove `release_all` is complete: a transaction that ended must
+    /// not linger in `granted`, `held`, or `waits_for` — including as a
+    /// *wait-edge target* inside another transaction's entry.
+    pub fn knows_txn(&self, txn: u64) -> bool {
+        let state = self.state.lock();
+        state.held.contains_key(&txn)
+            || state.waits_for.contains_key(&txn)
+            || state.granted.values().any(|holders| holders.contains_key(&txn))
+            || state.waits_for.values().any(|targets| targets.contains(&txn))
+    }
+
     // ------------------------------------------------------------------
     // Protocol helpers: the granularity hierarchy
     // ------------------------------------------------------------------
@@ -494,6 +515,51 @@ mod tests {
         lm.lock_object_write(1, oid(1, 1)).unwrap();
         assert!(!lm.try_acquire(2, LockTarget::Object(oid(1, 1)), LockMode::X).unwrap());
         assert!(lm.try_acquire(2, LockTarget::Object(oid(1, 2)), LockMode::X).unwrap());
+    }
+
+    /// Table hygiene: whatever way a transaction ends — plain release
+    /// after commit, release after a timeout, or release as a deadlock
+    /// victim — `release_all` must leave no trace of it in `granted`,
+    /// `held`, or `waits_for`.
+    #[test]
+    fn release_all_leaves_no_stale_entries() {
+        let lm = Arc::new(LockManager::with_timeout(Duration::from_millis(50)));
+
+        // 1. Plain commit path.
+        lm.lock_object_write(1, oid(1, 1)).unwrap();
+        lm.lock_class_read(1, ClassId(9)).unwrap();
+        lm.release_all(1);
+        assert!(!lm.knows_txn(1), "committed txn lingers in the table");
+        assert_eq!(lm.table_sizes(), (0, 0, 0));
+
+        // 2. Timed-out waiter: its wait edges must not outlive it.
+        lm.lock_object_write(2, oid(1, 1)).unwrap();
+        let err = lm.lock_object_write(3, oid(1, 1)).unwrap_err();
+        assert!(matches!(err, DbError::LockTimeout { .. }));
+        lm.release_all(3);
+        assert!(!lm.knows_txn(3), "timed-out txn lingers in the table");
+        lm.release_all(2);
+        assert_eq!(lm.table_sizes(), (0, 0, 0));
+
+        // 3. Deadlock victim: the victim's abort must clear both its
+        // grants and its wait edges; the survivor then completes.
+        let a = oid(2, 1);
+        let b = oid(2, 2);
+        lm.lock_object_write(10, a).unwrap();
+        lm.lock_object_write(11, b).unwrap();
+        let lm2 = Arc::clone(&lm);
+        let t = std::thread::spawn(move || lm2.lock_object_write(10, b));
+        std::thread::sleep(Duration::from_millis(10));
+        let err = lm.lock_object_write(11, a).unwrap_err();
+        assert!(matches!(err, DbError::Deadlock { victim: 11 }));
+        lm.release_all(11);
+        // The survivor's `waits_for` edge pointing at the victim is only
+        // refreshed when the survivor wakes, so assert after it is granted.
+        t.join().unwrap().unwrap();
+        assert!(!lm.knows_txn(11), "deadlock victim lingers in the table");
+        lm.release_all(10);
+        assert!(!lm.knows_txn(10));
+        assert_eq!(lm.table_sizes(), (0, 0, 0), "quiescent table is empty");
     }
 
     #[test]

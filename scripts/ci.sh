@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # The full local CI gate: release build, test suite, lint (clippy with
 # warnings-as-errors, which also blocks internal use of deprecated
-# APIs), the client/server integration tests, and two bench smoke runs:
+# APIs), the client/server integration tests, a release-mode
+# concurrency stress run (the #[ignore]d elevated-thread-count test in
+# tests/concurrency.rs), and two bench smoke runs:
 # parallel_query regenerates BENCH_parallel_query.json (its
 # instrumentation-overhead measurement must stay within the 5% budget)
 # and net_throughput --smoke regenerates BENCH_net.json (a ~2 second
@@ -17,6 +19,9 @@ cargo test -q
 
 echo "==> net integration tests"
 cargo test -q -p orion-net --test net_integration
+
+echo "==> concurrency stress (release, elevated thread count)"
+cargo test -q --release --test concurrency -- --ignored
 
 echo "==> scripts/lint.sh"
 scripts/lint.sh
