@@ -901,7 +901,7 @@ fn e13() {
         // One in-flight loser at crash time.
         let tx = db.begin();
         db.create_object(&tx, &f.leaf_classes[0], vec![("weight", Value::Int(-1))]).unwrap();
-        db.engine().wal().flush();
+        db.engine().wal().flush().unwrap();
         std::mem::forget(tx);
         let log_bytes = db.engine().wal().stable_len();
         let (d, ()) = time(|| db.crash_and_recover().unwrap());

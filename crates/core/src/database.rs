@@ -323,6 +323,8 @@ impl Database {
             fetches,
             method_calls: self.metrics.method_calls.get(),
             net: self.metrics.net.snapshot(),
+            fault: self.engine.fault_stats(),
+            recovery: self.engine.recovery_stats(),
         }
     }
 
@@ -402,15 +404,24 @@ impl Database {
     }
 
     /// Commit: force the log, then release locks (strict 2PL).
+    ///
+    /// Locks are released even when the log force fails (an injected
+    /// partial flush leaves the commit in doubt) — the transaction is
+    /// over either way, and holding its locks forever would wedge every
+    /// later transaction touching the same objects.
     pub fn commit(&self, tx: Tx) -> DbResult<()> {
-        self.engine.commit(tx.storage)?;
+        let result = self.engine.commit(tx.storage);
         self.locks.release_all(tx.id());
-        Ok(())
+        result
     }
 
     /// Roll back: undo storage, rebuild derived state, release locks.
+    ///
+    /// Locks are released even when the undo or rebuild fails mid-way
+    /// (an injected fault): the transaction cannot continue, and the
+    /// caller is expected to `crash_and_recover` to restore consistency.
     pub fn rollback(&self, tx: Tx) -> DbResult<()> {
-        {
+        let result = (|| {
             // Lock order is catalog before the gate, everywhere: the
             // rebuild may install a persisted catalog snapshot. The
             // exclusive gate waits out all in-flight shared work, so
@@ -418,10 +429,10 @@ impl Database {
             let mut catalog = self.catalog.write();
             let rt = self.rt_write();
             self.engine.abort(tx.storage)?;
-            self.rebuild_runtime(&mut catalog, &rt)?;
-        }
+            self.rebuild_runtime(&mut catalog, &rt)
+        })();
         self.locks.release_all(tx.id());
-        Ok(())
+        result
     }
 
     /// Simulate a crash (volatile state lost) and run restart recovery.
@@ -438,6 +449,24 @@ impl Database {
     /// Quiescent checkpoint (no active transactions).
     pub fn checkpoint(&self) -> DbResult<()> {
         self.engine.checkpoint()
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection (chaos testing)
+    // ------------------------------------------------------------------
+
+    /// Install a deterministic fault plan into the storage layer: the
+    /// disk and the WAL start failing, tearing, and rotting according
+    /// to `plan`'s seeded triggers. Counters appear under
+    /// [`DbStats::fault`]. Replaces any previously installed plan.
+    pub fn install_faults(&self, plan: orion_storage::FaultPlan) {
+        self.engine.install_faults(plan);
+    }
+
+    /// Remove any installed fault plan; subsequent I/O is clean. The
+    /// cumulative fault counters are retained.
+    pub fn clear_faults(&self) {
+        self.engine.clear_faults();
     }
 
     // ------------------------------------------------------------------

@@ -49,6 +49,9 @@ pub use versions::VersionStatus;
 pub use orion_index::{IndexDef, IndexKind};
 pub use orion_query::{AccessPath, ExecSnapshot, ExplainReport, QueryResult, RunStats};
 pub use orion_schema::{AttrSpec, SchemaChange};
-pub use orion_storage::{DiskStats, PoolStats, WalStats};
+pub use orion_storage::{
+    DiskStats, FaultKind, FaultPlan, FaultSite, FaultStats, PoolStats, RecoveryStats, Trigger,
+    WalStats,
+};
 pub use orion_tx::LockStats;
 pub use orion_types::{ClassId, DbError, DbResult, Domain, Oid, PrimitiveType, Value};

@@ -14,7 +14,7 @@
 use crate::cache::CacheStats;
 use orion_obs::{render, Counter, Gauge, Histogram, HistogramSnapshot};
 use orion_query::{ExecMetrics, ExecSnapshot};
-use orion_storage::{DiskStats, PoolStats, WalStats};
+use orion_storage::{DiskStats, FaultStats, PoolStats, RecoveryStats, WalStats};
 use orion_tx::LockStats;
 use std::sync::Arc;
 
@@ -166,6 +166,10 @@ pub struct DbStats {
     pub method_calls: u64,
     /// Network front-door counters (zero when no server is attached).
     pub net: NetStats,
+    /// Injected-fault counters (zero unless a fault plan is installed).
+    pub fault: FaultStats,
+    /// Recovery-outcome counters (runs, failures, pages repaired).
+    pub recovery: RecoveryStats,
 }
 
 impl DbStats {
@@ -256,6 +260,60 @@ impl DbStats {
             "orion_wal_flush_latency_seconds",
             "WAL flush latency",
             &self.wal.flush_latency,
+        );
+        render::counter(
+            &mut out,
+            "orion_wal_torn_tail_truncations_total",
+            "Torn WAL tails truncated at recovery (end-of-log discipline)",
+            self.wal.torn_tail_truncations,
+        );
+        render::counter(
+            &mut out,
+            "orion_fault_read_errors_total",
+            "Injected page-read I/O errors",
+            self.fault.read_errors,
+        );
+        render::counter(
+            &mut out,
+            "orion_fault_write_errors_total",
+            "Injected page-write I/O errors",
+            self.fault.write_errors,
+        );
+        render::counter(
+            &mut out,
+            "orion_fault_torn_writes_total",
+            "Injected torn page writes (prefix persisted)",
+            self.fault.torn_writes,
+        );
+        render::counter(
+            &mut out,
+            "orion_fault_bit_flips_total",
+            "Injected stored-page bit flips",
+            self.fault.bit_flips,
+        );
+        render::counter(
+            &mut out,
+            "orion_fault_partial_flushes_total",
+            "Injected partial WAL flushes",
+            self.fault.partial_flushes,
+        );
+        render::counter(
+            &mut out,
+            "orion_recovery_completed_total",
+            "Restart recoveries that completed",
+            self.recovery.completed,
+        );
+        render::counter(
+            &mut out,
+            "orion_recovery_failed_total",
+            "Restart recoveries that failed with an error",
+            self.recovery.failed,
+        );
+        render::counter(
+            &mut out,
+            "orion_recovery_pages_repaired_total",
+            "Corrupt pages rebuilt by log replay during recovery",
+            self.recovery.pages_repaired,
         );
         render::counter(
             &mut out,

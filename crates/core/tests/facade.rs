@@ -157,7 +157,7 @@ fn crash_recovery_preserves_committed_objects() {
     // An uncommitted transaction in flight at the crash.
     let tx = db.begin();
     let doomed = db.create_object(&tx, "Truck", vec![("weight", Value::Int(1))]).unwrap();
-    db.engine().wal().flush();
+    db.engine().wal().flush().unwrap();
     std::mem::forget(tx); // simulate an in-flight txn at crash time
     db.crash_and_recover().unwrap();
 

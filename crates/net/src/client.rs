@@ -6,8 +6,10 @@
 //! `request_timeout`, and transport failures surface as
 //! [`DbError::Net`]. With `reconnect` enabled, a dead connection is
 //! re-dialed transparently and *idempotent read-only* requests are
-//! retried once; writes and anything inside an explicit transaction
-//! never retry (the first attempt may have taken effect server-side).
+//! retried under a configurable [`RetryPolicy`] (bounded attempts,
+//! exponential backoff with deterministic jitter); writes and anything
+//! inside an explicit transaction never retry (the first attempt may
+//! have taken effect server-side).
 
 use crate::frame::{self, read_frame, write_frame};
 use crate::wire::{Request, Response, WorkspaceEntry};
@@ -17,6 +19,57 @@ use std::io::BufWriter;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
+/// Retry schedule for idempotent reads over a flaky transport:
+/// exponential backoff from `base_backoff`, capped at `max_backoff`,
+/// shrunk by up to `jitter` deterministically (a hash of the attempt
+/// and a per-client salt stands in for randomness, so two clients that
+/// fail together do not retry in lockstep but a given client's
+/// schedule is reproducible).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (1 = never retry).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles each further retry.
+    pub base_backoff: Duration,
+    /// Ceiling on any single backoff.
+    pub max_backoff: Duration,
+    /// Fraction of each backoff subject to jitter, in `[0, 1]`.
+    pub jitter: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_secs(1),
+            jitter: 0.5,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries.
+    pub fn none() -> Self {
+        RetryPolicy { max_attempts: 1, ..RetryPolicy::default() }
+    }
+
+    /// The pause before retry number `retry` (1-based). Pure: the same
+    /// `(retry, salt)` always yields the same delay, which is the
+    /// exponential backoff scaled down by up to `jitter`.
+    pub fn delay(&self, retry: u32, salt: u64) -> Duration {
+        let exp = self.base_backoff.saturating_mul(1u32 << retry.saturating_sub(1).min(20));
+        let capped = exp.min(self.max_backoff);
+        let jitter = self.jitter.clamp(0.0, 1.0);
+        // splitmix64 of (salt, retry) → a uniform fraction in [0, 1).
+        let mut h = salt ^ (u64::from(retry).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        let frac = ((h ^ (h >> 31)) >> 11) as f64 / (1u64 << 53) as f64;
+        capped.mul_f64(1.0 - jitter * frac)
+    }
+}
+
 /// Tuning knobs for [`Client`].
 #[derive(Debug, Clone)]
 pub struct ClientConfig {
@@ -24,8 +77,11 @@ pub struct ClientConfig {
     pub connect_timeout: Duration,
     /// How long to wait for each response.
     pub request_timeout: Duration,
-    /// Re-dial a dead connection and retry idempotent reads once.
+    /// Re-dial a dead connection and retry idempotent reads under
+    /// `retry`. Disabling this also disables all retries.
     pub reconnect: bool,
+    /// Backoff schedule for those retries.
+    pub retry: RetryPolicy,
     /// Maximum frame payload accepted from the server.
     pub max_frame: usize,
     /// Authorization principal for the session (None = system).
@@ -38,6 +94,7 @@ impl Default for ClientConfig {
             connect_timeout: Duration::from_secs(5),
             request_timeout: Duration::from_secs(30),
             reconnect: true,
+            retry: RetryPolicy::default(),
             max_frame: frame::MAX_FRAME,
             principal: None,
         }
@@ -102,7 +159,7 @@ impl Client {
     }
 
     /// Send one request and decode one response, reconnecting and
-    /// retrying once when that is safe.
+    /// retrying under the configured [`RetryPolicy`] when that is safe.
     fn request(&mut self, request: &Request) -> DbResult<Response> {
         if self.conn.is_none() {
             if !self.config.reconnect {
@@ -111,22 +168,34 @@ impl Client {
             self.in_tx = false; // the old session (and its tx) is gone
             self.dial()?;
         }
-        match exchange(&mut self.conn, &self.config, request) {
-            Err(DbError::Net(first)) if self.may_retry(request) => {
-                self.conn = None;
-                self.dial().map_err(|e| {
-                    DbError::Net(format!("{first}; reconnect failed: {e}"))
-                })?;
-                exchange(&mut self.conn, &self.config, request)
+        let mut last = match exchange(&mut self.conn, &self.config, request) {
+            Err(DbError::Net(first)) if self.may_retry(request) => first,
+            other => return other,
+        };
+        let policy = self.config.retry;
+        let salt = u64::from(self.addr.port());
+        for retry in 1..policy.max_attempts {
+            std::thread::sleep(policy.delay(retry, salt));
+            if let Err(e) = self.dial() {
+                last = format!("{last}; reconnect failed: {e}");
+                continue;
             }
-            other => other,
+            match exchange(&mut self.conn, &self.config, request) {
+                Err(DbError::Net(next)) => last = next,
+                other => return other,
+            }
         }
+        Err(DbError::Net(format!(
+            "request failed after {} attempts: {last}",
+            policy.max_attempts
+        )))
     }
 
     /// A retry is safe only for idempotent read-only requests outside
     /// an explicit transaction.
     fn may_retry(&self, request: &Request) -> bool {
         self.config.reconnect
+            && self.config.retry.max_attempts > 1
             && !self.in_tx
             && matches!(
                 request,
@@ -320,4 +389,49 @@ fn exchange(
 
 fn unexpected(wanted: &str, got: &Response) -> DbError {
     DbError::Protocol(format!("expected {wanted} response, got {got:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delay_is_deterministic_and_jittered_within_bounds() {
+        let p = RetryPolicy::default();
+        for retry in 1..6u32 {
+            let d1 = p.delay(retry, 42);
+            let d2 = p.delay(retry, 42);
+            assert_eq!(d1, d2, "same (retry, salt) gives the same delay");
+            let full = p.base_backoff.saturating_mul(1 << (retry - 1)).min(p.max_backoff);
+            assert!(d1 <= full, "jitter only shrinks the backoff");
+            assert!(d1 >= full.mul_f64(1.0 - p.jitter), "jitter is bounded by the policy");
+        }
+        assert_ne!(p.delay(1, 1), p.delay(1, 2), "different salts de-synchronize clients");
+    }
+
+    #[test]
+    fn delay_grows_exponentially_then_caps() {
+        let p = RetryPolicy {
+            max_attempts: 10,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(80),
+            jitter: 0.0,
+        };
+        let delays: Vec<Duration> = (1..8).map(|r| p.delay(r, 0)).collect();
+        assert_eq!(delays[0], Duration::from_millis(10));
+        assert_eq!(delays[1], Duration::from_millis(20));
+        assert_eq!(delays[2], Duration::from_millis(40));
+        assert!(delays[3..].iter().all(|d| *d == Duration::from_millis(80)), "{delays:?}");
+    }
+
+    #[test]
+    fn none_policy_disables_retries() {
+        assert_eq!(RetryPolicy::none().max_attempts, 1);
+    }
+
+    #[test]
+    fn huge_retry_counts_do_not_overflow() {
+        let p = RetryPolicy { max_attempts: u32::MAX, jitter: 0.0, ..RetryPolicy::default() };
+        assert_eq!(p.delay(u32::MAX, 7), p.max_backoff);
+    }
 }

@@ -32,6 +32,6 @@ pub mod frame;
 pub mod server;
 pub mod wire;
 
-pub use client::{Client, ClientConfig};
+pub use client::{Client, ClientConfig, RetryPolicy};
 pub use server::{Server, ServerConfig};
 pub use wire::{Request, Response, WorkspaceEntry};

@@ -18,21 +18,28 @@
 //! Shutdown is graceful: workers notice the flag only *between*
 //! requests (the polling read), so every in-flight request finishes and
 //! its response reaches the client before the socket closes.
+//!
+//! Workers are panic-safe: each session runs under `catch_unwind`, and
+//! the accept queue uses non-poisoning locks, so a handler that panics
+//! costs one connection (its transaction rolls back, the client gets an
+//! `Internal` error) — never a worker thread or the whole pool.
 
 use crate::frame::{self, read_frame_polling, ReadOutcome};
 use crate::wire::{Request, Response};
 use orion_core::{Database, DbError, DbResult, NetMetrics, Tx};
+use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Tuning knobs for [`Server`]. The defaults suit tests and small
 /// deployments; production raises `workers` to the expected concurrent
 /// client count.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ServerConfig {
     /// Worker threads = maximum concurrent sessions.
     pub workers: usize,
@@ -59,6 +66,29 @@ pub struct ServerConfig {
     /// before re-checking the shutdown flag (bounds shutdown latency
     /// for workers with no connection to serve).
     pub queue_poll_interval: Duration,
+    /// Observation hook invoked with every decoded request before
+    /// dispatch. A fault-injection seam for tests (a panicking hook
+    /// exercises the worker's panic isolation); `None` in production.
+    pub request_hook: Option<RequestHook>,
+}
+
+/// Shape of [`ServerConfig::request_hook`].
+pub type RequestHook = Arc<dyn Fn(&Request) + Send + Sync>;
+
+impl std::fmt::Debug for ServerConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerConfig")
+            .field("workers", &self.workers)
+            .field("accept_queue", &self.accept_queue)
+            .field("read_timeout", &self.read_timeout)
+            .field("write_timeout", &self.write_timeout)
+            .field("idle_timeout", &self.idle_timeout)
+            .field("max_frame", &self.max_frame)
+            .field("frame_poll_interval", &self.frame_poll_interval)
+            .field("queue_poll_interval", &self.queue_poll_interval)
+            .field("request_hook", &self.request_hook.as_ref().map(|_| "<fn>"))
+            .finish()
+    }
 }
 
 impl Default for ServerConfig {
@@ -72,6 +102,7 @@ impl Default for ServerConfig {
             max_frame: frame::MAX_FRAME,
             frame_poll_interval: frame::DEFAULT_POLL_INTERVAL,
             queue_poll_interval: Duration::from_millis(100),
+            request_hook: None,
         }
     }
 }
@@ -239,7 +270,7 @@ fn acceptor_loop(listener: &TcpListener, shared: &Shared) {
         if shared.shutdown.load(Ordering::Acquire) {
             return;
         }
-        let mut queue = shared.queue.lock().expect("accept queue poisoned");
+        let mut queue = shared.queue.lock();
         if queue.len() >= shared.config.accept_queue {
             drop(queue);
             shared.metrics.busy_rejections.inc();
@@ -261,7 +292,7 @@ fn reject_busy(mut stream: TcpStream, shared: &Shared) {
 fn worker_loop(shared: &Shared) {
     loop {
         let stream = {
-            let mut queue = shared.queue.lock().expect("accept queue poisoned");
+            let mut queue = shared.queue.lock();
             loop {
                 if let Some(stream) = queue.pop_front() {
                     break Some(stream);
@@ -269,11 +300,7 @@ fn worker_loop(shared: &Shared) {
                 if shared.shutdown.load(Ordering::Acquire) {
                     break None;
                 }
-                let (q, _) = shared
-                    .queue_cv
-                    .wait_timeout(queue, shared.config.queue_poll_interval)
-                    .expect("accept queue poisoned");
-                queue = q;
+                shared.queue_cv.wait_for(&mut queue, shared.config.queue_poll_interval);
             }
         };
         let Some(stream) = stream else { return };
@@ -294,9 +321,26 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
     let mut session = Session { principal: None, tx: None };
+    // Panic isolation: a panicking handler costs this one connection,
+    // never the worker thread. The session lives outside the unwind
+    // boundary so its open transaction still rolls back below.
+    let outcome =
+        catch_unwind(AssertUnwindSafe(|| session_loop(&mut stream, shared, &mut session)));
+    if outcome.is_err() {
+        shared.metrics.errors.inc();
+        let reply = Response::Err(DbError::Internal("request handler panicked".into()));
+        let _ = frame::write_frame(&mut stream, &reply.encode());
+    }
+    // The session is over; its locks must not outlive it.
+    if let Some(tx) = session.tx.take() {
+        let _ = shared.db.rollback(tx);
+    }
+}
+
+fn session_loop(stream: &mut TcpStream, shared: &Shared, session: &mut Session) {
     let mut handshaken = false;
     while let Ok(outcome) = read_frame_polling(
-        &mut stream,
+        stream,
         shared.config.max_frame,
         shared.config.idle_timeout,
         shared.config.read_timeout,
@@ -314,20 +358,21 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
         shared.metrics.requests.inc();
         let started = Instant::now();
         let response = match Request::decode(&payload) {
-            Ok(request) => dispatch(shared, &mut session, &mut handshaken, request),
+            Ok(request) => {
+                if let Some(hook) = shared.config.request_hook.as_ref() {
+                    hook(&request);
+                }
+                dispatch(shared, session, &mut handshaken, request)
+            }
             Err(e) => Response::Err(e),
         };
         shared.metrics.request_latency.observe(started.elapsed());
         if matches!(response, Response::Err(_)) {
             shared.metrics.errors.inc();
         }
-        if frame::write_frame(&mut stream, &response.encode()).is_err() {
+        if frame::write_frame(stream, &response.encode()).is_err() {
             break;
         }
-    }
-    // The session is over; its locks must not outlive it.
-    if let Some(tx) = session.tx.take() {
-        let _ = shared.db.rollback(tx);
     }
 }
 

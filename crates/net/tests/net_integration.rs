@@ -353,3 +353,56 @@ fn full_session_ddl_dml_checkout_checkin_over_the_wire() {
     server.shutdown();
     assert_eq!(db.stats().net.connections, 0, "gauge returns to zero after shutdown");
 }
+
+#[test]
+fn panicking_handler_does_not_kill_the_worker_pool() {
+    let (db, vehicle) = fleet_db(DbConfig::default());
+    // A request hook that panics on Get: the panic unwinds out of the
+    // session mid-dispatch, exactly like a handler bug would.
+    let config = ServerConfig {
+        workers: 2,
+        request_hook: Some(Arc::new(|request: &Request| {
+            if matches!(request, Request::Get { .. }) {
+                panic!("injected handler panic");
+            }
+        })),
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(Arc::clone(&db), "127.0.0.1:0", config).unwrap();
+    let addr = server.local_addr();
+
+    // Blow up more sessions than there are workers. Each panic costs
+    // only that connection; with poisoning (or without catch_unwind)
+    // the second worker death would hang every later connect.
+    for _ in 0..3 {
+        let mut client = Client::connect_with(
+            addr,
+            ClientConfig { reconnect: false, ..ClientConfig::default() },
+        )
+        .unwrap();
+        let err = client.get(vehicle, "weight").unwrap_err();
+        match err {
+            DbError::Internal(msg) => assert!(msg.contains("panicked"), "{msg}"),
+            DbError::Net(_) => {} // connection died before the reply: also acceptable
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    // The pool still serves: fresh sessions run non-Get requests fine.
+    for _ in 0..3 {
+        let mut client = Client::connect(addr).unwrap();
+        client.ping().unwrap();
+        assert!(!client.query(FIG1_QUERY).unwrap().oids.is_empty());
+    }
+    // And an open transaction interrupted by a panic rolled back: no
+    // locks are stuck (a write to the same object succeeds promptly).
+    let mut client = Client::connect(addr).unwrap();
+    client.begin().unwrap();
+    let err = client.get(vehicle, "weight").unwrap_err();
+    assert!(matches!(err, DbError::Internal(_) | DbError::Net(_)), "{err:?}");
+    drop(client);
+    let tx = db.begin();
+    db.set(&tx, vehicle, "weight", Value::Int(4321)).unwrap();
+    db.commit(tx).unwrap();
+    server.shutdown();
+}

@@ -86,7 +86,7 @@ impl BufferPool {
 
     fn write_back(&self, frame: &Frame) -> DbResult<()> {
         if let Some(wal) = &self.wal {
-            wal.flush_to(Lsn(slotted::page_lsn(&frame.data[..])));
+            wal.flush_to(Lsn(slotted::page_lsn(&frame.data[..])))?;
         }
         self.disk.write(frame.pid, &frame.data)?;
         self.writebacks.fetch_add(1, Ordering::Relaxed);
@@ -158,13 +158,53 @@ impl BufferPool {
         Ok(pid)
     }
 
+    /// Replace a page the disk reports as corrupt with a freshly
+    /// initialized slotted page, installed *dirty* in the pool without
+    /// reading the damaged bytes. Recovery calls this before replaying
+    /// the log: redo then rebuilds the page's contents from history
+    /// (page-LSN guards start from zero, so every record re-applies).
+    pub fn repair_page(&self, pid: PageId) -> DbResult<()> {
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        let mut data = Box::new([0u8; PAGE_SIZE]);
+        slotted::init(&mut data[..]);
+        if let Some(&idx) = inner.map.get(&pid) {
+            inner.frames[idx] = Frame { pid, data, dirty: true, last_used: tick };
+            return Ok(());
+        }
+        if inner.frames.len() >= self.capacity {
+            let victim = inner
+                .frames
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, f)| f.last_used)
+                .map(|(i, _)| i)
+                .ok_or_else(|| DbError::Internal("empty pool at capacity".into()))?;
+            let old = &inner.frames[victim];
+            if old.dirty {
+                self.write_back(old)?;
+            }
+            let old_pid = old.pid;
+            inner.map.remove(&old_pid);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            inner.frames[victim] = Frame { pid, data, dirty: true, last_used: tick };
+            inner.map.insert(pid, victim);
+        } else {
+            inner.frames.push(Frame { pid, data, dirty: true, last_used: tick });
+            let idx = inner.frames.len() - 1;
+            inner.map.insert(pid, idx);
+        }
+        Ok(())
+    }
+
     /// Write every dirty frame back to disk (checkpoint step).
     pub fn flush_all(&self) -> DbResult<()> {
         let mut inner = self.inner.lock();
         for frame in inner.frames.iter_mut() {
             if frame.dirty {
                 if let Some(wal) = &self.wal {
-                    wal.flush_to(Lsn(slotted::page_lsn(&frame.data[..])));
+                    wal.flush_to(Lsn(slotted::page_lsn(&frame.data[..])))?;
                 }
                 self.disk.write(frame.pid, &frame.data)?;
                 self.writebacks.fetch_add(1, Ordering::Relaxed);
@@ -299,6 +339,28 @@ mod tests {
         pool.crash();
         let n = pool.with_page(pid, slotted::live_count).unwrap();
         assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn repair_page_replaces_corrupt_frame() {
+        use crate::fault::{FaultInjector, FaultKind, FaultPlan};
+        let (disk, pool) = pool(4);
+        let pid = pool.allocate_slotted().unwrap();
+        pool.with_page_mut(pid, |p| {
+            slotted::insert(p, b"rotting").unwrap();
+        })
+        .unwrap();
+        pool.flush_all().unwrap();
+        pool.crash();
+        let inj =
+            Arc::new(FaultInjector::new(FaultPlan::new(5).fail_nth(FaultKind::BitFlip, 1)));
+        disk.set_fault_injector(Some(inj));
+        assert!(pool.with_page(pid, |_| ()).is_err(), "bit rot detected on load");
+        disk.set_fault_injector(None);
+        assert!(pool.with_page(pid, |_| ()).is_err(), "the rot is persistent");
+        pool.repair_page(pid).unwrap();
+        let n = pool.with_page(pid, slotted::live_count).unwrap();
+        assert_eq!(n, 0, "repaired page is a fresh empty slotted page");
     }
 
     #[test]

@@ -10,9 +10,11 @@
 
 use crate::buffer::BufferPool;
 use crate::disk::{PageId, SimDisk};
+use crate::fault::{FaultInjector, FaultPlan, FaultStats};
 use crate::heap::{HeapFile, Rid};
 use crate::slotted;
 use crate::wal::{ClrAction, LogRecord, Lsn, Wal};
+use orion_obs::Counter;
 use orion_types::{DbError, DbResult};
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
@@ -41,6 +43,19 @@ struct TxnState {
     ops: Vec<(Lsn, UndoOp)>,
 }
 
+/// Recovery-outcome counters: how often restart recovery ran, whether
+/// it completed, and how much damage it had to repair along the way.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Recovery runs that completed (analysis + redo + undo).
+    pub completed: u64,
+    /// Recovery runs that failed with an error (e.g. interior log
+    /// corruption, or an injected fault still armed during restart).
+    pub failed: u64,
+    /// Corrupt pages detected at restart and rebuilt by log replay.
+    pub pages_repaired: u64,
+}
+
 /// The transactional storage engine.
 pub struct StorageEngine {
     disk: Arc<SimDisk>,
@@ -49,6 +64,13 @@ pub struct StorageEngine {
     heap: Mutex<HeapFile>,
     active: Mutex<HashMap<u64, TxnState>>,
     next_txn: AtomicU64,
+    faults: Mutex<Option<Arc<FaultInjector>>>,
+    /// Stats folded in from injectors that were since uninstalled, so
+    /// fault counters are cumulative across plans.
+    fault_base: Mutex<FaultStats>,
+    recoveries_completed: Counter,
+    recoveries_failed: Counter,
+    pages_repaired: Counter,
 }
 
 impl StorageEngine {
@@ -64,6 +86,66 @@ impl StorageEngine {
             heap: Mutex::new(HeapFile::new()),
             active: Mutex::new(HashMap::new()),
             next_txn: AtomicU64::new(1),
+            faults: Mutex::new(None),
+            fault_base: Mutex::new(FaultStats::default()),
+            recoveries_completed: Counter::default(),
+            recoveries_failed: Counter::default(),
+            pages_repaired: Counter::default(),
+        }
+    }
+
+    fn fold_fault_stats(&self) {
+        if let Some(inj) = self.faults.lock().take() {
+            let s = inj.stats();
+            let mut base = self.fault_base.lock();
+            base.read_errors += s.read_errors;
+            base.write_errors += s.write_errors;
+            base.torn_writes += s.torn_writes;
+            base.bit_flips += s.bit_flips;
+            base.partial_flushes += s.partial_flushes;
+        }
+    }
+
+    /// Install a fault plan: a single injector shared by the disk and
+    /// the WAL starts firing according to `plan`'s triggers. Replaces
+    /// any previously installed plan (its counts are retained in
+    /// [`StorageEngine::fault_stats`]).
+    pub fn install_faults(&self, plan: FaultPlan) -> Arc<FaultInjector> {
+        let inj = Arc::new(FaultInjector::new(plan));
+        self.fold_fault_stats();
+        self.disk.set_fault_injector(Some(Arc::clone(&inj)));
+        self.wal.set_fault_injector(Some(Arc::clone(&inj)));
+        *self.faults.lock() = Some(Arc::clone(&inj));
+        inj
+    }
+
+    /// Remove any installed fault plan; subsequent I/O is clean.
+    pub fn clear_faults(&self) {
+        self.fold_fault_stats();
+        self.disk.set_fault_injector(None);
+        self.wal.set_fault_injector(None);
+    }
+
+    /// Cumulative injected-fault counters, across every plan installed
+    /// over this engine's lifetime.
+    pub fn fault_stats(&self) -> FaultStats {
+        let base = *self.fault_base.lock();
+        let live = self.faults.lock().as_ref().map(|f| f.stats()).unwrap_or_default();
+        FaultStats {
+            read_errors: base.read_errors + live.read_errors,
+            write_errors: base.write_errors + live.write_errors,
+            torn_writes: base.torn_writes + live.torn_writes,
+            bit_flips: base.bit_flips + live.bit_flips,
+            partial_flushes: base.partial_flushes + live.partial_flushes,
+        }
+    }
+
+    /// Recovery-outcome counters.
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        RecoveryStats {
+            completed: self.recoveries_completed.get(),
+            failed: self.recoveries_failed.get(),
+            pages_repaired: self.pages_repaired.get(),
         }
     }
 
@@ -104,13 +186,17 @@ impl StorageEngine {
     }
 
     /// Commit: force the log through the commit record.
+    ///
+    /// An error from the force (e.g. an injected partial flush) leaves
+    /// the commit *in doubt*: the record may or may not be stable. The
+    /// transaction is over either way — crash-and-recover resolves the
+    /// outcome atomically (all of it or none of it).
     pub fn commit(&self, txn: TxnId) -> DbResult<()> {
         if self.active.lock().remove(&txn.0).is_none() {
             return Err(DbError::InvalidTxnState(format!("{txn} is not active")));
         }
         self.wal.append(&LogRecord::Commit { txn: txn.0 });
-        self.wal.flush();
-        Ok(())
+        self.wal.flush()
     }
 
     /// Roll back every operation of `txn`, logging compensation records,
@@ -139,8 +225,7 @@ impl StorageEngine {
             self.apply_clr(&action, clr_lsn)?;
         }
         self.wal.append(&LogRecord::Abort { txn: txn.0 });
-        self.wal.flush();
-        Ok(())
+        self.wal.flush()
     }
 
     fn apply_clr(&self, action: &ClrAction, lsn: Lsn) -> DbResult<()> {
@@ -480,8 +565,7 @@ impl StorageEngine {
         }
         self.pool.flush_all()?;
         self.wal.append(&LogRecord::Checkpoint);
-        self.wal.flush();
-        Ok(())
+        self.wal.flush()
     }
 
     /// Simulate a crash: the buffer pool and the unforced log tail are
@@ -494,14 +578,55 @@ impl StorageEngine {
 
     /// Restart recovery: analysis, redo, undo — then rebuild the
     /// free-space map. Idempotent: running it twice is harmless.
+    ///
+    /// Hardened against injected damage: a torn WAL tail is truncated by
+    /// [`Wal::stable_records`], and a page whose checksum fails is
+    /// rebuilt from scratch by replaying the *full* log against it (the
+    /// log is never truncated from the front, and page-LSN guards make
+    /// the wider replay a no-op for intact pages). Only interior log
+    /// corruption is unrecoverable.
     pub fn recover(&self) -> DbResult<()> {
+        match self.recover_inner() {
+            Ok(()) => {
+                self.recoveries_completed.inc();
+                Ok(())
+            }
+            Err(e) => {
+                self.recoveries_failed.inc();
+                Err(e)
+            }
+        }
+    }
+
+    fn recover_inner(&self) -> DbResult<()> {
         let records = self.wal.stable_records()?;
-        // Start at the last quiescent checkpoint.
-        let start = records
-            .iter()
-            .rposition(|(_, r)| matches!(r, LogRecord::Checkpoint))
-            .map(|i| i + 1)
-            .unwrap_or(0);
+
+        // --- Scrub: detect and repair rotted pages before touching them.
+        let mut repaired = false;
+        for p in 0..self.disk.page_count() {
+            let pid = PageId(p);
+            match self.pool.with_page(pid, |_| ()) {
+                Ok(()) => {}
+                Err(DbError::Corruption(_)) => {
+                    self.pool.repair_page(pid)?;
+                    self.pages_repaired.inc();
+                    repaired = true;
+                }
+                Err(other) => return Err(other),
+            }
+        }
+
+        // Start at the last quiescent checkpoint — unless a page had to
+        // be rebuilt, in which case its whole history must replay.
+        let start = if repaired {
+            0
+        } else {
+            records
+                .iter()
+                .rposition(|(_, r)| matches!(r, LogRecord::Checkpoint))
+                .map(|i| i + 1)
+                .unwrap_or(0)
+        };
         let tail = &records[start..];
 
         // --- Analysis ---
@@ -531,7 +656,7 @@ impl StorageEngine {
                     .entry(*txn)
                     .or_default()
                     .push((*lsn, UndoOp::Delete { rid: *rid, before: before.clone() })),
-                LogRecord::Begin { .. } | LogRecord::Checkpoint => {}
+                LogRecord::Begin { .. } | LogRecord::Checkpoint | LogRecord::Pad => {}
             }
         }
 
@@ -616,7 +741,7 @@ impl StorageEngine {
             }
             self.wal.append(&LogRecord::Abort { txn });
         }
-        self.wal.flush();
+        self.wal.flush()?;
 
         // --- Rebuild the free-space map ---
         let mut heap = self.heap.lock();
@@ -719,7 +844,7 @@ mod tests {
         let _doomed = engine.insert(t2, b"no", None).unwrap();
         // Force the log so t2's insert is stable but unmerged — recovery
         // must redo then undo it.
-        engine.wal().flush();
+        engine.wal().flush().unwrap();
         engine.crash();
         engine.recover().unwrap();
         let records = collect(&engine);
@@ -737,7 +862,7 @@ mod tests {
 
         let t2 = engine.begin();
         engine.update(t2, rid, b"tampered").unwrap();
-        engine.wal().flush();
+        engine.wal().flush().unwrap();
         // Also push the dirty page to disk to exercise undo of flushed data.
         engine.pool().flush_all().unwrap();
         engine.crash();
@@ -753,7 +878,7 @@ mod tests {
         engine.commit(t1).unwrap();
         let t2 = engine.begin();
         engine.update(t2, a, b"zz").unwrap();
-        engine.wal().flush();
+        engine.wal().flush().unwrap();
         engine.crash();
         engine.recover().unwrap();
         let first = collect(&engine);
@@ -859,7 +984,7 @@ mod tests {
 
         let t2 = engine.begin();
         let doomed = engine.insert(t2, &blob, None).unwrap();
-        engine.wal().flush();
+        engine.wal().flush().unwrap();
         let _ = doomed;
         engine.crash();
         engine.recover().unwrap();
@@ -922,5 +1047,94 @@ mod tests {
         assert!(engine.insert(ghost, b"x", None).is_err());
         assert!(engine.commit(ghost).is_err());
         assert!(engine.abort(ghost).is_err());
+    }
+
+    use crate::fault::{FaultKind, FaultPlan};
+
+    #[test]
+    fn torn_commit_flush_resolves_at_recovery() {
+        let engine = StorageEngine::new(4);
+        let t1 = engine.begin();
+        let base = engine.insert(t1, b"base", None).unwrap();
+        engine.commit(t1).unwrap();
+
+        let t2 = engine.begin();
+        let maybe = engine.insert(t2, b"maybe", None).unwrap();
+        engine.install_faults(FaultPlan::new(77).fail_nth(FaultKind::PartialFlush, 1));
+        let outcome = engine.commit(t2);
+        assert!(outcome.is_err(), "partial flush surfaces as an error");
+        engine.clear_faults();
+        engine.crash();
+        engine.recover().unwrap();
+        // The commit is in doubt, but the outcome must be atomic: either
+        // both records exist or only the committed base does.
+        assert_eq!(engine.read(base).unwrap(), b"base");
+        let n = collect(&engine).len();
+        match engine.read(maybe) {
+            Ok(bytes) => {
+                assert_eq!(bytes, b"maybe");
+                assert_eq!(n, 2);
+            }
+            Err(_) => assert_eq!(n, 1),
+        }
+        let rs = engine.recovery_stats();
+        assert_eq!(rs.completed, 1);
+        assert!(engine.fault_stats().partial_flushes >= 1);
+    }
+
+    #[test]
+    fn bit_rotted_page_is_repaired_by_full_replay() {
+        let engine = StorageEngine::new(4);
+        let t1 = engine.begin();
+        let a = engine.insert(t1, b"alpha", None).unwrap();
+        let b = engine.insert(t1, b"bravo", None).unwrap();
+        engine.commit(t1).unwrap();
+        engine.checkpoint().unwrap();
+        // Rot the page after the checkpoint wrote it out.
+        engine.install_faults(FaultPlan::new(123).fail_nth(FaultKind::BitFlip, 1));
+        engine.crash();
+        assert!(
+            matches!(engine.read(a), Err(DbError::Corruption(_))),
+            "rot detected on read"
+        );
+        engine.clear_faults();
+        engine.crash();
+        engine.recover().unwrap();
+        assert_eq!(engine.read(a).unwrap(), b"alpha", "page rebuilt from the log");
+        assert_eq!(engine.read(b).unwrap(), b"bravo");
+        assert_eq!(engine.recovery_stats().pages_repaired, 1);
+    }
+
+    #[test]
+    fn injected_read_error_is_clean_and_transient() {
+        let engine = StorageEngine::new(4);
+        let t1 = engine.begin();
+        let rid = engine.insert(t1, b"blip", None).unwrap();
+        engine.commit(t1).unwrap();
+        engine.pool().flush_all().unwrap();
+        engine.pool().crash(); // drop the cached frame so reads hit the disk
+        engine.install_faults(FaultPlan::new(9).fail_nth(FaultKind::ReadError, 1));
+        let err = engine.read(rid).unwrap_err();
+        assert!(matches!(err, DbError::Storage(_)), "transient I/O error: {err:?}");
+        // The next read succeeds: nothing was damaged.
+        assert_eq!(engine.read(rid).unwrap(), b"blip");
+    }
+
+    #[test]
+    fn recovery_failure_is_counted_and_retry_succeeds() {
+        let engine = StorageEngine::new(4);
+        let t1 = engine.begin();
+        let rid = engine.insert(t1, b"kept", None).unwrap();
+        engine.commit(t1).unwrap();
+        engine.pool().flush_all().unwrap();
+        engine.crash();
+        // A read error during the restart scrub fails recovery cleanly.
+        engine.install_faults(FaultPlan::new(4).fail_nth(FaultKind::ReadError, 1));
+        assert!(engine.recover().is_err());
+        engine.clear_faults();
+        engine.recover().unwrap();
+        assert_eq!(engine.read(rid).unwrap(), b"kept");
+        let rs = engine.recovery_stats();
+        assert_eq!((rs.failed, rs.completed), (1, 1));
     }
 }

@@ -1,0 +1,373 @@
+//! Deterministic fault injection for the storage layer.
+//!
+//! The paper's §3.1 makes "recovery from system crashes" a
+//! non-negotiable conventional-DB feature; proving it means exercising
+//! recovery against the failures real media produce, not just clean
+//! crashes. A [`FaultPlan`] scripts *when* faults fire (fail-nth,
+//! every-nth, probabilistic — all driven by one seed, so a failing chaos
+//! run replays exactly); the [`FaultInjector`] built from it is shared
+//! by [`SimDisk`](crate::SimDisk) and [`Wal`](crate::Wal), which consult
+//! it on every read, write, and flush:
+//!
+//! * [`FaultKind::ReadError`] / [`FaultKind::WriteError`] — the I/O call
+//!   fails cleanly, touching nothing.
+//! * [`FaultKind::TornWrite`] — a page write persists only a prefix and
+//!   then fails, leaving the on-disk page checksum stale (detected as
+//!   [`DbError::Corruption`](orion_types::DbError::Corruption) on the
+//!   next read, repaired by recovery).
+//! * [`FaultKind::BitFlip`] — bit rot: one stored bit flips during a
+//!   read; the page checksum catches it.
+//! * [`FaultKind::PartialFlush`] — a lying fsync: only part of the WAL
+//!   tail reaches the stable prefix and the flush reports failure. A
+//!   crash before the next successful flush leaves a torn log tail,
+//!   which recovery truncates (ARIES tail discipline).
+//!
+//! Every fired fault is counted; [`FaultInjector::stats`] feeds the
+//! `orion_fault_*` Prometheus series.
+
+use orion_obs::Counter;
+use parking_lot::Mutex;
+
+/// Where in the storage layer a fault can fire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// [`SimDisk::read`](crate::SimDisk::read).
+    DiskRead,
+    /// [`SimDisk::write`](crate::SimDisk::write).
+    DiskWrite,
+    /// [`Wal::flush`](crate::Wal::flush) (including the write-ahead
+    /// `flush_to` path).
+    WalFlush,
+}
+
+/// What happens when a rule fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// The page read fails with a clean I/O error.
+    ReadError,
+    /// The page write fails with a clean I/O error; nothing is written.
+    WriteError,
+    /// The page write persists only a prefix, then fails.
+    TornWrite,
+    /// One stored bit flips; the read returns the rotted bytes, which
+    /// the checksum then rejects.
+    BitFlip,
+    /// The WAL flush promotes only part of the tail, then fails.
+    PartialFlush,
+}
+
+impl FaultKind {
+    /// The injection site this kind of fault fires at.
+    pub fn site(self) -> FaultSite {
+        match self {
+            FaultKind::ReadError | FaultKind::BitFlip => FaultSite::DiskRead,
+            FaultKind::WriteError | FaultKind::TornWrite => FaultSite::DiskWrite,
+            FaultKind::PartialFlush => FaultSite::WalFlush,
+        }
+    }
+}
+
+/// When a rule fires, relative to the operations at its site.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Trigger {
+    /// Fire exactly once, on the `n`th matching operation (1-based).
+    Nth(u64),
+    /// Fire on every `n`th matching operation.
+    EveryNth(u64),
+    /// Fire with probability `p` per operation (seeded, deterministic).
+    Probability(f64),
+}
+
+/// A scripted schedule of storage faults. Built once, then installed
+/// into an engine via `StorageEngine::install_faults` (or directly with
+/// [`FaultInjector::new`] for unit tests against raw components).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    rules: Vec<(FaultKind, Trigger)>,
+}
+
+impl FaultPlan {
+    /// An empty plan; `seed` drives probabilistic triggers and fault
+    /// payloads (torn-prefix lengths, flipped bit positions, flush cut
+    /// points), so equal plans produce byte-identical fault sequences.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan { seed, rules: Vec::new() }
+    }
+
+    /// Fire `kind` exactly once, on the `n`th operation at its site.
+    pub fn fail_nth(mut self, kind: FaultKind, n: u64) -> Self {
+        assert!(n >= 1, "fail_nth is 1-based");
+        self.rules.push((kind, Trigger::Nth(n)));
+        self
+    }
+
+    /// Fire `kind` on every `n`th operation at its site.
+    pub fn every_nth(mut self, kind: FaultKind, n: u64) -> Self {
+        assert!(n >= 1, "every_nth needs n >= 1");
+        self.rules.push((kind, Trigger::EveryNth(n)));
+        self
+    }
+
+    /// Fire `kind` with probability `p` per operation at its site.
+    pub fn probabilistic(mut self, kind: FaultKind, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        self.rules.push((kind, Trigger::Probability(p)));
+        self
+    }
+
+    /// Does the plan contain any rule at all?
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+}
+
+/// One fired fault: the kind plus a seeded entropy word the site uses
+/// to derive its payload (which bit to flip, where to cut a torn write
+/// or partial flush).
+#[derive(Debug, Clone, Copy)]
+pub struct FaultShot {
+    /// The kind of fault to apply.
+    pub kind: FaultKind,
+    /// Deterministic per-shot randomness for the fault payload.
+    pub entropy: u64,
+}
+
+#[derive(Debug)]
+struct RuleState {
+    kind: FaultKind,
+    trigger: Trigger,
+    seen: u64,
+    spent: bool,
+}
+
+#[derive(Debug)]
+struct InjectorState {
+    rules: Vec<RuleState>,
+    rng: u64,
+}
+
+/// Cumulative injection counters, one per [`FaultKind`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Injected page-read I/O errors.
+    pub read_errors: u64,
+    /// Injected page-write I/O errors.
+    pub write_errors: u64,
+    /// Injected torn page writes (prefix persisted, then failed).
+    pub torn_writes: u64,
+    /// Injected stored-bit flips.
+    pub bit_flips: u64,
+    /// Injected partial WAL flushes.
+    pub partial_flushes: u64,
+}
+
+impl FaultStats {
+    /// Total faults fired, across all kinds.
+    pub fn total(&self) -> u64 {
+        self.read_errors + self.write_errors + self.torn_writes + self.bit_flips
+            + self.partial_flushes
+    }
+}
+
+/// The runtime form of a [`FaultPlan`]: consulted by the disk and WAL on
+/// every operation, counting what it fires.
+#[derive(Debug)]
+pub struct FaultInjector {
+    state: Mutex<InjectorState>,
+    read_errors: Counter,
+    write_errors: Counter,
+    torn_writes: Counter,
+    bit_flips: Counter,
+    partial_flushes: Counter,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl FaultInjector {
+    /// Arm a plan.
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultInjector {
+            state: Mutex::new(InjectorState {
+                rules: plan
+                    .rules
+                    .into_iter()
+                    .map(|(kind, trigger)| RuleState { kind, trigger, seen: 0, spent: false })
+                    .collect(),
+                rng: plan.seed,
+            }),
+            read_errors: Counter::default(),
+            write_errors: Counter::default(),
+            torn_writes: Counter::default(),
+            bit_flips: Counter::default(),
+            partial_flushes: Counter::default(),
+        }
+    }
+
+    /// Consult the plan for one operation at `site`. At most one rule
+    /// fires per operation (first armed match wins); the fired fault is
+    /// counted here.
+    pub fn fire(&self, site: FaultSite) -> Option<FaultShot> {
+        let mut state = self.state.lock();
+        let state = &mut *state;
+        let mut shot = None;
+        for rule in state.rules.iter_mut().filter(|r| r.kind.site() == site) {
+            rule.seen += 1;
+            if shot.is_some() {
+                continue; // later rules still observe the operation
+            }
+            let fires = match rule.trigger {
+                Trigger::Nth(n) => {
+                    if !rule.spent && rule.seen == n {
+                        rule.spent = true;
+                        true
+                    } else {
+                        false
+                    }
+                }
+                Trigger::EveryNth(n) => rule.seen % n == 0,
+                Trigger::Probability(p) => {
+                    (splitmix64(&mut state.rng) as f64 / u64::MAX as f64) < p
+                }
+            };
+            if fires {
+                shot = Some(FaultShot { kind: rule.kind, entropy: splitmix64(&mut state.rng) });
+            }
+        }
+        if let Some(shot) = &shot {
+            match shot.kind {
+                FaultKind::ReadError => self.read_errors.inc(),
+                FaultKind::WriteError => self.write_errors.inc(),
+                FaultKind::TornWrite => self.torn_writes.inc(),
+                FaultKind::BitFlip => self.bit_flips.inc(),
+                FaultKind::PartialFlush => self.partial_flushes.inc(),
+            }
+        }
+        shot
+    }
+
+    /// Snapshot the injection counters.
+    pub fn stats(&self) -> FaultStats {
+        FaultStats {
+            read_errors: self.read_errors.get(),
+            write_errors: self.write_errors.get(),
+            torn_writes: self.torn_writes.get(),
+            bit_flips: self.bit_flips.get(),
+            partial_flushes: self.partial_flushes.get(),
+        }
+    }
+}
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) over `bytes`. Guards WAL
+/// records and disk pages against torn writes and bit rot. Table-driven;
+/// the table is built once at first use.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, slot) in table.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            }
+            *slot = crc;
+        }
+        table
+    });
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ table[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard check values for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn crc32_detects_single_bit_flips() {
+        let mut data = vec![0x5Au8; 512];
+        let clean = crc32(&data);
+        data[100] ^= 0x04;
+        assert_ne!(crc32(&data), clean);
+    }
+
+    #[test]
+    fn fail_nth_fires_exactly_once() {
+        let inj = FaultInjector::new(FaultPlan::new(1).fail_nth(FaultKind::ReadError, 3));
+        let fired: Vec<bool> =
+            (0..6).map(|_| inj.fire(FaultSite::DiskRead).is_some()).collect();
+        assert_eq!(fired, vec![false, false, true, false, false, false]);
+        assert_eq!(inj.stats().read_errors, 1);
+    }
+
+    #[test]
+    fn every_nth_fires_periodically() {
+        let inj = FaultInjector::new(FaultPlan::new(1).every_nth(FaultKind::WriteError, 2));
+        let fired: Vec<bool> =
+            (0..6).map(|_| inj.fire(FaultSite::DiskWrite).is_some()).collect();
+        assert_eq!(fired, vec![false, true, false, true, false, true]);
+        assert_eq!(inj.stats().write_errors, 3);
+    }
+
+    #[test]
+    fn sites_are_independent() {
+        let inj = FaultInjector::new(FaultPlan::new(1).fail_nth(FaultKind::PartialFlush, 1));
+        assert!(inj.fire(FaultSite::DiskRead).is_none());
+        assert!(inj.fire(FaultSite::DiskWrite).is_none());
+        let shot = inj.fire(FaultSite::WalFlush).expect("flush rule fires");
+        assert_eq!(shot.kind, FaultKind::PartialFlush);
+    }
+
+    #[test]
+    fn probabilistic_is_deterministic_per_seed() {
+        let run = |seed: u64| -> Vec<bool> {
+            let inj =
+                FaultInjector::new(FaultPlan::new(seed).probabilistic(FaultKind::BitFlip, 0.5));
+            (0..32).map(|_| inj.fire(FaultSite::DiskRead).is_some()).collect()
+        };
+        assert_eq!(run(7), run(7), "same seed, same schedule");
+        assert_ne!(run(7), run(8), "different seed, different schedule");
+        let fired = run(7).iter().filter(|&&f| f).count();
+        assert!(fired > 4 && fired < 28, "p=0.5 fires roughly half the time, got {fired}/32");
+    }
+
+    #[test]
+    fn probability_extremes() {
+        let never =
+            FaultInjector::new(FaultPlan::new(3).probabilistic(FaultKind::ReadError, 0.0));
+        assert!((0..64).all(|_| never.fire(FaultSite::DiskRead).is_none()));
+        let always =
+            FaultInjector::new(FaultPlan::new(3).probabilistic(FaultKind::ReadError, 1.0));
+        assert!((0..64).all(|_| always.fire(FaultSite::DiskRead).is_some()));
+    }
+
+    #[test]
+    fn first_matching_rule_wins_but_both_observe() {
+        let inj = FaultInjector::new(
+            FaultPlan::new(1)
+                .fail_nth(FaultKind::ReadError, 2)
+                .fail_nth(FaultKind::BitFlip, 2),
+        );
+        assert!(inj.fire(FaultSite::DiskRead).is_none());
+        let shot = inj.fire(FaultSite::DiskRead).expect("second op fires");
+        assert_eq!(shot.kind, FaultKind::ReadError, "earlier rule wins the tie");
+        assert!(inj.fire(FaultSite::DiskRead).is_none(), "both rules are spent");
+        assert_eq!(inj.stats().total(), 1);
+    }
+}

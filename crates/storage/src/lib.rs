@@ -21,16 +21,23 @@
 //! * [`Wal`] / [`StorageEngine`] — physiological logging with
 //!   redo/undo restart recovery, quiescent checkpoints, and a `crash()`
 //!   test hook that drops all volatile state (experiment E13).
+//! * [`fault`] — a deterministic, seeded fault-injection subsystem
+//!   (I/O errors, torn writes, bit flips, partial WAL flushes) wired
+//!   into the disk and the log, plus the CRC32 used for page checksums
+//!   and WAL record framing. Recovery is hardened against everything
+//!   the injector can produce.
 
 pub mod buffer;
 pub mod disk;
 pub mod engine;
+pub mod fault;
 pub mod heap;
 pub mod slotted;
 pub mod wal;
 
 pub use buffer::{BufferPool, PoolStats};
 pub use disk::{DiskStats, PageId, SimDisk, PAGE_SIZE};
-pub use engine::{StorageEngine, TxnId};
+pub use engine::{RecoveryStats, StorageEngine, TxnId};
+pub use fault::{crc32, FaultInjector, FaultKind, FaultPlan, FaultSite, FaultStats, Trigger};
 pub use heap::{HeapFile, Rid};
 pub use wal::{LogRecord, Lsn, Wal, WalStats};

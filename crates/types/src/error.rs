@@ -63,6 +63,10 @@ pub enum DbError {
     Protocol(String),
     /// Catch-all internal invariant breach; indicates a bug in orion.
     Internal(String),
+    /// Detected data corruption: a page or log record failed its
+    /// checksum (bit rot, torn write). The damaged data must not be
+    /// trusted; recovery decides whether it can be rebuilt.
+    Corruption(String),
 }
 
 impl fmt::Display for DbError {
@@ -109,6 +113,7 @@ impl fmt::Display for DbError {
             DbError::ServerBusy => write!(f, "server busy: accept queue is full, retry later"),
             DbError::Protocol(msg) => write!(f, "protocol error: {msg}"),
             DbError::Internal(msg) => write!(f, "internal error: {msg}"),
+            DbError::Corruption(msg) => write!(f, "data corruption detected: {msg}"),
         }
     }
 }
@@ -119,7 +124,13 @@ impl DbError {
     /// Errors that abort the surrounding transaction when they surface
     /// (the caller must not retry the statement inside the same txn).
     pub fn is_txn_fatal(&self) -> bool {
-        matches!(self, DbError::Deadlock { .. } | DbError::Wal(_) | DbError::Internal(_))
+        matches!(
+            self,
+            DbError::Deadlock { .. }
+                | DbError::Wal(_)
+                | DbError::Internal(_)
+                | DbError::Corruption(_)
+        )
     }
 }
 
@@ -140,6 +151,7 @@ mod tests {
         assert!(DbError::Deadlock { victim: 1 }.is_txn_fatal());
         assert!(!DbError::UnknownClass("X".into()).is_txn_fatal());
         assert!(DbError::Internal("bug".into()).is_txn_fatal());
+        assert!(DbError::Corruption("checksum mismatch".into()).is_txn_fatal());
     }
 
     #[test]

@@ -115,6 +115,7 @@ const ERR_NET: u8 = 21;
 const ERR_SERVER_BUSY: u8 = 22;
 const ERR_PROTOCOL: u8 = 23;
 const ERR_INTERNAL: u8 = 24;
+const ERR_CORRUPTION: u8 = 25;
 
 /// Append the lossless encoding of `err` to `out`.
 pub fn encode_error(err: &DbError, out: &mut Vec<u8>) {
@@ -225,6 +226,10 @@ pub fn encode_error(err: &DbError, out: &mut Vec<u8>) {
             out.put_u8(ERR_INTERNAL);
             put_str(out, msg);
         }
+        DbError::Corruption(msg) => {
+            out.put_u8(ERR_CORRUPTION);
+            put_str(out, msg);
+        }
     }
 }
 
@@ -273,6 +278,7 @@ pub fn decode_error(buf: &mut &[u8]) -> DbResult<DbError> {
         ERR_SERVER_BUSY => DbError::ServerBusy,
         ERR_PROTOCOL => DbError::Protocol(get_str(buf)?),
         ERR_INTERNAL => DbError::Internal(get_str(buf)?),
+        ERR_CORRUPTION => DbError::Corruption(get_str(buf)?),
         other => return Err(DbError::Protocol(format!("unknown error tag {other}"))),
     })
 }
@@ -350,6 +356,7 @@ mod tests {
             DbError::ServerBusy,
             DbError::Protocol("unknown tag 99".into()),
             DbError::Internal("bug".into()),
+            DbError::Corruption("checksum mismatch reading page 3".into()),
         ]
     }
 
@@ -393,10 +400,11 @@ mod tests {
                 DbError::ServerBusy => "ServerBusy",
                 DbError::Protocol(_) => "Protocol",
                 DbError::Internal(_) => "Internal",
+                DbError::Corruption(_) => "Corruption",
             };
             assert!(seen.insert(name), "duplicate exemplar for {name}");
         }
-        assert_eq!(seen.len(), 25, "one exemplar per DbError variant");
+        assert_eq!(seen.len(), 26, "one exemplar per DbError variant");
     }
 
     #[test]

@@ -3,7 +3,9 @@
 # warnings-as-errors, which also blocks internal use of deprecated
 # APIs), the client/server integration tests, a release-mode
 # concurrency stress run (the #[ignore]d elevated-thread-count test in
-# tests/concurrency.rs), and two bench smoke runs:
+# tests/concurrency.rs), the chaos gates (the fixed-seed smoke from
+# tests/chaos.rs, then the #[ignore]d multi-seed hammer in release
+# mode), and two bench smoke runs:
 # parallel_query regenerates BENCH_parallel_query.json (its
 # instrumentation-overhead measurement must stay within the 5% budget)
 # and net_throughput --smoke regenerates BENCH_net.json (a ~2 second
@@ -22,6 +24,12 @@ cargo test -q -p orion-net --test net_integration
 
 echo "==> concurrency stress (release, elevated thread count)"
 cargo test -q --release --test concurrency -- --ignored
+
+echo "==> chaos smoke (fixed seeds, bounded rounds)"
+cargo test -q --test chaos
+
+echo "==> chaos hammer (release, multi-seed sweep)"
+cargo test -q --release --test chaos -- --ignored
 
 echo "==> scripts/lint.sh"
 scripts/lint.sh

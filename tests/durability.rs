@@ -1,7 +1,9 @@
 //! Durability integration tests: randomized commit/abort/crash cycles
 //! verified through the full query path, and checkpointed restarts.
 
-use orion_oodb::orion::{AttrSpec, Database, Domain, IndexKind, PrimitiveType, Value};
+use orion_oodb::orion::{
+    AttrSpec, Database, Domain, FaultKind, FaultPlan, IndexKind, PrimitiveType, Value,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
@@ -122,6 +124,70 @@ fn oid_allocation_survives_restart_without_collisions() {
     let tx = db.begin();
     let n = db.query(&tx, "select count(*) from Item i").unwrap();
     assert_eq!(n.rows[0][0], Value::Int(20));
+    db.commit(tx).unwrap();
+}
+
+#[test]
+fn crash_during_rollback_restores_original_state() {
+    let db = item_db();
+    let tx = db.begin();
+    let oid = db
+        .create_object(&tx, "Item", vec![("key", Value::Int(7)), ("val", Value::Int(70))])
+        .unwrap();
+    db.commit(tx).unwrap();
+
+    // Dirty the object, then make the abort path's WAL flush tear: the
+    // rollback reports a clean error mid-undo and we crash right there.
+    let tx = db.begin();
+    db.set(&tx, oid, "val", Value::Int(999)).unwrap();
+    db.install_faults(FaultPlan::new(3).fail_nth(FaultKind::PartialFlush, 1));
+    let err = db.rollback(tx).expect_err("rollback must surface the injected flush fault");
+    assert!(format!("{err}").contains("partial WAL flush"), "unexpected error: {err}");
+    db.clear_faults();
+    db.crash_and_recover().unwrap();
+
+    // Recovery finishes the undo from the log: the uncommitted update
+    // is gone and the committed state is intact.
+    let tx = db.begin();
+    assert_eq!(db.get(&tx, oid, "val").unwrap(), Value::Int(70));
+    let r = db.query(&tx, "select count(*) from Item i").unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(1));
+    db.commit(tx).unwrap();
+}
+
+#[test]
+fn crash_during_checkpoint_with_partially_flushed_tail() {
+    let db = item_db();
+    let tx = db.begin();
+    let oid = db
+        .create_object(&tx, "Item", vec![("key", Value::Int(1)), ("val", Value::Int(10))])
+        .unwrap();
+    db.commit(tx).unwrap();
+
+    // The checkpoint's final flush promotes only part of its tail and
+    // then fails: the stable log ends in a torn frame. Crashing here
+    // must not cost the committed state — recovery truncates the torn
+    // tail and replays the rest.
+    db.install_faults(FaultPlan::new(5).fail_nth(FaultKind::PartialFlush, 1));
+    let err = db.checkpoint().expect_err("checkpoint must surface the injected flush fault");
+    assert!(format!("{err}").contains("partial WAL flush"), "unexpected error: {err}");
+    db.clear_faults();
+    db.crash_and_recover().unwrap();
+
+    let tx = db.begin();
+    assert_eq!(db.get(&tx, oid, "val").unwrap(), Value::Int(10));
+    db.commit(tx).unwrap();
+
+    // The torn checkpoint frame was detected and truncated, and later
+    // checkpoints land on the spliced (still monotone) log cleanly.
+    assert!(
+        db.stats().wal.torn_tail_truncations >= 1,
+        "the partially flushed checkpoint record should have been truncated as a torn tail"
+    );
+    db.checkpoint().unwrap();
+    db.crash_and_recover().unwrap();
+    let tx = db.begin();
+    assert_eq!(db.get(&tx, oid, "val").unwrap(), Value::Int(10));
     db.commit(tx).unwrap();
 }
 

@@ -150,7 +150,7 @@ fn the_whole_system_in_one_story() {
     // --- Crash in the middle of everything --------------------------------------
     let tx = db.begin();
     db.set(&tx, a_truck, "weight", Value::Int(999_999)).unwrap();
-    db.engine().wal().flush();
+    db.engine().wal().flush().unwrap();
     std::mem::forget(tx);
     db.crash_and_recover().unwrap();
     let tx = db.begin();
