@@ -68,6 +68,12 @@ pub struct DbConfig {
     /// Worker threads for query candidate evaluation: `0` sizes to the
     /// machine's available parallelism, `1` forces serial execution.
     pub query_threads: usize,
+    /// MVCC snapshot reads for queries: each query captures a commit
+    /// timestamp and reads from per-object version chains, taking **no
+    /// 2PL locks at all**. `false` restores the legacy behavior where a
+    /// query takes `S` locks on every class in scope (and therefore
+    /// blocks behind — and is blocked by — writers and schema changes).
+    pub mvcc_reads: bool,
 }
 
 impl Default for DbConfig {
@@ -81,6 +87,7 @@ impl Default for DbConfig {
             clustering: true,
             lock_timeout: Duration::from_secs(5),
             query_threads: 0,
+            mvcc_reads: true,
         }
     }
 }
@@ -166,6 +173,12 @@ impl DbConfigBuilder {
         self
     }
 
+    /// MVCC snapshot reads for queries (`false` = legacy S-locking).
+    pub fn mvcc_reads(mut self, on: bool) -> Self {
+        self.config.mvcc_reads = on;
+        self
+    }
+
     /// Validate and produce the configuration.
     pub fn build(self) -> DbResult<DbConfig> {
         self.config.validate()?;
@@ -209,6 +222,11 @@ pub struct Database {
     pub(crate) rules: RwLock<Vec<crate::rules::Rule>>,
     pub(crate) notify: Mutex<NotifyCenter>,
     pub(crate) adapters: RwLock<HashMap<String, Box<dyn ForeignAdapter>>>,
+    /// Per-object version chains for MVCC snapshot reads. Lives outside
+    /// the [`Runtime`] on purpose: rollback and recovery rebuild the
+    /// runtime wholesale, but committed version history must survive a
+    /// rollback of some *other* transaction.
+    pub(crate) mvcc: crate::mvcc::VersionStore,
     pub(crate) config: DbConfig,
     pub(crate) alloc: OidAllocator,
     pub(crate) metrics: DbMetrics,
@@ -233,6 +251,7 @@ impl Database {
             rules: RwLock::new(Vec::new()),
             notify: Mutex::new(NotifyCenter::new()),
             adapters: RwLock::new(HashMap::new()),
+            mvcc: crate::mvcc::VersionStore::new(),
             config,
             alloc: OidAllocator::new(),
             metrics: DbMetrics::default(),
@@ -322,6 +341,7 @@ impl Database {
             gate: self.metrics.gate_snapshot(),
             fetches,
             method_calls: self.metrics.method_calls.get(),
+            mvcc: self.mvcc.stats_snapshot(),
             net: self.metrics.net.snapshot(),
             fault: self.engine.fault_stats(),
             recovery: self.engine.recovery_stats(),
@@ -348,6 +368,7 @@ impl Database {
         self.engine.disk().reset_stats();
         self.engine.wal().reset_stats();
         self.locks.reset_stats();
+        self.mvcc.metrics.reset();
         self.metrics.exec.reset();
         self.metrics.method_calls.reset();
         self.metrics.net.reset();
@@ -411,6 +432,21 @@ impl Database {
     /// later transaction touching the same objects.
     pub fn commit(&self, tx: Tx) -> DbResult<()> {
         let result = self.engine.commit(tx.storage);
+        if self.config.mvcc_reads {
+            match &result {
+                // Durable: publish the write set under a fresh commit
+                // timestamp — snapshot readers see it atomically.
+                Ok(()) => {
+                    self.mvcc.commit_publish(tx.id());
+                }
+                // In doubt: drop the staged after-images. The chains
+                // keep their committed pre-images, so snapshot readers
+                // stay on the last known-good state; the caller is
+                // expected to `crash_and_recover`, which resolves the
+                // in-doubt state and resets the version store to match.
+                Err(_) => self.mvcc.discard(tx.id()),
+            }
+        }
         self.locks.release_all(tx.id());
         result
     }
@@ -431,6 +467,10 @@ impl Database {
             self.engine.abort(tx.storage)?;
             self.rebuild_runtime(&mut catalog, &rt)
         })();
+        // The staged after-images go; committed chain entries stay (a
+        // snapshot reader mid-flight may still need the pre-images, and
+        // the rebuilt in-place state equals them).
+        self.mvcc.discard(tx.id());
         self.locks.release_all(tx.id());
         result
     }
@@ -442,6 +482,11 @@ impl Database {
         let rt = self.rt_write();
         self.engine.crash();
         self.locks.reset();
+        // Version history evaporates with the crash: replay restores
+        // exactly the committed truth, so after recovery the in-place
+        // state is every object's only version (the commit clock keeps
+        // counting — snapshot timestamps stay monotonic).
+        self.mvcc.reset();
         self.engine.recover()?;
         self.rebuild_runtime(&mut catalog, &rt)
     }
@@ -573,6 +618,43 @@ impl Database {
         Some(Arc::new(record))
     }
 
+    /// Snapshot read: the newest version of `oid` visible at commit
+    /// timestamp `ts`, for reading transaction `reader`. Serves from
+    /// the version chain when one exists; otherwise the in-place state
+    /// *is* the committed truth — with one subtlety: a writer may stage
+    /// a chain between our resolution and the in-place read, so a
+    /// `Current` answer is confirmed by re-checking for a chain after
+    /// the read (stage-before-mutate makes the second resolution see
+    /// the pre-image the snapshot needs).
+    pub(crate) fn read_record_at(
+        &self,
+        rt: &Runtime,
+        catalog: &Catalog,
+        oid: Oid,
+        ts: u64,
+        reader: u64,
+    ) -> Option<Arc<ObjectRecord>> {
+        use crate::mvcc::Resolution;
+        self.mvcc.metrics.snapshot_reads.inc();
+        loop {
+            match self.mvcc.resolve(oid, ts, reader) {
+                Resolution::Visible(rec) => return Some(rec),
+                Resolution::Invisible => return None,
+                // Own in-flight write: the in-place state is exactly
+                // what this transaction wrote.
+                Resolution::Own => return self.read_record(rt, catalog, oid),
+                Resolution::Current => {
+                    let rec = self.read_record(rt, catalog, oid);
+                    if !self.mvcc.has_chain(oid) {
+                        return rec;
+                    }
+                    // Lost the race with a writer's staging; the chain
+                    // is authoritative now — resolve again.
+                }
+            }
+        }
+    }
+
     /// Lazy schema adaptation: hide attributes dropped by evolution.
     fn adapt_record(&self, catalog: &Catalog, record: &mut ObjectRecord) -> DbResult<()> {
         let resolved = match catalog.resolve(record.oid.class()) {
@@ -589,6 +671,33 @@ impl Database {
         Ok(())
     }
 
+    /// The committed pre-image of `oid`, for version-chain staging.
+    /// Valid only while the calling transaction holds the object's `X`
+    /// lock and has not yet written it in place (the cache and storage
+    /// still hold the committed state). Decodes raw on a cache miss —
+    /// no adaptation, no catalog guard (the caller may hold one, and
+    /// parking_lot read locks must not be re-entered).
+    fn committed_pre_image(&self, rt: &Runtime, oid: Oid) -> Option<Arc<ObjectRecord>> {
+        if let Some(rec) = rt.cache.peek(oid) {
+            return Some(rec);
+        }
+        let rid = rt.directory.get(oid)?;
+        let bytes = self.engine.read(rid).ok()?;
+        ObjectRecord::decode(&bytes).ok().map(Arc::new)
+    }
+
+    /// Stage an in-place update into the version store **before** the
+    /// mutation lands (see `crate::mvcc` for the protocol). Centralized
+    /// here so every update path — `set`, system attributes, eager
+    /// migrations, version derivation — is covered.
+    fn stage_update(&self, rt: &Runtime, tx: &Tx, record: &ObjectRecord) {
+        if !self.config.mvcc_reads {
+            return;
+        }
+        let pre = self.committed_pre_image(rt, record.oid);
+        self.mvcc.stage(tx.id(), record.oid, pre, Some(Arc::new(record.clone())));
+    }
+
     /// Write a record through to storage, keeping the directory and
     /// cache coherent. Returns the (possibly moved) rid.
     pub(crate) fn store_record(
@@ -598,6 +707,7 @@ impl Database {
         record: &ObjectRecord,
     ) -> DbResult<Rid> {
         let oid = record.oid;
+        self.stage_update(rt, tx, record);
         let rid = rt.directory.get(oid).ok_or(DbError::NoSuchObject(oid))?;
         let new_rid = self.engine.update(tx.storage, rid, &record.encode())?;
         if new_rid != rid {
@@ -673,6 +783,12 @@ impl Database {
         } else {
             None
         };
+        if self.config.mvcc_reads {
+            // Stage before the insert becomes discoverable: the chain's
+            // "did not exist" base hides the new object from snapshots
+            // taken before this commit publishes.
+            self.mvcc.stage(tx.id(), oid, None, Some(Arc::new(record.clone())));
+        }
         let rid = self.engine.insert(tx.storage, &record.encode(), hint)?;
         rt.directory.insert(oid, rid);
         rt.extents.insert(class, oid);
@@ -854,6 +970,11 @@ impl Database {
         let record = self.load_record(rt, catalog, oid)?;
         let nested_pre = self.nested_snapshot(rt, catalog, oid)?;
 
+        if self.config.mvcc_reads {
+            // Stage before the object vanishes from the extent; the
+            // tombstone map keeps it scannable for older snapshots.
+            self.mvcc.stage(tx.id(), oid, Some(Arc::clone(&record)), None);
+        }
         let rid = rt.directory.get(oid).ok_or(DbError::NoSuchObject(oid))?;
         self.engine.delete(tx.storage, rid)?;
         rt.directory.remove(oid);

@@ -23,6 +23,7 @@ pub mod ddl;
 pub mod indexing;
 pub mod methods;
 pub mod multidb;
+pub(crate) mod mvcc;
 pub mod notify;
 pub mod persist;
 pub mod query_api;
@@ -53,5 +54,5 @@ pub use orion_storage::{
     DiskStats, FaultKind, FaultPlan, FaultSite, FaultStats, PoolStats, RecoveryStats, Trigger,
     WalStats,
 };
-pub use orion_tx::LockStats;
+pub use orion_tx::{LockStats, MvccStats};
 pub use orion_types::{ClassId, DbError, DbResult, Domain, Oid, PrimitiveType, Value};

@@ -19,14 +19,18 @@ use orion_types::{DbError, DbResult};
 use std::sync::Arc;
 
 impl Database {
-    /// Parse, authorize, plan, and execute a query. A hierarchy query
-    /// takes `S` locks on every class in scope; a class query on its one
-    /// class (strict 2PL — released at commit/rollback).
+    /// Parse, authorize, plan, and execute a query.
+    ///
+    /// With MVCC snapshot reads (the default), execution captures one
+    /// commit timestamp and resolves every record through the version
+    /// store — **zero 2PL locks**, so queries never block writers and
+    /// writers never block queries; the transaction still sees its own
+    /// uncommitted writes. With `mvcc_reads` disabled, a hierarchy
+    /// query takes `S` locks on every class in scope; a class query on
+    /// its one class (strict 2PL — released at commit/rollback).
     pub fn query(&self, tx: &Tx, text: &str) -> DbResult<QueryResult> {
         let planned = self.prepare(tx, text)?;
-        let catalog = self.catalog.read();
-        let source = SourceView::new(self);
-        execute_with(&catalog, &source, &planned, &self.exec_options())
+        self.run_planned(&planned, tx.id())
     }
 
     /// Plan a query and return the optimizer's structured explanation
@@ -43,11 +47,26 @@ impl Database {
         self.prepare(tx, text)
     }
 
-    /// Execute a previously prepared query.
+    /// Execute a previously prepared query (outside any transaction —
+    /// under MVCC it still reads a consistent committed snapshot).
     pub fn execute_prepared(&self, planned: &PlannedQuery) -> DbResult<QueryResult> {
+        self.run_planned(planned, crate::mvcc::NO_READER)
+    }
+
+    /// Execute a planned query for `reader`, under a pinned snapshot
+    /// when MVCC reads are on. The snapshot guard spans the whole
+    /// execution — chunk-parallel workers share the one timestamp
+    /// captured here, so parallel results are byte-identical to serial.
+    fn run_planned(&self, planned: &PlannedQuery, reader: u64) -> DbResult<QueryResult> {
         let catalog = self.catalog.read();
-        let source = SourceView::new(self);
-        execute_with(&catalog, &source, planned, &self.exec_options())
+        if self.config.mvcc_reads {
+            let snapshot = self.mvcc.begin_snapshot(reader);
+            let source = SourceView::with_snapshot(self, snapshot.ts(), snapshot.reader());
+            execute_with(&catalog, &source, planned, &self.exec_options())
+        } else {
+            let source = SourceView::new(self);
+            execute_with(&catalog, &source, planned, &self.exec_options())
+        }
     }
 
     fn exec_options(&self) -> ExecOptions {
@@ -91,7 +110,11 @@ impl Database {
                 }
             }
         }
-        self.locks.lock_hierarchy_read(tx.id(), &scope)?;
+        // Snapshot readers take no locks at all; the legacy mode locks
+        // the scope `S` so readers serialize against writers.
+        if !self.config.mvcc_reads {
+            self.locks.lock_hierarchy_read(tx.id(), &scope)?;
+        }
 
         let catalog = self.catalog.read();
         let source = SourceView::new(self);

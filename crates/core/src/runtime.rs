@@ -9,10 +9,12 @@
 //! federation's materialized extents) now carries its own fine-grained
 //! lock, sharded by OID or keyed by class where the access pattern
 //! allows it. Transactions touching disjoint objects interleave freely;
-//! *isolation* is not this module's job — it comes from the 2PL
+//! *isolation* is not this module's job — writers get it from the 2PL
 //! hierarchy locks in `orion-tx` (IX on class + X on object for DML,
-//! S on class for queries, subtree X for schema change), which the
-//! facade acquires before ever touching a component.
+//! subtree X for schema change), which the facade acquires before ever
+//! touching a component, and queries get it from MVCC snapshots
+//! (`crate::mvcc`) without taking any locks at all (S class locks at
+//! prepare time only when `DbConfig::mvcc_reads` is off).
 //!
 //! # Lock order (the one place it is documented)
 //!
@@ -46,6 +48,15 @@
 //!    ordering; `stats()` takes the gate shared plus cache shard locks
 //!    one at a time and nothing else, so it can never deadlock against
 //!    writers, rollback, or the lock manager.
+//!
+//! The MVCC version store (`crate::mvcc::VersionStore`) sits *outside*
+//! the `Runtime` — deliberately, so exclusive-gate rebuilds (rollback,
+//! recovery) cannot drop committed versions out from under an active
+//! snapshot. Its shard locks and tombstone map are additional *leaf*
+//! locks in level 4's second tier: acquired and released inside a
+//! single `VersionStore` method, never held while requesting any other
+//! lock (a shard guard is always dropped before the tombstone map is
+//! taken).
 
 use crate::cache::ShardedCache;
 use crate::database::DbConfig;

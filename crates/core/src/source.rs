@@ -13,18 +13,47 @@ use std::sync::Arc;
 /// take the maintenance gate *shared* briefly per call plus the
 /// component lock they need (extents for scans, the index set for
 /// lookups, cache shards for attribute reads) — any number of queries
-/// proceed concurrently with each other and with DML; isolation comes
-/// from the 2PL class locks the query API acquires at prepare time. The
-/// executor holds no locks across calls, so navigation can fault
-/// objects in freely.
+/// proceed concurrently with each other and with DML. The executor
+/// holds no locks across calls, so navigation can fault objects in
+/// freely.
+///
+/// Isolation comes in two flavors:
+/// * **Snapshot** (the default): [`SourceView::with_snapshot`] pins a
+///   commit timestamp; scans merge back concurrently deleted objects,
+///   visibility-filter the candidates, and attribute reads resolve
+///   through the version store — no 2PL locks at all.
+/// * **Legacy** ([`SourceView::new`]): raw in-place reads; callers rely
+///   on the `S` class locks the query API takes at prepare time.
 pub struct SourceView<'a> {
     db: &'a Database,
+    /// `(snapshot commit-ts, reading txn)` when reading under MVCC.
+    snapshot: Option<(u64, u64)>,
 }
 
 impl<'a> SourceView<'a> {
-    /// Wrap a database.
+    /// Wrap a database (legacy in-place reads).
     pub fn new(db: &'a Database) -> Self {
-        SourceView { db }
+        SourceView { db, snapshot: None }
+    }
+
+    /// Wrap a database pinned at snapshot `ts` for transaction
+    /// `reader` (see [`Database::query`]).
+    pub(crate) fn with_snapshot(db: &'a Database, ts: u64, reader: u64) -> Self {
+        SourceView { db, snapshot: Some((ts, reader)) }
+    }
+
+    /// Is `oid` part of the extent at the pinned snapshot?
+    fn visible(&self, oid: Oid, ts: u64, reader: u64) -> bool {
+        use crate::mvcc::Resolution;
+        match self.db.mvcc.resolve(oid, ts, reader) {
+            // No chain / committed-visible: the candidate stands.
+            Resolution::Current | Resolution::Visible(_) => true,
+            Resolution::Invisible => false,
+            // The reader's own in-flight write: the live directory is
+            // exactly its view (its own deletes are gone, its own
+            // creates and updates are in).
+            Resolution::Own => self.db.rt_read().directory.contains(oid),
+        }
     }
 }
 
@@ -35,7 +64,23 @@ impl DataSource for SourceView<'_> {
         if let Some(name) = adapter_name {
             self.db.refresh_foreign_extent(&name, class)?;
         }
-        Ok(self.db.rt_read().extents.snapshot(class))
+        let mut oids = self.db.rt_read().extents.snapshot(class);
+        if let Some((ts, reader)) = self.snapshot {
+            if !self.db.mvcc.quiescent() {
+                // Objects deleted after the snapshot (or by in-flight
+                // transactions) are gone from the live extent but still
+                // belong to this scan; merge, then visibility-filter
+                // the union (which also drops uncommitted creates).
+                let gone = self.db.mvcc.deleted_after(class, ts);
+                if !gone.is_empty() {
+                    oids.extend(gone);
+                    oids.sort_unstable();
+                    oids.dedup();
+                }
+                oids.retain(|&oid| self.visible(oid, ts, reader));
+            }
+        }
+        Ok(oids)
     }
 
     fn extent_size(&self, class: ClassId) -> usize {
@@ -45,14 +90,18 @@ impl DataSource for SourceView<'_> {
     fn get_attr_value(&self, oid: Oid, attr: u32) -> DbResult<Value> {
         let catalog = self.db.catalog.read();
         let rt = self.db.rt_read();
-        let record = match self.db.read_record(&rt, &catalog, oid) {
+        let read = |oid: Oid| match self.snapshot {
+            Some((ts, reader)) => self.db.read_record_at(&rt, &catalog, oid, ts, reader),
+            None => self.db.read_record(&rt, &catalog, oid),
+        };
+        let record = match read(oid) {
             Some(r) => r,
             None => return Ok(Value::Null), // dangling reference
         };
         // Generic objects answer through their default version.
         if let Some(Value::Ref(default)) = record.get(crate::sysattr::ATTR_DEFAULT_VERSION) {
             let default = *default;
-            return Ok(match self.db.read_record(&rt, &catalog, default) {
+            return Ok(match read(default) {
                 Some(fwd) => fwd.get(attr).cloned().unwrap_or(Value::Null),
                 None => Value::Null,
             });

@@ -15,7 +15,7 @@ use crate::cache::CacheStats;
 use orion_obs::{render, Counter, Gauge, Histogram, HistogramSnapshot};
 use orion_query::{ExecMetrics, ExecSnapshot};
 use orion_storage::{DiskStats, FaultStats, PoolStats, RecoveryStats, WalStats};
-use orion_tx::LockStats;
+use orion_tx::{LockStats, MvccStats};
 use std::sync::Arc;
 
 /// The metric sinks one `Database` owns and threads through its layers.
@@ -156,6 +156,8 @@ pub struct DbStats {
     pub wal: WalStats,
     /// Lock-manager counters and wait latency.
     pub locks: LockStats,
+    /// MVCC snapshot-read counters (version chains, pruning, lag).
+    pub mvcc: MvccStats,
     /// Query-executor counters.
     pub exec: ExecSnapshot,
     /// Maintenance-gate counters (runtime decomposition).
@@ -339,11 +341,87 @@ impl DbStats {
             "Lock requests that timed out",
             self.locks.timeouts,
         );
+        // Per-mode breakout (the render helpers are label-free, so each
+        // mode gets its own series). With MVCC snapshot reads on, a
+        // pure-query workload holds the S series at ~0 — the "queries
+        // take no locks" claim is directly observable here.
+        render::counter(
+            &mut out,
+            "orion_lock_acquisitions_is_total",
+            "IS-mode lock grants (intention share)",
+            self.locks.is_acquisitions,
+        );
+        render::counter(
+            &mut out,
+            "orion_lock_acquisitions_ix_total",
+            "IX-mode lock grants (intention exclusive)",
+            self.locks.ix_acquisitions,
+        );
+        render::counter(
+            &mut out,
+            "orion_lock_acquisitions_s_total",
+            "S-mode lock grants (shared reads)",
+            self.locks.s_acquisitions,
+        );
+        render::counter(
+            &mut out,
+            "orion_lock_acquisitions_six_total",
+            "SIX-mode lock grants (share + intention exclusive)",
+            self.locks.six_acquisitions,
+        );
+        render::counter(
+            &mut out,
+            "orion_lock_acquisitions_x_total",
+            "X-mode lock grants (exclusive writes)",
+            self.locks.x_acquisitions,
+        );
         render::histogram(
             &mut out,
             "orion_lock_wait_latency_seconds",
             "Lock wait latency",
             &self.locks.wait_latency,
+        );
+        render::counter(
+            &mut out,
+            "orion_mvcc_snapshots_total",
+            "Query snapshots captured",
+            self.mvcc.snapshots,
+        );
+        render::counter(
+            &mut out,
+            "orion_mvcc_snapshot_reads_total",
+            "Record reads resolved under a snapshot",
+            self.mvcc.snapshot_reads,
+        );
+        render::counter(
+            &mut out,
+            "orion_mvcc_versions_published_total",
+            "Committed versions appended to version chains",
+            self.mvcc.versions_published,
+        );
+        render::counter(
+            &mut out,
+            "orion_mvcc_versions_pruned_total",
+            "Superseded versions reclaimed by pruning",
+            self.mvcc.versions_pruned,
+        );
+        render::histogram(
+            &mut out,
+            "orion_mvcc_version_chain_length",
+            "Version-chain length observed at publish (unit: links)",
+            &self.mvcc.chain_length,
+        );
+        render::gauge(
+            &mut out,
+            "orion_mvcc_active_snapshots",
+            "Snapshots currently pinned by running queries",
+            self.mvcc.active_snapshots,
+        );
+        render::gauge(
+            &mut out,
+            "orion_mvcc_oldest_snapshot_lag",
+            "Commit-timestamp distance from the oldest active snapshot to the frontier",
+            self.mvcc.oldest_snapshot_lag,
         );
         render::counter(
             &mut out,

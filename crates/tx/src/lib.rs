@@ -14,7 +14,11 @@
 //!   and timeouts,
 //! * class-hierarchy locking: schema changes take `X` on a class *and
 //!   its subtree*, which the facade passes in explicitly (the catalog
-//!   owns subtree computation).
+//!   owns subtree computation),
+//! * [`CommitClock`] / [`SnapshotRegistry`] — the MVCC half: commit
+//!   timestamps published atomically per write set, plus the
+//!   active-snapshot floor that bounds version pruning. Snapshot
+//!   readers never enter the lock table at all.
 //!
 //! Strict two-phase locking is a protocol, not a data structure: the
 //! facade acquires locks as it touches objects and calls
@@ -22,6 +26,8 @@
 
 pub mod manager;
 pub mod modes;
+pub mod mvcc;
 
 pub use manager::{LockManager, LockStats, LockTarget};
 pub use modes::LockMode;
+pub use mvcc::{CommitClock, MvccMetrics, MvccStats, SnapshotRegistry};

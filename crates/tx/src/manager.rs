@@ -93,10 +93,24 @@ pub struct LockManager {
     available: Condvar,
     timeout: Duration,
     acquisitions: Counter,
+    /// Acquisitions broken out by granted mode, indexed by
+    /// [`mode_index`] (IS, IX, S, SIX, X).
+    by_mode: [Counter; 5],
     waits: Counter,
     wait_latency: Histogram,
     deadlocks: Counter,
     timeouts: Counter,
+}
+
+/// Stable index of a mode in per-mode counter arrays.
+fn mode_index(mode: LockMode) -> usize {
+    match mode {
+        LockMode::IS => 0,
+        LockMode::IX => 1,
+        LockMode::S => 2,
+        LockMode::SIX => 3,
+        LockMode::X => 4,
+    }
 }
 
 /// Cumulative lock-manager counters.
@@ -104,6 +118,18 @@ pub struct LockManager {
 pub struct LockStats {
     /// Granted acquisitions (covered re-requests included).
     pub acquisitions: u64,
+    /// `IS`-mode acquisitions (intention share on ancestors of a read).
+    pub is_acquisitions: u64,
+    /// `IX`-mode acquisitions (intention exclusive on ancestors of a
+    /// write).
+    pub ix_acquisitions: u64,
+    /// `S`-mode acquisitions (shared reads — with MVCC snapshot reads
+    /// enabled, a pure-query workload drives this to ~0).
+    pub s_acquisitions: u64,
+    /// `SIX`-mode acquisitions (share + intention-exclusive upgrades).
+    pub six_acquisitions: u64,
+    /// `X`-mode acquisitions (exclusive writes).
+    pub x_acquisitions: u64,
     /// Acquisitions that blocked on a conflicting holder at least once.
     pub waits: u64,
     /// Wait-time distribution of those blocked acquisitions (granted or
@@ -129,6 +155,7 @@ impl LockManager {
             available: Condvar::new(),
             timeout,
             acquisitions: Counter::new(),
+            by_mode: Default::default(),
             waits: Counter::new(),
             wait_latency: Histogram::new(),
             deadlocks: Counter::new(),
@@ -140,6 +167,11 @@ impl LockManager {
     pub fn stats(&self) -> LockStats {
         LockStats {
             acquisitions: self.acquisitions.get(),
+            is_acquisitions: self.by_mode[mode_index(LockMode::IS)].get(),
+            ix_acquisitions: self.by_mode[mode_index(LockMode::IX)].get(),
+            s_acquisitions: self.by_mode[mode_index(LockMode::S)].get(),
+            six_acquisitions: self.by_mode[mode_index(LockMode::SIX)].get(),
+            x_acquisitions: self.by_mode[mode_index(LockMode::X)].get(),
             waits: self.waits.get(),
             wait_latency: self.wait_latency.snapshot(),
             deadlock_victims: self.deadlocks.get(),
@@ -150,6 +182,9 @@ impl LockManager {
     /// Reset the lock counters (between benchmark phases).
     pub fn reset_stats(&self) {
         self.acquisitions.reset();
+        for counter in &self.by_mode {
+            counter.reset();
+        }
         self.waits.reset();
         self.wait_latency.reset();
         self.deadlocks.reset();
@@ -165,6 +200,7 @@ impl LockManager {
             if let Some(held) = holders.get(&txn) {
                 if held.covers(mode) {
                     self.acquisitions.inc();
+                    self.by_mode[mode_index(mode)].inc();
                     return Ok(());
                 }
             }
@@ -183,6 +219,7 @@ impl LockManager {
                 state.waits_for.remove(&txn);
                 state.grant(target, txn, mode);
                 self.acquisitions.inc();
+                self.by_mode[mode_index(mode)].inc();
                 drop(state);
                 finish_wait(wait_span);
                 return Ok(());
@@ -218,6 +255,7 @@ impl LockManager {
         if state.conflicts(&target, txn, mode).is_empty() {
             state.grant(target, txn, mode);
             self.acquisitions.inc();
+            self.by_mode[mode_index(mode)].inc();
             Ok(true)
         } else {
             Ok(false)
@@ -470,6 +508,10 @@ mod tests {
         let lm = Arc::new(LockManager::with_timeout(Duration::from_millis(50)));
         lm.lock_object_read(1, oid(1, 1)).unwrap(); // 3 grants (IS, IS, S)
         assert_eq!(lm.stats().acquisitions, 3);
+        assert_eq!(lm.stats().is_acquisitions, 2, "IS on database + class");
+        assert_eq!(lm.stats().s_acquisitions, 1, "S on the object");
+        assert_eq!(lm.stats().ix_acquisitions, 0);
+        assert_eq!(lm.stats().x_acquisitions, 0);
         assert_eq!(lm.stats().waits, 0);
 
         // A conflicting writer waits, then times out.

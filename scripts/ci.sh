@@ -7,9 +7,12 @@
 # tests/chaos.rs, then the #[ignore]d multi-seed hammer in release
 # mode), and two bench smoke runs:
 # parallel_query regenerates BENCH_parallel_query.json (its
-# instrumentation-overhead measurement must stay within the 5% budget)
-# and net_throughput --smoke regenerates BENCH_net.json (a ~2 second
-# multi-client run over real sockets).
+# instrumentation-overhead measurement must stay within the 5% budget,
+# and its mixed_read_write section feeds the MVCC regression gate:
+# ~0 pure-read lock acquisitions, reader throughput within 20% as
+# writers are added on multi-core hosts) and net_throughput --smoke
+# regenerates BENCH_net.json (a ~2 second multi-client run over real
+# sockets).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -36,6 +39,34 @@ scripts/lint.sh
 
 echo "==> bench smoke: parallel_query"
 cargo run -p orion-bench --release --bin parallel_query
+
+echo "==> mixed_read_write regression gate"
+# MVCC snapshot reads must keep a pure-read workload off the lock
+# manager entirely, and (on hosts with enough cores) keep reader
+# throughput flat as writers are added. Parsed with sed/awk so the
+# gate has no jq/python dependency.
+bench_json=BENCH_parallel_query.json
+pure_locks=$(sed -n 's/.*"pure_read_lock_acquisitions": \([0-9][0-9]*\).*/\1/p' "$bench_json")
+degradation=$(sed -n 's/.*"reader_degradation_pct": \(-\{0,1\}[0-9.][0-9.]*\).*/\1/p' "$bench_json")
+gate_enforced=$(sed -n 's/.*"reader_gate_enforced": \(true\|false\).*/\1/p' "$bench_json")
+if [ -z "$pure_locks" ] || [ -z "$degradation" ] || [ -z "$gate_enforced" ]; then
+  echo "FAIL: could not parse mixed_read_write fields from $bench_json" >&2
+  exit 1
+fi
+if [ "$pure_locks" -gt 4 ]; then
+  echo "FAIL: pure-read workload took $pure_locks 2PL locks (budget: 4)" >&2
+  exit 1
+fi
+echo "    pure-read lock acquisitions: $pure_locks (budget: 4)"
+if [ "$gate_enforced" = "true" ]; then
+  if ! awk -v d="$degradation" 'BEGIN { exit !(d <= 20.0) }'; then
+    echo "FAIL: reader throughput degraded ${degradation}% with writers added (budget: 20%)" >&2
+    exit 1
+  fi
+  echo "    reader throughput degradation: ${degradation}% (budget: 20%)"
+else
+  echo "    reader flatness gate skipped: host is core-bound (degradation was ${degradation}%)"
+fi
 
 echo "==> bench smoke: net_throughput"
 cargo run -p orion-bench --release --bin net_throughput -- --smoke

@@ -384,10 +384,18 @@ fn stress_many_writers_across_classes_stay_consistent() {
 }
 
 /// Schema changes exclude concurrent hierarchy readers ([GARZ88]) and
-/// proceed once they drain.
+/// proceed once they drain. This is the *legacy* locking-reads
+/// discipline (`mvcc_reads: false`): queries take S locks that a
+/// subtree-X schema change must wait out. Under MVCC snapshot reads
+/// the trade-off inverts — see
+/// `snapshot_readers_do_not_block_schema_change`.
 #[test]
 fn schema_change_blocks_until_readers_finish() {
-    let config = DbConfig { lock_timeout: Duration::from_secs(30), ..DbConfig::default() };
+    let config = DbConfig {
+        lock_timeout: Duration::from_secs(30),
+        mvcc_reads: false,
+        ..DbConfig::default()
+    };
     let db = Arc::new(Database::with_config(config));
     db.create_class("Thing", &[], vec![AttrSpec::new("x", Domain::Primitive(PrimitiveType::Int))])
         .unwrap();
@@ -419,6 +427,52 @@ fn schema_change_blocks_until_readers_finish() {
     db.commit(reader).unwrap();
     evolver.join().unwrap();
     // The new attribute is live.
+    let tx = db.begin();
+    let r = db.query(&tx, "select count(*) from Thing* v where v.y is null").unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(1));
+    db.commit(tx).unwrap();
+}
+
+/// With MVCC snapshot reads (the default), queries hold no class locks,
+/// so a schema change proceeds immediately even while a reader
+/// transaction that has already queried the hierarchy stays open.
+#[test]
+fn snapshot_readers_do_not_block_schema_change() {
+    let config = DbConfig { lock_timeout: Duration::from_secs(30), ..DbConfig::default() };
+    let db = Arc::new(Database::with_config(config));
+    db.create_class("Thing", &[], vec![AttrSpec::new("x", Domain::Primitive(PrimitiveType::Int))])
+        .unwrap();
+    db.create_class("SubThing", &["Thing"], vec![]).unwrap();
+    let tx = db.begin();
+    db.create_object(&tx, "SubThing", vec![("x", Value::Int(1))]).unwrap();
+    db.commit(tx).unwrap();
+
+    // An open reader transaction with a completed hierarchy query.
+    let reader = db.begin();
+    let r = db.query(&reader, "select count(*) from Thing* v").unwrap();
+    assert_eq!(r.rows[0][0], Value::Int(1));
+    let stats = db.stats();
+    assert_eq!(stats.locks.s_acquisitions, 0, "snapshot queries take no S locks");
+    assert!(stats.mvcc.snapshots >= 1, "the query pinned a snapshot");
+
+    // The schema change must NOT wait for the reader: with a 30 s lock
+    // timeout, finishing quickly is only possible if no lock was held.
+    let thing = db.with_catalog(|c| c.class_id("Thing")).unwrap();
+    let started = std::time::Instant::now();
+    db.evolve(
+        SchemaChange::AddAttribute {
+            class: thing,
+            spec: AttrSpec::new("y", Domain::Primitive(PrimitiveType::Int)),
+        },
+        Migration::Lazy,
+    )
+    .unwrap();
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "schema change queued behind a snapshot reader"
+    );
+    db.commit(reader).unwrap();
+
     let tx = db.begin();
     let r = db.query(&tx, "select count(*) from Thing* v where v.y is null").unwrap();
     assert_eq!(r.rows[0][0], Value::Int(1));
