@@ -89,7 +89,7 @@ fn bench_e7_dispatch(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
     for depth in [1usize, 8, 16] {
         for cache in [true, false] {
-            let db = Database::new();
+            let db = Database::open_in_memory();
             let leaf = deep_hierarchy(&db, depth);
             db.with_catalog_mut(|cat| cat.set_method_cache_enabled(cache));
             let tx = db.begin();

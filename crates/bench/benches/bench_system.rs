@@ -79,7 +79,7 @@ fn bench_e8_locking(c: &mut Criterion) {
 }
 
 fn bench_e9_versions(c: &mut Criterion) {
-    let db = Database::new();
+    let db = Database::open_in_memory();
     db.create_class(
         "Doc",
         &[],
@@ -161,7 +161,7 @@ fn bench_e11_authz(c: &mut Criterion) {
 
 fn bench_e12_rules(c: &mut Criterion) {
     const NODES: usize = 40;
-    let db = Database::new();
+    let db = Database::open_in_memory();
     db.create_class("Node", &[], vec![]).unwrap();
     let node = db.with_catalog(|c| c.class_id("Node")).unwrap();
     db.evolve(

@@ -537,7 +537,7 @@ fn e7() {
     let mut table = Table::new(&["hierarchy depth", "method cache", "per-dispatch"]);
     for depth in [1usize, 4, 16] {
         for cache in [true, false] {
-            let db = Database::new();
+            let db = Database::open_in_memory();
             let leaf = deep_hierarchy(&db, depth);
             db.with_catalog_mut(|c| c.set_method_cache_enabled(cache));
             let tx = db.begin();
@@ -643,7 +643,7 @@ fn e8() {
 
 fn e9() {
     const UPDATES: usize = 2_000;
-    let db = Database::new();
+    let db = Database::open_in_memory();
     db.create_class(
         "Doc",
         &[],
@@ -667,7 +667,7 @@ fn e9() {
 
     // Composite locking: lock a 64-part composite in one protocol step
     // versus touching each part under its own transaction.
-    let db2 = Database::new();
+    let db2 = Database::open_in_memory();
     let roots = assemblies(&db2, 1, 64, false);
     let root = roots[0];
     let members = db2.composite_members(root);
@@ -809,7 +809,7 @@ fn e11() {
 
 fn e12() {
     const NODES: usize = 100;
-    let db = Database::new();
+    let db = Database::open_in_memory();
     db.create_class(
         "Node",
         &[],

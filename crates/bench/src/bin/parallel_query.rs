@@ -20,9 +20,13 @@
 //!    so added writers should not collapse reader throughput on a
 //!    multi-core host), and a pure-read workload's lock accounting
 //!    (`lock_acquisitions` ≈ 0, resolution visible in `orion_mvcc_*`).
+//! 5. *Group commit*: a fixed budget of commits split across 1, 8, then
+//!    64 concurrent committers with a group-commit window — one flush
+//!    leader's fsync should make many transactions durable, driving
+//!    flushes-per-commit well below 1 (CI gates < 0.5 at 8 committers).
 
 use orion_bench::fleet;
-use orion_core::{AttrSpec, DbConfig, Domain, Oid, PrimitiveType, SourceView, Value};
+use orion_core::{AttrSpec, Database, DbConfig, Domain, Oid, PrimitiveType, SourceView, Value};
 use orion_query::{execute_with, ExecMetrics, ExecOptions};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -317,6 +321,66 @@ fn main() {
         pure.mvcc.snapshot_reads,
     );
 
+    // --- 5. Group commit: flushes per commit vs committer count --------
+    // A fixed budget of tiny write transactions, split across 1, 8,
+    // then 64 concurrent committers. Every commit forces the log, but
+    // with a group-commit window the flush leader's single fsync covers
+    // every committer parked on the same ticket; flushes-per-commit is
+    // the measure of amortization (1.0 = no sharing).
+    const COMMIT_FLEETS: [usize; 3] = [1, 8, 64];
+    const COMMITS_TOTAL: usize = 192;
+    const GROUP_WINDOW_US: u64 = 500;
+    let commit_rows: Vec<String> = COMMIT_FLEETS
+        .iter()
+        .map(|&committers| {
+            let cdb = Database::with_config(DbConfig {
+                group_commit_window: Duration::from_micros(GROUP_WINDOW_US),
+                ..DbConfig::default()
+            });
+            cdb.create_class(
+                "Entry",
+                &[],
+                vec![AttrSpec::new("n", Domain::Primitive(PrimitiveType::Int))],
+            )
+            .expect("entry class");
+            cdb.reset_metrics();
+            let start = Instant::now();
+            std::thread::scope(|s| {
+                for _ in 0..committers {
+                    let cdb = &cdb;
+                    s.spawn(move || {
+                        for i in 0..COMMITS_TOTAL / committers {
+                            let wtx = cdb.begin();
+                            cdb.create_object(&wtx, "Entry", vec![("n", Value::Int(i as i64))])
+                                .expect("create");
+                            cdb.commit(wtx).expect("commit");
+                        }
+                    });
+                }
+            });
+            let elapsed = start.elapsed();
+            let wal = cdb.stats().wal;
+            let commits = (COMMITS_TOTAL / committers * committers) as u64;
+            let per_commit = wal.fsyncs as f64 / commits as f64;
+            println!(
+                "group commit, {committers} committer(s): {commits} commits in {elapsed:?} \
+                 ({:.1}/s), {} fsyncs ({per_commit:.3} flushes/commit, {} group flushes)",
+                commits as f64 / elapsed.as_secs_f64(),
+                wal.fsyncs,
+                wal.group_commit_batch_size.count,
+            );
+            format!(
+                "{{ \"committers\": {committers}, \"commits\": {commits}, \"ms\": {:.3}, \
+                 \"commits_per_s\": {:.1}, \"fsyncs\": {}, \
+                 \"flushes_per_commit\": {per_commit:.4} }}",
+                elapsed.as_secs_f64() * 1e3,
+                commits as f64 / elapsed.as_secs_f64(),
+                wal.fsyncs,
+            )
+        })
+        .collect();
+    let commit_throughput = commit_rows.join(",\n      ");
+
     let cpus = cpus();
     // Threads cannot beat serial wall-clock on a host with fewer cores
     // than workers; say so in the record instead of leaving a mystery.
@@ -369,6 +433,8 @@ fn main() {
          \"pure_read_snapshots\": {},\n    \
          \"pure_read_snapshot_reads\": {},\n    \
          \"pure_read_qps\": {pure_read_qps:.1}\n  }},\n  \
+         \"commit_throughput\": {{\n    \"group_commit_window_us\": {GROUP_WINDOW_US},\n    \
+         \"runs\": [\n      {commit_throughput}\n    ]\n  }},\n  \
          \"instrumentation\": {{\n    \"repeats\": {INSTR_REPEATS},\n    \
          \"interleaved\": true,\n    \"metrics_off_median_ms\": {:.3},\n    \
          \"metrics_on_median_ms\": {:.3},\n    \"overhead_pct\": {:.3}\n  }},\n  \

@@ -18,7 +18,7 @@
 //! shared by all normal work and exclusively by whole-state rebuilds.
 
 use crate::authz::{AuthAction, AuthTarget, AuthzManager};
-use crate::cache::{CacheStats, Hop};
+use crate::cache::Hop;
 use crate::methods::MethodRegistry;
 use crate::multidb::ForeignAdapter;
 use crate::notify::{NotificationKind, NotifyCenter};
@@ -28,12 +28,13 @@ use crate::sysattr;
 use orion_index::IndexInstance;
 use orion_schema::Catalog;
 use orion_storage::heap::Rid;
-use orion_storage::{PoolStats, StorageEngine, TxnId};
+use orion_storage::{FileDisk, SimDisk, StorageBackend, StorageEngine, TxnId};
 use orion_tx::LockManager;
 use orion_types::codec::ObjectRecord;
 use orion_types::{ClassId, DbError, DbResult, Oid, OidAllocator, Value};
 use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::collections::{HashMap, HashSet};
+use std::path::PathBuf;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -46,6 +47,21 @@ pub enum LockingStrategy {
     Granular,
     /// Class-level S/X for every object operation (the coarse baseline).
     CoarseClass,
+}
+
+/// Which storage backend a database opens over.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum StorageSpec {
+    /// The in-memory simulated disk: fault-injectable, instrumented,
+    /// and gone when the process exits. The default, and what every
+    /// test and benchmark uses unless it is explicitly exercising
+    /// durability across processes.
+    #[default]
+    Memory,
+    /// Real files under the given directory (`pages.dat` + `wal.log`)
+    /// with real `fsync` durability barriers. Opening an existing
+    /// directory replays its WAL.
+    File(PathBuf),
 }
 
 /// Tunables; defaults are sensible for tests and examples.
@@ -74,6 +90,14 @@ pub struct DbConfig {
     /// query takes `S` locks on every class in scope (and therefore
     /// blocks behind — and is blocked by — writers and schema changes).
     pub mvcc_reads: bool,
+    /// Where pages and the WAL live (see [`StorageSpec`]).
+    pub storage: StorageSpec,
+    /// Group-commit window: how long a commit's flush leader lingers
+    /// for other committers to join its fsync. `ZERO` (the default)
+    /// flushes immediately but still coalesces opportunistically —
+    /// committers that arrive while a flush is in flight share the
+    /// next one.
+    pub group_commit_window: Duration,
 }
 
 impl Default for DbConfig {
@@ -88,6 +112,8 @@ impl Default for DbConfig {
             lock_timeout: Duration::from_secs(5),
             query_threads: 0,
             mvcc_reads: true,
+            storage: StorageSpec::Memory,
+            group_commit_window: Duration::ZERO,
         }
     }
 }
@@ -179,6 +205,19 @@ impl DbConfigBuilder {
         self
     }
 
+    /// Storage backend selection (in-memory or real files).
+    pub fn storage(mut self, spec: StorageSpec) -> Self {
+        self.config.storage = spec;
+        self
+    }
+
+    /// Group-commit window (`ZERO` = flush immediately, coalescing
+    /// only committers already waiting).
+    pub fn group_commit_window(mut self, window: Duration) -> Self {
+        self.config.group_commit_window = window;
+        self
+    }
+
     /// Validate and produce the configuration.
     pub fn build(self) -> DbResult<DbConfig> {
         self.config.validate()?;
@@ -233,16 +272,64 @@ pub struct Database {
 }
 
 impl Database {
-    /// A fresh database with default configuration.
+    /// A fresh in-memory database with default configuration.
+    #[deprecated(note = "use `Database::open_in_memory()` or `Database::open(path)`")]
     pub fn new() -> Self {
+        Self::open_in_memory()
+    }
+
+    /// A fresh in-memory database with default configuration. State
+    /// lives in a [`SimDisk`] and dies with the process — the right
+    /// constructor for tests, examples, and experiments.
+    pub fn open_in_memory() -> Self {
         Self::with_config(DbConfig::default())
     }
 
+    /// Open (or create) a durable database rooted at `path` over a
+    /// real-file backend with real `fsync`. If the directory already
+    /// holds data from a previous process, its WAL is replayed and all
+    /// derived state (catalog, extents, indexes) rebuilt before the
+    /// handle is returned; method bodies must be re-registered by the
+    /// caller (they are code, not data).
+    pub fn open(path: impl Into<PathBuf>) -> DbResult<Self> {
+        let config =
+            DbConfig { storage: StorageSpec::File(path.into()), ..DbConfig::default() };
+        Self::build(config)
+    }
+
     /// A fresh database with explicit configuration.
+    ///
+    /// Infallible for in-memory storage. Panics if the configuration
+    /// names a file backend that fails to open — use [`Database::open`]
+    /// or [`Database::try_with_config`] for file-backed storage.
     pub fn with_config(config: DbConfig) -> Self {
-        Database {
+        Self::build(config).expect(
+            "opening storage failed; use Database::open or try_with_config for file backends",
+        )
+    }
+
+    /// A fresh database from a validated configuration; rejects invalid
+    /// settings with [`DbError::Config`]. Equivalent to
+    /// `DbConfig::builder()...build()` followed by
+    /// [`Database::with_config`], but surfaces file-backend open and
+    /// replay errors instead of panicking.
+    pub fn try_with_config(config: DbConfig) -> DbResult<Self> {
+        config.validate()?;
+        Self::build(config)
+    }
+
+    /// Construct over the configured backend; replay existing state.
+    fn build(config: DbConfig) -> DbResult<Self> {
+        let backend: Arc<dyn StorageBackend> = match &config.storage {
+            StorageSpec::Memory => Arc::new(SimDisk::new()),
+            StorageSpec::File(dir) => Arc::new(FileDisk::open(dir)?),
+        };
+        let had_state = backend.page_count() > 0 || backend.log_len()? > 0;
+        let engine = StorageEngine::with_backend(backend, config.buffer_pages)?;
+        engine.wal().set_group_commit_window(config.group_commit_window);
+        let db = Database {
             catalog: RwLock::new(Catalog::new()),
-            engine: StorageEngine::new(config.buffer_pages),
+            engine,
             locks: LockManager::with_timeout(config.lock_timeout),
             rt: RwLock::new(Runtime::new(&config)),
             methods: RwLock::new(MethodRegistry::new()),
@@ -255,16 +342,14 @@ impl Database {
             config,
             alloc: OidAllocator::new(),
             metrics: DbMetrics::default(),
+        };
+        if had_state {
+            // Same sequence as a crash restart: WAL redo/undo, page
+            // scrub, then a wholesale rebuild of derived state from
+            // the recovered records.
+            db.simulate_cold_restart()?;
         }
-    }
-
-    /// A fresh database from a validated configuration; rejects invalid
-    /// settings with [`DbError::Config`]. Equivalent to
-    /// `DbConfig::builder()...build()` followed by
-    /// [`Database::with_config`].
-    pub fn try_with_config(config: DbConfig) -> DbResult<Self> {
-        config.validate()?;
-        Ok(Self::with_config(config))
+        Ok(db)
     }
 
     /// The active configuration.
@@ -375,30 +460,6 @@ impl Database {
         self.metrics.gate_shared.reset();
         self.metrics.gate_exclusive.reset();
         self.metrics.gate_exclusive_wait.reset();
-    }
-
-    /// Object-cache counters.
-    #[deprecated(note = "use `stats().cache`")]
-    pub fn cache_stats(&self) -> CacheStats {
-        self.stats().cache
-    }
-
-    /// Buffer-pool counters.
-    #[deprecated(note = "use `stats().pool`")]
-    pub fn pool_stats(&self) -> PoolStats {
-        self.stats().pool
-    }
-
-    /// Objects fetched from storage since the last reset.
-    #[deprecated(note = "use `stats().fetches`")]
-    pub fn fetch_count(&self) -> u64 {
-        self.stats().fetches
-    }
-
-    /// Reset all performance counters (between benchmark phases).
-    #[deprecated(note = "use `reset_metrics()`")]
-    pub fn reset_stats(&self) {
-        self.reset_metrics();
     }
 
     /// Drop the object cache and buffer pool contents without touching
@@ -1358,7 +1419,7 @@ impl Database {
 
 impl Default for Database {
     fn default() -> Self {
-        Self::new()
+        Self::open_in_memory()
     }
 }
 

@@ -36,7 +36,7 @@ pub mod versions;
 
 pub use authz::{AuthAction, AuthTarget};
 pub use cache::{CacheStats, ObjectCache};
-pub use database::{Database, DbConfig, DbConfigBuilder, LockingStrategy, Tx};
+pub use database::{Database, DbConfig, DbConfigBuilder, LockingStrategy, StorageSpec, Tx};
 pub use stats::{DbStats, GateStats, NetMetrics, NetStats};
 pub use ddl::Migration;
 pub use methods::MethodBody;
@@ -51,8 +51,8 @@ pub use orion_index::{IndexDef, IndexKind};
 pub use orion_query::{AccessPath, ExecSnapshot, ExplainReport, QueryResult, RunStats};
 pub use orion_schema::{AttrSpec, SchemaChange};
 pub use orion_storage::{
-    DiskStats, FaultKind, FaultPlan, FaultSite, FaultStats, PoolStats, RecoveryStats, Trigger,
-    WalStats,
+    DiskStats, FaultKind, FaultPlan, FaultSite, FaultStats, FileDisk, PoolStats, RecoveryStats,
+    StorageBackend, Trigger, WalStats,
 };
 pub use orion_tx::{LockStats, MvccStats};
 pub use orion_types::{ClassId, DbError, DbResult, Domain, Oid, PrimitiveType, Value};

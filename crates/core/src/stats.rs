@@ -271,6 +271,24 @@ impl DbStats {
         );
         render::counter(
             &mut out,
+            "orion_wal_fsyncs_total",
+            "Durability barriers issued against the log device",
+            self.wal.fsyncs,
+        );
+        render::counter(
+            &mut out,
+            "orion_wal_logical_records_total",
+            "Logical DML records (insert/update/delete/CLR) appended",
+            self.wal.logical_records,
+        );
+        render::plain_histogram(
+            &mut out,
+            "orion_wal_group_commit_batch_size",
+            "Committers whose commits one group-commit flush made durable",
+            &self.wal.group_commit_batch_size,
+        );
+        render::counter(
+            &mut out,
             "orion_fault_read_errors_total",
             "Injected page-read I/O errors",
             self.fault.read_errors,

@@ -71,7 +71,7 @@ fn populate(db: &Database, n: u64) -> (Oid, Oid) {
 
 #[test]
 fn crud_and_defaults() {
-    let db = Database::new();
+    let db = Database::open_in_memory();
     db.create_class(
         "Point",
         &[],
@@ -96,7 +96,7 @@ fn crud_and_defaults() {
 
 #[test]
 fn figure1_query_through_facade() {
-    let db = Database::new();
+    let db = Database::open_in_memory();
     figure1(&db);
     populate(&db, 8);
     let tx = db.begin();
@@ -115,7 +115,7 @@ fn figure1_query_through_facade() {
 
 #[test]
 fn inherited_attributes_read_through_subclass() {
-    let db = Database::new();
+    let db = Database::open_in_memory();
     figure1(&db);
     let tx = db.begin();
     let t = db
@@ -128,7 +128,7 @@ fn inherited_attributes_read_through_subclass() {
 
 #[test]
 fn rollback_undoes_everything_including_indexes() {
-    let db = Database::new();
+    let db = Database::open_in_memory();
     figure1(&db);
     populate(&db, 4);
     db.create_index("w", IndexKind::ClassHierarchy, "Vehicle", &["weight"]).unwrap();
@@ -149,7 +149,7 @@ fn rollback_undoes_everything_including_indexes() {
 
 #[test]
 fn crash_recovery_preserves_committed_objects() {
-    let db = Database::new();
+    let db = Database::open_in_memory();
     figure1(&db);
     populate(&db, 6);
     db.create_index("w", IndexKind::ClassHierarchy, "Vehicle", &["weight"]).unwrap();
@@ -176,7 +176,7 @@ fn crash_recovery_preserves_committed_objects() {
 
 #[test]
 fn simple_index_follows_updates_and_deletes() {
-    let db = Database::new();
+    let db = Database::open_in_memory();
     figure1(&db);
     populate(&db, 4);
     db.create_index("w", IndexKind::ClassHierarchy, "Vehicle", &["weight"]).unwrap();
@@ -194,7 +194,7 @@ fn simple_index_follows_updates_and_deletes() {
 
 #[test]
 fn nested_index_maintained_through_intermediate_update() {
-    let db = Database::new();
+    let db = Database::open_in_memory();
     figure1(&db);
     let (detroit, austin) = populate(&db, 8);
     db.create_index("loc", IndexKind::Nested, "Vehicle", &["manufacturer", "location"]).unwrap();
@@ -227,7 +227,7 @@ fn nested_index_maintained_through_intermediate_update() {
 
 #[test]
 fn late_binding_dispatch_and_override() {
-    let db = Database::new();
+    let db = Database::open_in_memory();
     figure1(&db);
     db.define_method(
         "Vehicle",
@@ -265,7 +265,7 @@ fn late_binding_dispatch_and_override() {
 
 #[test]
 fn navigation_uses_swizzled_pointers_when_warm() {
-    let db = Database::new();
+    let db = Database::open_in_memory();
     figure1(&db);
     populate(&db, 2);
     let tx = db.begin();
@@ -284,7 +284,7 @@ fn navigation_uses_swizzled_pointers_when_warm() {
 
 #[test]
 fn schema_evolution_lazy_and_eager() {
-    let db = Database::new();
+    let db = Database::open_in_memory();
     figure1(&db);
     populate(&db, 4);
     let vehicle = db.with_catalog(|c| c.class_id("Vehicle")).unwrap();
@@ -318,7 +318,7 @@ fn schema_evolution_lazy_and_eager() {
 
 #[test]
 fn evolution_drops_dependent_indexes() {
-    let db = Database::new();
+    let db = Database::open_in_memory();
     figure1(&db);
     populate(&db, 4);
     db.create_index("w", IndexKind::ClassHierarchy, "Vehicle", &["weight"]).unwrap();
@@ -333,7 +333,7 @@ fn evolution_drops_dependent_indexes() {
 
 #[test]
 fn versions_lifecycle_and_notifications() {
-    let db = Database::new();
+    let db = Database::open_in_memory();
     db.create_class("Design", &[], vec![AttrSpec::new("rev", int())]).unwrap();
     let tx = db.begin();
     let (generic, v1) = db
@@ -376,7 +376,7 @@ fn versions_lifecycle_and_notifications() {
 
 #[test]
 fn composite_parts_cluster_delete_and_exclusivity() {
-    let db = Database::new();
+    let db = Database::open_in_memory();
     db.create_class("Module", &[], vec![AttrSpec::new("name", string())]).unwrap();
     let module = db.with_catalog(|c| c.class_id("Module")).unwrap();
     db.create_class(
@@ -415,7 +415,7 @@ fn composite_parts_cluster_delete_and_exclusivity() {
 
 #[test]
 fn composite_checkout_checkin_roundtrip() {
-    let db = Database::new();
+    let db = Database::open_in_memory();
     db.create_class("Part", &[], vec![AttrSpec::new("mass", int())]).unwrap();
     let part = db.with_catalog(|c| c.class_id("Part")).unwrap();
     db.create_class(
@@ -528,7 +528,7 @@ fn views_give_content_based_authorization() {
 
 #[test]
 fn deductive_rules_transitive_closure_over_cyclic_graph() {
-    let db = Database::new();
+    let db = Database::open_in_memory();
     db.create_class("Node", &[], vec![AttrSpec::new("label", string())]).unwrap();
     let node = db.with_catalog(|c| c.class_id("Node")).unwrap();
     db.evolve(
@@ -586,7 +586,7 @@ fn deductive_rules_transitive_closure_over_cyclic_graph() {
 
 #[test]
 fn rule_validation() {
-    let db = Database::new();
+    let db = Database::open_in_memory();
     assert!(db
         .add_rule(Rule {
             head: RuleAtom::new("p", vec![var("X")]),
@@ -648,7 +648,7 @@ fn foreign_adapter_federation() {
         }
     }
 
-    let db = Database::new();
+    let db = Database::open_in_memory();
     figure1(&db);
     populate(&db, 2);
     let attached = db.attach_foreign(Box::new(Payroll)).unwrap();
@@ -692,7 +692,7 @@ fn lock_conflicts_between_transactions() {
 
 #[test]
 fn set_valued_attributes_queryable() {
-    let db = Database::new();
+    let db = Database::open_in_memory();
     db.create_class(
         "Doc",
         &[],
@@ -720,7 +720,7 @@ fn set_valued_attributes_queryable() {
 fn large_multimedia_blobs_chain_through_storage() {
     // §2.2: "long unstructured data (such as images, audio, and textual
     // documents)". A 100 KiB blob spans ~25 pages of overflow chain.
-    let db = Database::new();
+    let db = Database::open_in_memory();
     db.create_class(
         "Image",
         &[],
@@ -756,7 +756,7 @@ fn large_multimedia_blobs_chain_through_storage() {
 
 #[test]
 fn blob_attributes_store_multimedia() {
-    let db = Database::new();
+    let db = Database::open_in_memory();
     db.create_class(
         "Image",
         &[],

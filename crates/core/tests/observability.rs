@@ -147,7 +147,7 @@ fn stats_nonzero_after_mixed_workload() {
 
 #[test]
 fn method_dispatches_are_counted() {
-    let db = Database::new();
+    let db = Database::open_in_memory();
     build_schema(&db, 6);
     db.define_method(
         "Vehicle",
@@ -233,18 +233,18 @@ fn counters_stay_monotonic_under_concurrent_readers_and_writer() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn deprecated_quartet_delegates_to_stats() {
-    let db = Database::new();
+fn reset_metrics_zeroes_every_counter() {
+    let db = Database::open_in_memory();
     build_schema(&db, 20);
     let tx = db.begin();
     db.query(&tx, "select v from Vehicle* v where v.weight > 3").unwrap();
     db.commit(tx).unwrap();
 
-    assert_eq!(db.cache_stats(), db.stats().cache);
-    assert_eq!(db.pool_stats(), db.stats().pool);
-    assert_eq!(db.fetch_count(), db.stats().fetches);
-    db.reset_stats();
+    assert!(db.stats().wal.appends > 0, "the workload was logged");
+    db.reset_metrics();
     assert_eq!(db.stats().fetches, 0);
     assert_eq!(db.stats().wal.appends, 0);
+    assert_eq!(db.stats().wal.fsyncs, 0);
+    assert_eq!(db.stats().wal.logical_records, 0);
+    assert_eq!(db.stats().wal.group_commit_batch_size.count, 0);
 }

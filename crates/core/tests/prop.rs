@@ -44,7 +44,7 @@ proptest! {
 
     #[test]
     fn transactional_workload_matches_model(txns in arb_txns()) {
-        let db = Database::new();
+        let db = Database::open_in_memory();
         db.create_class(
             "Company",
             &[],

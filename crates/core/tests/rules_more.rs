@@ -7,7 +7,7 @@ use orion_core::{
 };
 
 fn db_with_people() -> (Database, Vec<orion_core::Oid>) {
-    let db = Database::new();
+    let db = Database::open_in_memory();
     db.create_class(
         "Person",
         &[],

@@ -20,7 +20,7 @@
 //! use orion_core::Database;
 //! use orion_net::{Client, Server, ServerConfig};
 //!
-//! let db = Arc::new(Database::new());
+//! let db = Arc::new(Database::open_in_memory());
 //! let server = Server::bind(db, "127.0.0.1:0", ServerConfig::default()).unwrap();
 //! let mut client = Client::connect(server.local_addr()).unwrap();
 //! client.ping().unwrap();

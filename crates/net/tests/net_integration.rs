@@ -282,7 +282,7 @@ fn facade_errors_cross_the_wire_intact() {
 
 #[test]
 fn full_session_ddl_dml_checkout_checkin_over_the_wire() {
-    let db = Arc::new(Database::new());
+    let db = Arc::new(Database::open_in_memory());
     let server = Server::bind(Arc::clone(&db), "127.0.0.1:0", ServerConfig::default()).unwrap();
     let mut client = Client::connect(server.local_addr()).unwrap();
 

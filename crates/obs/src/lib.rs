@@ -289,6 +289,23 @@ pub mod render {
         let _ = writeln!(out, "{name}_sum {}", snap.sum_micros as f64 / 1e6);
         let _ = writeln!(out, "{name}_count {}", snap.count);
     }
+
+    /// Render one histogram whose observations are plain numbers (a
+    /// batch size, a chain length) rather than durations: bucket
+    /// bounds and the sum are emitted verbatim, not scaled to seconds.
+    pub fn plain_histogram(out: &mut String, name: &str, help: &str, snap: &HistogramSnapshot) {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        for (bound, cum) in snap.cumulative() {
+            if bound == u64::MAX {
+                let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cum}");
+            } else {
+                let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cum}");
+            }
+        }
+        let _ = writeln!(out, "{name}_sum {}", snap.sum_micros);
+        let _ = writeln!(out, "{name}_count {}", snap.count);
+    }
 }
 
 #[cfg(test)]

@@ -9,7 +9,8 @@
 //! write-ahead rule: a dirty page is never written to disk before the
 //! log records up to its page LSN are stable.
 
-use crate::disk::{PageId, SimDisk, PAGE_SIZE};
+use crate::backend::StorageBackend;
+use crate::disk::{PageId, PAGE_SIZE};
 use crate::slotted;
 use crate::wal::{Lsn, Wal};
 use orion_types::{DbError, DbResult};
@@ -45,10 +46,10 @@ struct PoolInner {
     tick: u64,
 }
 
-/// An LRU buffer pool over a [`SimDisk`].
+/// An LRU buffer pool over any [`StorageBackend`].
 pub struct BufferPool {
     inner: Mutex<PoolInner>,
-    disk: Arc<SimDisk>,
+    disk: Arc<dyn StorageBackend>,
     capacity: usize,
     wal: Option<Arc<Wal>>,
     hits: AtomicU64,
@@ -60,7 +61,7 @@ pub struct BufferPool {
 impl BufferPool {
     /// A pool holding up to `capacity` pages. `wal`, when present, is
     /// flushed up to a dirty page's LSN before that page is written.
-    pub fn new(disk: Arc<SimDisk>, capacity: usize, wal: Option<Arc<Wal>>) -> Self {
+    pub fn new(disk: Arc<dyn StorageBackend>, capacity: usize, wal: Option<Arc<Wal>>) -> Self {
         assert!(capacity > 0, "buffer pool needs at least one frame");
         BufferPool {
             inner: Mutex::new(PoolInner::default()),
@@ -79,8 +80,8 @@ impl BufferPool {
         self.capacity
     }
 
-    /// The underlying disk.
-    pub fn disk(&self) -> &Arc<SimDisk> {
+    /// The underlying storage backend.
+    pub fn disk(&self) -> &Arc<dyn StorageBackend> {
         &self.disk
     }
 
@@ -153,7 +154,7 @@ impl BufferPool {
     /// Allocate a fresh page on disk, initialize it as an empty slotted
     /// page in the pool, and return its id.
     pub fn allocate_slotted(&self) -> DbResult<PageId> {
-        let pid = self.disk.allocate();
+        let pid = self.disk.allocate()?;
         self.with_page_mut(pid, slotted::init)?;
         Ok(pid)
     }
@@ -254,9 +255,11 @@ impl std::fmt::Debug for BufferPool {
 mod tests {
     use super::*;
 
+    use crate::disk::SimDisk;
+
     fn pool(cap: usize) -> (Arc<SimDisk>, BufferPool) {
         let disk = Arc::new(SimDisk::new());
-        let pool = BufferPool::new(Arc::clone(&disk), cap, None);
+        let pool = BufferPool::new(Arc::clone(&disk) as Arc<dyn StorageBackend>, cap, None);
         (disk, pool)
     }
 
@@ -367,7 +370,8 @@ mod tests {
     fn write_ahead_rule_flushes_wal_before_page() {
         let wal = Arc::new(Wal::new());
         let disk = Arc::new(SimDisk::new());
-        let pool = BufferPool::new(Arc::clone(&disk), 1, Some(Arc::clone(&wal)));
+        let pool =
+            BufferPool::new(Arc::clone(&disk) as Arc<dyn StorageBackend>, 1, Some(Arc::clone(&wal)));
         let pid = pool.allocate_slotted().unwrap();
         let lsn = wal.append(&crate::wal::LogRecord::Begin { txn: 1 });
         pool.with_page_mut(pid, |p| slotted::set_page_lsn(p, lsn.0)).unwrap();

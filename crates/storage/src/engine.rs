@@ -8,6 +8,7 @@
 //! uncommitted ones roll back, even when the crash lands mid-rollback
 //! (experiment E13).
 
+use crate::backend::StorageBackend;
 use crate::buffer::BufferPool;
 use crate::disk::{PageId, SimDisk};
 use crate::fault::{FaultInjector, FaultPlan, FaultStats};
@@ -58,7 +59,7 @@ pub struct RecoveryStats {
 
 /// The transactional storage engine.
 pub struct StorageEngine {
-    disk: Arc<SimDisk>,
+    disk: Arc<dyn StorageBackend>,
     pool: Arc<BufferPool>,
     wal: Arc<Wal>,
     heap: Mutex<HeapFile>,
@@ -74,13 +75,26 @@ pub struct StorageEngine {
 }
 
 impl StorageEngine {
-    /// A fresh engine with a buffer pool of `pool_pages` frames.
+    /// A fresh in-memory engine with a buffer pool of `pool_pages`
+    /// frames (a [`SimDisk`] backend).
     pub fn new(pool_pages: usize) -> Self {
-        let disk = Arc::new(SimDisk::new());
-        let wal = Arc::new(Wal::new());
-        let pool = Arc::new(BufferPool::new(Arc::clone(&disk), pool_pages, Some(Arc::clone(&wal))));
-        StorageEngine {
-            disk,
+        Self::with_backend(Arc::new(SimDisk::new()), pool_pages)
+            .expect("a fresh in-memory backend cannot fail to open")
+    }
+
+    /// An engine over an explicit storage backend. The WAL's stable
+    /// mirror is loaded from the backend's log device, so constructing
+    /// over a non-empty [`crate::backend::FileDisk`] and calling
+    /// [`StorageEngine::recover`] resumes a previous process's state.
+    pub fn with_backend(
+        backend: Arc<dyn StorageBackend>,
+        pool_pages: usize,
+    ) -> DbResult<Self> {
+        let wal = Arc::new(Wal::with_backend(Arc::clone(&backend))?);
+        let pool =
+            Arc::new(BufferPool::new(Arc::clone(&backend), pool_pages, Some(Arc::clone(&wal))));
+        Ok(StorageEngine {
+            disk: backend,
             pool,
             wal,
             heap: Mutex::new(HeapFile::new()),
@@ -91,7 +105,7 @@ impl StorageEngine {
             recoveries_completed: Counter::default(),
             recoveries_failed: Counter::default(),
             pages_repaired: Counter::default(),
-        }
+        })
     }
 
     fn fold_fault_stats(&self) {
@@ -154,8 +168,8 @@ impl StorageEngine {
         &self.pool
     }
 
-    /// The simulated disk (stats).
-    pub fn disk(&self) -> &Arc<SimDisk> {
+    /// The storage backend (stats).
+    pub fn disk(&self) -> &Arc<dyn StorageBackend> {
         &self.disk
     }
 
@@ -196,7 +210,7 @@ impl StorageEngine {
             return Err(DbError::InvalidTxnState(format!("{txn} is not active")));
         }
         self.wal.append(&LogRecord::Commit { txn: txn.0 });
-        self.wal.flush()
+        self.wal.commit_flush()
     }
 
     /// Roll back every operation of `txn`, logging compensation records,
@@ -564,6 +578,9 @@ impl StorageEngine {
             ));
         }
         self.pool.flush_all()?;
+        // Page durability barrier before the checkpoint record claims
+        // the pages are stable (a real fsync on a file backend).
+        self.disk.sync()?;
         self.wal.append(&LogRecord::Checkpoint);
         self.wal.flush()
     }
@@ -600,6 +617,24 @@ impl StorageEngine {
 
     fn recover_inner(&self) -> DbResult<()> {
         let records = self.wal.stable_records()?;
+
+        // Seed the transaction-id allocator past every id the log has
+        // ever seen, so a cold-started process never reuses one.
+        let max_txn = records
+            .iter()
+            .map(|(_, r)| match r {
+                LogRecord::Begin { txn }
+                | LogRecord::Commit { txn }
+                | LogRecord::Abort { txn }
+                | LogRecord::Insert { txn, .. }
+                | LogRecord::Update { txn, .. }
+                | LogRecord::Delete { txn, .. }
+                | LogRecord::Clr { txn, .. } => *txn,
+                LogRecord::Checkpoint | LogRecord::Pad => 0,
+            })
+            .max()
+            .unwrap_or(0);
+        self.next_txn.fetch_max(max_txn + 1, Ordering::Relaxed);
 
         // --- Scrub: detect and repair rotted pages before touching them.
         let mut repaired = false;
@@ -664,10 +699,10 @@ impl StorageEngine {
         for (lsn, rec) in tail {
             match rec {
                 LogRecord::Insert { rid, bytes, .. } => {
-                    self.redo_guarded(*lsn, *rid, |page| slotted::insert_at(page, rid.slot, bytes))?;
+                    self.redo_apply(*lsn, *rid, |page| slotted::insert_at(page, rid.slot, bytes))?;
                 }
                 LogRecord::Update { rid, after, .. } => {
-                    self.redo_guarded(*lsn, *rid, |page| {
+                    self.redo_apply(*lsn, *rid, |page| {
                         if !slotted::update(page, rid.slot, after) {
                             slotted::delete(page, rid.slot);
                             slotted::insert_at(page, rid.slot, after)?;
@@ -676,7 +711,7 @@ impl StorageEngine {
                     })?;
                 }
                 LogRecord::Delete { rid, .. } => {
-                    self.redo_guarded(*lsn, *rid, |page| {
+                    self.redo_apply(*lsn, *rid, |page| {
                         slotted::delete(page, rid.slot);
                         Ok(())
                     })?;
@@ -687,7 +722,7 @@ impl StorageEngine {
                         | ClrAction::Overwrite { rid, .. }
                         | ClrAction::ReInsert { rid, .. } => *rid,
                     };
-                    self.redo_guarded(*lsn, rid, |page| {
+                    self.redo_apply(*lsn, rid, |page| {
                         match action {
                             ClrAction::Remove { rid } => {
                                 slotted::delete(page, rid.slot);
@@ -753,17 +788,23 @@ impl StorageEngine {
         Ok(())
     }
 
-    fn redo_guarded(
+    /// Apply one logical redo record through the normal page-write
+    /// API. Replay is unconditional and idempotent: records are
+    /// re-applied in log order, so the last writer of a slot wins
+    /// exactly as it did online, and `insert_at`/`update`/`delete` all
+    /// tolerate re-execution over an already-current page. The page LSN
+    /// only ratchets forward (`max`), keeping the online write-ahead
+    /// invariant intact without gating replay on it.
+    fn redo_apply(
         &self,
         lsn: Lsn,
         rid: Rid,
         apply: impl FnOnce(&mut [u8]) -> DbResult<()>,
     ) -> DbResult<()> {
         self.pool.with_page_mut(rid.page, |page| -> DbResult<()> {
-            if slotted::page_lsn(page) < lsn.0 {
-                apply(page)?;
-                slotted::set_page_lsn(page, lsn.0);
-            }
+            apply(page)?;
+            let cur = slotted::page_lsn(page);
+            slotted::set_page_lsn(page, cur.max(lsn.0));
             Ok(())
         })??;
         Ok(())

@@ -7,11 +7,17 @@
 //! clustering* as one of the components needing new architectural
 //! techniques (§4.2). This crate provides:
 //!
+//! * [`StorageBackend`] — the block-granularity device contract
+//!   (page read/write/allocate plus a raw log device with explicit
+//!   durability barriers). Two implementations ship: [`SimDisk`] and
+//!   [`FileDisk`].
 //! * [`SimDisk`] — a page-addressed simulated disk with read/write
 //!   accounting. Substitution note (see DESIGN.md): the paper's claims
 //!   about clustering and indexing are claims about I/O counts and
 //!   locality, which the accounting captures exactly; a spinning 1990
 //!   disk would only scale the constants.
+//! * [`FileDisk`] — the same contract over real files (`std::fs`) with
+//!   real `fsync`, so a database survives process exit.
 //! * [`slotted`] — the slotted-page record layout with per-page LSNs.
 //! * [`BufferPool`] — an LRU buffer cache with dirty tracking, a
 //!   write-ahead hook (no page leaves the pool before its log does), and
@@ -27,6 +33,7 @@
 //!   and WAL record framing. Recovery is hardened against everything
 //!   the injector can produce.
 
+pub mod backend;
 pub mod buffer;
 pub mod disk;
 pub mod engine;
@@ -35,6 +42,7 @@ pub mod heap;
 pub mod slotted;
 pub mod wal;
 
+pub use backend::{FileDisk, StorageBackend};
 pub use buffer::{BufferPool, PoolStats};
 pub use disk::{DiskStats, PageId, SimDisk, PAGE_SIZE};
 pub use engine::{RecoveryStats, StorageEngine, TxnId};

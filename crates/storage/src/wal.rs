@@ -28,13 +28,15 @@
 //! recovery never undoes the same operation twice even if the crash hits
 //! mid-rollback.
 
+use crate::backend::StorageBackend;
 use crate::fault::{crc32, FaultInjector, FaultKind, FaultSite};
 use crate::heap::Rid;
 use orion_obs::{Counter, Histogram, HistogramSnapshot, SpanTimer};
 use orion_types::{DbError, DbResult};
-use parking_lot::{Mutex, RwLock};
+use parking_lot::{Condvar, Mutex, RwLock};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use bytes::{Buf, BufMut};
 
@@ -351,33 +353,102 @@ impl WalInner {
 pub struct WalStats {
     /// Records appended to the log buffer.
     pub appends: u64,
-    /// Forces of the log buffer to stable storage (the simulated fsync).
+    /// Forces of the log buffer to stable storage.
     pub flushes: u64,
     /// Bytes moved into the stable prefix by those flushes.
     pub flushed_bytes: u64,
     /// Torn tails truncated away when reading the stable log (ARIES
     /// end-of-log discipline after a crash mid-flush).
     pub torn_tail_truncations: u64,
+    /// Durability barriers issued against the log device — real
+    /// `fsync`s over a file backend, simulated ones otherwise.
+    pub fsyncs: u64,
+    /// Logical DML records appended (insert/update/delete and their
+    /// compensations).
+    pub logical_records: u64,
     /// Latency distribution of non-empty flushes.
     pub flush_latency: HistogramSnapshot,
+    /// Committers amortized per group-commit flush (unitless counts;
+    /// a mean near the committer count means one fsync covered them
+    /// all).
+    pub group_commit_batch_size: HistogramSnapshot,
+}
+
+/// Group-commit coordination: committers park here until a leader's
+/// flush covers their commit record.
+#[derive(Debug, Default)]
+struct GroupState {
+    /// Record-complete stable length known durable.
+    durable: u64,
+    /// Committers currently parked (including the leader).
+    pending: usize,
+    /// A leader is mid-flush; later arrivals wait instead of racing.
+    leader_active: bool,
 }
 
 /// The write-ahead log.
 #[derive(Debug, Default)]
 pub struct Wal {
     inner: Mutex<WalInner>,
+    /// The durable log device: `stable` is always an exact in-memory
+    /// mirror of it. `None` (unit tests, [`Wal::new`]) keeps the mirror
+    /// only — the simulated-durability mode the engine always had.
+    backend: Option<Arc<dyn StorageBackend>>,
     faults: RwLock<Option<Arc<FaultInjector>>>,
+    group: Mutex<GroupState>,
+    group_cvar: Condvar,
+    /// Group-commit window in microseconds: how long a leader lingers
+    /// for followers before issuing the shared fsync. Zero = flush
+    /// immediately (every commit pays its own barrier when alone).
+    group_window_us: AtomicU64,
     appends: Counter,
     flushes: Counter,
     flushed_bytes: Counter,
     torn_truncations: Counter,
+    fsyncs: Counter,
+    logical_records: Counter,
     flush_latency: Histogram,
+    batch_size: Histogram,
 }
 
 impl Wal {
-    /// An empty log.
+    /// An empty log with no backing device (the stable prefix lives in
+    /// memory only, durable across simulated crashes).
     pub fn new() -> Self {
         Wal::default()
+    }
+
+    /// A log over `backend`'s log device. The stable mirror is loaded
+    /// from the device, so a reopened [`crate::backend::FileDisk`]
+    /// resumes exactly where the last process left off.
+    pub fn with_backend(backend: Arc<dyn StorageBackend>) -> DbResult<Self> {
+        let stable = backend.log_read()?;
+        let mut inner = WalInner { stable, tail: Vec::new(), complete: 0 };
+        inner.advance_complete();
+        Ok(Wal {
+            inner: Mutex::new(inner),
+            backend: Some(backend),
+            ..Default::default()
+        })
+    }
+
+    /// Set the group-commit window: how long a committing transaction
+    /// elected leader waits for company before the shared fsync.
+    pub fn set_group_commit_window(&self, window: Duration) {
+        let us = window.as_micros().min(u64::MAX as u128) as u64;
+        self.group_window_us.store(us, Ordering::Relaxed);
+    }
+
+    /// Write `bytes` through to the backing log device and fsync, when
+    /// a device is attached. Called with the promoted bytes *before*
+    /// the mirror advances, so the mirror never claims stability the
+    /// device doesn't have.
+    fn device_append(&self, bytes: &[u8]) -> DbResult<()> {
+        if let Some(backend) = &self.backend {
+            backend.log_append(bytes)?;
+            backend.log_sync()?;
+        }
+        Ok(())
     }
 
     /// Install (or with `None`, remove) a fault injector consulted on
@@ -393,6 +464,15 @@ impl Wal {
         let lsn = Lsn((inner.stable.len() + inner.tail.len()) as u64);
         inner.tail.extend_from_slice(&framed);
         self.appends.inc();
+        if matches!(
+            rec,
+            LogRecord::Insert { .. }
+                | LogRecord::Update { .. }
+                | LogRecord::Delete { .. }
+                | LogRecord::Clr { .. }
+        ) {
+            self.logical_records.inc();
+        }
         lsn
     }
 
@@ -414,6 +494,16 @@ impl Wal {
                     let total = inner.tail.len();
                     let cut = 1 + (shot.entropy % (total as u64 - 1)) as usize;
                     let promoted: Vec<u8> = inner.tail.drain(..cut).collect();
+                    if let Err(e) = self.device_append(&promoted) {
+                        // Nothing durable: the cut goes back to the
+                        // front of the tail for the next attempt.
+                        let rest = std::mem::take(&mut inner.tail);
+                        let mut tail = promoted;
+                        tail.extend_from_slice(&rest);
+                        inner.tail = tail;
+                        return Err(e);
+                    }
+                    self.fsyncs.inc();
                     inner.stable.extend_from_slice(&promoted);
                     inner.advance_complete();
                     return Err(DbError::Storage(format!(
@@ -422,6 +512,11 @@ impl Wal {
                 }
             }
             let tail = std::mem::take(&mut inner.tail);
+            if let Err(e) = self.device_append(&tail) {
+                inner.tail = tail;
+                return Err(e);
+            }
+            self.fsyncs.inc();
             inner.stable.extend_from_slice(&tail);
             inner.advance_complete();
             tail.len() as u64
@@ -434,6 +529,54 @@ impl Wal {
         Ok(())
     }
 
+    /// Group commit: force the log through this committer's records
+    /// with one shared fsync when committers overlap.
+    ///
+    /// The first arrival becomes the *leader*: it lingers for the
+    /// configured window (so followers can append their commit records
+    /// and park), then issues a single flush whose barrier covers every
+    /// parked committer. Followers whose records the leader made
+    /// durable return without touching the device at all. A leader
+    /// whose flush fails returns that error to its own caller — the
+    /// in-doubt-commit contract is per-transaction — and the next
+    /// parked committer takes over as leader, healing the partial
+    /// flush.
+    pub fn commit_flush(&self) -> DbResult<()> {
+        let target = self.total_len();
+        let mut g = self.group.lock();
+        g.pending += 1;
+        loop {
+            if g.durable >= target {
+                g.pending -= 1;
+                return Ok(());
+            }
+            if !g.leader_active {
+                g.leader_active = true;
+                let window = self.group_window_us.load(Ordering::Relaxed);
+                if window > 0 {
+                    // Unlocks while waiting, so followers can enqueue
+                    // behind this flush. Spurious wakes only shorten
+                    // the window — harmless.
+                    self.group_cvar.wait_for(&mut g, Duration::from_micros(window));
+                }
+                let batch = g.pending as u64;
+                drop(g);
+                let result = self.flush();
+                let complete = self.inner.lock().complete as u64;
+                let mut g = self.group.lock();
+                g.durable = g.durable.max(complete);
+                g.leader_active = false;
+                g.pending -= 1;
+                if result.is_ok() {
+                    self.batch_size.observe_micros(batch);
+                }
+                self.group_cvar.notify_all();
+                return result;
+            }
+            self.group_cvar.wait(&mut g);
+        }
+    }
+
     /// Snapshot the WAL counters.
     pub fn stats(&self) -> WalStats {
         WalStats {
@@ -441,7 +584,10 @@ impl Wal {
             flushes: self.flushes.get(),
             flushed_bytes: self.flushed_bytes.get(),
             torn_tail_truncations: self.torn_truncations.get(),
+            fsyncs: self.fsyncs.get(),
+            logical_records: self.logical_records.get(),
             flush_latency: self.flush_latency.snapshot(),
+            group_commit_batch_size: self.batch_size.snapshot(),
         }
     }
 
@@ -451,7 +597,10 @@ impl Wal {
         self.flushes.reset();
         self.flushed_bytes.reset();
         self.torn_truncations.reset();
+        self.fsyncs.reset();
+        self.logical_records.reset();
         self.flush_latency.reset();
+        self.batch_size.reset();
     }
 
     /// Force the log up to (and including) `lsn` — the write-ahead rule
@@ -518,7 +667,7 @@ impl Wal {
                              intact: log interior damaged"
                         )));
                     }
-                    self.truncate_torn_tail(&mut inner, at);
+                    self.truncate_torn_tail(&mut inner, at)?;
                     // Loop continues: the next parse reads the pad.
                 }
                 Err(e) => return Err(e),
@@ -528,10 +677,11 @@ impl Wal {
     }
 
     /// Replace `stable[at..]` with a pad record spanning (at least) the
-    /// same bytes, so truncation never shrinks the LSN space.
-    fn truncate_torn_tail(&self, inner: &mut WalInner, at: usize) {
+    /// same bytes, so truncation never shrinks the LSN space. The
+    /// repair writes through to the log device (truncate, pad, sync),
+    /// so a re-crash replays against the already-spliced log.
+    fn truncate_torn_tail(&self, inner: &mut WalInner, at: usize) -> DbResult<()> {
         let gap = inner.stable.len() - at;
-        inner.stable.truncate(at);
         let body_len = gap.saturating_sub(FRAME_HEADER);
         let mut body = Vec::with_capacity(body_len);
         if body_len > 0 {
@@ -539,9 +689,16 @@ impl Wal {
             body.resize(body_len, 0);
         }
         let framed = frame(&body);
+        if let Some(backend) = &self.backend {
+            backend.log_truncate(at as u64)?;
+            backend.log_append(&framed)?;
+            backend.log_sync()?;
+        }
+        inner.stable.truncate(at);
         inner.stable.extend_from_slice(&framed);
         inner.complete = inner.stable.len();
         self.torn_truncations.inc();
+        Ok(())
     }
 }
 
@@ -757,6 +914,83 @@ mod tests {
         wal.flush_to(begin).unwrap();
         let recs = wal.stable_records().unwrap();
         assert_eq!(recs, vec![(begin, LogRecord::Begin { txn: 1 })]);
+    }
+
+    #[test]
+    fn group_commit_amortizes_flushes_over_committers() {
+        let wal = Arc::new(Wal::new());
+        wal.set_group_commit_window(Duration::from_micros(2_000));
+        let n = 8usize;
+        let barrier = Arc::new(std::sync::Barrier::new(n));
+        std::thread::scope(|s| {
+            for t in 0..n {
+                let wal = Arc::clone(&wal);
+                let barrier = Arc::clone(&barrier);
+                s.spawn(move || {
+                    wal.append(&LogRecord::Commit { txn: t as u64 });
+                    barrier.wait();
+                    wal.commit_flush().unwrap();
+                });
+            }
+        });
+        let s = wal.stats();
+        // All records were in the buffer before any committer parked,
+        // so one leader's flush covers every one of them.
+        assert_eq!(s.flushes, 1, "one fsync amortized over {n} committers");
+        assert_eq!(s.fsyncs, 1);
+        assert!(s.group_commit_batch_size.count >= 1);
+        assert_eq!(wal.stable_records().unwrap().len(), n);
+    }
+
+    #[test]
+    fn commit_flush_alone_behaves_like_flush() {
+        let wal = Wal::new();
+        wal.append(&LogRecord::Begin { txn: 1 });
+        wal.append(&LogRecord::Commit { txn: 1 });
+        wal.commit_flush().unwrap();
+        assert_eq!(wal.stats().flushes, 1);
+        assert_eq!(wal.stable_records().unwrap().len(), 2);
+        // Already durable: a second commit_flush is a free no-op.
+        wal.commit_flush().unwrap();
+        assert_eq!(wal.stats().flushes, 1);
+    }
+
+    #[test]
+    fn backend_log_mirrors_and_reloads() {
+        let disk: Arc<dyn StorageBackend> = Arc::new(crate::disk::SimDisk::new());
+        let wal = Wal::with_backend(Arc::clone(&disk)).unwrap();
+        wal.append(&LogRecord::Begin { txn: 1 });
+        wal.append(&LogRecord::Commit { txn: 1 });
+        wal.flush().unwrap();
+        wal.append(&LogRecord::Begin { txn: 2 }); // unflushed: not on device
+        assert_eq!(disk.log_len().unwrap(), wal.stable_len());
+        // A second Wal over the same device resumes the stable prefix.
+        let wal2 = Wal::with_backend(Arc::clone(&disk)).unwrap();
+        let recs = wal2.stable_records().unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[1].1, LogRecord::Commit { txn: 1 });
+    }
+
+    #[test]
+    fn torn_tail_truncation_writes_through_to_device() {
+        let disk: Arc<dyn StorageBackend> = Arc::new(crate::disk::SimDisk::new());
+        let wal = Wal::with_backend(Arc::clone(&disk)).unwrap();
+        wal.append(&LogRecord::Begin { txn: 1 });
+        wal.flush().unwrap();
+        wal.append(&LogRecord::Commit { txn: 1 });
+        let inj =
+            Arc::new(FaultInjector::new(FaultPlan::new(11).fail_nth(FaultKind::PartialFlush, 1)));
+        wal.set_fault_injector(Some(inj));
+        assert!(wal.flush().is_err(), "partial flush reports failure");
+        wal.set_fault_injector(None);
+        wal.crash();
+        let recs = wal.stable_records().unwrap(); // truncates + pads, written through
+        assert_eq!(wal.stats().torn_tail_truncations, 1);
+        // The device holds the spliced log: a reopened Wal sees the
+        // identical record stream with no repair left to do.
+        let wal2 = Wal::with_backend(Arc::clone(&disk)).unwrap();
+        assert_eq!(wal2.stable_records().unwrap(), recs);
+        assert_eq!(wal2.stats().torn_tail_truncations, 0, "splice already durable");
     }
 
     #[test]

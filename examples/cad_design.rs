@@ -15,7 +15,7 @@ use orion_oodb::orion::{
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let db = Database::new();
+    let db = Database::open_in_memory();
     let str_dom = || Domain::Primitive(PrimitiveType::Str);
     let int_dom = || Domain::Primitive(PrimitiveType::Int);
 

@@ -46,7 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     hr.commit(txn)?;
 
     // --- The object-oriented Company database -------------------------------
-    let db = Database::new();
+    let db = Database::open_in_memory();
     db.create_class(
         "Company",
         &[],

@@ -11,7 +11,7 @@ use std::sync::Arc;
 
 fn main() -> DbResult<()> {
     // --- Server side: schema + data, then bind -----------------------------
-    let db = Arc::new(Database::new());
+    let db = Arc::new(Database::open_in_memory());
     let str_dom = || Domain::Primitive(PrimitiveType::Str);
     let int_dom = || Domain::Primitive(PrimitiveType::Int);
 

@@ -14,7 +14,7 @@ use orion_oodb::orion::{
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let db = Database::new();
+    let db = Database::open_in_memory();
 
     // --- Schema: Figure 1 ------------------------------------------------
     let str_dom = || Domain::Primitive(PrimitiveType::Str);

@@ -10,9 +10,12 @@
 # instrumentation-overhead measurement must stay within the 5% budget,
 # and its mixed_read_write section feeds the MVCC regression gate:
 # ~0 pure-read lock acquisitions, reader throughput within 20% as
-# writers are added on multi-core hosts) and net_throughput --smoke
-# regenerates BENCH_net.json (a ~2 second multi-client run over real
-# sockets).
+# writers are added on multi-core hosts, and its commit_throughput
+# section feeds the group-commit gate: flushes-per-commit < 0.5 at 8
+# concurrent committers) and net_throughput --smoke regenerates
+# BENCH_net.json (a ~2 second multi-client run over real sockets).
+# The backend conformance suite runs the storage contract and the
+# durability scenarios over both SimDisk and FileDisk.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -28,8 +31,12 @@ cargo test -q -p orion-net --test net_integration
 echo "==> concurrency stress (release, elevated thread count)"
 cargo test -q --release --test concurrency -- --ignored
 
-echo "==> chaos smoke (fixed seeds, bounded rounds)"
+echo "==> chaos smoke (fixed seeds, bounded rounds, both backends)"
 cargo test -q --test chaos
+
+echo "==> backend conformance suite (SimDisk + FileDisk)"
+cargo test -q --test backend_conformance
+cargo test -q --test durability
 
 echo "==> chaos hammer (release, multi-seed sweep)"
 cargo test -q --release --test chaos -- --ignored
@@ -67,6 +74,21 @@ if [ "$gate_enforced" = "true" ]; then
 else
   echo "    reader flatness gate skipped: host is core-bound (degradation was ${degradation}%)"
 fi
+
+echo "==> group commit regression gate"
+# One fsync must amortize over concurrent committers: with 8 committers
+# sharing a flush ticket, flushes-per-commit has to land below 0.5 (at
+# 1 committer it is necessarily 1.0; the bench records 1/8/64).
+fpc8=$(sed -n 's/.*"committers": 8,.*"flushes_per_commit": \([0-9.][0-9.]*\).*/\1/p' "$bench_json")
+if [ -z "$fpc8" ]; then
+  echo "FAIL: could not parse flushes_per_commit at 8 committers from $bench_json" >&2
+  exit 1
+fi
+if ! awk -v f="$fpc8" 'BEGIN { exit !(f < 0.5) }'; then
+  echo "FAIL: group commit managed only $fpc8 flushes/commit at 8 committers (budget: < 0.5)" >&2
+  exit 1
+fi
+echo "    flushes per commit at 8 committers: $fpc8 (budget: < 0.5)"
 
 echo "==> bench smoke: net_throughput"
 cargo run -p orion-bench --release --bin net_throughput -- --smoke

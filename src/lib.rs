@@ -13,7 +13,7 @@
 //! ```
 //! use orion_oodb::orion::{AttrSpec, Database, Domain, PrimitiveType, Value};
 //!
-//! let db = Database::new();
+//! let db = Database::open_in_memory();
 //! db.create_class(
 //!     "Company",
 //!     &[],

@@ -115,7 +115,7 @@ mod tests {
         rel.insert(txn, "employee", vec![Value::str("chou"), Value::Int(70_000)]).unwrap();
         rel.commit(txn).unwrap();
 
-        let db = Database::new();
+        let db = Database::open_in_memory();
         let adapter = RelbaseAdapter::new(
             "legacy-hr",
             Arc::clone(&rel),

@@ -22,10 +22,13 @@
 //! cargo test --release --test chaos -- --ignored
 //! ```
 
+mod common;
+
+use common::TempDir;
 use orion_oodb::net::{Client, Server, ServerConfig};
 use orion_oodb::orion::{
-    AttrSpec, Database, DbError, Domain, FaultKind, FaultPlan, IndexKind, Oid, PrimitiveType,
-    Value,
+    AttrSpec, Database, DbConfig, DbError, Domain, FaultKind, FaultPlan, IndexKind, Oid,
+    PrimitiveType, StorageSpec, Value,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -33,7 +36,12 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 fn item_db() -> Database {
-    let db = Database::new();
+    item_db_on(StorageSpec::Memory)
+}
+
+fn item_db_on(storage: StorageSpec) -> Database {
+    let config = DbConfig::builder().storage(storage).build().unwrap();
+    let db = Database::try_with_config(config).unwrap();
     db.create_class(
         "Item",
         &[],
@@ -118,9 +126,13 @@ fn verify(db: &Database, model: &HashMap<i64, i64>, round: i64) {
 
 /// One full chaos run: `rounds` rounds of `txns` transactions each,
 /// with a fresh seeded fault plan armed per round and a crash/recover
-/// between rounds.
+/// between rounds. Runs identically over any storage backend.
 fn chaos_run(seed: u64, rounds: i64, txns: i64) {
-    let db = item_db();
+    chaos_run_on(StorageSpec::Memory, seed, rounds, txns);
+}
+
+fn chaos_run_on(storage: StorageSpec, seed: u64, rounds: i64, txns: i64) {
+    let db = item_db_on(storage);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut model: HashMap<i64, i64> = HashMap::new();
     let mut oids: HashMap<i64, Oid> = HashMap::new();
@@ -224,6 +236,28 @@ fn chaos_smoke_seed_23() {
 #[test]
 fn chaos_smoke_seed_47() {
     chaos_run(47, 4, 12);
+}
+
+// The same three smokes over the real-file backend: every injected
+// fault, torn write, and crash/recover cycle must behave identically
+// when pages and the WAL live in actual files with actual fsync.
+
+#[test]
+fn chaos_smoke_seed_11_filedisk() {
+    let dir = TempDir::new("chaos-11");
+    chaos_run_on(StorageSpec::File(dir.path().to_path_buf()), 11, 4, 12);
+}
+
+#[test]
+fn chaos_smoke_seed_23_filedisk() {
+    let dir = TempDir::new("chaos-23");
+    chaos_run_on(StorageSpec::File(dir.path().to_path_buf()), 23, 4, 12);
+}
+
+#[test]
+fn chaos_smoke_seed_47_filedisk() {
+    let dir = TempDir::new("chaos-47");
+    chaos_run_on(StorageSpec::File(dir.path().to_path_buf()), 47, 4, 12);
 }
 
 /// Long-running sweep across many seeds with deeper rounds. Excluded

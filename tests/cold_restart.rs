@@ -10,7 +10,7 @@ use std::sync::Arc;
 
 #[test]
 fn schema_views_indexes_and_data_survive_cold_restart() {
-    let db = Database::new();
+    let db = Database::open_in_memory();
     db.create_class(
         "Company",
         &[],
@@ -140,7 +140,7 @@ fn schema_views_indexes_and_data_survive_cold_restart() {
 
 #[test]
 fn cold_restart_with_no_ddl_is_harmless() {
-    let db = Database::new();
+    let db = Database::open_in_memory();
     // No persisted system record yet — restart of an empty database.
     db.simulate_cold_restart().unwrap();
     db.create_class("X", &[], vec![]).unwrap();

@@ -1,15 +1,24 @@
 //! Durability integration tests: randomized commit/abort/crash cycles
 //! verified through the full query path, and checkpointed restarts.
 
+mod common;
+
+use common::TempDir;
 use orion_oodb::orion::{
-    AttrSpec, Database, Domain, FaultKind, FaultPlan, IndexKind, PrimitiveType, Value,
+    AttrSpec, Database, DbConfig, Domain, FaultKind, FaultPlan, IndexKind, PrimitiveType,
+    StorageSpec, Value,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 
 fn item_db() -> Database {
-    let db = Database::new();
+    item_db_on(StorageSpec::Memory)
+}
+
+fn item_db_on(storage: StorageSpec) -> Database {
+    let config = DbConfig::builder().storage(storage).build().unwrap();
+    let db = Database::try_with_config(config).unwrap();
     db.create_class(
         "Item",
         &[],
@@ -23,9 +32,7 @@ fn item_db() -> Database {
     db
 }
 
-#[test]
-fn randomized_crash_recovery_matches_model() {
-    let db = item_db();
+fn randomized_crash_recovery_matches_model_on(db: Database) {
     let mut rng = StdRng::seed_from_u64(42);
     // key → val model of committed state.
     let mut model: HashMap<i64, i64> = HashMap::new();
@@ -98,9 +105,7 @@ fn randomized_crash_recovery_matches_model() {
     }
 }
 
-#[test]
-fn oid_allocation_survives_restart_without_collisions() {
-    let db = item_db();
+fn oid_allocation_survives_restart_without_collisions_on(db: Database) {
     let tx = db.begin();
     let before: Vec<_> = (0..10)
         .map(|i| {
@@ -127,9 +132,7 @@ fn oid_allocation_survives_restart_without_collisions() {
     db.commit(tx).unwrap();
 }
 
-#[test]
-fn crash_during_rollback_restores_original_state() {
-    let db = item_db();
+fn crash_during_rollback_restores_original_state_on(db: Database) {
     let tx = db.begin();
     let oid = db
         .create_object(&tx, "Item", vec![("key", Value::Int(7)), ("val", Value::Int(70))])
@@ -155,9 +158,7 @@ fn crash_during_rollback_restores_original_state() {
     db.commit(tx).unwrap();
 }
 
-#[test]
-fn crash_during_checkpoint_with_partially_flushed_tail() {
-    let db = item_db();
+fn crash_during_checkpoint_with_partially_flushed_tail_on(db: Database) {
     let tx = db.begin();
     let oid = db
         .create_object(&tx, "Item", vec![("key", Value::Int(1)), ("val", Value::Int(10))])
@@ -191,9 +192,7 @@ fn crash_during_checkpoint_with_partially_flushed_tail() {
     db.commit(tx).unwrap();
 }
 
-#[test]
-fn repeated_crashes_are_harmless() {
-    let db = item_db();
+fn repeated_crashes_are_harmless_on(db: Database) {
     let tx = db.begin();
     let oid =
         db.create_object(&tx, "Item", vec![("key", Value::Int(1)), ("val", Value::Int(0))]).unwrap();
@@ -205,4 +204,72 @@ fn repeated_crashes_are_harmless() {
         db.set(&tx, oid, "val", Value::Int(i + 1)).unwrap();
         db.commit(tx).unwrap();
     }
+}
+
+// Every durability scenario above runs unchanged on both backends:
+// the in-memory SimDisk and the real-file FileDisk.
+
+#[test]
+fn randomized_crash_recovery_matches_model() {
+    randomized_crash_recovery_matches_model_on(item_db());
+}
+
+#[test]
+fn oid_allocation_survives_restart_without_collisions() {
+    oid_allocation_survives_restart_without_collisions_on(item_db());
+}
+
+#[test]
+fn crash_during_rollback_restores_original_state() {
+    crash_during_rollback_restores_original_state_on(item_db());
+}
+
+#[test]
+fn crash_during_checkpoint_with_partially_flushed_tail() {
+    crash_during_checkpoint_with_partially_flushed_tail_on(item_db());
+}
+
+#[test]
+fn repeated_crashes_are_harmless() {
+    repeated_crashes_are_harmless_on(item_db());
+}
+
+#[test]
+fn randomized_crash_recovery_matches_model_filedisk() {
+    let dir = TempDir::new("dur-rand");
+    randomized_crash_recovery_matches_model_on(item_db_on(StorageSpec::File(
+        dir.path().to_path_buf(),
+    )));
+}
+
+#[test]
+fn oid_allocation_survives_restart_without_collisions_filedisk() {
+    let dir = TempDir::new("dur-oid");
+    oid_allocation_survives_restart_without_collisions_on(item_db_on(StorageSpec::File(
+        dir.path().to_path_buf(),
+    )));
+}
+
+#[test]
+fn crash_during_rollback_restores_original_state_filedisk() {
+    let dir = TempDir::new("dur-rb");
+    crash_during_rollback_restores_original_state_on(item_db_on(StorageSpec::File(
+        dir.path().to_path_buf(),
+    )));
+}
+
+#[test]
+fn crash_during_checkpoint_with_partially_flushed_tail_filedisk() {
+    let dir = TempDir::new("dur-ckpt");
+    crash_during_checkpoint_with_partially_flushed_tail_on(item_db_on(StorageSpec::File(
+        dir.path().to_path_buf(),
+    )));
+}
+
+#[test]
+fn repeated_crashes_are_harmless_filedisk() {
+    let dir = TempDir::new("dur-rep");
+    repeated_crashes_are_harmless_on(item_db_on(StorageSpec::File(
+        dir.path().to_path_buf(),
+    )));
 }

@@ -17,7 +17,7 @@ fn int_dom() -> Domain {
 
 #[test]
 fn the_whole_system_in_one_story() {
-    let db = Database::new();
+    let db = Database::open_in_memory();
 
     // --- Schema (Figure 1 plus a deeper hierarchy) -----------------------
     db.create_class(

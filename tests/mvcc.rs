@@ -13,7 +13,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 fn counter_db() -> Arc<Database> {
-    let db = Arc::new(Database::new());
+    let db = Arc::new(Database::open_in_memory());
     db.create_class(
         "Counter",
         &[],
