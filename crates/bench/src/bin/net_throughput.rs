@@ -9,11 +9,19 @@
 //! in-process latency of the same query for comparison (the wire tax),
 //! and the server-side `net_*` counters scraped over the wire.
 //!
+//! A second phase benchmarks the sharded deployment (`orion-shard`):
+//! single-shard passthrough overhead against a direct client on the
+//! same query, hierarchy fan-out latency across two shards, and
+//! cross-shard two-phase-commit throughput. It lands as the
+//! `"sharded"` object in the same record; CI gates on the passthrough
+//! overhead ratio.
+//!
 //! `--smoke` shrinks the workload to a ~2 second CI sanity run.
 
 use orion_bench::fleet;
-use orion_core::{DbConfig, Value};
+use orion_core::{AttrSpec, Database, DbConfig, Domain, PrimitiveType, Value};
 use orion_net::{Client, Server, ServerConfig};
+use orion_shard::{ExplicitPlacement, RouterConfig, ShardRouter};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -29,6 +37,125 @@ struct Load {
 fn percentile(sorted: &[Duration], p: f64) -> Duration {
     let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
     sorted[idx]
+}
+
+/// Median latency of `n` runs of `f`.
+fn p50_of(n: usize, mut f: impl FnMut()) -> Duration {
+    let mut lat = Vec::with_capacity(n);
+    for _ in 0..n {
+        let t = Instant::now();
+        f();
+        lat.push(t.elapsed());
+    }
+    lat.sort();
+    percentile(&lat, 0.50)
+}
+
+/// The sharded phase: 2 in-memory shards behind a router. Returns the
+/// `"sharded"` JSON object (keys on single lines for the sed gates).
+fn sharded_section(smoke: bool) -> String {
+    let objects = if smoke { 300 } else { 1_500 }; // per subclass
+    let queries = if smoke { 30 } else { 120 };
+    let txns = if smoke { 40 } else { 200 };
+
+    let mut servers = Vec::new();
+    let mut addrs = Vec::new();
+    for _ in 0..2 {
+        let db = Arc::new(Database::open_in_memory());
+        let server = Server::bind(db, "127.0.0.1:0", ServerConfig::default()).expect("bind");
+        addrs.push(server.local_addr());
+        servers.push(server);
+    }
+    let router = ShardRouter::connect(
+        &addrs,
+        RouterConfig {
+            placement: Box::new(ExplicitPlacement::new([
+                ("Item", 0usize),
+                ("ItemA", 0usize),
+                ("ItemB", 1usize),
+                ("AcctA", 0usize),
+                ("AcctB", 1usize),
+            ])),
+            ..RouterConfig::default()
+        },
+    )
+    .expect("router");
+
+    let weight = vec![AttrSpec::new("weight", Domain::Primitive(PrimitiveType::Int))];
+    router.create_class("Item", &[], weight.clone()).expect("ddl");
+    router.create_class("ItemA", &["Item"], vec![]).expect("ddl");
+    router.create_class("ItemB", &["Item"], vec![]).expect("ddl");
+    for i in 0..objects {
+        router.create_object("ItemA", vec![("weight", Value::Int(i as i64))]).expect("seed");
+        router
+            .create_object("ItemB", vec![("weight", Value::Int((i + objects) as i64))])
+            .expect("seed");
+    }
+
+    const PASS_Q: &str = "select i.weight from ItemA i order by i.weight desc limit 10";
+    const FAN_Q: &str = "select i.weight from Item* i order by i.weight desc limit 10";
+
+    // Direct baseline: the same single-shard query without the router.
+    let mut direct = Client::connect(addrs[0]).expect("direct connect");
+    direct.query(PASS_Q).expect("warm");
+    let direct_p50 = p50_of(queries, || {
+        assert_eq!(direct.query(PASS_Q).expect("direct").len(), 10);
+    });
+
+    router.query(PASS_Q).expect("warm");
+    let passthrough_p50 = p50_of(queries, || {
+        assert_eq!(router.query(PASS_Q).expect("passthrough").len(), 10);
+    });
+    let fanout_p50 = p50_of(queries, || {
+        let r = router.query(FAN_Q).expect("fanout");
+        assert_eq!(r.rows.len(), 10);
+        // Global top-10 comes entirely from ItemB's higher weights.
+        assert_eq!(r.rows[0][0], Value::Int(2 * objects as i64 - 1));
+    });
+    let overhead = passthrough_p50.as_secs_f64() / direct_p50.as_secs_f64();
+
+    // Cross-shard 2PC throughput: every transfer touches both shards.
+    router.create_class("AcctA", &[], weight.clone()).expect("ddl");
+    router.create_class("AcctB", &[], weight).expect("ddl");
+    let a = router.create_object("AcctA", vec![("weight", Value::Int(1_000_000))]).expect("a");
+    let b = router.create_object("AcctB", vec![("weight", Value::Int(0))]).expect("b");
+    let started = Instant::now();
+    for _ in 0..txns {
+        let mut tx = router.begin();
+        let from = tx.get(a, "weight").expect("get").as_int().unwrap();
+        let to = tx.get(b, "weight").expect("get").as_int().unwrap();
+        tx.set(a, "weight", Value::Int(from - 1)).expect("set");
+        tx.set(b, "weight", Value::Int(to + 1)).expect("set");
+        tx.commit().expect("2pc commit");
+    }
+    let twopc_elapsed = started.elapsed();
+    let twopc_rate = txns as f64 / twopc_elapsed.as_secs_f64();
+    assert_eq!(
+        router.get(a, "weight").expect("a").as_int().unwrap()
+            + router.get(b, "weight").expect("b").as_int().unwrap(),
+        1_000_000,
+        "2PC conservation"
+    );
+    assert_eq!(router.metrics().txns_2pc.get(), txns as u64);
+    assert_eq!(router.metrics().commit_push_failures.get(), 0);
+
+    println!(
+        "sharded: direct p50 {direct_p50:?}, passthrough p50 {passthrough_p50:?} \
+         ({overhead:.2}x), fan-out p50 {fanout_p50:?}, 2PC {twopc_rate:.1} txn/s"
+    );
+    for s in servers {
+        s.shutdown();
+    }
+    format!(
+        "{{\n    \"shards\": 2,\n    \"objects_per_subclass\": {objects},\n    \
+         \"direct_p50_ms\": {:.3},\n    \"passthrough_p50_ms\": {:.3},\n    \
+         \"passthrough_overhead_ratio\": {overhead:.3},\n    \
+         \"fanout_p50_ms\": {:.3},\n    \"twopc_txns\": {txns},\n    \
+         \"twopc_txns_per_s\": {twopc_rate:.1}\n  }}",
+        direct_p50.as_secs_f64() * 1e3,
+        passthrough_p50.as_secs_f64() * 1e3,
+        fanout_p50.as_secs_f64() * 1e3,
+    )
 }
 
 fn main() {
@@ -123,6 +250,8 @@ fn main() {
         net.requests, net.connections_total, net.errors, net.timeouts
     );
 
+    let sharded = sharded_section(smoke);
+
     let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let note = if cpus < load.clients {
         format!(
@@ -143,7 +272,8 @@ fn main() {
          \"in_process_query_ms\": {:.3}\n  }},\n  \
          \"query_rows\": {expected_rows},\n  \
          \"server\": {{\n    \"requests\": {},\n    \"connections_total\": {},\n    \
-         \"errors\": {},\n    \"timeouts\": {},\n    \"busy_rejections\": {}\n  }}\n}}\n",
+         \"errors\": {},\n    \"timeouts\": {},\n    \"busy_rejections\": {}\n  }},\n  \
+         \"sharded\": {sharded}\n}}\n",
         load.objects,
         load.clients,
         load.requests_per_client,

@@ -428,6 +428,7 @@ impl Database {
             method_calls: self.metrics.method_calls.get(),
             mvcc: self.mvcc.stats_snapshot(),
             net: self.metrics.net.snapshot(),
+            twopc: self.metrics.twopc.snapshot(self.engine.prepared_txns().len() as u64),
             fault: self.engine.fault_stats(),
             recovery: self.engine.recovery_stats(),
         }
@@ -457,6 +458,7 @@ impl Database {
         self.metrics.exec.reset();
         self.metrics.method_calls.reset();
         self.metrics.net.reset();
+        self.metrics.twopc.reset();
         self.metrics.gate_shared.reset();
         self.metrics.gate_exclusive.reset();
         self.metrics.gate_exclusive_wait.reset();
@@ -536,20 +538,130 @@ impl Database {
         result
     }
 
+    // ------------------------------------------------------------------
+    // Two-phase commit (participant side)
+    // ------------------------------------------------------------------
+
+    /// Phase one of two-phase commit: force the transaction's effects
+    /// and a `Prepare` record to the log, then park it awaiting the
+    /// coordinator's decision. The transaction keeps its 2PL locks and
+    /// its staged MVCC write set — it is no longer abortable
+    /// unilaterally (only [`Database::commit_prepared`] /
+    /// [`Database::abort_prepared`] settle it). On error the
+    /// transaction stays active and the caller should roll it back.
+    pub fn prepare(&self, tx: &Tx) -> DbResult<()> {
+        self.engine.prepare(tx.storage)?;
+        self.metrics.twopc.prepares.inc();
+        Ok(())
+    }
+
+    /// Phase two, commit branch: make a prepared transaction durable
+    /// and release its locks. Idempotent by transaction id — `Ok(false)`
+    /// means the id is unknown (already settled, or never prepared
+    /// here), which a retransmitting coordinator treats as success.
+    pub fn commit_prepared(&self, txn: u64) -> DbResult<bool> {
+        let result = self.engine.commit_prepared(TxnId(txn));
+        if self.config.mvcc_reads {
+            match &result {
+                Ok(true) => {
+                    self.mvcc.commit_publish(txn);
+                }
+                Ok(false) => {}
+                // In doubt (log force failed): same contract as
+                // `commit` — drop the staged after-images and expect
+                // the caller to `crash_and_recover`.
+                Err(_) => self.mvcc.discard(txn),
+            }
+        }
+        self.locks.release_all(txn);
+        if matches!(result, Ok(true)) {
+            self.metrics.twopc.commits.inc();
+        }
+        result
+    }
+
+    /// Phase two, abort branch: undo a prepared transaction from its
+    /// retained undo state, rebuild derived state, and release its
+    /// locks. Idempotent by transaction id like
+    /// [`Database::commit_prepared`].
+    pub fn abort_prepared(&self, txn: u64) -> DbResult<bool> {
+        let result = (|| {
+            // Same lock order as rollback: catalog before the gate.
+            let mut catalog = self.catalog.write();
+            let rt = self.rt_write();
+            if !self.engine.abort_prepared(TxnId(txn))? {
+                return Ok(false);
+            }
+            self.rebuild_runtime(&mut catalog, &rt)?;
+            Ok(true)
+        })();
+        self.mvcc.discard(txn);
+        self.locks.release_all(txn);
+        if matches!(result, Ok(true)) {
+            self.metrics.twopc.aborts.inc();
+        }
+        result
+    }
+
+    /// Transaction ids currently prepared and awaiting a coordinator
+    /// decision (sorted). After a recovery these are the in-doubt
+    /// transactions reinstated from the log.
+    pub fn in_doubt(&self) -> Vec<u64> {
+        self.engine.prepared_txns()
+    }
+
+    /// Re-assert the exclusive locks of in-doubt (prepared)
+    /// transactions after a recovery reset the lock manager. Recovery's
+    /// redo reapplied their effects in place (they are not losers), so
+    /// until the coordinator's decision arrives their objects must stay
+    /// X-locked — 2PL readers and writers block exactly as they did
+    /// before the crash. Snapshot readers have no version history after
+    /// a crash and may observe prepared state until resolution (see
+    /// DESIGN.md §11). The fresh lock manager has no competing holders,
+    /// so acquisition cannot block or fail.
+    pub(crate) fn reinstate_in_doubt(&self) {
+        for txn in self.engine.prepared_txns() {
+            for (rid, before) in self.engine.prepared_ops(txn) {
+                // Updates and deletes retain the pre-image (the record
+                // at `rid` may be gone); inserts read the redone record
+                // in place. Either way the bytes carry the OID.
+                let bytes = match before {
+                    Some(b) => Some(b),
+                    None => self.engine.read(rid).ok(),
+                };
+                let Some(oid) = bytes.and_then(|b| ObjectRecord::decode(&b).ok()).map(|r| r.oid)
+                else {
+                    continue;
+                };
+                let _ = match self.config.locking {
+                    LockingStrategy::Granular => self.locks.lock_object_write(txn, oid),
+                    LockingStrategy::CoarseClass => self.locks.lock_class_write(txn, oid.class()),
+                };
+            }
+            self.metrics.twopc.in_doubt_recovered.inc();
+        }
+    }
+
     /// Simulate a crash (volatile state lost) and run restart recovery.
-    /// Locks held by in-flight transactions evaporate with the crash.
+    /// Locks held by in-flight transactions evaporate with the crash —
+    /// except those of prepared (in-doubt) transactions, which are
+    /// re-asserted from the log so phase two finds them intact.
     pub fn crash_and_recover(&self) -> DbResult<()> {
-        let mut catalog = self.catalog.write();
-        let rt = self.rt_write();
-        self.engine.crash();
-        self.locks.reset();
-        // Version history evaporates with the crash: replay restores
-        // exactly the committed truth, so after recovery the in-place
-        // state is every object's only version (the commit clock keeps
-        // counting — snapshot timestamps stay monotonic).
-        self.mvcc.reset();
-        self.engine.recover()?;
-        self.rebuild_runtime(&mut catalog, &rt)
+        {
+            let mut catalog = self.catalog.write();
+            let rt = self.rt_write();
+            self.engine.crash();
+            self.locks.reset();
+            // Version history evaporates with the crash: replay restores
+            // exactly the committed truth, so after recovery the in-place
+            // state is every object's only version (the commit clock keeps
+            // counting — snapshot timestamps stay monotonic).
+            self.mvcc.reset();
+            self.engine.recover()?;
+            self.rebuild_runtime(&mut catalog, &rt)?;
+        }
+        self.reinstate_in_doubt();
+        Ok(())
     }
 
     /// Quiescent checkpoint (no active transactions).

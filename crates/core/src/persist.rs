@@ -230,6 +230,9 @@ impl Database {
             self.engine.recover()?;
             self.rebuild_runtime(&mut catalog, &rt)?;
         }
+        // Prepared transactions survive the restart as in-doubt; their
+        // exclusive locks are re-asserted so phase two finds them held.
+        self.reinstate_in_doubt();
         Ok(())
     }
 }

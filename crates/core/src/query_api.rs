@@ -29,7 +29,7 @@ impl Database {
     /// query takes `S` locks on every class in scope; a class query on
     /// its one class (strict 2PL — released at commit/rollback).
     pub fn query(&self, tx: &Tx, text: &str) -> DbResult<QueryResult> {
-        let planned = self.prepare(tx, text)?;
+        let planned = self.plan(tx, text)?;
         self.run_planned(&planned, tx.id())
     }
 
@@ -37,14 +37,14 @@ impl Database {
     /// (E4). `Display` renders the classic one-line explain text, so
     /// `db.explain(tx, q)?.to_string()` is the old string API.
     pub fn explain(&self, tx: &Tx, text: &str) -> DbResult<ExplainReport> {
-        Ok(self.prepare(tx, text)?.report())
+        Ok(self.plan(tx, text)?.report())
     }
 
     /// Prepare a query once for repeated execution (parse, authorize,
     /// lock, plan). The plan stays valid while the schema and index set
     /// are unchanged; re-prepare after DDL.
     pub fn prepare_query(&self, tx: &Tx, text: &str) -> DbResult<PlannedQuery> {
-        self.prepare(tx, text)
+        self.plan(tx, text)
     }
 
     /// Execute a previously prepared query (outside any transaction —
@@ -76,7 +76,7 @@ impl Database {
         }
     }
 
-    fn prepare(&self, tx: &Tx, text: &str) -> DbResult<PlannedQuery> {
+    fn plan(&self, tx: &Tx, text: &str) -> DbResult<PlannedQuery> {
         let mut query = parse(text)?;
 
         // View resolution: a target naming a view splices the stored

@@ -30,6 +30,8 @@ pub(crate) struct DbMetrics {
     /// Network front-door metrics; `Arc`-shared with any `orion-net`
     /// server built over this database.
     pub net: Arc<NetMetrics>,
+    /// Two-phase-commit participant metrics (prepare/decide/recover).
+    pub twopc: TwoPcMetrics,
     /// Shared maintenance-gate acquisitions (DML/query/read paths).
     pub gate_shared: Counter,
     /// Exclusive maintenance-gate acquisitions (rollback, recovery,
@@ -119,6 +121,64 @@ impl NetMetrics {
     }
 }
 
+/// Two-phase-commit participant sinks. A database acting as a 2PC
+/// participant (behind a shard router) accounts its prepare and
+/// decision traffic here; the `prepared` gauge in [`TwoPcStats`] is
+/// filled live from the storage engine at snapshot time, so it is
+/// exact even across recoveries.
+#[derive(Debug, Default)]
+pub struct TwoPcMetrics {
+    /// Transactions that entered the prepared state (phase one).
+    pub prepares: Counter,
+    /// Prepared transactions committed by a coordinator decision.
+    pub commits: Counter,
+    /// Prepared transactions aborted by a coordinator decision.
+    pub aborts: Counter,
+    /// In-doubt transactions reinstated from the log at recovery.
+    pub in_doubt_recovered: Counter,
+}
+
+impl TwoPcMetrics {
+    /// A point-in-time copy; `prepared` is supplied by the caller
+    /// (the engine knows the live count).
+    pub fn snapshot(&self, prepared: u64) -> TwoPcStats {
+        TwoPcStats {
+            prepared,
+            prepares: self.prepares.get(),
+            commits: self.commits.get(),
+            aborts: self.aborts.get(),
+            in_doubt_recovered: self.in_doubt_recovered.get(),
+        }
+    }
+
+    /// Zero every sink (between benchmark phases).
+    pub fn reset(&self) {
+        self.prepares.reset();
+        self.commits.reset();
+        self.aborts.reset();
+        self.in_doubt_recovered.reset();
+    }
+}
+
+/// Two-phase-commit participant counters, as captured by
+/// [`Database::stats`].
+///
+/// [`Database::stats`]: crate::Database::stats
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TwoPcStats {
+    /// Transactions currently prepared and awaiting a coordinator
+    /// decision (in doubt after a recovery).
+    pub prepared: u64,
+    /// Transactions that entered the prepared state since startup.
+    pub prepares: u64,
+    /// Prepared transactions committed by a coordinator decision.
+    pub commits: u64,
+    /// Prepared transactions aborted by a coordinator decision.
+    pub aborts: u64,
+    /// In-doubt transactions reinstated from the log at recovery.
+    pub in_doubt_recovered: u64,
+}
+
 /// Network front-door counters, as captured by [`Database::stats`].
 ///
 /// [`Database::stats`]: crate::Database::stats
@@ -168,6 +228,9 @@ pub struct DbStats {
     pub method_calls: u64,
     /// Network front-door counters (zero when no server is attached).
     pub net: NetStats,
+    /// Two-phase-commit participant counters (zero unless the node is
+    /// serving cross-shard transactions).
+    pub twopc: TwoPcStats,
     /// Injected-fault counters (zero unless a fault plan is installed).
     pub fault: FaultStats,
     /// Recovery-outcome counters (runs, failures, pages repaired).
@@ -560,6 +623,36 @@ impl DbStats {
             "orion_net_request_latency_seconds",
             "Server-side request latency",
             &self.net.request_latency,
+        );
+        render::gauge(
+            &mut out,
+            "orion_2pc_prepared_transactions",
+            "Transactions prepared and awaiting a coordinator decision",
+            self.twopc.prepared,
+        );
+        render::counter(
+            &mut out,
+            "orion_2pc_prepares_total",
+            "Transactions that entered the prepared state",
+            self.twopc.prepares,
+        );
+        render::counter(
+            &mut out,
+            "orion_2pc_commits_total",
+            "Prepared transactions committed by coordinator decision",
+            self.twopc.commits,
+        );
+        render::counter(
+            &mut out,
+            "orion_2pc_aborts_total",
+            "Prepared transactions aborted by coordinator decision",
+            self.twopc.aborts,
+        );
+        render::counter(
+            &mut out,
+            "orion_2pc_in_doubt_recovered_total",
+            "In-doubt transactions reinstated from the log at recovery",
+            self.twopc.in_doubt_recovered,
         );
         out
     }

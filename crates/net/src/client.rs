@@ -191,20 +191,31 @@ impl Client {
         )))
     }
 
-    /// A retry is safe only for idempotent read-only requests outside
-    /// an explicit transaction.
+    /// A retry is safe for idempotent read-only requests outside an
+    /// explicit transaction, and for the 2PC verbs *unconditionally*:
+    /// they are idempotent by transaction id, so a retransmission after
+    /// a reconnect lands on the server's replay-safe path (a re-sent
+    /// `Prepare` is acknowledged if the id is already parked and
+    /// rejected if the disconnect rolled it back; decisions and
+    /// `Resolve` probes are addressed by id, not by session state).
     fn may_retry(&self, request: &Request) -> bool {
         self.config.reconnect
             && self.config.retry.max_attempts > 1
-            && !self.in_tx
-            && matches!(
+            && (matches!(
                 request,
-                Request::Ping
-                    | Request::Query { .. }
-                    | Request::Explain { .. }
-                    | Request::Get { .. }
-                    | Request::Stats
-            )
+                Request::Prepare { .. }
+                    | Request::CommitPrepared { .. }
+                    | Request::AbortPrepared { .. }
+                    | Request::Resolve { .. }
+            ) || (!self.in_tx
+                && matches!(
+                    request,
+                    Request::Ping
+                        | Request::Query { .. }
+                        | Request::Explain { .. }
+                        | Request::Get { .. }
+                        | Request::Stats
+                )))
     }
 
     // -----------------------------------------------------------------
@@ -333,6 +344,43 @@ impl Client {
     /// Write an edited workspace back.
     pub fn checkin(&mut self, workspace: Vec<WorkspaceEntry>) -> DbResult<()> {
         self.expect_ok(&Request::Checkin { workspace })
+    }
+
+    /// 2PC phase one: prepare the session transaction `txn` (the id
+    /// returned by [`Client::begin`]). On success the transaction is
+    /// parked server-side awaiting [`Client::commit_prepared`] or
+    /// [`Client::abort_prepared`]; the session no longer owns it, so
+    /// the client leaves its explicit-transaction state either way.
+    pub fn prepare(&mut self, txn: u64) -> DbResult<()> {
+        let r = self.request(&Request::Prepare { txn });
+        self.in_tx = false;
+        match r? {
+            Response::Prepared { .. } => Ok(()),
+            Response::Err(e) => Err(e),
+            other => Err(unexpected("Prepared", &other)),
+        }
+    }
+
+    /// 2PC phase two, commit decision. Idempotent by transaction id:
+    /// an unknown id means the decision already landed and is `Ok`.
+    pub fn commit_prepared(&mut self, txn: u64) -> DbResult<()> {
+        self.expect_ok(&Request::CommitPrepared { txn })
+    }
+
+    /// 2PC phase two, abort decision. Idempotent like
+    /// [`Client::commit_prepared`].
+    pub fn abort_prepared(&mut self, txn: u64) -> DbResult<()> {
+        self.expect_ok(&Request::AbortPrepared { txn })
+    }
+
+    /// List the server's in-doubt (prepared) transactions, optionally
+    /// probing one id.
+    pub fn resolve(&mut self, txn: Option<u64>) -> DbResult<Vec<u64>> {
+        match self.request(&Request::Resolve { txn })? {
+            Response::InDoubt { txns } => Ok(txns),
+            Response::Err(e) => Err(e),
+            other => Err(unexpected("InDoubt", &other)),
+        }
     }
 
     /// Scrape the server's metrics in the Prometheus text format.

@@ -545,5 +545,60 @@ fn dispatch(
         Request::Stats => {
             Response::Stats { prometheus: shared.db.stats().render_prometheus() }
         }
+        Request::Prepare { txn } => {
+            // Normal path: the session transaction matches the id the
+            // coordinator names. Prepare parks it in the engine; the
+            // session handle is dropped so a later disconnect does NOT
+            // roll it back — only a coordinator decision settles it.
+            if let Some(tx) = session.tx.as_ref() {
+                if tx.id() != txn {
+                    return Response::Err(DbError::InvalidTxnState(format!(
+                        "prepare names transaction {txn} but the session transaction is {}",
+                        tx.id()
+                    )));
+                }
+                return match shared.db.prepare(tx) {
+                    Ok(()) => {
+                        session.tx = None;
+                        Response::Prepared { txn }
+                    }
+                    Err(e) => {
+                        // Prepare failed; the transaction is still
+                        // active — roll it back so its locks release.
+                        if let Some(tx) = session.tx.take() {
+                            let _ = shared.db.rollback(tx);
+                        }
+                        Response::Err(e)
+                    }
+                };
+            }
+            // Retransmission path: a coordinator that lost the ack
+            // reconnects and re-sends. If the engine already holds the
+            // id prepared, the original request won — acknowledge it.
+            // Otherwise the disconnect rolled the transaction back and
+            // the coordinator must abort (presumed abort).
+            if shared.db.in_doubt().contains(&txn) {
+                Response::Prepared { txn }
+            } else {
+                Response::Err(DbError::InvalidTxnState(format!(
+                    "transaction {txn} is not open on this session and not prepared"
+                )))
+            }
+        }
+        Request::CommitPrepared { txn } => match shared.db.commit_prepared(txn) {
+            Ok(_) => Response::Ok,
+            Err(e) => Response::Err(e),
+        },
+        Request::AbortPrepared { txn } => match shared.db.abort_prepared(txn) {
+            Ok(_) => Response::Ok,
+            Err(e) => Response::Err(e),
+        },
+        Request::Resolve { txn } => {
+            let mut txns = shared.db.in_doubt();
+            if let Some(filter) = txn {
+                txns.retain(|t| *t == filter);
+            }
+            Response::InDoubt { txns }
+        }
     }
 }

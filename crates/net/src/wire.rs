@@ -44,6 +44,10 @@ const REQ_CREATE_INDEX: u8 = 12;
 const REQ_CHECKOUT: u8 = 13;
 const REQ_CHECKIN: u8 = 14;
 const REQ_STATS: u8 = 15;
+const REQ_PREPARE: u8 = 16;
+const REQ_COMMIT_PREPARED: u8 = 17;
+const REQ_ABORT_PREPARED: u8 = 18;
+const REQ_RESOLVE: u8 = 19;
 
 /// Everything a client can ask of the server.
 #[derive(Debug, Clone, PartialEq)]
@@ -136,6 +140,33 @@ pub enum Request {
     },
     /// Scrape every counter in the Prometheus text format.
     Stats,
+    /// 2PC phase one: force the session transaction's effects and park
+    /// it prepared. Carries the transaction id so a coordinator can
+    /// retransmit after a reconnect — the server answers `Prepared` if
+    /// that id is already parked (the ack was lost), and an error if it
+    /// is unknown (the disconnect rolled it back; presumed abort).
+    Prepare {
+        /// The transaction id the coordinator believes it is preparing.
+        txn: u64,
+    },
+    /// 2PC phase two, commit decision. Addressed by transaction id, not
+    /// the session transaction — idempotent and retransmittable.
+    CommitPrepared {
+        /// The prepared transaction to commit.
+        txn: u64,
+    },
+    /// 2PC phase two, abort decision. Idempotent like `CommitPrepared`.
+    AbortPrepared {
+        /// The prepared transaction to abort.
+        txn: u64,
+    },
+    /// List in-doubt (prepared) transactions, optionally probing one id
+    /// — a recovering coordinator uses this to learn what needs a
+    /// decision pushed.
+    Resolve {
+        /// `Some(id)` narrows the answer to that transaction.
+        txn: Option<u64>,
+    },
 }
 
 // ---------------------------------------------------------------------
@@ -154,6 +185,8 @@ const RESP_VALUE: u8 = 8;
 const RESP_CLASS: u8 = 9;
 const RESP_WORKSPACE: u8 = 10;
 const RESP_STATS: u8 = 11;
+const RESP_PREPARED: u8 = 12;
+const RESP_IN_DOUBT: u8 = 13;
 
 /// Everything the server can answer.
 #[derive(Debug, Clone, PartialEq)]
@@ -204,6 +237,17 @@ pub enum Response {
     Stats {
         /// Prometheus text exposition.
         prometheus: String,
+    },
+    /// The transaction is parked in the prepared state, awaiting the
+    /// coordinator's decision.
+    Prepared {
+        /// The prepared transaction id.
+        txn: u64,
+    },
+    /// The in-doubt (prepared) transactions this participant holds.
+    InDoubt {
+        /// Prepared transaction ids, ascending.
+        txns: Vec<u64>,
     },
 }
 
@@ -432,6 +476,28 @@ impl Request {
                 put_workspace(&mut out, workspace);
             }
             Request::Stats => out.put_u8(REQ_STATS),
+            Request::Prepare { txn } => {
+                out.put_u8(REQ_PREPARE);
+                out.put_u64_le(*txn);
+            }
+            Request::CommitPrepared { txn } => {
+                out.put_u8(REQ_COMMIT_PREPARED);
+                out.put_u64_le(*txn);
+            }
+            Request::AbortPrepared { txn } => {
+                out.put_u8(REQ_ABORT_PREPARED);
+                out.put_u64_le(*txn);
+            }
+            Request::Resolve { txn } => {
+                out.put_u8(REQ_RESOLVE);
+                match txn {
+                    Some(id) => {
+                        out.put_u8(1);
+                        out.put_u64_le(*id);
+                    }
+                    None => out.put_u8(0),
+                }
+            }
         }
         out
     }
@@ -473,6 +539,18 @@ impl Request {
             REQ_CHECKOUT => Request::Checkout { root: Oid::from_raw(get_u64(buf)?) },
             REQ_CHECKIN => Request::Checkin { workspace: get_workspace(buf)? },
             REQ_STATS => Request::Stats,
+            REQ_PREPARE => Request::Prepare { txn: get_u64(buf)? },
+            REQ_COMMIT_PREPARED => Request::CommitPrepared { txn: get_u64(buf)? },
+            REQ_ABORT_PREPARED => Request::AbortPrepared { txn: get_u64(buf)? },
+            REQ_RESOLVE => Request::Resolve {
+                txn: match get_u8(buf)? {
+                    0 => None,
+                    1 => Some(get_u64(buf)?),
+                    other => {
+                        return Err(DbError::Protocol(format!("bad resolve option tag {other}")))
+                    }
+                },
+            },
             other => return Err(DbError::Protocol(format!("unknown request tag {other}"))),
         };
         if !buf.is_empty() {
@@ -546,6 +624,17 @@ impl Response {
                 out.put_u8(RESP_STATS);
                 put_str(&mut out, prometheus);
             }
+            Response::Prepared { txn } => {
+                out.put_u8(RESP_PREPARED);
+                out.put_u64_le(*txn);
+            }
+            Response::InDoubt { txns } => {
+                out.put_u8(RESP_IN_DOUBT);
+                out.put_u32_le(txns.len() as u32);
+                for txn in txns {
+                    out.put_u64_le(*txn);
+                }
+            }
         }
         out
     }
@@ -588,6 +677,15 @@ impl Response {
             }
             RESP_WORKSPACE => Response::Workspace(get_workspace(buf)?),
             RESP_STATS => Response::Stats { prometheus: get_str(buf)? },
+            RESP_PREPARED => Response::Prepared { txn: get_u64(buf)? },
+            RESP_IN_DOUBT => {
+                let n = get_u32(buf)? as usize;
+                let mut txns = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    txns.push(get_u64(buf)?);
+                }
+                Response::InDoubt { txns }
+            }
             other => return Err(DbError::Protocol(format!("unknown response tag {other}"))),
         };
         if !buf.is_empty() {
@@ -666,6 +764,11 @@ mod tests {
             )],
         });
         rt_req(Request::Stats);
+        rt_req(Request::Prepare { txn: 42 });
+        rt_req(Request::CommitPrepared { txn: 42 });
+        rt_req(Request::AbortPrepared { txn: 42 });
+        rt_req(Request::Resolve { txn: None });
+        rt_req(Request::Resolve { txn: Some(42) });
     }
 
     #[test]
@@ -692,6 +795,11 @@ mod tests {
             vec![("area".into(), Value::Int(120))],
         )]));
         rt_resp(Response::Stats { prometheus: "orion_net_requests_total 4\n".into() });
+        rt_resp(Response::Err(DbError::Shard("no shard owns class `Vehicle`".into())));
+        rt_resp(Response::Err(DbError::TxnInDoubt { txn: 88 }));
+        rt_resp(Response::Prepared { txn: 42 });
+        rt_resp(Response::InDoubt { txns: vec![] });
+        rt_resp(Response::InDoubt { txns: vec![3, 7, 11] });
     }
 
     #[test]

@@ -1,0 +1,275 @@
+//! The coordinator's durable decision log.
+//!
+//! Two-phase commit's one forced coordinator write: once every
+//! participant has acknowledged PREPARE, the commit decision is
+//! appended here and fsynced *before* any `CommitPrepared` goes out.
+//! A coordinator that crashes between the phases replays this log on
+//! restart and pushes the logged outcome to every in-doubt
+//! participant; a transaction with no logged decision is aborted
+//! (presumed abort), so abort decisions never need to be logged for
+//! correctness — they are recorded anyway for observability.
+//!
+//! Frame format per entry, mirroring the WAL's:
+//! `[len u32][crc32 u32][body]`, body =
+//! `gtid u64 | commit u8 | n u32 | (shard u32, local_txn u64) * n`,
+//! all little-endian. Replay stops at the first short or corrupt
+//! frame and truncates the file there, so a torn tail from a crash
+//! mid-append reads as "no decision" — which presumed abort makes
+//! safe.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+
+use orion_storage::crc32;
+use orion_types::{DbError, DbResult};
+use parking_lot::Mutex;
+
+/// A logged coordinator outcome for one global transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Decision {
+    /// Coordinator-local global transaction id.
+    pub gtid: u64,
+    /// `true` = commit, `false` = abort.
+    pub commit: bool,
+    /// The participants as `(shard index, shard-local txn id)` pairs.
+    pub participants: Vec<(u32, u64)>,
+}
+
+/// Where the decision log lives.
+#[derive(Debug, Clone)]
+pub enum DecisionLogSpec {
+    /// Volatile: decisions survive only as long as the router. Fine
+    /// for tests and for clusters whose shards are also in-memory.
+    Memory,
+    /// An append-only file, fsynced per decision.
+    File(PathBuf),
+}
+
+struct LogInner {
+    entries: Vec<Decision>,
+    file: Option<File>,
+}
+
+/// The decision log: replayed on open, appended on every commit
+/// decision, consulted by in-doubt resolution.
+pub struct DecisionLog {
+    inner: Mutex<LogInner>,
+}
+
+fn encode(d: &Decision) -> Vec<u8> {
+    let mut body = Vec::with_capacity(13 + 12 * d.participants.len());
+    body.extend_from_slice(&d.gtid.to_le_bytes());
+    body.push(u8::from(d.commit));
+    body.extend_from_slice(&(d.participants.len() as u32).to_le_bytes());
+    for &(shard, txn) in &d.participants {
+        body.extend_from_slice(&shard.to_le_bytes());
+        body.extend_from_slice(&txn.to_le_bytes());
+    }
+    let mut frame = Vec::with_capacity(8 + body.len());
+    frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(&body).to_le_bytes());
+    frame.extend_from_slice(&body);
+    frame
+}
+
+fn u32_at(b: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(b[at..at + 4].try_into().unwrap())
+}
+
+fn u64_at(b: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(b[at..at + 8].try_into().unwrap())
+}
+
+/// Decode every whole, checksummed frame; return the entries plus the
+/// byte offset of the valid prefix.
+fn replay(bytes: &[u8]) -> (Vec<Decision>, usize) {
+    let mut entries = Vec::new();
+    let mut at = 0usize;
+    loop {
+        if bytes.len() - at < 8 {
+            return (entries, at);
+        }
+        let len = u32_at(bytes, at) as usize;
+        let crc = u32_at(bytes, at + 4);
+        if bytes.len() - at - 8 < len || len < 13 {
+            return (entries, at);
+        }
+        let body = &bytes[at + 8..at + 8 + len];
+        if crc32(body) != crc {
+            return (entries, at);
+        }
+        let gtid = u64_at(body, 0);
+        let commit = body[8] != 0;
+        let n = u32_at(body, 9) as usize;
+        if len != 13 + 12 * n {
+            return (entries, at);
+        }
+        let participants = (0..n)
+            .map(|i| (u32_at(body, 13 + 12 * i), u64_at(body, 17 + 12 * i)))
+            .collect();
+        entries.push(Decision { gtid, commit, participants });
+        at += 8 + len;
+    }
+}
+
+impl DecisionLog {
+    /// Open (and for files, replay) the log.
+    pub fn open(spec: &DecisionLogSpec) -> DbResult<DecisionLog> {
+        let inner = match spec {
+            DecisionLogSpec::Memory => LogInner { entries: Vec::new(), file: None },
+            DecisionLogSpec::File(path) => {
+                let mut file = OpenOptions::new()
+                    .read(true)
+                    .write(true)
+                    .create(true)
+                    .truncate(false)
+                    .open(path)
+                    .map_err(|e| DbError::Shard(format!("decision log open: {e}")))?;
+                let mut bytes = Vec::new();
+                file.read_to_end(&mut bytes)
+                    .map_err(|e| DbError::Shard(format!("decision log read: {e}")))?;
+                let (entries, valid) = replay(&bytes);
+                if valid < bytes.len() {
+                    // Torn tail from a crash mid-append: drop it so the
+                    // next append starts on a frame boundary.
+                    file.set_len(valid as u64)
+                        .and_then(|()| file.seek(SeekFrom::End(0)).map(drop))
+                        .map_err(|e| DbError::Shard(format!("decision log truncate: {e}")))?;
+                }
+                LogInner { entries, file: Some(file) }
+            }
+        };
+        Ok(DecisionLog { inner: Mutex::new(inner) })
+    }
+
+    /// The next unused global transaction id.
+    pub fn next_gtid(&self) -> u64 {
+        let inner = self.inner.lock();
+        inner.entries.iter().map(|d| d.gtid).max().unwrap_or(0) + 1
+    }
+
+    /// Durably append a decision. For file-backed logs the entry is
+    /// written and fsynced before this returns; only then may the
+    /// coordinator send phase two.
+    pub fn record(&self, decision: Decision) -> DbResult<()> {
+        let mut inner = self.inner.lock();
+        if let Some(file) = inner.file.as_mut() {
+            file.write_all(&encode(&decision))
+                .and_then(|()| file.sync_data())
+                .map_err(|e| DbError::Shard(format!("decision log append: {e}")))?;
+        }
+        inner.entries.push(decision);
+        Ok(())
+    }
+
+    /// The logged outcome for a participant, if any: `Some(true)` =
+    /// commit, `Some(false)` = explicit abort, `None` = no decision
+    /// (presumed abort).
+    pub fn decision_for(&self, shard: u32, local_txn: u64) -> Option<bool> {
+        let inner = self.inner.lock();
+        inner
+            .entries
+            .iter()
+            .rev()
+            .find(|d| d.participants.contains(&(shard, local_txn)))
+            .map(|d| d.commit)
+    }
+
+    /// All logged decisions, oldest first.
+    pub fn decisions(&self) -> Vec<Decision> {
+        self.inner.lock().entries.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(gtid: u64, commit: bool, parts: &[(u32, u64)]) -> Decision {
+        Decision { gtid, commit, participants: parts.to_vec() }
+    }
+
+    #[test]
+    fn memory_log_records_and_resolves() {
+        let log = DecisionLog::open(&DecisionLogSpec::Memory).unwrap();
+        assert_eq!(log.next_gtid(), 1);
+        log.record(d(1, true, &[(0, 7), (1, 3)])).unwrap();
+        log.record(d(2, false, &[(0, 8)])).unwrap();
+        assert_eq!(log.next_gtid(), 3);
+        assert_eq!(log.decision_for(0, 7), Some(true));
+        assert_eq!(log.decision_for(1, 3), Some(true));
+        assert_eq!(log.decision_for(0, 8), Some(false));
+        assert_eq!(log.decision_for(1, 8), None);
+    }
+
+    #[test]
+    fn file_log_survives_reopen() {
+        let dir = std::env::temp_dir().join(format!("orion-dlog-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("reopen.dlog");
+        let _ = std::fs::remove_file(&path);
+        let spec = DecisionLogSpec::File(path.clone());
+        {
+            let log = DecisionLog::open(&spec).unwrap();
+            log.record(d(1, true, &[(0, 5), (2, 9)])).unwrap();
+            log.record(d(2, false, &[(1, 6)])).unwrap();
+        }
+        let log = DecisionLog::open(&spec).unwrap();
+        assert_eq!(log.decisions().len(), 2);
+        assert_eq!(log.decision_for(2, 9), Some(true));
+        assert_eq!(log.decision_for(1, 6), Some(false));
+        assert_eq!(log.next_gtid(), 3);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_presumed_abort() {
+        let dir = std::env::temp_dir().join(format!("orion-dlog-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn.dlog");
+        let _ = std::fs::remove_file(&path);
+        let spec = DecisionLogSpec::File(path.clone());
+        {
+            let log = DecisionLog::open(&spec).unwrap();
+            log.record(d(1, true, &[(0, 5)])).unwrap();
+            log.record(d(2, true, &[(1, 6)])).unwrap();
+        }
+        // Tear the last frame mid-body, as a crash mid-append would.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        let log = DecisionLog::open(&spec).unwrap();
+        assert_eq!(log.decisions().len(), 1);
+        assert_eq!(log.decision_for(0, 5), Some(true));
+        // The torn decision is gone: presumed abort.
+        assert_eq!(log.decision_for(1, 6), None);
+        // And the file was healed: a new append lands on a clean boundary.
+        log.record(d(2, false, &[(1, 6)])).unwrap();
+        let log = DecisionLog::open(&spec).unwrap();
+        assert_eq!(log.decisions().len(), 2);
+        assert_eq!(log.decision_for(1, 6), Some(false));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_crc_stops_replay() {
+        let dir = std::env::temp_dir().join(format!("orion-dlog-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("crc.dlog");
+        let _ = std::fs::remove_file(&path);
+        let spec = DecisionLogSpec::File(path.clone());
+        {
+            let log = DecisionLog::open(&spec).unwrap();
+            log.record(d(1, true, &[(0, 5)])).unwrap();
+            log.record(d(2, true, &[(0, 6)])).unwrap();
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF; // flip a bit in the second frame's body
+        std::fs::write(&path, &bytes).unwrap();
+        let log = DecisionLog::open(&spec).unwrap();
+        assert_eq!(log.decisions().len(), 1);
+        assert_eq!(log.decision_for(0, 6), None);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,32 @@
+//! orion-shard: the database as a *partitioned* network service.
+//!
+//! The paper's shared-server architecture (§2) scales up by adding
+//! workstations; this crate scales the server side *out*. A
+//! [`ShardRouter`] fronts N independent `orion-net` servers and keeps
+//! the facade shape: DDL, object CRUD, declarative queries, and
+//! multi-statement transactions all look like one database.
+//!
+//! Three mechanisms make that work:
+//!
+//! * **Class placement** ([`PlacementPolicy`]) — classes are the
+//!   distribution unit. Schema is broadcast so class ids agree
+//!   cluster-wide; each class's extent lives wholly on one shard, so
+//!   any OID routes by its embedded class id.
+//! * **Query fan-out** — a query whose scope maps to one shard passes
+//!   through verbatim (one hop); hierarchy scopes spanning shards run
+//!   everywhere and the router merges with the executor's own
+//!   order-by/limit semantics.
+//! * **Two-phase commit** — cross-shard transactions PREPARE on every
+//!   participant, the coordinator forces its decision to a
+//!   [`DecisionLog`], then pushes COMMIT. Participants that crash
+//!   after voting recover as in-doubt and
+//!   [`ShardRouter::resolve_in_doubt`] completes them from the log;
+//!   unlogged transactions are presumed aborted.
+
+pub mod decision_log;
+pub mod placement;
+pub mod router;
+
+pub use decision_log::{Decision, DecisionLog, DecisionLogSpec};
+pub use placement::{ExplicitPlacement, HashPlacement, PlacementPolicy};
+pub use router::{RouterConfig, RouterMetrics, ShardRouter, ShardTx};

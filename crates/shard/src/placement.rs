@@ -1,0 +1,111 @@
+//! Class placement: which shard owns a class's extent.
+//!
+//! Partitioning is *by class*, not by key range: an OODB extent is the
+//! natural distribution unit because every object carries its class in
+//! its OID, so the router can route any `Oid` without a directory
+//! lookup. Subclasses may live on different shards than their
+//! superclass — a hierarchy query then fans out to every owning shard
+//! and the router merges (see `router`).
+
+use std::collections::HashMap;
+
+/// Maps a class name to the index of the shard that owns its extent.
+///
+/// Implementations must be deterministic: the same `(class, shards)`
+/// pair must always yield the same answer, because every router (and
+/// every recovery) recomputes placement independently.
+pub trait PlacementPolicy: Send + Sync {
+    /// The owning shard for `class` out of `shards` total, or `None`
+    /// if the policy cannot place it (the router reports a routing
+    /// error rather than guessing).
+    fn place(&self, class: &str, shards: usize) -> Option<usize>;
+}
+
+/// Default policy: FNV-1a hash of the class name, modulo shard count.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct HashPlacement;
+
+/// FNV-1a, 64-bit. Stable across runs and platforms (no `RandomState`),
+/// which placement requires.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl PlacementPolicy for HashPlacement {
+    fn place(&self, class: &str, shards: usize) -> Option<usize> {
+        if shards == 0 {
+            return None;
+        }
+        Some((fnv1a(class.as_bytes()) % shards as u64) as usize)
+    }
+}
+
+/// Explicit class → shard map, with a hash fallback for unmapped
+/// classes so new classes never dead-end.
+#[derive(Debug, Default, Clone)]
+pub struct ExplicitPlacement {
+    map: HashMap<String, usize>,
+    strict: bool,
+}
+
+impl ExplicitPlacement {
+    /// Build from `(class, shard)` pairs; unmapped classes fall back
+    /// to [`HashPlacement`].
+    pub fn new(pairs: impl IntoIterator<Item = (impl Into<String>, usize)>) -> Self {
+        ExplicitPlacement {
+            map: pairs.into_iter().map(|(c, s)| (c.into(), s)).collect(),
+            strict: false,
+        }
+    }
+
+    /// Refuse to place unmapped classes instead of hashing them.
+    pub fn strict(mut self) -> Self {
+        self.strict = true;
+        self
+    }
+}
+
+impl PlacementPolicy for ExplicitPlacement {
+    fn place(&self, class: &str, shards: usize) -> Option<usize> {
+        match self.map.get(class) {
+            Some(&s) if s < shards => Some(s),
+            Some(_) => None,
+            None if self.strict => None,
+            None => HashPlacement.place(class, shards),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_placement_is_deterministic_and_in_range() {
+        for shards in 1..6 {
+            for class in ["Account", "Vehicle", "Vehicle2", "a", ""] {
+                let s = HashPlacement.place(class, shards).unwrap();
+                assert!(s < shards);
+                assert_eq!(HashPlacement.place(class, shards), Some(s));
+            }
+        }
+        assert_eq!(HashPlacement.place("Account", 0), None);
+    }
+
+    #[test]
+    fn explicit_placement_maps_and_falls_back() {
+        let p = ExplicitPlacement::new([("A", 0usize), ("B", 1usize)]);
+        assert_eq!(p.place("A", 2), Some(0));
+        assert_eq!(p.place("B", 2), Some(1));
+        // Fallback hashes; strict refuses.
+        assert!(p.place("C", 2).is_some());
+        assert_eq!(p.clone().strict().place("C", 2), None);
+        // Mapped beyond the cluster size is a refusal, not a wrap.
+        assert_eq!(p.place("B", 1), None);
+    }
+}

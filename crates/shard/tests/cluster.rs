@@ -1,0 +1,307 @@
+//! Cluster-level behavior of the partition router: DDL broadcast,
+//! OID routing, fan-out merge fidelity against a single node, the
+//! 1PC/2PC commit paths, and in-doubt resolution from the decision
+//! log.
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+use orion_core::{AttrSpec, Database, Domain, PrimitiveType, Value};
+use orion_net::{Client, Server, ServerConfig};
+use orion_shard::{Decision, ExplicitPlacement, RouterConfig, ShardRouter};
+
+struct Cluster {
+    servers: Vec<Server>,
+    dbs: Vec<Arc<Database>>,
+    addrs: Vec<SocketAddr>,
+}
+
+fn cluster(n: usize) -> Cluster {
+    let mut servers = Vec::new();
+    let mut dbs = Vec::new();
+    let mut addrs = Vec::new();
+    for _ in 0..n {
+        let db = Arc::new(Database::open_in_memory());
+        let server =
+            Server::bind(Arc::clone(&db), "127.0.0.1:0", ServerConfig::default()).unwrap();
+        addrs.push(server.local_addr());
+        servers.push(server);
+        dbs.push(db);
+    }
+    Cluster { servers, dbs, addrs }
+}
+
+fn router_for(cluster: &Cluster, placement: ExplicitPlacement) -> ShardRouter {
+    ShardRouter::connect(
+        &cluster.addrs,
+        RouterConfig { placement: Box::new(placement), ..RouterConfig::default() },
+    )
+    .unwrap()
+}
+
+fn int_attr(name: &str) -> AttrSpec {
+    AttrSpec::new(name, Domain::Primitive(PrimitiveType::Int))
+}
+
+#[test]
+fn ddl_broadcast_and_oid_routing() {
+    let cl = cluster(2);
+    let router = router_for(&cl, ExplicitPlacement::new([("A", 0usize), ("B", 1usize)]));
+
+    let a_id = router.create_class("A", &[], vec![int_attr("x")]).unwrap();
+    let b_id = router.create_class("B", &[], vec![int_attr("x")]).unwrap();
+    assert_ne!(a_id, b_id);
+    assert_eq!(router.class_id("A"), Some(a_id));
+
+    let a = router.create_object("A", vec![("x", Value::Int(1))]).unwrap();
+    let b = router.create_object("B", vec![("x", Value::Int(2))]).unwrap();
+
+    // Each extent lives wholly on its owning shard.
+    let on = |shard: usize, class: &str| {
+        let mut c = Client::connect(cl.addrs[shard]).unwrap();
+        c.query(&format!("select count(*) from {class} c")).unwrap().rows[0][0].clone()
+    };
+    assert_eq!(on(0, "A"), Value::Int(1));
+    assert_eq!(on(1, "A"), Value::Int(0));
+    assert_eq!(on(0, "B"), Value::Int(0));
+    assert_eq!(on(1, "B"), Value::Int(1));
+
+    // OID routing: get/set/delete find the right shard without hints.
+    assert_eq!(router.get(a, "x").unwrap(), Value::Int(1));
+    router.set(b, "x", Value::Int(20)).unwrap();
+    assert_eq!(router.get(b, "x").unwrap(), Value::Int(20));
+    router.delete(a).unwrap();
+    assert_eq!(on(0, "A"), Value::Int(0));
+
+    assert_eq!(router.metrics().passthrough_queries.get(), 0);
+    for s in cl.servers {
+        s.shutdown();
+    }
+}
+
+/// The same workload on one node and on a 2-shard cluster must
+/// produce byte-identical query results: class ids agree (broadcast
+/// DDL), per-class OID serials agree (extents are whole), and the
+/// router's merge reproduces the executor's order-by semantics.
+#[test]
+fn fanout_merge_is_byte_identical_to_single_node() {
+    // Single node.
+    let single = Database::open_in_memory();
+    single.create_class("Part", &[], vec![int_attr("weight")]).unwrap();
+    single.create_class("Widget", &["Part"], vec![]).unwrap();
+    single.create_class("Gadget", &["Part"], vec![]).unwrap();
+    let tx = single.begin();
+    for (class, w) in
+        [("Widget", 30), ("Gadget", 10), ("Widget", 50), ("Gadget", 40), ("Widget", 20)]
+    {
+        single.create_object(&tx, class, vec![("weight", Value::Int(w))]).unwrap();
+    }
+    single.commit(tx).unwrap();
+
+    // Cluster: Widget and Gadget extents on different shards.
+    let cl = cluster(2);
+    let router = router_for(
+        &cl,
+        ExplicitPlacement::new([("Part", 0usize), ("Widget", 0usize), ("Gadget", 1usize)]),
+    );
+    router.create_class("Part", &[], vec![int_attr("weight")]).unwrap();
+    router.create_class("Widget", &["Part"], vec![]).unwrap();
+    router.create_class("Gadget", &["Part"], vec![]).unwrap();
+    for (class, w) in
+        [("Widget", 30), ("Gadget", 10), ("Widget", 50), ("Gadget", 40), ("Widget", 20)]
+    {
+        router.create_object(class, vec![("weight", Value::Int(w))]).unwrap();
+    }
+
+    let queries = [
+        "select p.weight from Part* p order by p.weight",
+        "select p.weight from Part* p order by p.weight desc",
+        "select p.weight from Part* p order by p.weight desc limit 3",
+        "select count(*) from Part* p",
+        "select p.weight from Part* p where p.weight > 25 order by p.weight",
+    ];
+    for q in queries {
+        let tx = single.begin();
+        let want = single.query(&tx, q).unwrap();
+        single.commit(tx).unwrap();
+        let got = router.query(q).unwrap();
+        assert_eq!(got.rows, want.rows, "rows diverged for {q}");
+        assert_eq!(got.oids.len(), want.oids.len(), "cardinality diverged for {q}");
+    }
+
+    // Object projection with an unprojected order key: the router
+    // fetches keys with one extra hop; the *objects* must come back
+    // in the same order, observed through their attributes (OID
+    // serials are shard-local, so identities differ by design).
+    let q = "select p from Part* p order by p.weight desc";
+    let tx = single.begin();
+    let want = single.query(&tx, q).unwrap();
+    let want_weights: Vec<Value> =
+        want.oids.iter().map(|&o| single.get(&tx, o, "weight").unwrap()).collect();
+    single.commit(tx).unwrap();
+    let got = router.query(q).unwrap();
+    let got_weights: Vec<Value> =
+        got.oids.iter().map(|&o| router.get(o, "weight").unwrap()).collect();
+    assert_eq!(got_weights, want_weights);
+    assert!(router.metrics().fanout_queries.get() >= 5);
+
+    // Single-class scope stays a one-hop passthrough.
+    let got = router.query("select w from Widget w order by w.weight").unwrap();
+    assert_eq!(got.oids.len(), 3);
+    assert_eq!(router.metrics().passthrough_queries.get(), 1);
+    for s in cl.servers {
+        s.shutdown();
+    }
+}
+
+#[test]
+fn single_shard_transactions_use_one_phase() {
+    let cl = cluster(2);
+    let router = router_for(&cl, ExplicitPlacement::new([("A", 0usize), ("B", 1usize)]));
+    router.create_class("A", &[], vec![int_attr("x")]).unwrap();
+
+    let mut tx = router.begin();
+    let a = tx.create_object("A", vec![("x", Value::Int(7))]).unwrap();
+    // In-tx query on the same shard sees the uncommitted write.
+    assert_eq!(tx.query("select count(*) from A a").unwrap().rows[0][0], Value::Int(1));
+    tx.commit().unwrap();
+
+    assert_eq!(router.get(a, "x").unwrap(), Value::Int(7));
+    assert_eq!(router.metrics().txns_1pc.get(), 1);
+    assert_eq!(router.metrics().txns_2pc.get(), 0);
+    assert!(router.decision_log().decisions().is_empty());
+    for s in cl.servers {
+        s.shutdown();
+    }
+}
+
+#[test]
+fn cross_shard_commit_rollback_and_drop() {
+    let cl = cluster(2);
+    let router = router_for(&cl, ExplicitPlacement::new([("A", 0usize), ("B", 1usize)]));
+    router.create_class("A", &[], vec![int_attr("x")]).unwrap();
+    router.create_class("B", &[], vec![int_attr("x")]).unwrap();
+    let a = router.create_object("A", vec![("x", Value::Int(100))]).unwrap();
+    let b = router.create_object("B", vec![("x", Value::Int(0))]).unwrap();
+
+    // Commit: both shards move atomically, decision is logged.
+    let mut tx = router.begin();
+    tx.set(a, "x", Value::Int(60)).unwrap();
+    tx.set(b, "x", Value::Int(40)).unwrap();
+    assert_eq!(tx.touched_shards(), vec![0, 1]);
+    tx.commit().unwrap();
+    assert_eq!(router.get(a, "x").unwrap(), Value::Int(60));
+    assert_eq!(router.get(b, "x").unwrap(), Value::Int(40));
+    assert_eq!(router.metrics().txns_2pc.get(), 1);
+    let decisions = router.decision_log().decisions();
+    assert_eq!(decisions.len(), 1);
+    assert!(decisions[0].commit);
+    assert_eq!(decisions[0].participants.len(), 2);
+
+    // Rollback: nothing moves.
+    let mut tx = router.begin();
+    tx.set(a, "x", Value::Int(0)).unwrap();
+    tx.set(b, "x", Value::Int(100)).unwrap();
+    tx.rollback().unwrap();
+    assert_eq!(router.get(a, "x").unwrap(), Value::Int(60));
+
+    // Drop without commit: best-effort rollback, locks released.
+    {
+        let mut tx = router.begin();
+        tx.set(a, "x", Value::Int(1)).unwrap();
+    }
+    assert_eq!(router.get(a, "x").unwrap(), Value::Int(60));
+    for s in cl.servers {
+        s.shutdown();
+    }
+}
+
+/// A participant left prepared (its coordinator vanished) is resolved
+/// from the decision log: logged commit → applied, no log entry →
+/// presumed abort.
+#[test]
+fn in_doubt_resolution_follows_the_decision_log() {
+    let cl = cluster(2);
+    let router = router_for(&cl, ExplicitPlacement::new([("A", 0usize), ("B", 1usize)]));
+    router.create_class("A", &[], vec![int_attr("x")]).unwrap();
+    let a1 = router.create_object("A", vec![("x", Value::Int(1))]).unwrap();
+    let a2 = router.create_object("A", vec![("x", Value::Int(2))]).unwrap();
+
+    // Simulate two orphaned coordinators: both prepared on shard 0,
+    // one decision logged as commit, the other never logged.
+    let mut orphan = Client::connect(cl.addrs[0]).unwrap();
+    let t1 = orphan.begin().unwrap();
+    orphan.set(a1, "x", Value::Int(11)).unwrap();
+    orphan.prepare(t1).unwrap();
+    let t2 = orphan.begin().unwrap();
+    orphan.set(a2, "x", Value::Int(22)).unwrap();
+    orphan.prepare(t2).unwrap();
+    drop(orphan); // disconnect must not roll back prepared txns
+
+    router
+        .decision_log()
+        .record(Decision { gtid: 999, commit: true, participants: vec![(0, t1)] })
+        .unwrap();
+
+    let resolved = router.resolve_in_doubt().unwrap();
+    assert_eq!(resolved.len(), 2);
+    assert!(resolved.contains(&(0, t1, true)));
+    assert!(resolved.contains(&(0, t2, false)));
+
+    assert_eq!(router.get(a1, "x").unwrap(), Value::Int(11)); // committed
+    assert_eq!(router.get(a2, "x").unwrap(), Value::Int(2)); // presumed abort
+    assert_eq!(router.metrics().in_doubt_resolved.get(), 2);
+
+    // Idempotent: nothing left to resolve.
+    assert!(router.resolve_in_doubt().unwrap().is_empty());
+    for s in cl.servers {
+        s.shutdown();
+    }
+}
+
+#[test]
+fn prepare_failure_aborts_everywhere() {
+    let cl = cluster(2);
+    let router = router_for(&cl, ExplicitPlacement::new([("A", 0usize), ("B", 1usize)]));
+    router.create_class("A", &[], vec![int_attr("x")]).unwrap();
+    router.create_class("B", &[], vec![int_attr("x")]).unwrap();
+    let a = router.create_object("A", vec![("x", Value::Int(5))]).unwrap();
+    let b = router.create_object("B", vec![("x", Value::Int(5))]).unwrap();
+
+    // A competing writer holds the lock on `b`, so the router's
+    // transaction cannot prepare there once its own writes conflict…
+    // actually contention surfaces at `set` time under 2PL, so force a
+    // vote failure instead: crash shard 1's server mid-transaction by
+    // shutting it down after phase-one connections are open.
+    let mut tx = router.begin();
+    tx.set(a, "x", Value::Int(6)).unwrap();
+    tx.set(b, "x", Value::Int(6)).unwrap();
+    let mut servers = cl.servers.into_iter();
+    let shard0_server = servers.next().unwrap();
+    servers.next().unwrap().shutdown(); // shard 1 dies before the vote
+    let err = tx.commit();
+    // Shard 1 is gone, so prepare there fails and the whole
+    // transaction aborts; shard 0 must not keep the half.
+    assert!(err.is_err());
+    assert_eq!(router.get(a, "x").unwrap(), Value::Int(5));
+    assert!(router.decision_log().decisions().is_empty());
+    assert_eq!(router.metrics().decisions_abort.get(), 1);
+    // No prepared leftovers on the surviving shard.
+    assert!(cl.dbs[0].in_doubt().is_empty());
+    shard0_server.shutdown();
+}
+
+#[test]
+fn metrics_render_per_shard_series() {
+    let cl = cluster(2);
+    let router = router_for(&cl, ExplicitPlacement::new([("A", 0usize)]));
+    router.create_class("A", &[], vec![int_attr("x")]).unwrap();
+    router.create_object("A", vec![("x", Value::Int(1))]).unwrap();
+    let text = router.metrics_prometheus();
+    assert!(text.contains("orion_shard_requests_total{shard=\"0\"}"));
+    assert!(text.contains("orion_shard_requests_total{shard=\"1\"}"));
+    assert!(text.contains("orion_shard_txns_2pc_total"));
+    for s in cl.servers {
+        s.shutdown();
+    }
+}

@@ -64,6 +64,12 @@ pub struct StorageEngine {
     wal: Arc<Wal>,
     heap: Mutex<HeapFile>,
     active: Mutex<HashMap<u64, TxnState>>,
+    /// Two-phase-commit participants: transactions whose effects are
+    /// fully logged and forced but whose outcome belongs to a remote
+    /// coordinator. Undo state is retained so a later abort decision
+    /// can still roll them back; restart recovery rebuilds this map
+    /// from `Prepare` records without a matching `Commit`/`Abort`.
+    prepared: Mutex<HashMap<u64, TxnState>>,
     next_txn: AtomicU64,
     faults: Mutex<Option<Arc<FaultInjector>>>,
     /// Stats folded in from injectors that were since uninstalled, so
@@ -99,6 +105,7 @@ impl StorageEngine {
             wal,
             heap: Mutex::new(HeapFile::new()),
             active: Mutex::new(HashMap::new()),
+            prepared: Mutex::new(HashMap::new()),
             next_txn: AtomicU64::new(1),
             faults: Mutex::new(None),
             fault_base: Mutex::new(FaultStats::default()),
@@ -221,6 +228,10 @@ impl StorageEngine {
             .lock()
             .remove(&txn.0)
             .ok_or_else(|| DbError::InvalidTxnState(format!("{txn} is not active")))?;
+        self.undo_and_abort(txn, &state)
+    }
+
+    fn undo_and_abort(&self, txn: TxnId, state: &TxnState) -> DbResult<()> {
         for (lsn, op) in state.ops.iter().rev() {
             let action = match op {
                 UndoOp::Insert { rid } => ClrAction::Remove { rid: *rid },
@@ -240,6 +251,112 @@ impl StorageEngine {
         }
         self.wal.append(&LogRecord::Abort { txn: txn.0 });
         self.wal.flush()
+    }
+
+    // ------------------------------------------------------------------
+    // Two-phase commit (participant half)
+    // ------------------------------------------------------------------
+
+    /// Phase one of two-phase commit: force the log through a `Prepare`
+    /// record. On success the transaction leaves the active set and can
+    /// no longer abort unilaterally — only
+    /// [`StorageEngine::commit_prepared`] or
+    /// [`StorageEngine::abort_prepared`] (the coordinator's decision)
+    /// may settle it, and restart recovery reinstates it as in doubt
+    /// rather than undoing it.
+    ///
+    /// If the force fails, the transaction returns to the active set so
+    /// the caller can roll it back normally; a half-stable `Prepare`
+    /// record followed by the rollback's `Abort` record is resolved as
+    /// aborted by recovery.
+    pub fn prepare(&self, txn: TxnId) -> DbResult<()> {
+        let state = self
+            .active
+            .lock()
+            .remove(&txn.0)
+            .ok_or_else(|| DbError::InvalidTxnState(format!("{txn} is not active")))?;
+        self.wal.append(&LogRecord::Prepare { txn: txn.0 });
+        match self.wal.commit_flush() {
+            Ok(()) => {
+                self.prepared.lock().insert(txn.0, state);
+                Ok(())
+            }
+            Err(e) => {
+                self.active.lock().insert(txn.0, state);
+                Err(e)
+            }
+        }
+    }
+
+    /// Phase two, commit branch: force a `Commit` record for a prepared
+    /// transaction. Idempotent by transaction id — committing a
+    /// transaction that is no longer prepared (the decision already
+    /// arrived, possibly on a retransmitted frame) returns `Ok(false)`.
+    /// Returns `Err` only for a transaction still in the *active* set,
+    /// which must go through [`StorageEngine::commit`] instead.
+    pub fn commit_prepared(&self, txn: TxnId) -> DbResult<bool> {
+        if self.prepared.lock().remove(&txn.0).is_none() {
+            if self.active.lock().contains_key(&txn.0) {
+                return Err(DbError::InvalidTxnState(format!(
+                    "{txn} is active, not prepared; use commit"
+                )));
+            }
+            return Ok(false);
+        }
+        self.wal.append(&LogRecord::Commit { txn: txn.0 });
+        self.wal.commit_flush()?;
+        Ok(true)
+    }
+
+    /// Phase two, abort branch: undo a prepared transaction from its
+    /// retained undo state, exactly like a normal rollback. Idempotent
+    /// by transaction id like [`StorageEngine::commit_prepared`].
+    pub fn abort_prepared(&self, txn: TxnId) -> DbResult<bool> {
+        let state = match self.prepared.lock().remove(&txn.0) {
+            Some(state) => state,
+            None => {
+                if self.active.lock().contains_key(&txn.0) {
+                    return Err(DbError::InvalidTxnState(format!(
+                        "{txn} is active, not prepared; use abort"
+                    )));
+                }
+                return Ok(false);
+            }
+        };
+        self.undo_and_abort(txn, &state)?;
+        Ok(true)
+    }
+
+    /// Transaction ids currently prepared and awaiting a coordinator
+    /// decision (sorted). After restart recovery these are the in-doubt
+    /// transactions rebuilt from the log.
+    pub fn prepared_txns(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.prepared.lock().keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// The record ids a prepared transaction touched, each with the
+    /// retained pre-image when the op carries one (updates and
+    /// deletes; inserts have none — their record is in place). After
+    /// restart recovery the facade uses this to re-assert exclusive
+    /// ownership of in-doubt objects before traffic resumes.
+    pub fn prepared_ops(&self, txn: u64) -> Vec<(Rid, Option<Vec<u8>>)> {
+        self.prepared
+            .lock()
+            .get(&txn)
+            .map(|state| {
+                state
+                    .ops
+                    .iter()
+                    .map(|(_, op)| match op {
+                        UndoOp::Insert { rid } => (*rid, None),
+                        UndoOp::Update { rid, before } => (*rid, Some(before.clone())),
+                        UndoOp::Delete { rid, before } => (*rid, Some(before.clone())),
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
     }
 
     fn apply_clr(&self, action: &ClrAction, lsn: Lsn) -> DbResult<()> {
@@ -577,6 +694,14 @@ impl StorageEngine {
                 "checkpoint requires no active transactions".into(),
             ));
         }
+        // A prepared transaction's operations must stay inside the
+        // recovery scan until its outcome is logged, so the quiescent
+        // point also excludes in-doubt participants.
+        if !self.prepared.lock().is_empty() {
+            return Err(DbError::InvalidTxnState(
+                "checkpoint requires no prepared (in-doubt) transactions".into(),
+            ));
+        }
         self.pool.flush_all()?;
         // Page durability barrier before the checkpoint record claims
         // the pages are stable (a real fsync on a file backend).
@@ -591,6 +716,9 @@ impl StorageEngine {
         self.pool.crash();
         self.wal.crash();
         self.active.lock().clear();
+        // Volatile like everything else: recovery rebuilds the in-doubt
+        // set from forced Prepare records.
+        self.prepared.lock().clear();
     }
 
     /// Restart recovery: analysis, redo, undo — then rebuild the
@@ -626,6 +754,7 @@ impl StorageEngine {
                 LogRecord::Begin { txn }
                 | LogRecord::Commit { txn }
                 | LogRecord::Abort { txn }
+                | LogRecord::Prepare { txn }
                 | LogRecord::Insert { txn, .. }
                 | LogRecord::Update { txn, .. }
                 | LogRecord::Delete { txn, .. }
@@ -667,6 +796,7 @@ impl StorageEngine {
         // --- Analysis ---
         let mut committed: HashSet<u64> = HashSet::new();
         let mut aborted: HashSet<u64> = HashSet::new();
+        let mut prepared: HashSet<u64> = HashSet::new();
         let mut compensated: HashMap<u64, HashSet<u64>> = HashMap::new();
         let mut ops: HashMap<u64, Vec<(Lsn, UndoOp)>> = HashMap::new();
         for (lsn, rec) in tail {
@@ -676,6 +806,9 @@ impl StorageEngine {
                 }
                 LogRecord::Abort { txn } => {
                     aborted.insert(*txn);
+                }
+                LogRecord::Prepare { txn } => {
+                    prepared.insert(*txn);
                 }
                 LogRecord::Clr { txn, compensates, .. } => {
                     compensated.entry(*txn).or_default().insert(*compensates);
@@ -744,10 +877,36 @@ impl StorageEngine {
             }
         }
 
-        // --- Undo losers (no commit, no abort record) ---
+        // --- Reinstate in-doubt transactions (prepared, undecided) ---
+        // A forced Prepare record without a later Commit or Abort means
+        // the coordinator owns the outcome: the transaction is *not* a
+        // loser. Its undo state is rebuilt from the log (minus any
+        // operations a crash-interrupted abort already compensated) so a
+        // later coordinator decision can still settle it either way.
+        {
+            let mut in_doubt = self.prepared.lock();
+            in_doubt.clear();
+            for txn in &prepared {
+                if committed.contains(txn) || aborted.contains(txn) {
+                    continue;
+                }
+                let done = compensated.get(txn).cloned().unwrap_or_default();
+                let retained: Vec<(Lsn, UndoOp)> = ops
+                    .get(txn)
+                    .map(|v| {
+                        v.iter().filter(|(lsn, _)| !done.contains(&lsn.0)).cloned().collect()
+                    })
+                    .unwrap_or_default();
+                in_doubt.insert(*txn, TxnState { ops: retained });
+            }
+        }
+
+        // --- Undo losers (no commit, no abort, no forced prepare) ---
         let mut loser_ids: Vec<u64> = ops
             .keys()
-            .filter(|t| !committed.contains(t) && !aborted.contains(t))
+            .filter(|t| {
+                !committed.contains(t) && !aborted.contains(t) && !prepared.contains(t)
+            })
             .copied()
             .collect();
         loser_ids.sort_unstable();
@@ -1159,6 +1318,106 @@ mod tests {
         assert!(matches!(err, DbError::Storage(_)), "transient I/O error: {err:?}");
         // The next read succeeds: nothing was damaged.
         assert_eq!(engine.read(rid).unwrap(), b"blip");
+    }
+
+    #[test]
+    fn prepared_txn_survives_crash_as_in_doubt() {
+        let engine = StorageEngine::new(4);
+        let t1 = engine.begin();
+        let base = engine.insert(t1, b"base", None).unwrap();
+        engine.commit(t1).unwrap();
+
+        let t2 = engine.begin();
+        let staged = engine.insert(t2, b"staged", None).unwrap();
+        engine.update(t2, base, b"mut!").unwrap();
+        engine.prepare(t2).unwrap();
+        assert_eq!(engine.prepared_txns(), vec![t2.0]);
+        assert!(engine.checkpoint().is_err(), "checkpoint must exclude in-doubt txns");
+
+        engine.crash();
+        engine.recover().unwrap();
+        // Reinstated, not undone: the redo left its effects in place.
+        assert_eq!(engine.prepared_txns(), vec![t2.0]);
+        assert_eq!(engine.read(staged).unwrap(), b"staged");
+        assert_eq!(engine.read(base).unwrap(), b"mut!");
+
+        // Coordinator decides commit: effects are final and durable.
+        assert!(engine.commit_prepared(t2).unwrap());
+        engine.crash();
+        engine.recover().unwrap();
+        assert!(engine.prepared_txns().is_empty());
+        assert_eq!(engine.read(staged).unwrap(), b"staged");
+        assert_eq!(engine.read(base).unwrap(), b"mut!");
+    }
+
+    #[test]
+    fn abort_prepared_rolls_back_after_recovery() {
+        let engine = StorageEngine::new(4);
+        let t1 = engine.begin();
+        let base = engine.insert(t1, b"base", None).unwrap();
+        engine.commit(t1).unwrap();
+
+        let t2 = engine.begin();
+        let staged = engine.insert(t2, b"staged", None).unwrap();
+        engine.update(t2, base, b"mut!").unwrap();
+        engine.prepare(t2).unwrap();
+        engine.crash();
+        engine.recover().unwrap();
+
+        // Coordinator decides abort: the retained undo state rolls the
+        // reinstated transaction back completely.
+        assert!(engine.abort_prepared(t2).unwrap());
+        assert!(engine.prepared_txns().is_empty());
+        assert!(engine.read(staged).is_err(), "staged insert removed");
+        assert_eq!(engine.read(base).unwrap(), b"base", "update undone");
+        engine.crash();
+        engine.recover().unwrap();
+        assert_eq!(engine.read(base).unwrap(), b"base", "abort is durable");
+        assert_eq!(collect(&engine).len(), 1);
+    }
+
+    #[test]
+    fn prepared_decisions_are_idempotent_by_txn_id() {
+        let engine = StorageEngine::new(4);
+        let t = engine.begin();
+        engine.insert(t, b"x", None).unwrap();
+        engine.prepare(t).unwrap();
+        assert!(engine.commit_prepared(t).unwrap(), "first decision applies");
+        assert!(!engine.commit_prepared(t).unwrap(), "retransmission is a no-op");
+        assert!(!engine.abort_prepared(t).unwrap(), "late conflicting frame is a no-op");
+
+        // An *active* transaction rejects phase-two verbs outright.
+        let t2 = engine.begin();
+        assert!(engine.commit_prepared(t2).is_err());
+        assert!(engine.abort_prepared(t2).is_err());
+        engine.commit(t2).unwrap();
+    }
+
+    #[test]
+    fn crash_mid_abort_prepared_finishes_via_reinstatement() {
+        let engine = StorageEngine::new(4);
+        let t1 = engine.begin();
+        let base = engine.insert(t1, b"base", None).unwrap();
+        engine.commit(t1).unwrap();
+
+        let t2 = engine.begin();
+        engine.update(t2, base, b"bad!").unwrap();
+        engine.insert(t2, b"extra", None).unwrap();
+        engine.prepare(t2).unwrap();
+        // The abort decision lands, but its Abort record never reaches
+        // stable storage: only the CLRs (flushed as a side effect of the
+        // next force) survive the crash.
+        engine.abort_prepared(t2).unwrap();
+        engine.crash();
+        engine.recover().unwrap();
+        // Whether the Abort record survived or not, the outcome must be
+        // a full rollback — either already aborted, or reinstated with
+        // only the uncompensated suffix left to undo.
+        if engine.prepared_txns().contains(&t2.0) {
+            assert!(engine.abort_prepared(t2).unwrap());
+        }
+        assert_eq!(engine.read(base).unwrap(), b"base");
+        assert_eq!(collect(&engine).len(), 1);
     }
 
     #[test]

@@ -115,6 +115,16 @@ pub enum LogRecord {
         /// Transaction id.
         txn: u64,
     },
+    /// Two-phase commit: every effect of the transaction is logged
+    /// before this record, and the record itself is forced, so the
+    /// participant can no longer abort unilaterally. The outcome
+    /// arrives later as a [`LogRecord::Commit`] or [`LogRecord::Abort`]
+    /// from the coordinator; until then restart recovery reinstates the
+    /// transaction as *in doubt* instead of undoing it.
+    Prepare {
+        /// Transaction id.
+        txn: u64,
+    },
     /// Compensation: `action` undoes the operation logged at
     /// `compensates`.
     Clr {
@@ -145,6 +155,7 @@ impl LogRecord {
             | LogRecord::Delete { txn, .. }
             | LogRecord::Commit { txn }
             | LogRecord::Abort { txn }
+            | LogRecord::Prepare { txn }
             | LogRecord::Clr { txn, .. } => Some(*txn),
             LogRecord::Checkpoint | LogRecord::Pad => None,
         }
@@ -183,6 +194,7 @@ const T_ABORT: u8 = 6;
 const T_CLR: u8 = 7;
 const T_CHECKPOINT: u8 = 8;
 const T_PAD: u8 = 9;
+const T_PREPARE: u8 = 10;
 const A_REINSERT: u8 = 1;
 const A_OVERWRITE: u8 = 2;
 const A_REMOVE: u8 = 3;
@@ -230,6 +242,10 @@ fn encode(rec: &LogRecord) -> Vec<u8> {
         }
         LogRecord::Abort { txn } => {
             body.put_u8(T_ABORT);
+            body.put_u64_le(*txn);
+        }
+        LogRecord::Prepare { txn } => {
+            body.put_u8(T_PREPARE);
             body.put_u64_le(*txn);
         }
         LogRecord::Clr { txn, compensates, action } => {
@@ -294,6 +310,7 @@ fn decode(mut body: &[u8]) -> DbResult<LogRecord> {
         }
         T_COMMIT => LogRecord::Commit { txn: buf.get_u64_le() },
         T_ABORT => LogRecord::Abort { txn: buf.get_u64_le() },
+        T_PREPARE => LogRecord::Prepare { txn: buf.get_u64_le() },
         T_CLR => {
             let txn = buf.get_u64_le();
             let compensates = buf.get_u64_le();
@@ -782,6 +799,7 @@ mod tests {
             LogRecord::Clr { txn: 1, compensates: 101, action: ClrAction::Remove { rid: rid(2, 3) } },
             LogRecord::Commit { txn: 1 },
             LogRecord::Abort { txn: 2 },
+            LogRecord::Prepare { txn: 3 },
             LogRecord::Checkpoint,
             LogRecord::Pad,
         ];

@@ -67,6 +67,14 @@ pub enum DbError {
     /// checksum (bit rot, torn write). The damaged data must not be
     /// trusted; recovery decides whether it can be rebuilt.
     Corruption(String),
+    /// Shard-routing failure: no shard owns the class or object, the
+    /// placement policy and topology disagree, or a shard that must be
+    /// reached for a non-retryable step is unreachable.
+    Shard(String),
+    /// A two-phase-commit participant holds this transaction in the
+    /// prepared state and cannot resolve it unilaterally; only the
+    /// coordinator's logged decision (or presumed abort) may settle it.
+    TxnInDoubt { txn: u64 },
 }
 
 impl fmt::Display for DbError {
@@ -114,6 +122,10 @@ impl fmt::Display for DbError {
             DbError::Protocol(msg) => write!(f, "protocol error: {msg}"),
             DbError::Internal(msg) => write!(f, "internal error: {msg}"),
             DbError::Corruption(msg) => write!(f, "data corruption detected: {msg}"),
+            DbError::Shard(msg) => write!(f, "shard routing error: {msg}"),
+            DbError::TxnInDoubt { txn } => {
+                write!(f, "transaction {txn} is prepared and in doubt; awaiting coordinator")
+            }
         }
     }
 }

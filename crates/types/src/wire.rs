@@ -116,6 +116,8 @@ const ERR_SERVER_BUSY: u8 = 22;
 const ERR_PROTOCOL: u8 = 23;
 const ERR_INTERNAL: u8 = 24;
 const ERR_CORRUPTION: u8 = 25;
+const ERR_SHARD: u8 = 26;
+const ERR_TXN_IN_DOUBT: u8 = 27;
 
 /// Append the lossless encoding of `err` to `out`.
 pub fn encode_error(err: &DbError, out: &mut Vec<u8>) {
@@ -230,6 +232,14 @@ pub fn encode_error(err: &DbError, out: &mut Vec<u8>) {
             out.put_u8(ERR_CORRUPTION);
             put_str(out, msg);
         }
+        DbError::Shard(msg) => {
+            out.put_u8(ERR_SHARD);
+            put_str(out, msg);
+        }
+        DbError::TxnInDoubt { txn } => {
+            out.put_u8(ERR_TXN_IN_DOUBT);
+            out.put_u64_le(*txn);
+        }
     }
 }
 
@@ -279,6 +289,8 @@ pub fn decode_error(buf: &mut &[u8]) -> DbResult<DbError> {
         ERR_PROTOCOL => DbError::Protocol(get_str(buf)?),
         ERR_INTERNAL => DbError::Internal(get_str(buf)?),
         ERR_CORRUPTION => DbError::Corruption(get_str(buf)?),
+        ERR_SHARD => DbError::Shard(get_str(buf)?),
+        ERR_TXN_IN_DOUBT => DbError::TxnInDoubt { txn: get_u64(buf)? },
         other => return Err(DbError::Protocol(format!("unknown error tag {other}"))),
     })
 }
@@ -357,6 +369,8 @@ mod tests {
             DbError::Protocol("unknown tag 99".into()),
             DbError::Internal("bug".into()),
             DbError::Corruption("checksum mismatch reading page 3".into()),
+            DbError::Shard("no shard owns class `Vehicle`".into()),
+            DbError::TxnInDoubt { txn: 88 },
         ]
     }
 
@@ -401,10 +415,12 @@ mod tests {
                 DbError::Protocol(_) => "Protocol",
                 DbError::Internal(_) => "Internal",
                 DbError::Corruption(_) => "Corruption",
+                DbError::Shard(_) => "Shard",
+                DbError::TxnInDoubt { .. } => "TxnInDoubt",
             };
             assert!(seen.insert(name), "duplicate exemplar for {name}");
         }
-        assert_eq!(seen.len(), 26, "one exemplar per DbError variant");
+        assert_eq!(seen.len(), 28, "one exemplar per DbError variant");
     }
 
     #[test]

@@ -15,7 +15,10 @@
 # concurrent committers) and net_throughput --smoke regenerates
 # BENCH_net.json (a ~2 second multi-client run over real sockets).
 # The backend conformance suite runs the storage contract and the
-# durability scenarios over both SimDisk and FileDisk.
+# durability scenarios over both SimDisk and FileDisk. The sharded
+# smoke runs the cluster tests (2PC participant/coordinator crash
+# recovery, fan-out merge fidelity), and the net bench's sharded
+# section feeds the passthrough-overhead gate (< 3x a direct client).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -33,6 +36,10 @@ cargo test -q --release --test concurrency -- --ignored
 
 echo "==> chaos smoke (fixed seeds, bounded rounds, both backends)"
 cargo test -q --test chaos
+
+echo "==> sharded cluster smoke (2PC crash/recovery, fan-out fidelity)"
+cargo test -q -p orion-shard
+cargo test -q --test sharded
 
 echo "==> backend conformance suite (SimDisk + FileDisk)"
 cargo test -q --test backend_conformance
@@ -92,5 +99,22 @@ echo "    flushes per commit at 8 committers: $fpc8 (budget: < 0.5)"
 
 echo "==> bench smoke: net_throughput"
 cargo run -p orion-bench --release --bin net_throughput -- --smoke
+
+echo "==> shard passthrough overhead gate"
+# Routing a single-shard query through the partition router must stay
+# one hop: its median latency may not exceed 3x a direct client's for
+# the same query (the budget absorbs 1-CPU scheduling noise; the
+# steady-state ratio is ~1x).
+net_json=BENCH_net.json
+ratio=$(sed -n 's/.*"passthrough_overhead_ratio": \([0-9.][0-9.]*\).*/\1/p' "$net_json")
+if [ -z "$ratio" ]; then
+  echo "FAIL: could not parse passthrough_overhead_ratio from $net_json" >&2
+  exit 1
+fi
+if ! awk -v r="$ratio" 'BEGIN { exit !(r < 3.0) }'; then
+  echo "FAIL: router passthrough costs ${ratio}x a direct client (budget: < 3.0x)" >&2
+  exit 1
+fi
+echo "    passthrough overhead: ${ratio}x direct (budget: < 3.0x)"
 
 echo "==> ci.sh: all gates passed"

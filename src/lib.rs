@@ -8,7 +8,10 @@
 //! attach a `relbase` relational database to the federation. To serve
 //! the database to remote clients — the shared-server architecture of
 //! the paper's §2 — use [`net`] (`orion-net`): a wire-protocol
-//! [`net::Server`] plus blocking [`net::Client`].
+//! [`net::Server`] plus blocking [`net::Client`]. To partition the
+//! database across several such servers, [`shard`] (`orion-shard`)
+//! adds a class-placement router and a two-phase commit coordinator
+//! behind the same facade-shaped API.
 //!
 //! ```
 //! use orion_oodb::orion::{AttrSpec, Database, Domain, PrimitiveType, Value};
@@ -29,6 +32,7 @@
 
 pub use orion_core as orion;
 pub use orion_net as net;
+pub use orion_shard as shard;
 pub use relbase;
 
 pub mod relbase_adapter;

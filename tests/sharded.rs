@@ -1,0 +1,314 @@
+//! Sharded-cluster invariants: money is conserved across shards when
+//! a participant crashes mid-commit, and a coordinator that dies
+//! between PREPARE and COMMIT is recovered from its decision log —
+//! on both storage backends.
+
+mod common;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use common::TempDir;
+use orion_oodb::net::{Client, ClientConfig, Request, RetryPolicy, Server, ServerConfig};
+use orion_oodb::orion::{
+    AttrSpec, Database, DbConfig, DbResult, Domain, Oid, PrimitiveType, StorageSpec, Value,
+};
+use orion_oodb::shard::{
+    Decision, DecisionLogSpec, ExplicitPlacement, RouterConfig, ShardRouter, ShardTx,
+};
+
+const INITIAL_BALANCE: i64 = 1_000;
+
+/// Fast-retry client config so injected crashes fail over quickly.
+fn client_config() -> ClientConfig {
+    ClientConfig {
+        retry: RetryPolicy {
+            max_attempts: 2,
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(20),
+            ..RetryPolicy::default()
+        },
+        ..ClientConfig::default()
+    }
+}
+
+/// A two-shard cluster: `AccountA` extents on shard 0, `AccountB` on
+/// shard 1, so every A→B transfer is a genuine cross-shard 2PC.
+struct Cluster {
+    servers: Vec<Server>,
+    dbs: Vec<Arc<Database>>,
+    router: ShardRouter,
+    /// Crash switch: while set, shard 1 panics on `CommitPrepared`
+    /// (after its PREPARE vote, before the commit applies).
+    crash_shard1_commit: Arc<AtomicBool>,
+}
+
+fn build_cluster(specs: [StorageSpec; 2], log: DecisionLogSpec) -> Cluster {
+    let crash = Arc::new(AtomicBool::new(false));
+    let mut servers = Vec::new();
+    let mut dbs = Vec::new();
+    let mut addrs = Vec::new();
+    for (i, storage) in specs.into_iter().enumerate() {
+        let db = Arc::new(
+            Database::try_with_config(DbConfig {
+                storage,
+                lock_timeout: Duration::from_secs(5),
+                ..DbConfig::default()
+            })
+            .unwrap(),
+        );
+        let hook = {
+            let crash = Arc::clone(&crash);
+            let shard1 = i == 1;
+            Arc::new(move |req: &Request| {
+                if shard1
+                    && crash.load(Ordering::SeqCst)
+                    && matches!(req, Request::CommitPrepared { .. })
+                {
+                    panic!("injected participant crash before commit applies");
+                }
+            })
+        };
+        let server = Server::bind(
+            Arc::clone(&db),
+            "127.0.0.1:0",
+            ServerConfig { request_hook: Some(hook), ..ServerConfig::default() },
+        )
+        .unwrap();
+        addrs.push(server.local_addr());
+        servers.push(server);
+        dbs.push(db);
+    }
+    let router = ShardRouter::connect(
+        &addrs,
+        RouterConfig {
+            placement: Box::new(ExplicitPlacement::new([
+                ("AccountA", 0usize),
+                ("AccountB", 1usize),
+            ])),
+            decision_log: log,
+            client: client_config(),
+        },
+    )
+    .unwrap();
+    Cluster { servers, dbs, router, crash_shard1_commit: crash }
+}
+
+fn seed_accounts(router: &ShardRouter, per_class: usize) -> (Vec<Oid>, Vec<Oid>) {
+    let attr = vec![AttrSpec::new("balance", Domain::Primitive(PrimitiveType::Int))];
+    router.create_class("AccountA", &[], attr.clone()).unwrap();
+    router.create_class("AccountB", &[], attr).unwrap();
+    let mk = |class: &str| -> Vec<Oid> {
+        (0..per_class)
+            .map(|_| {
+                router
+                    .create_object(class, vec![("balance", Value::Int(INITIAL_BALANCE))])
+                    .unwrap()
+            })
+            .collect()
+    };
+    (mk("AccountA"), mk("AccountB"))
+}
+
+fn transfer(tx: &mut ShardTx<'_>, from: Oid, to: Oid, amount: i64) -> DbResult<()> {
+    let b_from = tx.get(from, "balance")?.as_int().unwrap();
+    let b_to = tx.get(to, "balance")?.as_int().unwrap();
+    tx.set(from, "balance", Value::Int(b_from - amount))?;
+    tx.set(to, "balance", Value::Int(b_to + amount))?;
+    Ok(())
+}
+
+fn total_balance(router: &ShardRouter, accounts: &[Oid]) -> i64 {
+    accounts.iter().map(|&a| router.get(a, "balance").unwrap().as_int().unwrap()).sum()
+}
+
+/// One shard crashes while commits are in flight; after it recovers
+/// and the router resolves its in-doubt transactions, no money was
+/// created or destroyed and no locks are leaked.
+#[test]
+fn bank_conservation_across_shards_with_participant_crash() {
+    let cl = build_cluster(
+        [StorageSpec::Memory, StorageSpec::Memory],
+        DecisionLogSpec::Memory,
+    );
+    let n = 8;
+    let (a, b) = seed_accounts(&cl.router, n);
+    let expected_total = 2 * n as i64 * INITIAL_BALANCE;
+
+    // Healthy concurrent phase: two writers, disjoint account pairs,
+    // all cross-shard (A→B) so every commit is a 2PC.
+    std::thread::scope(|scope| {
+        for t in 0..2usize {
+            let router = &cl.router;
+            let (a, b) = (&a, &b);
+            scope.spawn(move || {
+                for i in 0..10 {
+                    let from = a[(t * 4 + i % 4) % a.len()];
+                    let to = b[(t * 4 + i % 3) % b.len()];
+                    let mut tx = router.begin();
+                    transfer(&mut tx, from, to, 7).unwrap();
+                    tx.commit().unwrap();
+                }
+            });
+        }
+    });
+    assert_eq!(total_balance(&cl.router, &a) + total_balance(&cl.router, &b), expected_total);
+    assert_eq!(cl.router.metrics().txns_2pc.get(), 20);
+
+    // Crash window: shard 1 dies on every CommitPrepared. The
+    // decision is already logged, so commit() reports success and the
+    // push is left for resolution; distinct pairs per transfer so the
+    // stranded prepared locks don't collide.
+    cl.crash_shard1_commit.store(true, Ordering::SeqCst);
+    for i in 0..3 {
+        let mut tx = cl.router.begin();
+        transfer(&mut tx, a[i], b[i], 50).unwrap();
+        tx.commit().unwrap();
+    }
+    cl.crash_shard1_commit.store(false, Ordering::SeqCst);
+    assert_eq!(cl.router.metrics().commit_push_failures.get(), 3);
+
+    // Shard 1 restarts: its prepared transactions come back in-doubt,
+    // holding their write locks.
+    cl.dbs[1].crash_and_recover().unwrap();
+    assert_eq!(cl.dbs[1].in_doubt().len(), 3);
+    assert_eq!(cl.dbs[1].stats().twopc.prepared, 3);
+
+    // The coordinator's log resolves all three as commits.
+    let resolved = cl.router.resolve_in_doubt().unwrap();
+    assert_eq!(resolved.len(), 3);
+    assert!(resolved.iter().all(|&(shard, _, committed)| shard == 1 && committed));
+    assert!(cl.dbs[1].in_doubt().is_empty());
+
+    // Conservation: the 20 healthy + 3 crash-window transfers all
+    // applied exactly once on both sides.
+    assert_eq!(total_balance(&cl.router, &a) + total_balance(&cl.router, &b), expected_total);
+    for (i, &acct) in b.iter().enumerate().take(3) {
+        assert_eq!(
+            cl.router.get(acct, "balance").unwrap(),
+            Value::Int(INITIAL_BALANCE + 50 + 7 * count_into(i, n)),
+        );
+    }
+
+    // No leaked locks: the same accounts accept a fresh transaction.
+    let mut tx = cl.router.begin();
+    transfer(&mut tx, a[0], b[0], 1).unwrap();
+    tx.commit().unwrap();
+    assert_eq!(
+        total_balance(&cl.router, &a) + total_balance(&cl.router, &b),
+        expected_total
+    );
+    assert_eq!(cl.dbs[1].stats().twopc.in_doubt_recovered, 3);
+    for s in cl.servers {
+        s.shutdown();
+    }
+}
+
+/// How many healthy-phase transfers landed on B\[i\] (mirrors the
+/// deterministic pair schedule above: thread t, iteration i targets
+/// b[(t*4 + i%3) % n]).
+fn count_into(idx: usize, n: usize) -> i64 {
+    let mut count = 0;
+    for t in 0..2usize {
+        for i in 0..10usize {
+            if (t * 4 + i % 3) % n == idx {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+/// A coordinator that dies after collecting PREPARE votes leaves both
+/// participants in-doubt. A replacement router reading the same
+/// decision log commits what was decided and presumes abort for what
+/// was not — across process-style restarts of the shards themselves,
+/// on both storage backends.
+#[test]
+fn coordinator_crash_between_prepare_and_commit_recovers_from_log() {
+    let dir = TempDir::new("shard-coord");
+    for backend in ["memory", "file"] {
+        let specs = match backend {
+            "memory" => [StorageSpec::Memory, StorageSpec::Memory],
+            _ => [
+                StorageSpec::File(dir.path().join(format!("{backend}-s0"))),
+                StorageSpec::File(dir.path().join(format!("{backend}-s1"))),
+            ],
+        };
+        let log_path = dir.path().join(format!("{backend}.dlog"));
+        std::fs::create_dir_all(dir.path()).unwrap();
+        let cl = build_cluster(specs, DecisionLogSpec::File(log_path.clone()));
+        let (a, b) = seed_accounts(&cl.router, 2);
+
+        // The doomed coordinator: votes collected on both shards for
+        // two transactions. The first's commit decision reaches the
+        // log; the second's never does. Then the coordinator "dies"
+        // (connections drop without phase two).
+        let mut c0 = Client::connect_with(cl.servers[0].local_addr(), client_config()).unwrap();
+        let mut c1 = Client::connect_with(cl.servers[1].local_addr(), client_config()).unwrap();
+        let t0 = c0.begin().unwrap();
+        c0.set(a[0], "balance", Value::Int(900)).unwrap();
+        let t1 = c1.begin().unwrap();
+        c1.set(b[0], "balance", Value::Int(1100)).unwrap();
+        c0.prepare(t0).unwrap();
+        c1.prepare(t1).unwrap();
+        cl.router
+            .decision_log()
+            .record(Decision {
+                gtid: 1,
+                commit: true,
+                participants: vec![(0, t0), (1, t1)],
+            })
+            .unwrap();
+        let u0 = c0.begin().unwrap();
+        c0.set(a[1], "balance", Value::Int(0)).unwrap();
+        let u1 = c1.begin().unwrap();
+        c1.set(b[1], "balance", Value::Int(0)).unwrap();
+        c0.prepare(u0).unwrap();
+        c1.prepare(u1).unwrap();
+        drop(c0);
+        drop(c1);
+
+        // Both shards also crash and recover: the prepared state must
+        // survive the restart (WAL for the file backend).
+        for db in &cl.dbs {
+            db.crash_and_recover().unwrap();
+            assert_eq!(db.in_doubt().len(), 2);
+        }
+
+        // A replacement coordinator opens the same decision log.
+        let addrs = [cl.servers[0].local_addr(), cl.servers[1].local_addr()];
+        let router2 = ShardRouter::connect(
+            &addrs,
+            RouterConfig {
+                placement: Box::new(ExplicitPlacement::new([
+                    ("AccountA", 0usize),
+                    ("AccountB", 1usize),
+                ])),
+                decision_log: DecisionLogSpec::File(log_path),
+                client: client_config(),
+            },
+        )
+        .unwrap();
+        let resolved = router2.resolve_in_doubt().unwrap();
+        assert_eq!(resolved.len(), 4, "backend {backend}");
+        assert!(resolved.contains(&(0, t0, true)));
+        assert!(resolved.contains(&(1, t1, true)));
+        assert!(resolved.contains(&(0, u0, false)));
+        assert!(resolved.contains(&(1, u1, false)));
+
+        // Classes weren't created through router2; read through the
+        // original router (same cluster, same placement).
+        assert_eq!(cl.router.get(a[0], "balance").unwrap(), Value::Int(900));
+        assert_eq!(cl.router.get(b[0], "balance").unwrap(), Value::Int(1100));
+        assert_eq!(cl.router.get(a[1], "balance").unwrap(), Value::Int(INITIAL_BALANCE));
+        assert_eq!(cl.router.get(b[1], "balance").unwrap(), Value::Int(INITIAL_BALANCE));
+        for db in &cl.dbs {
+            assert!(db.in_doubt().is_empty());
+        }
+        for s in cl.servers {
+            s.shutdown();
+        }
+    }
+}
