@@ -16,7 +16,14 @@
 //! `"sharded"` object in the same record; CI gates on the passthrough
 //! overhead ratio.
 //!
-//! `--smoke` shrinks the workload to a ~2 second CI sanity run.
+//! A third phase parks ~1.1k mostly-idle connections on the evented
+//! core and measures a loaded 4-client subset through the crowd; it
+//! lands as `"concurrent_connections"` and CI gates on the open count
+//! (and, multi-core only, on the loaded tail staying under the
+//! uncrowded 4-client median).
+//!
+//! `--smoke` shrinks the workload to a ~2 second CI sanity run (the
+//! connection crowd stays at full size so the gate stays meaningful).
 
 use orion_bench::fleet;
 use orion_core::{AttrSpec, Database, DbConfig, Domain, PrimitiveType, Value};
@@ -158,6 +165,101 @@ fn sharded_section(smoke: bool) -> String {
     )
 }
 
+/// The concurrent-connections phase: park ~1.1k mostly-idle sessions
+/// on one server's event loops, then drive a 4-client point-read
+/// workload through the crowd. The evented core's promise is that
+/// parked connections cost a poll slot, not a thread, so the loaded
+/// subset's tail should stay near the uncrowded 4-client baseline.
+/// Returns the `"concurrent_connections"` JSON object (keys on single
+/// lines for the sed gates).
+fn concurrent_section(smoke: bool, baseline_4client_p50: Duration) -> String {
+    let target = 1_100usize;
+    let loaded_clients = 4usize;
+    let requests = if smoke { 100 } else { 400 };
+
+    let db = Arc::new(Database::open_in_memory());
+    db.create_class("KV", &[], vec![AttrSpec::new("v", Domain::Primitive(PrimitiveType::Int))])
+        .expect("ddl");
+    let tx = db.begin();
+    let oid = db.create_object(&tx, "KV", vec![("v", Value::Int(7))]).expect("seed");
+    db.commit(tx).expect("commit");
+
+    let server = Server::bind(
+        Arc::clone(&db),
+        "127.0.0.1:0",
+        ServerConfig {
+            max_connections: 2 * target,
+            idle_timeout: Duration::from_secs(600),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+
+    // Park the crowd: each connect + ping forces the dial so the
+    // session is registered on an event loop before we move on.
+    let mut parked = Vec::with_capacity(target - loaded_clients);
+    for _ in 0..target - loaded_clients {
+        let mut c = Client::connect(addr).expect("parked connect");
+        c.ping().expect("parked ping");
+        parked.push(c);
+    }
+
+    let mut latencies: Vec<Duration> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..loaded_clients)
+            .map(|_| {
+                s.spawn(move || {
+                    let mut client = Client::connect(addr).expect("loaded connect");
+                    client.ping().expect("loaded ping");
+                    let mut lat = Vec::with_capacity(requests);
+                    for _ in 0..requests {
+                        let t = Instant::now();
+                        let v = client.get(oid, "v").expect("get");
+                        assert_eq!(v, Value::Int(7));
+                        lat.push(t.elapsed());
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("loaded thread")).collect()
+    });
+    let open = server.active_connections();
+    assert!(
+        open >= 1_000,
+        "crowd fell short: {open} connections open (wanted >= 1000 of {target})"
+    );
+    latencies.sort();
+    let loaded_p50 = percentile(&latencies, 0.50);
+    let loaded_p99 = percentile(&latencies, 0.99);
+
+    drop(parked);
+    server.shutdown();
+
+    // On a single hardware thread the parked crowd, the loaded
+    // clients, and the server's loops all contend for one core, so the
+    // tail measures the scheduler, not the event loop; the p99 gate is
+    // only meaningful (and only enforced by ci.sh) on multi-core.
+    let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let enforced = cpus > 1;
+
+    println!(
+        "concurrent connections: {open} open; loaded subset of {loaded_clients}: \
+         p50 {loaded_p50:?}, p99 {loaded_p99:?} (uncrowded 4-client p50 \
+         {baseline_4client_p50:?}, gate {})",
+        if enforced { "enforced" } else { "skipped: core-bound" }
+    );
+    format!(
+        "{{\n    \"open_connections\": {open},\n    \"target_connections\": {target},\n    \
+         \"loaded_clients\": {loaded_clients},\n    \"loaded_requests_per_client\": {requests},\n    \
+         \"loaded_p50_ms\": {:.3},\n    \"loaded_p99_ms\": {:.3},\n    \
+         \"baseline_4client_p50_ms\": {:.3},\n    \"concurrent_gate_enforced\": {enforced}\n  }}",
+        loaded_p50.as_secs_f64() * 1e3,
+        loaded_p99.as_secs_f64() * 1e3,
+        baseline_4client_p50.as_secs_f64() * 1e3,
+    )
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let load = if smoke {
@@ -251,6 +353,7 @@ fn main() {
     );
 
     let sharded = sharded_section(smoke);
+    let concurrent = concurrent_section(smoke, p50);
 
     let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let note = if cpus < load.clients {
@@ -273,7 +376,8 @@ fn main() {
          \"query_rows\": {expected_rows},\n  \
          \"server\": {{\n    \"requests\": {},\n    \"connections_total\": {},\n    \
          \"errors\": {},\n    \"timeouts\": {},\n    \"busy_rejections\": {}\n  }},\n  \
-         \"sharded\": {sharded}\n}}\n",
+         \"sharded\": {sharded},\n  \
+         \"concurrent_connections\": {concurrent}\n}}\n",
         load.objects,
         load.clients,
         load.requests_per_client,

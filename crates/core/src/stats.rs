@@ -89,10 +89,23 @@ pub struct NetMetrics {
     pub errors: Counter,
     /// Connections evicted for idleness or read/write timeout.
     pub timeouts: Counter,
-    /// Connections refused because the accept queue was full.
+    /// Connections refused at the door (connection cap or accept queue
+    /// full).
     pub busy_rejections: Counter,
     /// End-to-end server-side request latency (decode → respond).
     pub request_latency: Histogram,
+    /// Pipeline depth observed as each request is admitted: how many
+    /// requests its connection then has in flight (unit: requests).
+    pub pipeline_depth: Histogram,
+    /// Requests shed with `ServerBusy` by admission control (pipeline
+    /// cap or executor-queue cap).
+    pub requests_shed: Counter,
+    /// Event-loop wakeups (poll returns) across all I/O threads.
+    pub readiness_wakeups: Counter,
+    /// Recent event-loop wakeup rate (per second, ~1s window).
+    pub readiness_wakeups_per_sec: Gauge,
+    /// Open connections per event-loop thread (ceiling of the mean).
+    pub connections_per_worker: Gauge,
 }
 
 impl NetMetrics {
@@ -106,6 +119,11 @@ impl NetMetrics {
             timeouts: self.timeouts.get(),
             busy_rejections: self.busy_rejections.get(),
             request_latency: self.request_latency.snapshot(),
+            pipeline_depth: self.pipeline_depth.snapshot(),
+            requests_shed: self.requests_shed.get(),
+            readiness_wakeups: self.readiness_wakeups.get(),
+            readiness_wakeups_per_sec: self.readiness_wakeups_per_sec.get(),
+            connections_per_worker: self.connections_per_worker.get(),
         }
     }
 
@@ -118,6 +136,11 @@ impl NetMetrics {
         self.timeouts.reset();
         self.busy_rejections.reset();
         self.request_latency.reset();
+        self.pipeline_depth.reset();
+        self.requests_shed.reset();
+        self.readiness_wakeups.reset();
+        self.readiness_wakeups_per_sec.reset();
+        self.connections_per_worker.reset();
     }
 }
 
@@ -194,10 +217,21 @@ pub struct NetStats {
     pub errors: u64,
     /// Connections evicted for idleness or read/write timeout.
     pub timeouts: u64,
-    /// Connections refused because the accept queue was full.
+    /// Connections refused at the door (connection cap or accept queue
+    /// full).
     pub busy_rejections: u64,
     /// Server-side request latency distribution.
     pub request_latency: HistogramSnapshot,
+    /// Per-connection pipeline depth at admission (unit: requests).
+    pub pipeline_depth: HistogramSnapshot,
+    /// Requests shed with `ServerBusy` by admission control.
+    pub requests_shed: u64,
+    /// Event-loop wakeups across all I/O threads.
+    pub readiness_wakeups: u64,
+    /// Recent event-loop wakeup rate (per second).
+    pub readiness_wakeups_per_sec: u64,
+    /// Open connections per event-loop thread.
+    pub connections_per_worker: u64,
 }
 
 /// A structured snapshot of every performance counter in the system,
@@ -615,7 +649,7 @@ impl DbStats {
         render::counter(
             &mut out,
             "orion_net_busy_rejections_total",
-            "Connections refused because the accept queue was full",
+            "Connections refused at the door (connection cap or accept queue)",
             self.net.busy_rejections,
         );
         render::histogram(
@@ -623,6 +657,36 @@ impl DbStats {
             "orion_net_request_latency_seconds",
             "Server-side request latency",
             &self.net.request_latency,
+        );
+        render::plain_histogram(
+            &mut out,
+            "orion_net_pipeline_depth",
+            "Per-connection pipeline depth at request admission (unit: requests)",
+            &self.net.pipeline_depth,
+        );
+        render::counter(
+            &mut out,
+            "orion_net_requests_shed_total",
+            "Requests shed with ServerBusy by admission control",
+            self.net.requests_shed,
+        );
+        render::counter(
+            &mut out,
+            "orion_net_readiness_wakeups_total",
+            "Event-loop wakeups across all I/O threads",
+            self.net.readiness_wakeups,
+        );
+        render::gauge(
+            &mut out,
+            "orion_net_readiness_wakeups_per_sec",
+            "Recent event-loop wakeup rate",
+            self.net.readiness_wakeups_per_sec,
+        );
+        render::gauge(
+            &mut out,
+            "orion_net_connections_per_worker",
+            "Open connections per event-loop thread",
+            self.net.connections_per_worker,
         );
         render::gauge(
             &mut out,

@@ -304,6 +304,40 @@ impl Client {
         self.expect_ok(&Request::Delete { oid })
     }
 
+    /// Run several DML operations in one round trip and one transaction
+    /// scope ([`Request::Batch`] on the wire). Outside an explicit
+    /// transaction the batch is atomic: the first failing operation
+    /// rolls the whole batch back and surfaces here as the error.
+    /// Inside an explicit transaction a failure leaves that transaction
+    /// open, exactly like the same operations sent one by one. Never
+    /// retried (the batch writes).
+    pub fn batch(&mut self, ops: Vec<Request>) -> DbResult<Vec<Response>> {
+        match self.request(&Request::Batch { ops })? {
+            Response::Batch { results } => Ok(results),
+            Response::Err(e) => Err(e),
+            other => Err(unexpected("Batch", &other)),
+        }
+    }
+
+    /// Split send from receive: returns a [`Pipeline`] handle through
+    /// which any number of requests can be written before their replies
+    /// are read (the server answers in FIFO order). Dials first if the
+    /// connection is down. While the handle lives the session is in raw
+    /// pipelined mode — no retries, no reconnects; a transport error
+    /// (or dropping the handle with replies still unread) poisons the
+    /// connection so the next ordinary request re-dials a fresh
+    /// session.
+    pub fn pipeline(&mut self) -> DbResult<Pipeline<'_>> {
+        if self.conn.is_none() {
+            if !self.config.reconnect {
+                return Err(DbError::Net("connection closed".into()));
+            }
+            self.in_tx = false; // the old session (and its tx) is gone
+            self.dial()?;
+        }
+        Ok(Pipeline { client: self, outstanding: 0 })
+    }
+
     /// DDL: create a class; returns the raw class id.
     pub fn create_class(
         &mut self,
@@ -397,6 +431,113 @@ impl Client {
             Response::Ok => Ok(()),
             Response::Err(e) => Err(e),
             other => Err(unexpected("Ok", &other)),
+        }
+    }
+}
+
+/// In-flight window of pipelined requests on one [`Client`], created
+/// by [`Client::pipeline`]. [`send`] writes a request without waiting;
+/// [`recv`] reads the oldest unread reply — the server guarantees FIFO
+/// order, so reply `k` answers send `k`. Interleave them freely (send
+/// 64, recv 64; or send/recv in lockstep with a window of one).
+///
+/// Every send must be matched by a recv before the handle is dropped:
+/// dropping with `outstanding() > 0` marks the connection poisoned
+/// (the unread replies would desynchronize the next request), and the
+/// client re-dials on its next use.
+///
+/// [`send`]: Pipeline::send
+/// [`recv`]: Pipeline::recv
+pub struct Pipeline<'a> {
+    client: &'a mut Client,
+    outstanding: usize,
+}
+
+impl Pipeline<'_> {
+    /// Write one request without waiting for its reply.
+    pub fn send(&mut self, request: &Request) -> DbResult<()> {
+        let stream = match self.client.conn.as_mut() {
+            Some(s) => s,
+            None => return Err(DbError::Net("pipeline connection lost".into())),
+        };
+        match write_frame(stream, &request.encode()) {
+            Ok(()) => {
+                self.outstanding += 1;
+                Ok(())
+            }
+            Err(e) => {
+                self.client.conn = None;
+                Err(frame::io_err("pipeline send", &e))
+            }
+        }
+    }
+
+    /// Read the oldest unread reply (blocks under the client's request
+    /// timeout).
+    pub fn recv(&mut self) -> DbResult<Response> {
+        if self.outstanding == 0 {
+            return Err(DbError::Protocol("pipeline recv with no outstanding request".into()));
+        }
+        let stream = match self.client.conn.as_mut() {
+            Some(s) => s,
+            None => return Err(DbError::Net("pipeline connection lost".into())),
+        };
+        match read_frame(stream, self.client.config.max_frame) {
+            Ok(Some(payload)) => {
+                self.outstanding -= 1;
+                Response::decode(&payload)
+            }
+            Ok(None) => {
+                self.client.conn = None;
+                Err(DbError::Net("server closed the connection mid-pipeline".into()))
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                self.client.conn = None;
+                Err(DbError::Net(format!(
+                    "pipelined reply timed out after {:?}",
+                    self.client.config.request_timeout
+                )))
+            }
+            Err(e) => {
+                self.client.conn = None;
+                Err(frame::io_err("pipeline recv", &e))
+            }
+        }
+    }
+
+    /// Requests sent whose replies have not been read yet.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding
+    }
+
+    /// [`send`](Pipeline::send) a query request.
+    pub fn send_query(&mut self, text: &str) -> DbResult<()> {
+        self.send(&Request::Query { text: text.into() })
+    }
+
+    /// [`recv`](Pipeline::recv) a reply and decode it as a query
+    /// result.
+    pub fn recv_query(&mut self) -> DbResult<QueryResult> {
+        match self.recv()? {
+            Response::Query { rows, oids } => Ok(QueryResult { rows, oids }),
+            Response::Err(e) => Err(e),
+            other => Err(unexpected("Query", &other)),
+        }
+    }
+}
+
+impl Drop for Pipeline<'_> {
+    fn drop(&mut self) {
+        if self.outstanding > 0 {
+            // Unread replies are still in flight: the stream is
+            // desynchronized for request/response use. Poison it; the
+            // client re-dials next time.
+            self.client.conn = None;
         }
     }
 }

@@ -5,25 +5,22 @@
 //! message tag, see [`crate::wire`]). The frame layer enforces a
 //! maximum payload size on both ends — a malformed or hostile peer can
 //! cost at most `max_frame` bytes of buffering, never an unbounded
-//! allocation — and gives the server a *polling* read so one worker
-//! thread can simultaneously honor three clocks: the per-read stall
-//! timeout, the connection idle deadline, and the server's shutdown
-//! flag.
+//! allocation.
+//!
+//! Two read paths share the format: the blocking [`read_frame`] used
+//! by the client (one request, one response), and the incremental
+//! [`FrameDecoder`] used by the server's event loop — bytes are fed in
+//! whenever a nonblocking read returns them, and complete frames are
+//! popped out, however the peer happened to fragment or coalesce them
+//! on the wire (pipelined clients routinely pack many frames into one
+//! segment).
 
 use orion_types::{DbError, DbResult};
 use std::io::{ErrorKind, Read, Write};
-use std::net::TcpStream;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::time::{Duration, Instant};
 
 /// Default maximum frame payload (16 MiB) — large enough for any
 /// realistic query result, small enough to bound per-connection memory.
 pub const MAX_FRAME: usize = 16 * 1024 * 1024;
-
-/// Default poll granularity of [`read_frame_polling`]: how often a
-/// blocked read wakes to check the shutdown flag and idle deadline.
-/// Overridable per server via `ServerConfig::frame_poll_interval`.
-pub const DEFAULT_POLL_INTERVAL: Duration = Duration::from_millis(50);
 
 /// Write one frame (length prefix + payload) and flush.
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
@@ -31,6 +28,13 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
     w.write_all(&len)?;
     w.write_all(payload)?;
     w.flush()
+}
+
+/// Append one frame to an in-memory buffer (the server's write path:
+/// frames accumulate here and drain to the socket as it accepts them).
+pub fn append_frame(out: &mut Vec<u8>, payload: &[u8]) {
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
 }
 
 /// Read one frame, blocking until it arrives or the stream's own read
@@ -55,92 +59,70 @@ pub fn read_frame(r: &mut impl Read, max_frame: usize) -> std::io::Result<Option
     Ok(Some(payload))
 }
 
-/// Why [`read_frame_polling`] returned without a frame.
+/// Incremental frame decoder for nonblocking reads: [`feed`] appends
+/// whatever the socket produced, [`next`] pops complete frames until
+/// it returns `None` (more bytes needed). The internal buffer holds at
+/// most one partial frame plus whatever complete frames have not been
+/// popped yet; consumed bytes are compacted away so a long-lived
+/// connection does not accrete memory.
+///
+/// [`feed`]: FrameDecoder::feed
+/// [`next`]: FrameDecoder::next
 #[derive(Debug)]
-pub enum ReadOutcome {
-    /// A complete frame payload.
-    Frame(Vec<u8>),
-    /// The peer closed the connection at a frame boundary.
-    Eof,
-    /// No frame *started* within the idle deadline — evict the session.
-    Idle,
-    /// A frame started but stalled longer than the read timeout.
-    Stalled,
-    /// The server's shutdown flag was raised while waiting.
-    Shutdown,
+pub struct FrameDecoder {
+    max_frame: usize,
+    buf: Vec<u8>,
+    pos: usize,
 }
 
-/// Read one frame from `stream`, waking every `poll_interval` to check
-/// `shutdown` and the two deadlines: `idle_timeout` bounds the wait for
-/// a frame to *start* (session eviction), `read_timeout` bounds
-/// mid-frame stalls (a peer that sent half a message). I/O errors other
-/// than timeout are mapped to [`ReadOutcome::Eof`]-like termination by
-/// the caller via `Err`.
-pub fn read_frame_polling(
-    stream: &mut TcpStream,
-    max_frame: usize,
-    idle_timeout: Duration,
-    read_timeout: Duration,
-    poll_interval: Duration,
-    shutdown: &AtomicBool,
-) -> std::io::Result<ReadOutcome> {
-    stream.set_read_timeout(Some(poll_interval))?;
-    let started = Instant::now();
-    let mut len_buf = [0u8; 4];
-    let mut got = 0usize;
-    let mut payload: Option<(Vec<u8>, usize)> = None; // (buf, filled)
-    let mut progress_at = Instant::now();
-    loop {
-        let (dst, mid_frame): (&mut [u8], bool) = match payload {
-            Some((ref mut buf, filled)) => (&mut buf[filled..], true),
-            None => (&mut len_buf[got..], got > 0),
-        };
-        if dst.is_empty() {
-            // Header complete: size the payload buffer (empty payloads
-            // complete immediately below).
-            let len = u32::from_le_bytes(len_buf) as usize;
-            if len > max_frame {
-                return Err(std::io::Error::new(
-                    ErrorKind::InvalidData,
-                    format!("frame of {len} bytes exceeds the {max_frame}-byte cap"),
-                ));
-            }
-            payload = Some((vec![0u8; len], 0));
-            if len == 0 {
-                return Ok(ReadOutcome::Frame(Vec::new()));
-            }
-            continue;
+impl FrameDecoder {
+    /// A decoder enforcing `max_frame` on every payload length.
+    pub fn new(max_frame: usize) -> FrameDecoder {
+        FrameDecoder { max_frame, buf: Vec::new(), pos: 0 }
+    }
+
+    /// Append bytes read from the wire.
+    pub fn feed(&mut self, data: &[u8]) {
+        // Compact before growing: everything before `pos` is consumed.
+        if self.pos > 0 && (self.pos == self.buf.len() || self.pos >= 64 * 1024) {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
         }
-        match stream.read(dst) {
-            Ok(0) => return Ok(ReadOutcome::Eof),
-            Ok(n) => {
-                progress_at = Instant::now();
-                match payload {
-                    Some((ref buf, ref mut filled)) => {
-                        *filled += n;
-                        if *filled == buf.len() {
-                            let (buf, _) = payload.take().expect("payload present");
-                            return Ok(ReadOutcome::Frame(buf));
-                        }
-                    }
-                    None => got += n,
-                }
-            }
-            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
-                if shutdown.load(Ordering::Acquire) {
-                    return Ok(ReadOutcome::Shutdown);
-                }
-                if mid_frame {
-                    if progress_at.elapsed() >= read_timeout {
-                        return Ok(ReadOutcome::Stalled);
-                    }
-                } else if started.elapsed() >= idle_timeout {
-                    return Ok(ReadOutcome::Idle);
-                }
-            }
-            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
-            Err(e) => return Err(e),
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Pop the next complete frame payload, or `None` if the buffer
+    /// holds only a partial frame (feed more and retry). A length
+    /// prefix over `max_frame` is a protocol error; the connection is
+    /// beyond recovery (the decoder cannot resynchronize) and must be
+    /// closed.
+    pub fn next_frame(&mut self) -> DbResult<Option<Vec<u8>>> {
+        let avail = self.buf.len() - self.pos;
+        if avail < 4 {
+            return Ok(None);
         }
+        let len = u32::from_le_bytes(
+            self.buf[self.pos..self.pos + 4].try_into().expect("4 bytes"),
+        ) as usize;
+        if len > self.max_frame {
+            return Err(DbError::Protocol(format!(
+                "frame of {len} bytes exceeds the {}-byte cap",
+                self.max_frame
+            )));
+        }
+        if avail < 4 + len {
+            return Ok(None);
+        }
+        let frame = self.buf[self.pos + 4..self.pos + 4 + len].to_vec();
+        self.pos += 4 + len;
+        Ok(Some(frame))
+    }
+
+    /// True when a frame has started but not finished — the input for
+    /// the server's mid-frame stall clock (as opposed to the idle
+    /// clock, which runs when this is false).
+    pub fn mid_frame(&self) -> bool {
+        self.buf.len() > self.pos
     }
 }
 
@@ -185,5 +167,60 @@ mod tests {
         buf.truncate(buf.len() - 3);
         let mut r = Cursor::new(buf);
         assert!(read_frame(&mut r, MAX_FRAME).is_err());
+    }
+
+    #[test]
+    fn decoder_handles_arbitrary_fragmentation() {
+        let mut wire = Vec::new();
+        append_frame(&mut wire, b"alpha");
+        append_frame(&mut wire, b"");
+        append_frame(&mut wire, b"beta-gamma");
+        // Feed one byte at a time: worst-case fragmentation.
+        let mut dec = FrameDecoder::new(MAX_FRAME);
+        let mut frames = Vec::new();
+        for b in &wire {
+            dec.feed(std::slice::from_ref(b));
+            while let Some(f) = dec.next_frame().expect("decode") {
+                frames.push(f);
+            }
+        }
+        assert_eq!(frames, vec![b"alpha".to_vec(), Vec::new(), b"beta-gamma".to_vec()]);
+        assert!(!dec.mid_frame());
+    }
+
+    #[test]
+    fn decoder_pops_coalesced_frames_from_one_feed() {
+        let mut wire = Vec::new();
+        for i in 0..100u8 {
+            append_frame(&mut wire, &[i; 3]);
+        }
+        let mut dec = FrameDecoder::new(MAX_FRAME);
+        dec.feed(&wire);
+        let mut n = 0u8;
+        while let Some(f) = dec.next_frame().expect("decode") {
+            assert_eq!(f, vec![n; 3]);
+            n += 1;
+        }
+        assert_eq!(n, 100);
+    }
+
+    #[test]
+    fn decoder_rejects_oversized_length_prefix() {
+        let mut dec = FrameDecoder::new(16);
+        dec.feed(&1024u32.to_le_bytes());
+        assert!(dec.next_frame().is_err());
+    }
+
+    #[test]
+    fn decoder_mid_frame_tracks_partial_input() {
+        let mut dec = FrameDecoder::new(MAX_FRAME);
+        assert!(!dec.mid_frame());
+        dec.feed(&[5, 0]);
+        assert!(dec.mid_frame(), "half a header is mid-frame");
+        dec.feed(&[0, 0, b'a', b'b', b'c']);
+        assert!(dec.next_frame().expect("decode").is_none(), "payload incomplete");
+        dec.feed(b"de");
+        assert_eq!(dec.next_frame().expect("decode").unwrap(), b"abcde");
+        assert!(!dec.mid_frame());
     }
 }

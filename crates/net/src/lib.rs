@@ -11,9 +11,14 @@
 //! in-process one and a remote failure decodes to the *same*
 //! [`orion_types::DbError`] variant the facade raised.
 //!
-//! No async runtime: one worker thread per concurrent session, polling
-//! reads for timeouts and graceful shutdown. See `DESIGN.md` §8 for
-//! the frame format and the timeout/backpressure policy.
+//! No async runtime — but no thread-per-session either: a small set of
+//! event-loop threads multiplexes every connection over nonblocking
+//! sockets and `poll(2)` (see [`poller`]), requests execute on a fixed
+//! worker pool, clients may pipeline many requests per connection
+//! ([`client::Pipeline`]), and admission control sheds overload with
+//! `ServerBusy` instead of queueing without bound. See `DESIGN.md` §8
+//! for the frame format, the connection state machine, and the
+//! backpressure/shedding policy.
 //!
 //! ```no_run
 //! use std::sync::Arc;
@@ -29,9 +34,10 @@
 
 pub mod client;
 pub mod frame;
+pub mod poller;
 pub mod server;
 pub mod wire;
 
-pub use client::{Client, ClientConfig, RetryPolicy};
+pub use client::{Client, ClientConfig, Pipeline, RetryPolicy};
 pub use server::{Server, ServerConfig};
 pub use wire::{Request, Response, WorkspaceEntry};

@@ -1,74 +1,122 @@
-//! The multi-client server: a bounded worker pool over blocking
-//! sockets.
+//! The evented multi-client server: readiness-based I/O, request
+//! pipelining, and admission control.
 //!
-//! One acceptor thread pushes connections onto a bounded queue; `N`
-//! worker threads pop them and run one session each, so `N` is both the
-//! pool size and the concurrent-connection limit. When the queue is
-//! full the acceptor answers [`DbError::ServerBusy`] and closes — load
-//! sheds at the door instead of growing an unbounded backlog
-//! (backpressure the client can see and retry on).
+//! Connections no longer own threads. A small set of event-loop
+//! threads (`io_threads`) multiplexes every connection over
+//! nonblocking sockets and a [`crate::poller::Poller`]; a fixed
+//! executor pool (`workers`) runs the actual database requests. Each
+//! connection is a state machine — read-accumulate → decode → execute
+//! → write-drain — so hundreds of idle sessions cost zero wakeups and
+//! a busy one costs exactly the syscalls its bytes require.
 //!
-//! A session is one connection: a handshake naming the authorization
-//! principal, then a request/response loop. Requests run inside the
-//! session's explicit transaction when one is open, else each runs in
-//! its own auto-committed transaction. A connection that dies with a
-//! transaction open gets it rolled back — strict 2PL locks never
-//! outlive their session.
+//! **Pipelining.** A client may send any number of request frames
+//! before reading replies. The server decodes them all, admits up to
+//! `max_pipeline` per connection, and answers strictly in FIFO order:
+//! at most one request per connection executes at a time (preserving
+//! the session's sequential transaction semantics), queued requests
+//! wait their turn, and synthesized replies (decode errors, shed
+//! requests) occupy their arrival position in the reply stream.
 //!
-//! Shutdown is graceful: workers notice the flag only *between*
-//! requests (the polling read), so every in-flight request finishes and
-//! its response reaches the client before the socket closes.
+//! **Admission control.** Load sheds *before* latency collapses, and
+//! it sheds the newest work first: a request that would push the
+//! global admitted-but-unanswered count past `exec_queue_depth`, or
+//! its connection's pipeline past `max_pipeline`, is answered
+//! [`DbError::ServerBusy`] in place — never queued unboundedly, and
+//! never at the expense of a request already admitted. Whole
+//! connections shed at the door the same way when `max_connections`
+//! or a loop's `accept_queue` is exceeded.
 //!
-//! Workers are panic-safe: each session runs under `catch_unwind`, and
-//! the accept queue uses non-poisoning locks, so a handler that panics
-//! costs one connection (its transaction rolls back, the client gets an
-//! `Internal` error) — never a worker thread or the whole pool.
+//! Behavior contracts carried over from the threaded server: one
+//! explicit transaction per session, rolled back when the session
+//! dies; graceful shutdown drains every admitted request and flushes
+//! its reply; idle sessions are evicted on `idle_timeout` and
+//! mid-frame stalls on `read_timeout`; a panicking handler costs one
+//! connection (its transaction rolls back, the client sees an
+//! `Internal` error), never a worker or the pool.
 
-use crate::frame::{self, read_frame_polling, ReadOutcome};
+use crate::frame::{self, FrameDecoder};
+use crate::poller::{Interest, Poller, Waker};
 use crate::wire::{Request, Response};
 use orion_core::{Database, DbError, DbResult, NetMetrics, Tx};
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
+use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::fd::AsRawFd;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+/// Token the event loop registers its waker under; connection tokens
+/// start above it.
+const WAKE_TOKEN: u64 = 0;
+
+/// Per-connection write-buffer backlog above which the loop stops
+/// reading that connection (backpressure: a peer that will not drain
+/// its replies may not keep submitting work).
+const WRITE_HIGHWATER: usize = 256 * 1024;
+
+/// Bytes one connection may read per readiness event before yielding
+/// to its neighbors (the level-triggered poller re-reports it
+/// immediately if more input is pending).
+const READ_QUANTUM: usize = 64 * 1024;
+
 /// Tuning knobs for [`Server`]. The defaults suit tests and small
-/// deployments; production raises `workers` to the expected concurrent
-/// client count.
+/// deployments; production sizes `workers` to the database's useful
+/// concurrency and `exec_queue_depth` to the queueing delay it is
+/// willing to trade against shedding.
 #[derive(Clone)]
 pub struct ServerConfig {
-    /// Worker threads = maximum concurrent sessions.
+    /// Executor threads: how many requests run concurrently. This no
+    /// longer caps concurrent *sessions* — connections are multiplexed
+    /// on the event loops and only occupy a worker while a request of
+    /// theirs is executing.
     pub workers: usize,
-    /// Accepted-but-unclaimed connections to hold before shedding load
-    /// with [`DbError::ServerBusy`].
+    /// Event-loop threads multiplexing the connections. `0` sizes
+    /// automatically (min(available cores, 4)).
+    pub io_threads: usize,
+    /// Maximum concurrently open sessions; connections beyond it are
+    /// answered [`DbError::ServerBusy`] at the door and closed.
+    pub max_connections: usize,
+    /// Accepted connections waiting to be picked up by an event loop
+    /// before the acceptor sheds with [`DbError::ServerBusy`].
     pub accept_queue: usize,
+    /// Per-connection pipeline depth: decoded requests a connection may
+    /// have admitted-but-unanswered before further ones are shed with
+    /// [`DbError::ServerBusy`] (tail-drop: the newest request sheds,
+    /// admitted ones always finish).
+    pub max_pipeline: usize,
+    /// Global cap on admitted-but-unanswered requests across all
+    /// connections (the executor queue bound). Requests beyond it shed
+    /// with [`DbError::ServerBusy`].
+    pub exec_queue_depth: usize,
     /// Mid-frame stall tolerance: a peer that starts a frame and then
     /// goes silent this long is disconnected.
     pub read_timeout: Duration,
-    /// Socket write timeout for responses.
+    /// A connection whose reply backlog makes no progress for this
+    /// long is disconnected.
     pub write_timeout: Duration,
     /// A session with no new request for this long is evicted (its open
     /// transaction, if any, is rolled back).
     pub idle_timeout: Duration,
     /// Maximum frame payload accepted from a client.
     pub max_frame: usize,
-    /// How often a blocked frame read wakes to check the shutdown flag
-    /// and the idle/stall deadlines. Smaller values make shutdown and
-    /// eviction more responsive at the cost of idle wakeups; it must
-    /// not exceed `read_timeout` or `idle_timeout`, or those deadlines
-    /// would be quantized past their configured values.
+    /// Unused since the polling frame reader was replaced by
+    /// readiness-based I/O (reads now wake exactly when bytes arrive).
+    /// Still validated as nonzero so configurations written against
+    /// the old server keep their meaning checked.
+    #[deprecated(note = "the evented server does not poll; this knob has no effect")]
     pub frame_poll_interval: Duration,
-    /// How long an idle worker sleeps on the accept-queue condvar
-    /// before re-checking the shutdown flag (bounds shutdown latency
-    /// for workers with no connection to serve).
+    /// Unused since the accept-queue busy-wait was replaced by condvar
+    /// and waker wakeups. Still validated as nonzero (see
+    /// `frame_poll_interval`).
+    #[deprecated(note = "the evented server does not poll; this knob has no effect")]
     pub queue_poll_interval: Duration,
     /// Observation hook invoked with every decoded request before
     /// dispatch. A fault-injection seam for tests (a panicking hook
-    /// exercises the worker's panic isolation); `None` in production.
+    /// exercises the executor's panic isolation); `None` in production.
     pub request_hook: Option<RequestHook>,
 }
 
@@ -79,28 +127,35 @@ impl std::fmt::Debug for ServerConfig {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ServerConfig")
             .field("workers", &self.workers)
+            .field("io_threads", &self.io_threads)
+            .field("max_connections", &self.max_connections)
             .field("accept_queue", &self.accept_queue)
+            .field("max_pipeline", &self.max_pipeline)
+            .field("exec_queue_depth", &self.exec_queue_depth)
             .field("read_timeout", &self.read_timeout)
             .field("write_timeout", &self.write_timeout)
             .field("idle_timeout", &self.idle_timeout)
             .field("max_frame", &self.max_frame)
-            .field("frame_poll_interval", &self.frame_poll_interval)
-            .field("queue_poll_interval", &self.queue_poll_interval)
             .field("request_hook", &self.request_hook.as_ref().map(|_| "<fn>"))
             .finish()
     }
 }
 
 impl Default for ServerConfig {
+    #[allow(deprecated)] // the aliases must still be constructible
     fn default() -> Self {
         ServerConfig {
             workers: 4,
-            accept_queue: 16,
+            io_threads: 0,
+            max_connections: 1024,
+            accept_queue: 64,
+            max_pipeline: 64,
+            exec_queue_depth: 128,
             read_timeout: Duration::from_secs(5),
             write_timeout: Duration::from_secs(5),
             idle_timeout: Duration::from_secs(60),
             max_frame: frame::MAX_FRAME,
-            frame_poll_interval: frame::DEFAULT_POLL_INTERVAL,
+            frame_poll_interval: Duration::from_millis(50),
             queue_poll_interval: Duration::from_millis(100),
             request_hook: None,
         }
@@ -112,8 +167,17 @@ impl ServerConfig {
         if self.workers == 0 {
             return Err(DbError::Config("server workers must be >= 1".into()));
         }
+        if self.max_connections == 0 {
+            return Err(DbError::Config("server max_connections must be >= 1".into()));
+        }
         if self.accept_queue == 0 {
             return Err(DbError::Config("server accept_queue must be >= 1".into()));
+        }
+        if self.max_pipeline == 0 {
+            return Err(DbError::Config("server max_pipeline must be >= 1".into()));
+        }
+        if self.exec_queue_depth == 0 {
+            return Err(DbError::Config("server exec_queue_depth must be >= 1".into()));
         }
         if self.read_timeout.is_zero()
             || self.write_timeout.is_zero()
@@ -124,60 +188,121 @@ impl ServerConfig {
         if self.max_frame == 0 {
             return Err(DbError::Config("server max_frame must be nonzero".into()));
         }
+        #[allow(deprecated)] // deprecated aliases stay validated
         if self.frame_poll_interval.is_zero() || self.queue_poll_interval.is_zero() {
             return Err(DbError::Config("server poll intervals must be nonzero".into()));
         }
-        if self.frame_poll_interval > self.read_timeout
-            || self.frame_poll_interval > self.idle_timeout
-        {
-            return Err(DbError::Config(
-                "frame_poll_interval must not exceed read_timeout or idle_timeout".into(),
-            ));
-        }
         Ok(())
+    }
+
+    fn resolved_io_threads(&self) -> usize {
+        if self.io_threads > 0 {
+            return self.io_threads;
+        }
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(4)
     }
 }
 
-/// State shared by the acceptor and every worker.
+/// Work the executor pool runs on behalf of the event loops.
+enum ExecTask {
+    /// One admitted request from one connection.
+    Request {
+        loop_idx: usize,
+        token: u64,
+        conn: Arc<ConnShared>,
+        request: Request,
+    },
+    /// Roll back a dead session's transaction. Queued at teardown when
+    /// the session lock was busy (a request of that session was still
+    /// executing); FIFO order puts it after that request finishes.
+    Rollback { conn: Arc<ConnShared> },
+}
+
+/// The slice of connection state the executors touch: the session
+/// (locked for the duration of a dispatch, so session semantics stay
+/// sequential) and the completed-reply slot the event loop harvests.
+struct ConnShared {
+    session: Mutex<SessionState>,
+    reply: Mutex<Option<Response>>,
+    /// Set when a handler panicked: the loop flushes the `Internal`
+    /// error reply and then closes the connection.
+    panicked: AtomicBool,
+}
+
+/// Per-session protocol state: who the client is and whether an
+/// explicit transaction is open.
+struct SessionState {
+    handshaken: bool,
+    principal: Option<String>,
+    tx: Option<Tx>,
+}
+
+/// The event loops' mailboxes. The acceptor and the executors write
+/// here and wake the loop; the loop drains on wakeup.
+struct LoopHandle {
+    /// Freshly accepted connections awaiting registration.
+    inbox: Mutex<Vec<TcpStream>>,
+    /// Tokens whose executor reply is ready in `ConnShared::reply`.
+    done: Mutex<Vec<u64>>,
+    wake: crate::poller::WakeHandle,
+    /// Connections currently registered on this loop (least-loaded
+    /// assignment).
+    conns: AtomicUsize,
+}
+
+/// State shared by the acceptor, the event loops, and the executors.
 struct Shared {
     db: Arc<Database>,
     config: ServerConfig,
     metrics: Arc<NetMetrics>,
-    queue: Mutex<VecDeque<TcpStream>>,
-    queue_cv: Condvar,
+    io_threads: usize,
+    loops: Vec<LoopHandle>,
+    exec_queue: Mutex<VecDeque<ExecTask>>,
+    exec_cv: Condvar,
+    /// Admitted-but-unanswered requests across all connections.
+    inflight: AtomicUsize,
+    /// Stops accepting and reading; admitted work still drains.
     shutdown: AtomicBool,
+    /// Executors exit once the queue is empty.
+    exec_shutdown: AtomicBool,
     active: AtomicUsize,
     sessions: AtomicU64,
 }
 
 impl Shared {
-    /// Track the live-connection count and mirror it into the gauge.
     fn connection_opened(&self) {
         let now = self.active.fetch_add(1, Ordering::AcqRel) + 1;
         self.metrics.connections.set(now as u64);
         self.metrics.connections_total.inc();
+        self.metrics.connections_per_worker.set(now.div_ceil(self.io_threads) as u64);
     }
 
     fn connection_closed(&self) {
         let now = self.active.fetch_sub(1, Ordering::AcqRel) - 1;
         self.metrics.connections.set(now as u64);
+        self.metrics.connections_per_worker.set(now.div_ceil(self.io_threads) as u64);
+    }
+
+    fn enqueue(&self, task: ExecTask) {
+        self.exec_queue.lock().push_back(task);
+        self.exec_cv.notify_one();
     }
 }
 
 /// A running database server. Bind with [`Server::bind`], stop with
 /// [`Server::shutdown`] (drains in-flight requests) — dropping without
-/// shutting down stops threads abruptly but never corrupts the
-/// database (open transactions roll back).
+/// shutting down does the same.
 pub struct Server {
     shared: Arc<Shared>,
     addr: SocketAddr,
     acceptor: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    io_handles: Vec<JoinHandle<()>>,
+    executors: Vec<JoinHandle<()>>,
 }
 
 impl Server {
     /// Bind to `addr` (use port 0 for an ephemeral port) and start the
-    /// acceptor plus worker pool.
+    /// acceptor, the event loops, and the executor pool.
     pub fn bind(
         db: Arc<Database>,
         addr: impl ToSocketAddrs,
@@ -187,23 +312,53 @@ impl Server {
         let listener = TcpListener::bind(addr).map_err(|e| frame::io_err("bind", &e))?;
         let addr = listener.local_addr().map_err(|e| frame::io_err("local_addr", &e))?;
         let metrics = db.net_metrics();
+        let io_threads = config.resolved_io_threads();
+
+        let mut wakers = Vec::with_capacity(io_threads);
+        let mut loops = Vec::with_capacity(io_threads);
+        for _ in 0..io_threads {
+            let waker = Waker::new().map_err(|e| frame::io_err("waker", &e))?;
+            loops.push(LoopHandle {
+                inbox: Mutex::new(Vec::new()),
+                done: Mutex::new(Vec::new()),
+                wake: waker.handle().map_err(|e| frame::io_err("waker", &e))?,
+                conns: AtomicUsize::new(0),
+            });
+            wakers.push(waker);
+        }
         let shared = Arc::new(Shared {
             db,
             config,
             metrics,
-            queue: Mutex::new(VecDeque::new()),
-            queue_cv: Condvar::new(),
+            io_threads,
+            loops,
+            exec_queue: Mutex::new(VecDeque::new()),
+            exec_cv: Condvar::new(),
+            inflight: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
+            exec_shutdown: AtomicBool::new(false),
             active: AtomicUsize::new(0),
             sessions: AtomicU64::new(0),
         });
-        let workers = (0..shared.config.workers)
+
+        let executors = (0..shared.config.workers)
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
-                    .name(format!("orion-net-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .map_err(|e| DbError::Net(format!("spawn worker: {e}")))
+                    .name(format!("orion-net-exec-{i}"))
+                    .spawn(move || executor_loop(&shared))
+                    .map_err(|e| DbError::Net(format!("spawn executor: {e}")))
+            })
+            .collect::<DbResult<Vec<_>>>()?;
+        let io_handles = wakers
+            .into_iter()
+            .enumerate()
+            .map(|(i, waker)| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("orion-net-io-{i}"))
+                    .spawn(move || io_loop(&shared, i, &waker))
+                    .map_err(|e| DbError::Net(format!("spawn io loop: {e}")))
             })
             .collect::<DbResult<Vec<_>>>()?;
         let acceptor = {
@@ -213,7 +368,7 @@ impl Server {
                 .spawn(move || acceptor_loop(&listener, &shared))
                 .map_err(|e| DbError::Net(format!("spawn acceptor: {e}")))?
         };
-        Ok(Server { shared, addr, acceptor: Some(acceptor), workers })
+        Ok(Server { shared, addr, acceptor: Some(acceptor), io_handles, executors })
     }
 
     /// The bound address (resolves ephemeral ports for clients).
@@ -226,8 +381,9 @@ impl Server {
         self.shared.active.load(Ordering::Acquire)
     }
 
-    /// Stop gracefully: no new connections, in-flight requests finish
-    /// and their responses are written, then all threads join.
+    /// Stop gracefully: no new connections, no new reads; every
+    /// admitted request finishes and its response is written, then all
+    /// threads join.
     pub fn shutdown(mut self) {
         self.stop();
     }
@@ -240,12 +396,21 @@ impl Server {
         // throwaway self-connection makes accept() return, after which
         // it sees the flag.
         let _ = TcpStream::connect(self.addr);
-        self.shared.queue_cv.notify_all();
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
         }
-        for w in self.workers.drain(..) {
-            let _ = w.join();
+        for lh in &self.shared.loops {
+            lh.wake.wake();
+        }
+        for h in self.io_handles.drain(..) {
+            let _ = h.join();
+        }
+        // Loops are done: every admitted task (and teardown rollback)
+        // is in the queue. Executors drain it, then exit.
+        self.shared.exec_shutdown.store(true, Ordering::Release);
+        self.shared.exec_cv.notify_all();
+        for h in self.executors.drain(..) {
+            let _ = h.join();
         }
     }
 }
@@ -256,7 +421,12 @@ impl Drop for Server {
     }
 }
 
+// ---------------------------------------------------------------------
+// Acceptor
+// ---------------------------------------------------------------------
+
 fn acceptor_loop(listener: &TcpListener, shared: &Shared) {
+    let mut rr = 0usize;
     loop {
         let stream = match listener.accept() {
             Ok((stream, _)) => stream,
@@ -270,16 +440,39 @@ fn acceptor_loop(listener: &TcpListener, shared: &Shared) {
         if shared.shutdown.load(Ordering::Acquire) {
             return;
         }
-        let mut queue = shared.queue.lock();
-        if queue.len() >= shared.config.accept_queue {
-            drop(queue);
+        if shared.active.load(Ordering::Acquire) >= shared.config.max_connections {
             shared.metrics.busy_rejections.inc();
             reject_busy(stream, shared);
             continue;
         }
-        queue.push_back(stream);
-        drop(queue);
-        shared.queue_cv.notify_one();
+        // Least-loaded event loop, round-robin tiebreak.
+        let n = shared.loops.len();
+        let mut best = rr % n;
+        for k in 1..n {
+            let i = (rr + k) % n;
+            if shared.loops[i].conns.load(Ordering::Relaxed)
+                < shared.loops[best].conns.load(Ordering::Relaxed)
+            {
+                best = i;
+            }
+        }
+        rr = rr.wrapping_add(1);
+        let lh = &shared.loops[best];
+        {
+            let mut inbox = lh.inbox.lock();
+            if inbox.len() >= shared.config.accept_queue {
+                drop(inbox);
+                shared.metrics.busy_rejections.inc();
+                reject_busy(stream, shared);
+                continue;
+            }
+            // The connection enters the session lifecycle here; the
+            // loop (or the shutdown drain) balances with
+            // connection_closed.
+            shared.connection_opened();
+            inbox.push(stream);
+        }
+        lh.wake.wake();
     }
 }
 
@@ -289,98 +482,498 @@ fn reject_busy(mut stream: TcpStream, shared: &Shared) {
     let _ = frame::write_frame(&mut stream, &Response::Err(DbError::ServerBusy).encode());
 }
 
-fn worker_loop(shared: &Shared) {
-    loop {
-        let stream = {
-            let mut queue = shared.queue.lock();
-            loop {
-                if let Some(stream) = queue.pop_front() {
-                    break Some(stream);
+// ---------------------------------------------------------------------
+// Connection state machine
+// ---------------------------------------------------------------------
+
+/// FIFO queue entries behind a connection. `Execute` holds an admitted
+/// request awaiting its turn on the executors; `Reply` is a response
+/// synthesized at decode time (decode error, shed request) that must
+/// still be delivered in arrival order.
+enum Work {
+    Execute(Request),
+    Reply(Response),
+}
+
+struct Conn {
+    stream: TcpStream,
+    shared: Arc<ConnShared>,
+    decoder: FrameDecoder,
+    /// Encoded replies awaiting the socket; `out_pos` marks the drained
+    /// prefix.
+    out: Vec<u8>,
+    out_pos: usize,
+    queue: VecDeque<Work>,
+    /// One request of this connection is on (or in line for) the
+    /// executors; its reply has not been harvested yet. FIFO order
+    /// hinges on this: nothing behind it advances until it answers.
+    executing: bool,
+    /// No more reads (peer EOF, protocol error, or server shutdown);
+    /// drain the queue and the write buffer, then close.
+    closing: bool,
+    /// Transport failure: close immediately, nothing can be delivered.
+    dead: bool,
+    /// Last read progress (feeds the idle and mid-frame stall clocks).
+    last_activity: Instant,
+    /// When the reply backlog first failed to make progress.
+    write_blocked_since: Option<Instant>,
+    interest: Interest,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, max_frame: usize) -> Conn {
+        Conn {
+            stream,
+            shared: Arc::new(ConnShared {
+                session: Mutex::new(SessionState {
+                    handshaken: false,
+                    principal: None,
+                    tx: None,
+                }),
+                reply: Mutex::new(None),
+                panicked: AtomicBool::new(false),
+            }),
+            decoder: FrameDecoder::new(max_frame),
+            out: Vec::new(),
+            out_pos: 0,
+            queue: VecDeque::new(),
+            executing: false,
+            closing: false,
+            dead: false,
+            last_activity: Instant::now(),
+            write_blocked_since: None,
+            interest: Interest { readable: true, writable: false },
+        }
+    }
+
+    fn out_backlog(&self) -> usize {
+        self.out.len() - self.out_pos
+    }
+
+    /// Nothing left to do: safe to tear down.
+    fn finished(&self) -> bool {
+        self.dead
+            || (self.closing && self.queue.is_empty() && !self.executing && self.out_backlog() == 0)
+    }
+
+    fn desired_interest(&self) -> Interest {
+        Interest {
+            readable: !self.closing && !self.dead && self.out_backlog() < WRITE_HIGHWATER,
+            writable: self.out_backlog() > 0,
+        }
+    }
+
+    /// The soonest moment one of this connection's clocks fires, if
+    /// any: write stall, mid-frame read stall, or idleness.
+    fn deadline(&self, config: &ServerConfig) -> Option<Instant> {
+        let mut soonest: Option<Instant> = None;
+        let mut consider = |d: Instant| match soonest {
+            Some(s) if s <= d => {}
+            _ => soonest = Some(d),
+        };
+        if let Some(blocked) = self.write_blocked_since {
+            consider(blocked + config.write_timeout);
+        }
+        if self.decoder.mid_frame() {
+            consider(self.last_activity + config.read_timeout);
+        } else if !self.closing
+            && self.queue.is_empty()
+            && !self.executing
+            && self.out_backlog() == 0
+        {
+            consider(self.last_activity + config.idle_timeout);
+        }
+        soonest
+    }
+
+    /// Drain the socket into the decoder, then admit or shed every
+    /// complete frame.
+    fn handle_readable(&mut self, shared: &Shared, now: Instant) {
+        if self.closing || self.dead {
+            return;
+        }
+        let mut chunk = [0u8; 16 * 1024];
+        let mut taken = 0usize;
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    // Peer EOF (possibly a half-close): answer what was
+                    // already pipelined, then close.
+                    self.closing = true;
+                    break;
                 }
-                if shared.shutdown.load(Ordering::Acquire) {
-                    break None;
+                Ok(n) => {
+                    self.last_activity = now;
+                    self.decoder.feed(&chunk[..n]);
+                    taken += n;
+                    if taken >= READ_QUANTUM {
+                        break;
+                    }
                 }
-                shared.queue_cv.wait_for(&mut queue, shared.config.queue_poll_interval);
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                    return;
+                }
+            }
+        }
+        loop {
+            match self.decoder.next_frame() {
+                Ok(Some(payload)) => self.admit(&payload, shared),
+                Ok(None) => break,
+                Err(e) => {
+                    // Unrecoverable framing (oversized length prefix):
+                    // the decoder cannot resynchronize. Answer, then
+                    // close.
+                    shared.metrics.errors.inc();
+                    self.queue.push_back(Work::Reply(Response::Err(e)));
+                    self.closing = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Admission control: decode the frame, then either queue it for
+    /// execution or shed it with `ServerBusy` — in FIFO position
+    /// either way.
+    fn admit(&mut self, payload: &[u8], shared: &Shared) {
+        shared.metrics.requests.inc();
+        let request = match Request::decode(payload) {
+            Ok(r) => r,
+            Err(e) => {
+                shared.metrics.errors.inc();
+                self.queue.push_back(Work::Reply(Response::Err(e)));
+                return;
             }
         };
-        let Some(stream) = stream else { return };
-        shared.connection_opened();
-        serve_connection(stream, shared);
+        let depth = self.queue.len() + usize::from(self.executing) + 1;
+        shared.metrics.pipeline_depth.observe_micros(depth as u64);
+        if depth > shared.config.max_pipeline
+            || shared.inflight.load(Ordering::Acquire) >= shared.config.exec_queue_depth
+        {
+            shared.metrics.requests_shed.inc();
+            shared.metrics.errors.inc();
+            self.queue.push_back(Work::Reply(Response::Err(DbError::ServerBusy)));
+            return;
+        }
+        shared.inflight.fetch_add(1, Ordering::AcqRel);
+        self.queue.push_back(Work::Execute(request));
+    }
+
+    /// Advance the FIFO: emit synthesized replies until the head is an
+    /// admitted request, then hand that to the executors. Stalls while
+    /// a reply is outstanding — that is what keeps replies in order.
+    fn pump(&mut self, shared: &Shared, loop_idx: usize, token: u64) {
+        while !self.executing && !self.dead {
+            match self.queue.pop_front() {
+                Some(Work::Reply(response)) => self.push_response(&response),
+                Some(Work::Execute(request)) => {
+                    self.executing = true;
+                    shared.enqueue(ExecTask::Request {
+                        loop_idx,
+                        token,
+                        conn: Arc::clone(&self.shared),
+                        request,
+                    });
+                }
+                None => break,
+            }
+        }
+    }
+
+    fn push_response(&mut self, response: &Response) {
+        frame::append_frame(&mut self.out, &response.encode());
+    }
+
+    /// Drain the write buffer as far as the socket allows.
+    fn flush(&mut self, now: Instant) {
+        while self.out_pos < self.out.len() {
+            match self.stream.write(&self.out[self.out_pos..]) {
+                Ok(0) => {
+                    self.dead = true;
+                    return;
+                }
+                Ok(n) => {
+                    self.out_pos += n;
+                    self.write_blocked_since = None;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    self.write_blocked_since.get_or_insert(now);
+                    return;
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                    return;
+                }
+            }
+        }
+        self.out.clear();
+        self.out_pos = 0;
+        self.write_blocked_since = None;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Event loop
+// ---------------------------------------------------------------------
+
+fn io_loop(shared: &Arc<Shared>, idx: usize, waker: &Waker) {
+    let mut poller = Poller::new();
+    poller.register(WAKE_TOKEN, waker.fd(), Interest { readable: true, writable: false });
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_token: u64 = WAKE_TOKEN + 1;
+    let mut events = Vec::new();
+    // Wakeups-per-second gauge: each loop periodically publishes the
+    // fleet-wide rate measured over its own window (approximate — the
+    // windows overlap — but the counter underneath is exact).
+    let mut rate_window = Instant::now();
+    let mut rate_base = shared.metrics.readiness_wakeups.get();
+    loop {
+        let shutting_down = shared.shutdown.load(Ordering::Acquire);
+        let now = Instant::now();
+        let mut next_deadline: Option<Instant> = None;
+        let mut to_close: Vec<(u64, bool)> = Vec::new();
+        for (&token, conn) in conns.iter_mut() {
+            if shutting_down {
+                conn.closing = true;
+            }
+            if conn.finished() {
+                to_close.push((token, false));
+                continue;
+            }
+            match conn.deadline(&shared.config) {
+                Some(d) if d <= now => {
+                    to_close.push((token, true));
+                    continue;
+                }
+                Some(d) => match next_deadline {
+                    Some(nd) if nd <= d => {}
+                    _ => next_deadline = Some(d),
+                },
+                None => {}
+            }
+            let want = conn.desired_interest();
+            if want != conn.interest {
+                conn.interest = want;
+                poller.set_interest(token, want);
+            }
+        }
+        for (token, timed_out) in to_close {
+            teardown(&mut conns, &mut poller, shared, idx, token, timed_out);
+        }
+        if shutting_down && conns.is_empty() {
+            break;
+        }
+
+        let timeout = next_deadline.map(|d| d.saturating_duration_since(now));
+        if poller.wait(timeout, &mut events).is_err() {
+            // poll(2) failing outright (EINVAL/ENOMEM) leaves no way to
+            // serve these sockets; drop the loop's connections and exit.
+            break;
+        }
+        shared.metrics.readiness_wakeups.inc();
+        let elapsed = rate_window.elapsed();
+        if elapsed >= Duration::from_secs(1) {
+            let total = shared.metrics.readiness_wakeups.get();
+            let rate = (total.saturating_sub(rate_base)) as f64 / elapsed.as_secs_f64();
+            shared.metrics.readiness_wakeups_per_sec.set(rate as u64);
+            rate_window = Instant::now();
+            rate_base = total;
+        }
+
+        let now = Instant::now();
+        let mut wake_fired = false;
+        for &ev in &events {
+            if ev.token == WAKE_TOKEN {
+                wake_fired = true;
+                continue;
+            }
+            let Some(conn) = conns.get_mut(&ev.token) else { continue };
+            if ev.readable {
+                conn.handle_readable(shared, now);
+            } else if ev.hangup {
+                // Error/hangup with nothing readable: the transport is
+                // gone.
+                conn.dead = true;
+                continue;
+            }
+            conn.pump(shared, idx, ev.token);
+            if ev.writable || conn.out_backlog() > 0 {
+                conn.flush(now);
+            }
+        }
+        if wake_fired {
+            waker.drain();
+        }
+
+        // New connections handed over by the acceptor.
+        let newcomers: Vec<TcpStream> = {
+            let mut inbox = shared.loops[idx].inbox.lock();
+            inbox.drain(..).collect()
+        };
+        for stream in newcomers {
+            if shutting_down {
+                shared.connection_closed();
+                continue; // dropped: no new sessions during shutdown
+            }
+            let _ = stream.set_nonblocking(true);
+            let _ = stream.set_nodelay(true);
+            let fd = stream.as_raw_fd();
+            let token = next_token;
+            next_token += 1;
+            let conn = Conn::new(stream, shared.config.max_frame);
+            poller.register(token, fd, conn.interest);
+            conns.insert(token, conn);
+            shared.loops[idx].conns.fetch_add(1, Ordering::Relaxed);
+        }
+
+        // Completed executor replies.
+        let completed: Vec<u64> = {
+            let mut done = shared.loops[idx].done.lock();
+            done.drain(..).collect()
+        };
+        for token in completed {
+            // The admission slot frees even if the connection died
+            // while its request was executing.
+            shared.inflight.fetch_sub(1, Ordering::AcqRel);
+            let Some(conn) = conns.get_mut(&token) else { continue };
+            let reply = conn.shared.reply.lock().take();
+            conn.executing = false;
+            if let Some(reply) = reply {
+                conn.push_response(&reply);
+            }
+            if conn.shared.panicked.load(Ordering::Acquire) {
+                conn.closing = true;
+            }
+            conn.pump(shared, idx, token);
+            conn.flush(now);
+        }
+    }
+    // Shutdown (or poller failure): every remaining connection closes;
+    // open transactions roll back.
+    let tokens: Vec<u64> = conns.keys().copied().collect();
+    for token in tokens {
+        teardown(&mut conns, &mut poller, shared, idx, token, false);
+    }
+    // Late-arriving inbox entries (accepted before the acceptor saw
+    // the flag) are dropped unserved.
+    let stragglers: Vec<TcpStream> = shared.loops[idx].inbox.lock().drain(..).collect();
+    for _ in stragglers {
         shared.connection_closed();
     }
 }
 
-/// Per-connection state: who the client is and whether an explicit
-/// transaction is open.
-struct Session {
-    principal: Option<String>,
-    tx: Option<Tx>,
-}
-
-fn serve_connection(mut stream: TcpStream, shared: &Shared) {
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
-    let mut session = Session { principal: None, tx: None };
-    // Panic isolation: a panicking handler costs this one connection,
-    // never the worker thread. The session lives outside the unwind
-    // boundary so its open transaction still rolls back below.
-    let outcome =
-        catch_unwind(AssertUnwindSafe(|| session_loop(&mut stream, shared, &mut session)));
-    if outcome.is_err() {
-        shared.metrics.errors.inc();
-        let reply = Response::Err(DbError::Internal("request handler panicked".into()));
-        let _ = frame::write_frame(&mut stream, &reply.encode());
+/// Close one connection: free its admission slots, roll back its open
+/// transaction (inline when the session lock is free, else via a
+/// queued task that runs right after its in-flight request), and
+/// deregister the socket.
+fn teardown(
+    conns: &mut HashMap<u64, Conn>,
+    poller: &mut Poller,
+    shared: &Shared,
+    idx: usize,
+    token: u64,
+    timed_out: bool,
+) {
+    let Some(mut conn) = conns.remove(&token) else { return };
+    poller.deregister(token);
+    if timed_out {
+        shared.metrics.timeouts.inc();
     }
-    // The session is over; its locks must not outlive it.
-    if let Some(tx) = session.tx.take() {
-        let _ = shared.db.rollback(tx);
+    for item in conn.queue.drain(..) {
+        if matches!(item, Work::Execute(_)) {
+            shared.inflight.fetch_sub(1, Ordering::AcqRel);
+        }
     }
-}
-
-fn session_loop(stream: &mut TcpStream, shared: &Shared, session: &mut Session) {
-    let mut handshaken = false;
-    while let Ok(outcome) = read_frame_polling(
-        stream,
-        shared.config.max_frame,
-        shared.config.idle_timeout,
-        shared.config.read_timeout,
-        shared.config.frame_poll_interval,
-        &shared.shutdown,
-    ) {
-        let payload = match outcome {
-            ReadOutcome::Frame(p) => p,
-            ReadOutcome::Eof | ReadOutcome::Shutdown => break,
-            ReadOutcome::Idle | ReadOutcome::Stalled => {
-                shared.metrics.timeouts.inc();
-                break;
+    // The session is over; its locks must not outlive it. try_lock
+    // keeps the event loop from blocking behind a still-executing
+    // request — in that case the rollback task lands in the executor
+    // queue *behind* that request and settles the transaction then.
+    match conn.shared.session.try_lock() {
+        Some(mut session) => {
+            if let Some(tx) = session.tx.take() {
+                let _ = shared.db.rollback(tx);
             }
-        };
-        shared.metrics.requests.inc();
-        let started = Instant::now();
-        let response = match Request::decode(&payload) {
-            Ok(request) => {
-                if let Some(hook) = shared.config.request_hook.as_ref() {
-                    hook(&request);
+        }
+        None => shared.enqueue(ExecTask::Rollback { conn: Arc::clone(&conn.shared) }),
+    }
+    let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+    shared.loops[idx].conns.fetch_sub(1, Ordering::Relaxed);
+    shared.connection_closed();
+}
+
+// ---------------------------------------------------------------------
+// Executor pool
+// ---------------------------------------------------------------------
+
+fn executor_loop(shared: &Shared) {
+    loop {
+        let task = {
+            let mut queue = shared.exec_queue.lock();
+            loop {
+                if let Some(task) = queue.pop_front() {
+                    break task;
                 }
-                dispatch(shared, session, &mut handshaken, request)
+                if shared.exec_shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                shared.exec_cv.wait(&mut queue);
             }
-            Err(e) => Response::Err(e),
         };
-        shared.metrics.request_latency.observe(started.elapsed());
-        if matches!(response, Response::Err(_)) {
-            shared.metrics.errors.inc();
-        }
-        if frame::write_frame(stream, &response.encode()).is_err() {
-            break;
+        match task {
+            ExecTask::Rollback { conn } => {
+                if let Some(tx) = conn.session.lock().tx.take() {
+                    let _ = shared.db.rollback(tx);
+                }
+            }
+            ExecTask::Request { loop_idx, token, conn, request } => {
+                let started = Instant::now();
+                // Panic isolation: a panicking handler costs this one
+                // connection, never an executor thread. parking_lot
+                // mutexes do not poison, so the session lock releases
+                // cleanly on unwind.
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    if let Some(hook) = shared.config.request_hook.as_ref() {
+                        hook(&request);
+                    }
+                    let mut session = conn.session.lock();
+                    dispatch(shared, &mut session, request)
+                }));
+                let response = match outcome {
+                    Ok(response) => response,
+                    Err(_) => {
+                        conn.panicked.store(true, Ordering::Release);
+                        if let Some(tx) = conn.session.lock().tx.take() {
+                            let _ = shared.db.rollback(tx);
+                        }
+                        Response::Err(DbError::Internal("request handler panicked".into()))
+                    }
+                };
+                shared.metrics.request_latency.observe(started.elapsed());
+                if matches!(response, Response::Err(_)) {
+                    shared.metrics.errors.inc();
+                }
+                *conn.reply.lock() = Some(response);
+                let lh = &shared.loops[loop_idx];
+                lh.done.lock().push(token);
+                lh.wake.wake();
+            }
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------
 
 /// Run `f` inside the session transaction when one is open; otherwise
 /// begin/commit around it (auto-commit), rolling back on error.
 fn with_tx<T>(
     shared: &Shared,
-    session: &mut Session,
+    session: &mut SessionState,
     f: impl FnOnce(&Database, &Tx) -> DbResult<T>,
 ) -> DbResult<T> {
     if let Some(tx) = session.tx.as_ref() {
@@ -399,23 +992,43 @@ fn with_tx<T>(
     }
 }
 
-fn begin_session_tx(shared: &Shared, session: &Session) -> Tx {
+fn begin_session_tx(shared: &Shared, session: &SessionState) -> Tx {
     match session.principal.as_deref() {
         Some(p) => shared.db.begin_as(p),
         None => shared.db.begin(),
     }
 }
 
-fn dispatch(
-    shared: &Shared,
-    session: &mut Session,
-    handshaken: &mut bool,
-    request: Request,
-) -> Response {
-    if !*handshaken {
+/// One batched DML operation, inside the batch's transaction scope.
+fn batch_op(db: &Database, tx: &Tx, op: &Request) -> DbResult<Response> {
+    Ok(match op {
+        Request::CreateObject { class, attrs } => {
+            let borrowed: Vec<(&str, orion_core::Value)> =
+                attrs.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
+            Response::Created { oid: db.create_object(tx, class, borrowed)? }
+        }
+        Request::Get { oid, attr } => Response::Value(db.get(tx, *oid, attr)?),
+        Request::Set { oid, attr, value } => {
+            db.set(tx, *oid, attr, value.clone())?;
+            Response::Ok
+        }
+        Request::Delete { oid } => {
+            db.delete_object(tx, *oid)?;
+            Response::Ok
+        }
+        _ => {
+            return Err(DbError::Protocol(
+                "batch operations must be DML (CreateObject/Get/Set/Delete)".into(),
+            ))
+        }
+    })
+}
+
+fn dispatch(shared: &Shared, session: &mut SessionState, request: Request) -> Response {
+    if !session.handshaken {
         return match request {
             Request::Hello { principal } => {
-                *handshaken = true;
+                session.handshaken = true;
                 session.principal = principal;
                 let id = shared.sessions.fetch_add(1, Ordering::AcqRel) + 1;
                 Response::Hello { session: id }
@@ -497,6 +1110,20 @@ fn dispatch(
         Request::Delete { oid } => {
             match with_tx(shared, session, |db, tx| db.delete_object(tx, oid)) {
                 Ok(()) => Response::Ok,
+                Err(e) => Response::Err(e),
+            }
+        }
+        Request::Batch { ops } => {
+            // The whole batch is one transaction scope: the session
+            // transaction when open (a failed op answers an error but
+            // leaves that transaction to the client, like any failed
+            // request), else one auto-commit around every op (a failed
+            // op rolls the batch back atomically).
+            let result = with_tx(shared, session, |db, tx| {
+                ops.iter().map(|op| batch_op(db, tx, op)).collect::<DbResult<Vec<_>>>()
+            });
+            match result {
+                Ok(results) => Response::Batch { results },
                 Err(e) => Response::Err(e),
             }
         }

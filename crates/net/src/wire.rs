@@ -48,6 +48,7 @@ const REQ_PREPARE: u8 = 16;
 const REQ_COMMIT_PREPARED: u8 = 17;
 const REQ_ABORT_PREPARED: u8 = 18;
 const REQ_RESOLVE: u8 = 19;
+const REQ_BATCH: u8 = 20;
 
 /// Everything a client can ask of the server.
 #[derive(Debug, Clone, PartialEq)]
@@ -167,6 +168,17 @@ pub enum Request {
         /// `Some(id)` narrows the answer to that transaction.
         txn: Option<u64>,
     },
+    /// A batch of DML operations (`CreateObject`/`Get`/`Set`/`Delete`)
+    /// executed in order inside one transaction scope: the open session
+    /// transaction when there is one, else a single auto-committed
+    /// transaction wrapping the whole batch. The batch is atomic — the
+    /// first failing operation aborts it (the auto-commit case rolls
+    /// back) and the whole batch answers that error. One frame on the
+    /// wire, one admission-control slot, one executor dispatch.
+    Batch {
+        /// The operations, in execution order. Nesting is rejected.
+        ops: Vec<Request>,
+    },
 }
 
 // ---------------------------------------------------------------------
@@ -187,6 +199,7 @@ const RESP_WORKSPACE: u8 = 10;
 const RESP_STATS: u8 = 11;
 const RESP_PREPARED: u8 = 12;
 const RESP_IN_DOUBT: u8 = 13;
+const RESP_BATCH: u8 = 14;
 
 /// Everything the server can answer.
 #[derive(Debug, Clone, PartialEq)]
@@ -248,6 +261,13 @@ pub enum Response {
     InDoubt {
         /// Prepared transaction ids, ascending.
         txns: Vec<u64>,
+    },
+    /// Per-operation answers for a [`Request::Batch`], in batch order.
+    /// Only produced when every operation succeeded (a failure answers
+    /// plain `Err` for the whole batch instead).
+    Batch {
+        /// One response per batched operation.
+        results: Vec<Response>,
     },
 }
 
@@ -498,6 +518,18 @@ impl Request {
                     None => out.put_u8(0),
                 }
             }
+            Request::Batch { ops } => {
+                out.put_u8(REQ_BATCH);
+                out.put_u32_le(ops.len() as u32);
+                for op in ops {
+                    // Length-prefix each operation so the decoder can
+                    // hold every element to the same trailing-byte
+                    // discipline as a top-level frame.
+                    let bytes = op.encode();
+                    out.put_u32_le(bytes.len() as u32);
+                    out.extend_from_slice(&bytes);
+                }
+            }
         }
         out
     }
@@ -551,6 +583,21 @@ impl Request {
                     }
                 },
             },
+            REQ_BATCH => {
+                let n = get_u32(buf)? as usize;
+                let mut ops = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    let len = get_u32(buf)? as usize;
+                    need(buf, len)?;
+                    let op = Request::decode(&buf[..len])?;
+                    *buf = &buf[len..];
+                    if matches!(op, Request::Batch { .. }) {
+                        return Err(DbError::Protocol("nested batch is not allowed".into()));
+                    }
+                    ops.push(op);
+                }
+                Request::Batch { ops }
+            }
             other => return Err(DbError::Protocol(format!("unknown request tag {other}"))),
         };
         if !buf.is_empty() {
@@ -635,6 +682,15 @@ impl Response {
                     out.put_u64_le(*txn);
                 }
             }
+            Response::Batch { results } => {
+                out.put_u8(RESP_BATCH);
+                out.put_u32_le(results.len() as u32);
+                for r in results {
+                    let bytes = r.encode();
+                    out.put_u32_le(bytes.len() as u32);
+                    out.extend_from_slice(&bytes);
+                }
+            }
         }
         out
     }
@@ -685,6 +741,21 @@ impl Response {
                     txns.push(get_u64(buf)?);
                 }
                 Response::InDoubt { txns }
+            }
+            RESP_BATCH => {
+                let n = get_u32(buf)? as usize;
+                let mut results = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    let len = get_u32(buf)? as usize;
+                    need(buf, len)?;
+                    let r = Response::decode(&buf[..len])?;
+                    *buf = &buf[len..];
+                    if matches!(r, Response::Batch { .. }) {
+                        return Err(DbError::Protocol("nested batch is not allowed".into()));
+                    }
+                    results.push(r);
+                }
+                Response::Batch { results }
             }
             other => return Err(DbError::Protocol(format!("unknown response tag {other}"))),
         };
@@ -769,6 +840,31 @@ mod tests {
         rt_req(Request::AbortPrepared { txn: 42 });
         rt_req(Request::Resolve { txn: None });
         rt_req(Request::Resolve { txn: Some(42) });
+        rt_req(Request::Batch { ops: vec![] });
+        rt_req(Request::Batch {
+            ops: vec![
+                Request::CreateObject {
+                    class: "Vehicle".into(),
+                    attrs: vec![("weight".into(), Value::Int(7600))],
+                },
+                Request::Set {
+                    oid: Oid::new(ClassId(2), 9),
+                    attr: "weight".into(),
+                    value: Value::Int(8000),
+                },
+                Request::Get { oid: Oid::new(ClassId(2), 9), attr: "weight".into() },
+                Request::Delete { oid: Oid::new(ClassId(2), 10) },
+            ],
+        });
+    }
+
+    #[test]
+    fn nested_batches_are_rejected() {
+        let nested = Request::Batch { ops: vec![Request::Batch { ops: vec![Request::Ping] }] };
+        assert!(matches!(Request::decode(&nested.encode()), Err(DbError::Protocol(_))));
+        let nested =
+            Response::Batch { results: vec![Response::Batch { results: vec![Response::Ok] }] };
+        assert!(matches!(Response::decode(&nested.encode()), Err(DbError::Protocol(_))));
     }
 
     #[test]
@@ -800,6 +896,15 @@ mod tests {
         rt_resp(Response::Prepared { txn: 42 });
         rt_resp(Response::InDoubt { txns: vec![] });
         rt_resp(Response::InDoubt { txns: vec![3, 7, 11] });
+        rt_resp(Response::Batch { results: vec![] });
+        rt_resp(Response::Batch {
+            results: vec![
+                Response::Created { oid: Oid::new(ClassId(3), 5) },
+                Response::Ok,
+                Response::Value(Value::Int(8000)),
+                Response::Err(DbError::ServerBusy),
+            ],
+        });
     }
 
     #[test]

@@ -178,23 +178,24 @@ fn graceful_shutdown_drains_in_flight_request() {
 }
 
 #[test]
-fn accept_queue_overflow_is_rejected_with_server_busy() {
+fn connection_cap_overflow_is_rejected_with_server_busy() {
     let (db, _) = fleet_db(DbConfig::default());
     let server = Server::bind(
         Arc::clone(&db),
         "127.0.0.1:0",
-        ServerConfig { workers: 1, accept_queue: 1, ..ServerConfig::default() },
+        ServerConfig { max_connections: 2, ..ServerConfig::default() },
     )
     .unwrap();
     let addr = server.local_addr();
 
-    // Occupies the only worker.
-    let mut served = Client::connect(addr).unwrap();
-    served.ping().unwrap();
-    // Fills the accept queue (never claimed by a worker).
-    let _queued = TcpStream::connect(addr).unwrap();
-    std::thread::sleep(Duration::from_millis(200));
-    // Over capacity: turned away at the door.
+    // Two sessions fill the cap (pinged, so both are fully admitted —
+    // the acceptor is single-threaded, so the count is settled before
+    // the next accept).
+    let mut a = Client::connect(addr).unwrap();
+    a.ping().unwrap();
+    let mut b = Client::connect(addr).unwrap();
+    b.ping().unwrap();
+    // Over capacity: turned away at the door with a reason, not a slam.
     let mut rejected = TcpStream::connect(addr).unwrap();
     let payload = read_frame(&mut rejected, MAX_FRAME).unwrap().expect("a rejection frame");
     match Response::decode(&payload).unwrap() {
@@ -202,6 +203,9 @@ fn accept_queue_overflow_is_rejected_with_server_busy() {
         other => panic!("expected ServerBusy, got {other:?}"),
     }
     assert!(db.stats().net.busy_rejections >= 1);
+    // The admitted sessions were untouched by the rejection.
+    a.ping().unwrap();
+    b.ping().unwrap();
     server.shutdown();
 }
 

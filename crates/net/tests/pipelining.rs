@@ -1,0 +1,328 @@
+//! Pipelining, admission control, and batch semantics over real
+//! sockets: the contracts PR 9's evented core must keep.
+
+use orion_core::{AttrSpec, Database, DbConfig, Domain, PrimitiveType, Value};
+use orion_net::frame::{read_frame, MAX_FRAME};
+use orion_net::{Client, Request, Response, Server, ServerConfig};
+use orion_types::{DbError, Oid};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn counter_db() -> (Arc<Database>, Vec<Oid>) {
+    let db = Database::open_in_memory();
+    db.create_class(
+        "Counter",
+        &[],
+        vec![AttrSpec::new("n", Domain::Primitive(PrimitiveType::Int))],
+    )
+    .unwrap();
+    let tx = db.begin();
+    let oids: Vec<Oid> = (0..8)
+        .map(|i| db.create_object(&tx, "Counter", vec![("n", Value::Int(i))]).unwrap())
+        .collect();
+    db.commit(tx).unwrap();
+    (Arc::new(db), oids)
+}
+
+#[test]
+fn replies_come_back_in_fifo_order_under_a_64_deep_pipeline() {
+    let (db, oids) = counter_db();
+    let server = Server::bind(Arc::clone(&db), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    let mut pipe = client.pipeline().unwrap();
+    // 64 distinct reads, all in flight before any reply is read.
+    for k in 0..64u64 {
+        let oid = oids[(k % oids.len() as u64) as usize];
+        pipe.send(&Request::Get { oid, attr: "n".into() }).unwrap();
+    }
+    assert_eq!(pipe.outstanding(), 64);
+    for k in 0..64i64 {
+        match pipe.recv().unwrap() {
+            Response::Value(Value::Int(n)) => {
+                assert_eq!(n, k % 8, "reply {k} answers send {k}, in order")
+            }
+            other => panic!("expected Value, got {other:?}"),
+        }
+    }
+    assert_eq!(pipe.outstanding(), 0);
+    drop(pipe);
+    client.ping().unwrap(); // the session is still clean
+    server.shutdown();
+}
+
+#[test]
+fn a_mid_pipeline_error_does_not_poison_later_replies() {
+    let (db, oids) = counter_db();
+    let server = Server::bind(Arc::clone(&db), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    let mut pipe = client.pipeline().unwrap();
+    pipe.send(&Request::Get { oid: oids[0], attr: "n".into() }).unwrap();
+    pipe.send(&Request::Get { oid: oids[1], attr: "bogus".into() }).unwrap(); // fails
+    pipe.send(&Request::Get { oid: oids[2], attr: "n".into() }).unwrap();
+    assert!(matches!(pipe.recv().unwrap(), Response::Value(Value::Int(0))));
+    assert!(matches!(pipe.recv().unwrap(), Response::Err(DbError::UnknownAttribute { .. })));
+    assert!(
+        matches!(pipe.recv().unwrap(), Response::Value(Value::Int(2))),
+        "the reply after the failed request is intact and in position"
+    );
+    drop(pipe);
+    server.shutdown();
+}
+
+#[test]
+fn disconnect_mid_pipeline_rolls_back_the_session_tx() {
+    let config = DbConfig::builder().lock_timeout(Duration::from_secs(5)).build().unwrap();
+    let db = Database::with_config(config);
+    db.create_class(
+        "Counter",
+        &[],
+        vec![AttrSpec::new("n", Domain::Primitive(PrimitiveType::Int))],
+    )
+    .unwrap();
+    let db = Arc::new(db);
+    let tx = db.begin();
+    let oid = db.create_object(&tx, "Counter", vec![("n", Value::Int(7))]).unwrap();
+    db.commit(tx).unwrap();
+
+    let server = Server::bind(Arc::clone(&db), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    let mut writer = Client::connect(addr).unwrap();
+    writer.begin().unwrap();
+    let mut pipe = writer.pipeline().unwrap();
+    // An uncommitted pipelined write inside the explicit transaction;
+    // its X lock is held once the reply confirms it landed.
+    pipe.send(&Request::Set { oid, attr: "n".into(), value: Value::Int(99) }).unwrap();
+    assert!(matches!(pipe.recv().unwrap(), Response::Ok));
+    // More writes go out, but the client vanishes with their replies
+    // (and the transaction) still in flight.
+    pipe.send(&Request::Set { oid, attr: "n".into(), value: Value::Int(100) }).unwrap();
+    drop(pipe);
+    drop(writer);
+
+    // The server must notice the disconnect and roll the session
+    // transaction back, releasing the lock: a fresh write succeeds well
+    // within the lock timeout, and the uncommitted 99/100 are gone.
+    let mut other = Client::connect(addr).unwrap();
+    other.set(oid, "n", Value::Int(1)).unwrap();
+    assert_eq!(other.get(oid, "n").unwrap(), Value::Int(1));
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_clients_match_the_serial_client_byte_for_byte() {
+    let (db, oids) = counter_db();
+    // Enough admission headroom that the 6 × 32-deep bursts are never
+    // shed (shedding is exercised separately below).
+    let server = Server::bind(
+        Arc::clone(&db),
+        "127.0.0.1:0",
+        ServerConfig { workers: 6, exec_queue_depth: 512, ..ServerConfig::default() },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    let query = "select c from Counter c where c.n >= 2 order by c.n asc";
+
+    // Serial baseline: one request/response at a time.
+    let serial_bytes = {
+        let mut client = Client::connect(addr).unwrap();
+        let r = client.query(query).unwrap();
+        Response::Query { rows: r.rows, oids: r.oids }.encode()
+    };
+
+    // Six concurrent connections, each pipelining a mixed burst.
+    let handles: Vec<_> = (0..6)
+        .map(|c| {
+            let serial_bytes = serial_bytes.clone();
+            let oids = oids.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                let mut pipe = client.pipeline().unwrap();
+                for k in 0..16 {
+                    pipe.send(&Request::Get {
+                        oid: oids[(c + k) % oids.len()],
+                        attr: "n".into(),
+                    })
+                    .unwrap();
+                    pipe.send_query(query).unwrap();
+                }
+                for k in 0..16 {
+                    match pipe.recv().unwrap() {
+                        Response::Value(Value::Int(n)) => {
+                            assert_eq!(n as usize, (c + k) % oids.len())
+                        }
+                        other => panic!("expected Value, got {other:?}"),
+                    }
+                    let r = pipe.recv_query().unwrap();
+                    let bytes = Response::Query { rows: r.rows, oids: r.oids }.encode();
+                    assert_eq!(bytes, serial_bytes, "pipelined leg differs from serial");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("pipelined client");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn admission_control_sheds_with_server_busy_and_never_hangs() {
+    let (db, oids) = counter_db();
+    // A tiny pipeline cap on a single worker: a deep burst must shed
+    // its tail, answer everything, and kill nothing in flight.
+    let server = Server::bind(
+        Arc::clone(&db),
+        "127.0.0.1:0",
+        ServerConfig { workers: 1, max_pipeline: 4, ..ServerConfig::default() },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    let mut client = Client::connect(addr).unwrap();
+    let mut pipe = client.pipeline().unwrap();
+    let burst = 64;
+    for _ in 0..burst {
+        pipe.send(&Request::Get { oid: oids[0], attr: "n".into() }).unwrap();
+    }
+    let mut served = 0u32;
+    let mut shed = 0u32;
+    for _ in 0..burst {
+        match pipe.recv().unwrap() {
+            Response::Value(Value::Int(0)) => served += 1,
+            Response::Err(DbError::ServerBusy) => shed += 1,
+            other => panic!("expected Value or ServerBusy, got {other:?}"),
+        }
+    }
+    assert_eq!(served + shed, burst, "every request answered, none dropped");
+    assert!(shed > 0, "a 64-deep burst over a 4-deep cap must shed");
+    assert!(served >= 4, "admitted requests are served, not killed");
+    drop(pipe);
+    // The session survives shedding.
+    assert_eq!(client.get(oids[0], "n").unwrap(), Value::Int(0));
+
+    let stats = db.stats();
+    assert!(stats.net.requests_shed >= u64::from(shed));
+    assert!(stats.net.pipeline_depth.count >= u64::from(burst));
+    server.shutdown();
+}
+
+#[test]
+fn batch_is_one_round_trip_and_atomic_outside_a_tx() {
+    let (db, oids) = counter_db();
+    let server = Server::bind(Arc::clone(&db), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    // A successful batch: per-op results in order.
+    let results = client
+        .batch(vec![
+            Request::Set { oid: oids[0], attr: "n".into(), value: Value::Int(10) },
+            Request::Get { oid: oids[0], attr: "n".into() },
+            Request::CreateObject { class: "Counter".into(), attrs: vec![("n".into(), Value::Int(42))] },
+        ])
+        .unwrap();
+    assert!(matches!(results[0], Response::Ok));
+    assert!(matches!(results[1], Response::Value(Value::Int(10))));
+    let created = match results[2] {
+        Response::Created { oid } => oid,
+        ref other => panic!("expected Created, got {other:?}"),
+    };
+    assert_eq!(client.get(created, "n").unwrap(), Value::Int(42));
+
+    // A failing batch rolls back as a unit: the first Set must not
+    // survive the second op's failure.
+    let err = client
+        .batch(vec![
+            Request::Set { oid: oids[1], attr: "n".into(), value: Value::Int(77) },
+            Request::Get { oid: oids[1], attr: "bogus".into() },
+        ])
+        .unwrap_err();
+    assert!(matches!(err, DbError::UnknownAttribute { .. }), "{err:?}");
+    assert_eq!(client.get(oids[1], "n").unwrap(), Value::Int(1), "batch rolled back atomically");
+
+    // Non-DML inside a batch is a protocol error, not an execution.
+    let err = client.batch(vec![Request::Ping]).unwrap_err();
+    assert!(matches!(err, DbError::Protocol(_)), "{err:?}");
+    server.shutdown();
+}
+
+#[test]
+fn event_loop_metrics_are_monotonic_and_rendered() {
+    let (db, oids) = counter_db();
+    let server = Server::bind(Arc::clone(&db), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    let before = db.stats().net;
+    let mut pipe = client.pipeline().unwrap();
+    for _ in 0..8 {
+        pipe.send(&Request::Get { oid: oids[0], attr: "n".into() }).unwrap();
+    }
+    for _ in 0..8 {
+        pipe.recv().unwrap();
+    }
+    drop(pipe);
+    let after = db.stats().net;
+
+    // Counters and histogram counts only move forward.
+    assert!(after.requests >= before.requests + 8);
+    assert!(after.readiness_wakeups > before.readiness_wakeups, "traffic means wakeups");
+    assert!(after.requests_shed >= before.requests_shed);
+    assert!(after.pipeline_depth.count >= before.pipeline_depth.count + 8);
+    assert!(after.request_latency.count >= before.request_latency.count + 8);
+    assert!(after.connections_per_worker >= 1, "one live connection registers on a worker");
+
+    // And a second pass is monotonic over the first.
+    client.ping().unwrap();
+    let third = db.stats().net;
+    assert!(third.requests > after.requests);
+    assert!(third.readiness_wakeups >= after.readiness_wakeups);
+    assert!(third.pipeline_depth.count >= after.pipeline_depth.count);
+
+    // All new series reach the Prometheus rendering.
+    let scrape = client.stats_prometheus().unwrap();
+    for series in [
+        "orion_net_pipeline_depth",
+        "orion_net_requests_shed_total",
+        "orion_net_readiness_wakeups_total",
+        "orion_net_readiness_wakeups_per_sec",
+        "orion_net_connections_per_worker",
+    ] {
+        assert!(scrape.contains(series), "scrape is missing {series}");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn raw_pipelined_frames_in_one_write_are_all_answered() {
+    // The decoder must handle many frames coalesced into one TCP
+    // segment — exactly what an aggressive pipelining client produces.
+    let (db, oids) = counter_db();
+    let server = Server::bind(Arc::clone(&db), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut raw = TcpStream::connect(server.local_addr()).unwrap();
+    raw.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+
+    // Handshake plus ten reads, coalesced into a single write.
+    let mut blob = Vec::new();
+    let frame_into = |blob: &mut Vec<u8>, req: &Request| {
+        let payload = req.encode();
+        blob.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        blob.extend_from_slice(&payload);
+    };
+    frame_into(&mut blob, &Request::Hello { principal: None });
+    for _ in 0..10 {
+        frame_into(&mut blob, &Request::Get { oid: oids[3], attr: "n".into() });
+    }
+    use std::io::Write as _;
+    raw.write_all(&blob).unwrap();
+
+    let hello = read_frame(&mut raw, MAX_FRAME).unwrap().expect("hello ack");
+    assert!(matches!(Response::decode(&hello).unwrap(), Response::Hello { .. }));
+    for _ in 0..10 {
+        let reply = read_frame(&mut raw, MAX_FRAME).unwrap().expect("a value reply");
+        assert!(matches!(Response::decode(&reply).unwrap(), Response::Value(Value::Int(3))));
+    }
+    server.shutdown();
+}

@@ -320,10 +320,48 @@ impl ShardRouter {
             return self.with_shard(owners[0], |c| c.query(text));
         }
         self.metrics.fanout_queries.inc();
-        let mut partials = Vec::with_capacity(owners.len());
-        for &shard in &owners {
-            partials.push((shard, self.with_shard(shard, |c| c.query(text))?));
-        }
+        // Pipelined fan-out: write the query to every owning shard
+        // before reading any reply, so the legs execute concurrently
+        // and the fan-out costs one round trip, not one per shard.
+        // Guards are taken in ascending shard order (the router-wide
+        // lock order) and — together with the pipelines borrowing them
+        // — dropped before merge(), which may re-lock shards to resolve
+        // ORDER BY keys.
+        let partials = {
+            let mut guards = Vec::with_capacity(owners.len());
+            for &shard in &owners {
+                self.metrics.requests[shard].inc();
+                guards.push(self.shards[shard].lock());
+            }
+            let mut pipes = Vec::with_capacity(guards.len());
+            for (i, guard) in guards.iter_mut().enumerate() {
+                match guard.pipeline().and_then(|mut p| p.send_query(text).map(|()| p)) {
+                    Ok(pipe) => pipes.push(pipe),
+                    Err(e) => {
+                        self.metrics.errors[owners[i]].inc();
+                        return Err(e);
+                    }
+                }
+            }
+            let mut partials = Vec::with_capacity(pipes.len());
+            let mut failed: Option<DbError> = None;
+            for (i, pipe) in pipes.iter_mut().enumerate() {
+                // Keep receiving past a failed leg so the healthy
+                // connections stay in sync (a skipped reply would
+                // poison them on drop); report the first failure.
+                match pipe.recv_query() {
+                    Ok(result) => partials.push((owners[i], result)),
+                    Err(e) => {
+                        self.metrics.errors[owners[i]].inc();
+                        failed.get_or_insert(e);
+                    }
+                }
+            }
+            if let Some(e) = failed {
+                return Err(e);
+            }
+            partials
+        };
         self.merge(&q, partials)
     }
 

@@ -124,7 +124,15 @@ fn fanout_merge_is_byte_identical_to_single_node() {
         let tx = single.begin();
         let want = single.query(&tx, q).unwrap();
         single.commit(tx).unwrap();
+        // The router's fan-out legs are pipelined (sent before any
+        // reply is read); the merged result must still be
+        // byte-identical to the single-node answer.
         let got = router.query(q).unwrap();
+        assert_eq!(
+            orion_net::Response::Query { rows: got.rows.clone(), oids: vec![] }.encode(),
+            orion_net::Response::Query { rows: want.rows.clone(), oids: vec![] }.encode(),
+            "encoded rows diverged for {q}"
+        );
         assert_eq!(got.rows, want.rows, "rows diverged for {q}");
         assert_eq!(got.oids.len(), want.oids.len(), "cardinality diverged for {q}");
     }

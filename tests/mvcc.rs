@@ -301,3 +301,87 @@ fn snapshots_stay_correct_across_crash_recovery() {
     assert_eq!(r.rows[0][0], Value::Int(3));
     db.commit(tx).unwrap();
 }
+
+/// Repro for the known index/MVCC race (DESIGN.md §"MVCC snapshot
+/// reads", known limit): secondary indexes are *not* versioned, so an
+/// index-assisted query racing a committed key update can miss a
+/// moving row — the index files it under the new key the instant the
+/// writer commits, while the query's snapshot still sees the old
+/// value (candidates are residual-checked against snapshot values, so
+/// nothing dirty leaks *in*; rows only fall *out*).
+///
+/// Detection: a flock of items flips its key 10 → 20 → 10 atomically
+/// (one commit moves all of them), so under ANY snapshot an
+/// index-probed `k = 10` count must be all-or-nothing. A partial
+/// count is a torn index-assisted read: the probe ran against index
+/// state newer than the query snapshot. `#[ignore]`d until indexes
+/// are versioned (or index probes re-validate against the snapshot by
+/// falling back to a scan on mismatch): the failure is a real,
+/// documented engine limit — not flaky test noise.
+#[test]
+#[ignore = "known limit: unversioned indexes can tear an index-assisted snapshot read"]
+fn index_assisted_snapshot_query_can_miss_a_moving_row() {
+    use orion_oodb::orion::IndexKind;
+
+    const FLOCK: i64 = 32;
+    let db = Arc::new(Database::open_in_memory());
+    db.create_class(
+        "Item",
+        &[],
+        vec![AttrSpec::new("k", Domain::Primitive(PrimitiveType::Int))],
+    )
+    .unwrap();
+    db.create_index("byk", IndexKind::ClassHierarchy, "Item", &["k"]).unwrap();
+    let tx = db.begin();
+    let flock: Vec<Oid> = (0..FLOCK)
+        .map(|_| db.create_object(&tx, "Item", vec![("k", Value::Int(10))]).unwrap())
+        .collect();
+    // Decoys fatten the extent so the optimizer prefers the index for
+    // the point probe over a full scan.
+    for i in 0..512i64 {
+        db.create_object(&tx, "Item", vec![("k", Value::Int(1_000 + i))]).unwrap();
+    }
+    db.commit(tx).unwrap();
+
+    // The probe must be index-assisted for the race to exist.
+    let probe = "select count(*) from Item i where i.k = 10";
+    let tx = db.begin();
+    let plan = db.explain(&tx, probe).unwrap().to_string();
+    db.commit(tx).unwrap();
+    assert!(plan.to_lowercase().contains("index"), "probe must be index-assisted: {plan}");
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let db = Arc::clone(&db);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut k = 10i64;
+            while !stop.load(Ordering::Relaxed) {
+                k = if k == 10 { 20 } else { 10 };
+                let tx = db.begin();
+                for oid in &flock {
+                    db.set(&tx, *oid, "k", Value::Int(k)).unwrap();
+                }
+                db.commit(tx).unwrap();
+            }
+        })
+    };
+
+    let mut tears = 0u32;
+    for _ in 0..2_000 {
+        let tx = db.begin();
+        let r = db.query(&tx, probe).unwrap();
+        db.commit(tx).unwrap();
+        // One commit moves the whole flock, so every snapshot holds
+        // either all of them at k = 10 or none. Anything in between is
+        // the index reading ahead of the snapshot.
+        let n = r.rows[0][0].as_int().unwrap();
+        assert!(n <= FLOCK, "phantom duplicates would be a worse bug: {n}");
+        if n != 0 && n != FLOCK {
+            tears += 1;
+        }
+    }
+    stop.store(true, Ordering::Relaxed);
+    writer.join().unwrap();
+    assert_eq!(tears, 0, "index-assisted snapshot reads tore {tears} times");
+}
