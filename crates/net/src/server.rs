@@ -88,9 +88,9 @@ pub struct ServerConfig {
     /// [`DbError::ServerBusy`] (tail-drop: the newest request sheds,
     /// admitted ones always finish).
     pub max_pipeline: usize,
-    /// Global cap on admitted-but-unanswered requests across all
-    /// connections (the executor queue bound). Requests beyond it shed
-    /// with [`DbError::ServerBusy`].
+    /// Global cap on admitted requests awaiting or undergoing
+    /// execution, across all connections (the executor queue bound).
+    /// Requests beyond it shed with [`DbError::ServerBusy`].
     pub exec_queue_depth: usize,
     /// Mid-frame stall tolerance: a peer that starts a frame and then
     /// goes silent this long is disconnected.
@@ -203,19 +203,14 @@ impl ServerConfig {
     }
 }
 
-/// Work the executor pool runs on behalf of the event loops.
-enum ExecTask {
-    /// One admitted request from one connection.
-    Request {
-        loop_idx: usize,
-        token: u64,
-        conn: Arc<ConnShared>,
-        request: Request,
-    },
-    /// Roll back a dead session's transaction. Queued at teardown when
-    /// the session lock was busy (a request of that session was still
-    /// executing); FIFO order puts it after that request finishes.
-    Rollback { conn: Arc<ConnShared> },
+/// One admitted request from one connection, handed to the executor
+/// pool. At most one is outstanding per connection at a time — that is
+/// what keeps a session's requests (and its transaction) sequential.
+struct ExecTask {
+    loop_idx: usize,
+    token: u64,
+    conn: Arc<ConnShared>,
+    request: Request,
 }
 
 /// The slice of connection state the executors touch: the session
@@ -227,6 +222,14 @@ struct ConnShared {
     /// Set when a handler panicked: the loop flushes the `Internal`
     /// error reply and then closes the connection.
     panicked: AtomicBool,
+    /// Set at teardown when the connection died with a request still on
+    /// the executors. The executor observes it under the session lock
+    /// and settles the session itself (skipping the request if it has
+    /// not started — its reply is undeliverable and the disconnect
+    /// contract says the transaction rolls back); the event loop's
+    /// done-harvest settles it from the other side if the executor had
+    /// already finished before the flag was raised.
+    defunct: AtomicBool,
 }
 
 /// Per-session protocol state: who the client is and whether an
@@ -259,7 +262,10 @@ struct Shared {
     loops: Vec<LoopHandle>,
     exec_queue: Mutex<VecDeque<ExecTask>>,
     exec_cv: Condvar,
-    /// Admitted-but-unanswered requests across all connections.
+    /// Admitted requests not yet finished executing. The executor
+    /// frees the slot when it completes a request (not the reply
+    /// harvest), so a dying event loop can never strand it; slots for
+    /// requests admitted but never dispatched free at teardown.
     inflight: AtomicUsize,
     /// Stops accepting and reading; admitted work still drains.
     shutdown: AtomicBool,
@@ -405,8 +411,9 @@ impl Server {
         for h in self.io_handles.drain(..) {
             let _ = h.join();
         }
-        // Loops are done: every admitted task (and teardown rollback)
-        // is in the queue. Executors drain it, then exit.
+        // Loops are done: every admitted task is in the queue (dead
+        // sessions settle as their tasks finish, via the defunct
+        // flag). Executors drain the queue, then exit.
         self.shared.exec_shutdown.store(true, Ordering::Release);
         self.shared.exec_cv.notify_all();
         for h in self.executors.drain(..) {
@@ -442,7 +449,7 @@ fn acceptor_loop(listener: &TcpListener, shared: &Shared) {
         }
         if shared.active.load(Ordering::Acquire) >= shared.config.max_connections {
             shared.metrics.busy_rejections.inc();
-            reject_busy(stream, shared);
+            reject_busy(stream);
             continue;
         }
         // Least-loaded event loop, round-robin tiebreak.
@@ -463,7 +470,7 @@ fn acceptor_loop(listener: &TcpListener, shared: &Shared) {
             if inbox.len() >= shared.config.accept_queue {
                 drop(inbox);
                 shared.metrics.busy_rejections.inc();
-                reject_busy(stream, shared);
+                reject_busy(stream);
                 continue;
             }
             // The connection enters the session lifecycle here; the
@@ -476,10 +483,16 @@ fn acceptor_loop(listener: &TcpListener, shared: &Shared) {
     }
 }
 
-/// Tell an over-capacity client why it is being turned away.
-fn reject_busy(mut stream: TcpStream, shared: &Shared) {
-    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
-    let _ = frame::write_frame(&mut stream, &Response::Err(DbError::ServerBusy).encode());
+/// Tell an over-capacity client why it is being turned away. Best
+/// effort on a nonblocking socket: this runs on the acceptor thread,
+/// which must never stall behind a slow or hostile peer — a fresh
+/// connection's empty send buffer takes this tiny frame in one write
+/// virtually always, and a peer it cannot reach just sees the close.
+fn reject_busy(mut stream: TcpStream) {
+    let _ = stream.set_nonblocking(true);
+    let mut buf = Vec::new();
+    frame::append_frame(&mut buf, &Response::Err(DbError::ServerBusy).encode());
+    let _ = stream.write(&buf);
 }
 
 // ---------------------------------------------------------------------
@@ -504,6 +517,12 @@ struct Conn {
     out: Vec<u8>,
     out_pos: usize,
     queue: VecDeque<Work>,
+    /// `Work::Execute` entries currently in `queue`. The pipeline-depth
+    /// admission check counts these (plus the executing request), not
+    /// `queue.len()`: synthesized `Work::Reply` entries (decode errors,
+    /// earlier shed replies) are already answered and must not inflate
+    /// the measured depth into spurious shedding.
+    pending_exec: usize,
     /// One request of this connection is on (or in line for) the
     /// executors; its reply has not been harvested yet. FIFO order
     /// hinges on this: nothing behind it advances until it answers.
@@ -532,11 +551,13 @@ impl Conn {
                 }),
                 reply: Mutex::new(None),
                 panicked: AtomicBool::new(false),
+                defunct: AtomicBool::new(false),
             }),
             decoder: FrameDecoder::new(max_frame),
             out: Vec::new(),
             out_pos: 0,
             queue: VecDeque::new(),
+            pending_exec: 0,
             executing: false,
             closing: false,
             dead: false,
@@ -648,7 +669,7 @@ impl Conn {
                 return;
             }
         };
-        let depth = self.queue.len() + usize::from(self.executing) + 1;
+        let depth = self.pending_exec + usize::from(self.executing) + 1;
         shared.metrics.pipeline_depth.observe_micros(depth as u64);
         if depth > shared.config.max_pipeline
             || shared.inflight.load(Ordering::Acquire) >= shared.config.exec_queue_depth
@@ -659,6 +680,7 @@ impl Conn {
             return;
         }
         shared.inflight.fetch_add(1, Ordering::AcqRel);
+        self.pending_exec += 1;
         self.queue.push_back(Work::Execute(request));
     }
 
@@ -670,8 +692,9 @@ impl Conn {
             match self.queue.pop_front() {
                 Some(Work::Reply(response)) => self.push_response(&response),
                 Some(Work::Execute(request)) => {
+                    self.pending_exec -= 1;
                     self.executing = true;
-                    shared.enqueue(ExecTask::Request {
+                    shared.enqueue(ExecTask {
                         loop_idx,
                         token,
                         conn: Arc::clone(&self.shared),
@@ -724,6 +747,13 @@ fn io_loop(shared: &Arc<Shared>, idx: usize, waker: &Waker) {
     let mut poller = Poller::new();
     poller.register(WAKE_TOKEN, waker.fd(), Interest { readable: true, writable: false });
     let mut conns: HashMap<u64, Conn> = HashMap::new();
+    // Sessions of connections torn down while a request of theirs was
+    // still with the executors. The done-harvest settles (rolls back)
+    // each one when its request completes; the executor settles it
+    // itself via `ConnShared::defunct` if it finishes after the loop
+    // is gone — `tx.take()` under the session mutex makes the paths
+    // idempotent.
+    let mut orphans: HashMap<u64, Arc<ConnShared>> = HashMap::new();
     let mut next_token: u64 = WAKE_TOKEN + 1;
     let mut events = Vec::new();
     // Wakeups-per-second gauge: each loop periodically publishes the
@@ -762,7 +792,7 @@ fn io_loop(shared: &Arc<Shared>, idx: usize, waker: &Waker) {
             }
         }
         for (token, timed_out) in to_close {
-            teardown(&mut conns, &mut poller, shared, idx, token, timed_out);
+            teardown(&mut conns, &mut orphans, &mut poller, shared, idx, token, timed_out);
         }
         if shutting_down && conns.is_empty() {
             break;
@@ -836,9 +866,16 @@ fn io_loop(shared: &Arc<Shared>, idx: usize, waker: &Waker) {
             done.drain(..).collect()
         };
         for token in completed {
-            // The admission slot frees even if the connection died
-            // while its request was executing.
-            shared.inflight.fetch_sub(1, Ordering::AcqRel);
+            if let Some(orphaned) = orphans.remove(&token) {
+                // The connection died while this request was with the
+                // executors; the request has now answered (its reply is
+                // undeliverable), so settle the session — unless the
+                // executor saw the defunct flag and already did.
+                if let Some(tx) = orphaned.session.lock().tx.take() {
+                    let _ = shared.db.rollback(tx);
+                }
+                continue;
+            }
             let Some(conn) = conns.get_mut(&token) else { continue };
             let reply = conn.shared.reply.lock().take();
             conn.executing = false;
@@ -856,7 +893,18 @@ fn io_loop(shared: &Arc<Shared>, idx: usize, waker: &Waker) {
     // open transactions roll back.
     let tokens: Vec<u64> = conns.keys().copied().collect();
     for token in tokens {
-        teardown(&mut conns, &mut poller, shared, idx, token, false);
+        teardown(&mut conns, &mut orphans, &mut poller, shared, idx, token, false);
+    }
+    // Sessions torn down with a request still on the executors settle
+    // there (the defunct flag); any whose completion already landed are
+    // settled here from one final harvest.
+    let completed: Vec<u64> = shared.loops[idx].done.lock().drain(..).collect();
+    for token in completed {
+        if let Some(orphaned) = orphans.remove(&token) {
+            if let Some(tx) = orphaned.session.lock().tx.take() {
+                let _ = shared.db.rollback(tx);
+            }
+        }
     }
     // Late-arriving inbox entries (accepted before the acceptor saw
     // the flag) are dropped unserved.
@@ -866,12 +914,26 @@ fn io_loop(shared: &Arc<Shared>, idx: usize, waker: &Waker) {
     }
 }
 
-/// Close one connection: free its admission slots, roll back its open
-/// transaction (inline when the session lock is free, else via a
-/// queued task that runs right after its in-flight request), and
+/// Close one connection: free the admission slots of requests that
+/// never reached the executors, settle the session transaction, and
 /// deregister the socket.
+///
+/// The rollback must order *after* any request of this connection
+/// still with the executors — `executing` covers both a request
+/// sitting in the executor queue and one mid-dispatch (a lock probe
+/// cannot tell those apart: a queued request holds no lock yet, and
+/// rolling back ahead of it would let a queued Begin leak its
+/// transaction or a queued write inside an explicit transaction run
+/// in auto-commit). In that case the defunct flag hands the rollback
+/// to the executor (checked under the session lock after dispatch)
+/// and the connection parks in `orphans` so the done-harvest settles
+/// it if the executor had already finished before the flag was
+/// raised; `tx.take()` under the session mutex makes the two paths
+/// idempotent. With nothing in flight the session lock is
+/// uncontended and the rollback runs inline.
 fn teardown(
     conns: &mut HashMap<u64, Conn>,
+    orphans: &mut HashMap<u64, Arc<ConnShared>>,
     poller: &mut Poller,
     shared: &Shared,
     idx: usize,
@@ -888,17 +950,11 @@ fn teardown(
             shared.inflight.fetch_sub(1, Ordering::AcqRel);
         }
     }
-    // The session is over; its locks must not outlive it. try_lock
-    // keeps the event loop from blocking behind a still-executing
-    // request — in that case the rollback task lands in the executor
-    // queue *behind* that request and settles the transaction then.
-    match conn.shared.session.try_lock() {
-        Some(mut session) => {
-            if let Some(tx) = session.tx.take() {
-                let _ = shared.db.rollback(tx);
-            }
-        }
-        None => shared.enqueue(ExecTask::Rollback { conn: Arc::clone(&conn.shared) }),
+    if conn.executing {
+        conn.shared.defunct.store(true, Ordering::Release);
+        orphans.insert(token, Arc::clone(&conn.shared));
+    } else if let Some(tx) = conn.shared.session.lock().tx.take() {
+        let _ = shared.db.rollback(tx);
     }
     let _ = conn.stream.shutdown(std::net::Shutdown::Both);
     shared.loops[idx].conns.fetch_sub(1, Ordering::Relaxed);
@@ -923,45 +979,60 @@ fn executor_loop(shared: &Shared) {
                 shared.exec_cv.wait(&mut queue);
             }
         };
-        match task {
-            ExecTask::Rollback { conn } => {
-                if let Some(tx) = conn.session.lock().tx.take() {
+        let ExecTask { loop_idx, token, conn, request } = task;
+        let started = Instant::now();
+        // Panic isolation: a panicking handler costs this one
+        // connection, never an executor thread. parking_lot
+        // mutexes do not poison, so the session lock releases
+        // cleanly on unwind.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if let Some(hook) = shared.config.request_hook.as_ref() {
+                hook(&request);
+            }
+            let mut session = conn.session.lock();
+            // A connection torn down while this request was queued
+            // must honor disconnect-rollback: the reply is
+            // undeliverable, so the request does not run — a write
+            // must not slip into auto-commit after the transaction it
+            // belonged to is gone, and a Begin must not open a
+            // transaction nobody will close.
+            let response = if conn.defunct.load(Ordering::Acquire) {
+                Response::Err(DbError::Net("session closed before the request ran".into()))
+            } else {
+                dispatch(shared, &mut session, request)
+            };
+            // Re-checked after dispatch for teardowns that landed
+            // mid-request: still under the session lock, so this
+            // cannot race the done-harvest's orphan rollback.
+            if conn.defunct.load(Ordering::Acquire) {
+                if let Some(tx) = session.tx.take() {
                     let _ = shared.db.rollback(tx);
                 }
             }
-            ExecTask::Request { loop_idx, token, conn, request } => {
-                let started = Instant::now();
-                // Panic isolation: a panicking handler costs this one
-                // connection, never an executor thread. parking_lot
-                // mutexes do not poison, so the session lock releases
-                // cleanly on unwind.
-                let outcome = catch_unwind(AssertUnwindSafe(|| {
-                    if let Some(hook) = shared.config.request_hook.as_ref() {
-                        hook(&request);
-                    }
-                    let mut session = conn.session.lock();
-                    dispatch(shared, &mut session, request)
-                }));
-                let response = match outcome {
-                    Ok(response) => response,
-                    Err(_) => {
-                        conn.panicked.store(true, Ordering::Release);
-                        if let Some(tx) = conn.session.lock().tx.take() {
-                            let _ = shared.db.rollback(tx);
-                        }
-                        Response::Err(DbError::Internal("request handler panicked".into()))
-                    }
-                };
-                shared.metrics.request_latency.observe(started.elapsed());
-                if matches!(response, Response::Err(_)) {
-                    shared.metrics.errors.inc();
+            response
+        }));
+        let response = match outcome {
+            Ok(response) => response,
+            Err(_) => {
+                conn.panicked.store(true, Ordering::Release);
+                if let Some(tx) = conn.session.lock().tx.take() {
+                    let _ = shared.db.rollback(tx);
                 }
-                *conn.reply.lock() = Some(response);
-                let lh = &shared.loops[loop_idx];
-                lh.done.lock().push(token);
-                lh.wake.wake();
+                Response::Err(DbError::Internal("request handler panicked".into()))
             }
+        };
+        shared.metrics.request_latency.observe(started.elapsed());
+        if matches!(response, Response::Err(_)) {
+            shared.metrics.errors.inc();
         }
+        *conn.reply.lock() = Some(response);
+        // The admission slot frees when execution finishes, here —
+        // not at reply harvest, so an event loop that dies with
+        // requests still executing can never strand slots.
+        shared.inflight.fetch_sub(1, Ordering::AcqRel);
+        let lh = &shared.loops[loop_idx];
+        lh.done.lock().push(token);
+        lh.wake.wake();
     }
 }
 

@@ -113,6 +113,130 @@ fn disconnect_mid_pipeline_rolls_back_the_session_tx() {
 }
 
 #[test]
+fn teardown_behind_a_queued_request_still_honors_disconnect_rollback() {
+    // Regression: a connection that dies while its admitted request is
+    // still *queued* behind a busy executor must not roll its session
+    // back ahead of that request. The old teardown probed the session
+    // lock — which a queued (not yet running) request does not hold —
+    // rolled back inline, and the queued write then executed in
+    // auto-commit, durably committing a fragment of the rolled-back
+    // transaction.
+    let config = DbConfig::builder().lock_timeout(Duration::from_secs(5)).build().unwrap();
+    let db = Database::with_config(config);
+    db.create_class(
+        "Counter",
+        &[],
+        vec![AttrSpec::new("n", Domain::Primitive(PrimitiveType::Int))],
+    )
+    .unwrap();
+    let db = Arc::new(db);
+    let tx = db.begin();
+    let oid = db.create_object(&tx, "Counter", vec![("n", Value::Int(7))]).unwrap();
+    db.commit(tx).unwrap();
+
+    // The gate parks the single executor inside a Ping's hook, so the
+    // victim's next write sits in the executor queue with no lock held.
+    let gate = Arc::new((std::sync::Mutex::new(false), std::sync::Condvar::new()));
+    let entered = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let (hook_gate, hook_entered) = (Arc::clone(&gate), Arc::clone(&entered));
+    let server = Server::bind(
+        Arc::clone(&db),
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 1,
+            io_threads: 1,
+            read_timeout: Duration::from_millis(200),
+            request_hook: Some(Arc::new(move |request: &Request| {
+                if matches!(request, Request::Ping) {
+                    hook_entered.store(true, std::sync::atomic::Ordering::Release);
+                    let (lock, cv) = &*hook_gate;
+                    let mut open = lock.lock().unwrap();
+                    while !*open {
+                        open = cv.wait(open).unwrap();
+                    }
+                }
+            })),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    let frame_into = |blob: &mut Vec<u8>, req: &Request| {
+        let payload = req.encode();
+        blob.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        blob.extend_from_slice(&payload);
+    };
+    use std::io::Write as _;
+
+    // Victim session: explicit transaction with one confirmed write.
+    let mut victim = TcpStream::connect(addr).unwrap();
+    victim.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let mut blob = Vec::new();
+    frame_into(&mut blob, &Request::Hello { principal: None });
+    frame_into(&mut blob, &Request::Begin);
+    frame_into(&mut blob, &Request::Set { oid, attr: "n".into(), value: Value::Int(99) });
+    victim.write_all(&blob).unwrap();
+    assert!(matches!(
+        Response::decode(&read_frame(&mut victim, MAX_FRAME).unwrap().unwrap()).unwrap(),
+        Response::Hello { .. }
+    ));
+    assert!(matches!(
+        Response::decode(&read_frame(&mut victim, MAX_FRAME).unwrap().unwrap()).unwrap(),
+        Response::Txn { .. }
+    ));
+    assert!(matches!(
+        Response::decode(&read_frame(&mut victim, MAX_FRAME).unwrap().unwrap()).unwrap(),
+        Response::Ok
+    ));
+
+    // Park the executor behind the gate.
+    let mut blocker = Client::connect(addr).unwrap();
+    let mut bpipe = blocker.pipeline().unwrap();
+    bpipe.send(&Request::Ping).unwrap();
+    while !entered.load(std::sync::atomic::Ordering::Acquire) {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // A second write is admitted and queued behind the parked Ping;
+    // two stray bytes open a frame that never completes, so the
+    // mid-frame stall clock tears the victim down while its write is
+    // still waiting for the executor.
+    let mut blob = Vec::new();
+    frame_into(&mut blob, &Request::Set { oid, attr: "n".into(), value: Value::Int(100) });
+    blob.extend_from_slice(&[0xAA, 0xBB]);
+    victim.write_all(&blob).unwrap();
+    std::thread::sleep(Duration::from_millis(400)); // > read_timeout
+
+    // Release the executor: the Ping answers, then the victim's queued
+    // write reaches the executor on a session that is already gone.
+    {
+        let (lock, cv) = &*gate;
+        *lock.lock().unwrap() = true;
+        cv.notify_all();
+    }
+    assert!(matches!(bpipe.recv().unwrap(), Response::Pong));
+    drop(bpipe);
+
+    // Give the queued write every chance to (incorrectly) land, then
+    // check the transaction rolled back whole: no 99, no 100.
+    std::thread::sleep(Duration::from_millis(300));
+    let probe = db.begin();
+    assert_eq!(
+        db.get(&probe, oid, "n").unwrap(),
+        Value::Int(7),
+        "disconnect must roll back the whole transaction, including writes \
+         that were still queued when the connection died"
+    );
+    db.rollback(probe).unwrap();
+
+    // And the rollback released the victim's locks.
+    blocker.set(oid, "n", Value::Int(1)).unwrap();
+    assert_eq!(blocker.get(oid, "n").unwrap(), Value::Int(1));
+    server.shutdown();
+}
+
+#[test]
 fn pipelined_clients_match_the_serial_client_byte_for_byte() {
     let (db, oids) = counter_db();
     // Enough admission headroom that the 6 × 32-deep bursts are never
